@@ -1,0 +1,30 @@
+//! # swala-baseline
+//!
+//! The comparison servers of §5.1:
+//!
+//! * [`ForkingServer`] stands in for **NCSA HTTPd 1.5.2**. The paper
+//!   explains its slowness — "it uses processes rather than threads" —
+//!   and this baseline reproduces exactly that cost category: each
+//!   connection pays a real `fork`+`exec` (spawning a no-op process)
+//!   before the request is served, and connections never persist.
+//! * [`ThreadedServer`] stands in for **Netscape Enterprise 3.0**: an
+//!   efficient pooled-thread server with no dynamic-content cache.
+//! * [`ForkedCgi`] wraps any CGI program with a real process spawn,
+//!   modelling the CGI *call mechanism* overhead ("the operating system
+//!   overhead for this call is significant", §2). Wiring the same
+//!   wrapper into Swala keeps the Figure 3 comparison apples-to-apples:
+//!   every server pays the same CGI invocation cost, and only Swala's
+//!   cache can skip it.
+//!
+//! The third baseline the evaluation needs — *stand-alone caching*
+//! (§5.3) — is just a Swala cluster whose nodes are not told about each
+//! other (`num_nodes = 1` per node), so it lives in the bench harness
+//! rather than here.
+
+pub mod forked_cgi;
+pub mod forking;
+pub mod threaded;
+
+pub use forked_cgi::ForkedCgi;
+pub use forking::ForkingServer;
+pub use threaded::ThreadedServer;

@@ -1,0 +1,137 @@
+//! Criterion benches for the design-choice ablations: directory lock
+//! granularity (§4.2's three options), replacement-policy victim
+//! selection, and the wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+use swala_cache::locking::{backend, DirectoryOps};
+use swala_cache::{CacheKey, EntryMeta, NodeId, Policy, PolicyKind};
+use swala_proto::Message;
+
+fn preloaded(granularity: &str, nodes: usize, per_node: usize) -> Arc<dyn DirectoryOps> {
+    let ops = backend(granularity, nodes).expect("backend");
+    for n in 0..nodes {
+        for k in 0..per_node {
+            ops.insert(
+                NodeId(n as u16),
+                EntryMeta::new(
+                    CacheKey::new(format!("/k?n={n}&k={k}")),
+                    NodeId(n as u16),
+                    100,
+                    "t",
+                    1000,
+                    None,
+                    k as u64,
+                ),
+            );
+        }
+    }
+    Arc::from(ops)
+}
+
+/// §4.2's locking ablation: contended lookup throughput per granularity.
+fn bench_ablation_lock_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_locking");
+    for granularity in ["global", "table", "entry", "hybrid"] {
+        let ops = preloaded(granularity, 8, 200);
+        // Background writers keep the write path hot while we time reads,
+        // reproducing the paper's concern (writers stall readers under a
+        // single global lock).
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let ops = Arc::clone(&ops);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut i = w as u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        ops.insert(
+                            NodeId((i % 8) as u16),
+                            EntryMeta::new(
+                                CacheKey::new(format!("/w?i={}", i % 500)),
+                                NodeId((i % 8) as u16),
+                                1,
+                                "t",
+                                1,
+                                None,
+                                i,
+                            ),
+                        );
+                        i += 1;
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        let mut i = 0u64;
+        group.bench_function(format!("lookup_under_writes_{granularity}"), |b| {
+            b.iter(|| {
+                i += 7;
+                black_box(ops.lookup(&CacheKey::new(format!("/k?n={}&k={}", i % 8, i % 200))))
+            })
+        });
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for w in writers {
+            let _ = w.join();
+        }
+    }
+    group.finish();
+}
+
+/// Victim selection cost per policy over a full table.
+fn bench_ablation_policies(c: &mut Criterion) {
+    let entries: Vec<EntryMeta> = (0..2000u64)
+        .map(|k| {
+            let mut e = EntryMeta::new(
+                CacheKey::new(format!("/e?k={k}")),
+                NodeId(0),
+                100 + (k % 977) * 13,
+                "t",
+                1000 + (k % 313) * 997,
+                None,
+                k,
+            );
+            e.hits = k % 17;
+            e.gds_credit = (k % 1009) as f64;
+            e
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_policies");
+    for kind in PolicyKind::ALL {
+        let policy = Policy::new(kind);
+        group.bench_function(format!("choose_victim_2000_{kind}"), |b| {
+            b.iter(|| black_box(policy.choose_victim(entries.iter())))
+        });
+    }
+    group.finish();
+}
+
+/// Wire codec throughput: the per-broadcast serialization cost.
+fn bench_wire_codec(c: &mut Criterion) {
+    let meta = EntryMeta::new(
+        CacheKey::new("/cgi-bin/adl?id=12345&ms=1600"),
+        NodeId(3),
+        4096,
+        "text/html",
+        1_600_000,
+        Some(Duration::from_secs(300)),
+        42,
+    );
+    let msg = Message::InsertNotice { meta };
+    let encoded = msg.encode();
+    let mut group = c.benchmark_group("wire");
+    group.bench_function("encode_insert_notice", |b| b.iter(|| black_box(msg.encode())));
+    group.bench_function("decode_insert_notice", |b| {
+        b.iter(|| black_box(Message::decode(&encoded).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_millis(500));
+    targets = bench_ablation_lock_granularity, bench_ablation_policies, bench_wire_codec,
+}
+criterion_main!(ablations);

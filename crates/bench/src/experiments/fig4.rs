@@ -1,0 +1,122 @@
+//! Figure 4 — multi-node performance with and without caching (§5.2).
+//!
+//! The synthetic ADL workload (same repeat structure as the analyzed
+//! log) replayed by 16 client threads against 1–8 node clusters, with
+//! cooperative caching on and off. Paper findings: near-linear scaling
+//! with nodes, and ~25 % lower mean response time with caching at 8
+//! nodes.
+
+use crate::report::{fmt_ms, fmt_pct, TableReport};
+use crate::scale;
+use swala_cgi::WorkKind;
+use swala_cluster::{ClusterConfig, SwalaCluster};
+use swala_sim::{simulate_queueing, QueueConfig};
+use swala_workload::{synthesize_adl_trace, AdlTraceConfig, LoadGenerator, RequestKind};
+
+pub fn run() -> TableReport {
+    let node_counts: &[usize] = if scale::quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let trace_len = if scale::quick() { 300 } else { 800 };
+    let clients = 16; // "each of two clients starts eight threads"
+
+    // Dynamic requests only: the static side of the mix exercises the
+    // docroot, which Table 2 already measures; Figure 4's signal is CGI
+    // load vs. cluster size.
+    let trace = synthesize_adl_trace(&AdlTraceConfig {
+        live_ms_per_paper_second: scale::ms_per_paper_second(),
+        ..AdlTraceConfig::scaled_to(trace_len)
+    });
+    let targets: Vec<String> = trace
+        .requests
+        .iter()
+        .filter(|r| r.kind == RequestKind::Dynamic)
+        .map(|r| r.target.clone())
+        .collect();
+
+    let mut report = TableReport::new(
+        "fig4",
+        "Multi-node mean response time (ms), synthetic ADL workload, 16 client threads",
+        &["#nodes", "no cache", "coop cache", "improvement", "speedup(nc)", "speedup(cc)"],
+    );
+
+    let mut base_nc = None;
+    let mut base_cc = None;
+    for &nodes in node_counts {
+        let mut means = [0.0f64; 2];
+        for (i, caching) in [false, true].into_iter().enumerate() {
+            let cluster = SwalaCluster::start(&ClusterConfig {
+                nodes,
+                caching,
+                pool_size: 8,
+                work: WorkKind::Sleep,
+                cores_per_node: Some(1),
+                ..Default::default()
+            })
+            .expect("start cluster");
+            let report_run =
+                LoadGenerator::new(clients).replay_shared(&cluster.http_addrs(), &targets);
+            assert_eq!(report_run.errors, 0, "replay errors at {nodes} nodes caching={caching}");
+            means[i] = report_run.latency.mean.as_secs_f64() * 1e3;
+            cluster.shutdown();
+        }
+        let (nc, cc) = (means[0], means[1]);
+        let base_nc = *base_nc.get_or_insert(nc);
+        let base_cc = *base_cc.get_or_insert(cc);
+        report.row(vec![
+            nodes.to_string(),
+            fmt_ms(nc),
+            fmt_ms(cc),
+            fmt_pct(100.0 * (nc - cc) / nc.max(1e-9)),
+            format!("{:.1}x", base_nc / nc.max(1e-9)),
+            format!("{:.1}x", base_cc / cc.max(1e-9)),
+        ]);
+    }
+    report.note("paper: caching lowers mean response time throughout (~25% at 8 nodes); ~9x average speedup at 8 nodes (superlinear via caching)");
+    report.note(format!(
+        "scale: 1 paper-second = {} live ms; {} dynamic requests; per-node CPU modelled as a 1-slot gate",
+        scale::ms_per_paper_second(),
+        targets.len()
+    ));
+    report
+}
+
+/// Figure 4 in the time-domain queueing model: instantaneous, in
+/// paper-seconds, and extensible past the paper's 8 nodes. The live run
+/// above validates the model's shape; this extends it.
+pub fn run_sim() -> TableReport {
+    // Full-scale trace in paper time — no scaling needed in a model.
+    let trace = synthesize_adl_trace(&AdlTraceConfig::scaled_to(8000));
+    let mut report = TableReport::new(
+        "fig4-sim",
+        "Figure 4, queueing model (paper-seconds): 16 closed-loop clients",
+        &["#nodes", "no cache (s)", "coop cache (s)", "improvement", "speedup(cc)"],
+    );
+    let mut base_cc = None;
+    for nodes in [1usize, 2, 4, 8, 12, 16] {
+        let coop = simulate_queueing(
+            &QueueConfig { nodes, clients: 16, cooperative: true, ..Default::default() },
+            &trace,
+        );
+        let nocache = simulate_queueing(
+            &QueueConfig {
+                nodes,
+                clients: 16,
+                capacity: 1, // an always-thrashing cache ≈ caching off
+                cooperative: false,
+                ..Default::default()
+            },
+            &trace,
+        );
+        let (nc, cc) =
+            (nocache.mean_response_micros / 1e6, coop.mean_response_micros / 1e6);
+        let base_cc = *base_cc.get_or_insert(cc);
+        report.row(vec![
+            nodes.to_string(),
+            format!("{nc:.2}"),
+            format!("{cc:.2}"),
+            fmt_pct(100.0 * (nc - cc) / nc.max(1e-12)),
+            format!("{:.1}x", base_cc / cc.max(1e-12)),
+        ]);
+    }
+    report.note("deterministic closed-network model: misses occupy the node CPU (FCFS), hits bypass it; validates and extends the live fig4");
+    report
+}

@@ -1,0 +1,38 @@
+//! One module per reproduced table/figure, plus the ablations.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table56;
+
+use crate::report::TableReport;
+
+/// Every experiment id the `tables` binary accepts, in paper order.
+pub const ALL_IDS: &[&str] = &[
+    "table1", "table2", "fig3", "fig4", "fig4-sim", "table3", "table4", "table5", "table6", "policies",
+    "policies-hetero", "falsemiss", "locking",
+];
+
+/// Run one experiment by id.
+pub fn run(id: &str) -> Option<TableReport> {
+    Some(match id {
+        "table1" => table1::run(),
+        "table2" => table2::run(),
+        "fig3" => fig3::run(),
+        "fig4" => fig4::run(),
+        "fig4-sim" => fig4::run_sim(),
+        "table3" => table3::run(),
+        "table4" => table4::run(),
+        "table5" => table56::run_table5(),
+        "table6" => table56::run_table6(),
+        "policies" => ablations::run_policies(),
+        "policies-hetero" => ablations::run_policies_hetero(),
+        "falsemiss" => ablations::run_false_consistency(),
+        "locking" => ablations::run_locking(),
+        _ => return None,
+    })
+}

@@ -1,0 +1,137 @@
+//! Tables 5 & 6 — cache hits, stand-alone vs cooperative (§5.3).
+//!
+//! The fixed 1600-request / 1122-unique trace replays against clusters
+//! of 1–8 nodes in both modes. Table 5 uses per-node capacity 2000
+//! (everything fits: cooperation's advantage is pure sharing); Table 6
+//! uses capacity 20 (overflow regime: cooperation also pools capacity).
+//!
+//! Counts come from the deterministic simulator — §5.3 is a counting
+//! experiment — and the `live` column cross-checks the smaller
+//! configurations against a real cluster over TCP.
+
+use crate::report::{fmt_pct, TableReport};
+use crate::scale;
+use swala_cgi::WorkKind;
+use swala_cluster::{ClusterConfig, SwalaCluster};
+use swala_sim::{simulate, SimConfig};
+use swala_workload::{section53_trace, Trace};
+
+/// Seed fixed for the published tables.
+const TRACE_SEED: u64 = 53;
+
+fn the_trace() -> Trace {
+    section53_trace(TRACE_SEED, 1)
+}
+
+fn run_sim(nodes: usize, capacity: usize, cooperative: bool, trace: &Trace) -> u64 {
+    simulate(&SimConfig { nodes, capacity, cooperative, ..Default::default() }, trace).hits()
+}
+
+/// Replay the trace against a live cluster and return total cache hits.
+fn run_live(nodes: usize, capacity: usize, cooperative: bool, trace: &Trace) -> u64 {
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        nodes: if cooperative { nodes } else { 1 },
+        capacity,
+        pool_size: 4,
+        work: WorkKind::Sleep,
+        ..Default::default()
+    })
+    .expect("cluster");
+    // Stand-alone mode = independent single-node clusters; emulate by
+    // running `nodes` separate clusters is expensive, so instead start
+    // `nodes` one-node clusters.
+    let mut extra = Vec::new();
+    if !cooperative {
+        for _ in 1..nodes {
+            extra.push(
+                SwalaCluster::start(&ClusterConfig {
+                    nodes: 1,
+                    capacity,
+                    pool_size: 4,
+                    work: WorkKind::Sleep,
+                    ..Default::default()
+                })
+                .expect("standalone node"),
+            );
+        }
+    }
+    let mut addrs = cluster.http_addrs();
+    for c in &extra {
+        addrs.extend(c.http_addrs());
+    }
+    // One client per node slot, round-robin targets like the simulator's
+    // RoundRobin routing: replay_shared assigns client i → addrs[i%n],
+    // but target order consumption is racy; for exactness issue
+    // sequentially per the simulator's routing.
+    let targets: Vec<String> = trace.requests.iter().map(|r| r.target.clone()).collect();
+    let mut clients: Vec<swala::HttpClient> =
+        addrs.iter().map(|a| swala::HttpClient::new(*a)).collect();
+    for (i, t) in targets.iter().enumerate() {
+        let c = &mut clients[i % addrs.len()];
+        let resp = c.get(t).expect("replay request");
+        assert!(resp.status.is_success());
+    }
+    let mut hits = cluster.total_cache_stat(|s| s.local_hits + s.remote_hits);
+    for c in &extra {
+        hits += c.total_cache_stat(|s| s.local_hits + s.remote_hits);
+    }
+    cluster.shutdown();
+    for c in extra {
+        c.shutdown();
+    }
+    hits
+}
+
+fn build(id: &str, title: &str, capacity: usize) -> TableReport {
+    let trace = the_trace();
+    let upper = trace.upper_bound_hits() as u64;
+    let node_counts: &[usize] = &[1, 2, 4, 6, 8];
+    let live_check = !scale::quick();
+
+    let mut report = TableReport::new(
+        id,
+        title,
+        &["#nodes", "standalone", "coop", "stand %UB", "coop %UB", "live coop"],
+    );
+    for &nodes in node_counts {
+        let alone = run_sim(nodes, capacity, false, &trace);
+        let coop = run_sim(nodes, capacity, true, &trace);
+        // Live cross-check on the small configurations only (full live
+        // replay of every row is the integration tests' job).
+        let live = if live_check && nodes <= 2 {
+            run_live(nodes, capacity, true, &trace).to_string()
+        } else {
+            "-".to_string()
+        };
+        report.row(vec![
+            nodes.to_string(),
+            if nodes == 1 { "n/a".into() } else { alone.to_string() },
+            coop.to_string(),
+            if nodes == 1 { "n/a".into() } else { fmt_pct(100.0 * alone as f64 / upper as f64) },
+            fmt_pct(100.0 * coop as f64 / upper as f64),
+            live,
+        ]);
+    }
+    report.note(format!("trace: 1600 requests, 1122 unique, upper bound {upper} hits (paper identical)"));
+    report
+}
+
+pub fn run_table5() -> TableReport {
+    let mut r = build(
+        "table5",
+        "Cache hits, stand-alone vs cooperative, cache size 2000",
+        2000,
+    );
+    r.note("paper: cooperative reaches 97.5–99.4% of the upper bound at every node count; stand-alone declines as nodes are added");
+    r
+}
+
+pub fn run_table6() -> TableReport {
+    let mut r = build(
+        "table6",
+        "Cache hits, stand-alone vs cooperative, cache size 20",
+        20,
+    );
+    r.note("paper: single node 28.7%; at 8 nodes cooperative >70% vs stand-alone <40% of the upper bound");
+    r
+}

@@ -1,0 +1,23 @@
+//! # swala-bench
+//!
+//! The experiment harness: one runner per table and figure of the paper
+//! (§3 Table 1; §5.1 Table 2 and Figure 3; §5.2 Figure 4, Tables 3–4;
+//! §5.3 Tables 5–6) plus the design-choice ablations DESIGN.md commits
+//! to. The `tables` binary prints paper-reported values next to measured
+//! ones; the Criterion benches (`benches/`) measure the corresponding
+//! critical-path operations statistically.
+//!
+//! ## Time scaling
+//!
+//! Live experiments run the paper's second-denominated CGI costs scaled
+//! down by [`scale::ms_per_paper_second`] (default 15 ms per paper
+//! second, override with `SWALA_BENCH_SCALE_MS`). Reported numbers are
+//! in *live milliseconds*; conclusions are about ratios and shape, never
+//! absolute 1998 wall-clock.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod servers;
+
+pub use report::TableReport;

@@ -1,0 +1,126 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// One experiment's output: headers, rows, and free-form notes.
+#[derive(Debug, Clone)]
+pub struct TableReport {
+    /// Experiment id (`table1`, `fig3`...).
+    pub id: String,
+    /// Human title (usually the paper's caption).
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Notes printed under the table (paper comparison, caveats).
+    pub notes: Vec<String>,
+}
+
+impl TableReport {
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> TableReport {
+        TableReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header count.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        let widths = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let rendered: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "  {}", rendered.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "  {}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a millisecond quantity with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 10.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.2}")
+    }
+}
+
+/// Format a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.1}%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TableReport::new("t", "Demo", &["col", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-cell".into(), "22".into()]);
+        t.note("a note");
+        let text = t.to_string();
+        assert!(text.contains("== t — Demo =="));
+        assert!(text.contains("long-cell"));
+        assert!(text.contains("note: a note"));
+        // Line layout: title, headers, separator, rows...
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[2].contains("---"), "separator line");
+        assert!(lines[3].ends_with(" 1"), "right-aligned value cell: {:?}", lines[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TableReport::new("t", "Demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fmt_ms(123.456), "123");
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(1.234), "1.23");
+        assert_eq!(fmt_pct(73.61), "73.6%");
+    }
+}

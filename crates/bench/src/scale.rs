@@ -1,0 +1,44 @@
+//! Time scaling between paper seconds and live milliseconds.
+
+/// Default live milliseconds per paper second.
+pub const DEFAULT_MS_PER_PAPER_SECOND: f64 = 15.0;
+
+/// The live scale: milliseconds of simulated service per paper second.
+///
+/// Override with the `SWALA_BENCH_SCALE_MS` environment variable. Higher
+/// values make live experiments slower but reduce the relative weight of
+/// constant overheads (socket round-trips) — the 1998 absolute numbers
+/// would correspond to 1000.
+pub fn ms_per_paper_second() -> f64 {
+    std::env::var("SWALA_BENCH_SCALE_MS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(DEFAULT_MS_PER_PAPER_SECOND)
+}
+
+/// Whether quick mode is on (smaller request counts, same shapes).
+pub fn quick() -> bool {
+    std::env::var("SWALA_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_without_env() {
+        // The test runner may not have the variable set; when it is set,
+        // parseability is what we check.
+        match std::env::var("SWALA_BENCH_SCALE_MS") {
+            Err(_) => assert_eq!(ms_per_paper_second(), DEFAULT_MS_PER_PAPER_SECOND),
+            Ok(v) => {
+                let expected = v.parse::<f64>().ok().filter(|x| *x > 0.0);
+                match expected {
+                    Some(x) => assert_eq!(ms_per_paper_second(), x),
+                    None => assert_eq!(ms_per_paper_second(), DEFAULT_MS_PER_PAPER_SECOND),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Smoke tests: the simulator-backed experiments run quickly and land in
+//! the paper's regimes. (The live-cluster experiments are exercised by
+//! the `tables` binary and the workspace integration tests.)
+
+use swala_bench::experiments;
+
+fn cell(report: &swala_bench::TableReport, row: usize, col: usize) -> &str {
+    &report.rows[row][col]
+}
+
+/// Force quick mode for this test binary (skips live cross-checks).
+fn quick() {
+    // Safety: tests in this binary only ever set the same value.
+    unsafe { std::env::set_var("SWALA_BENCH_QUICK", "1") };
+}
+
+#[test]
+fn table5_sim_rows_match_paper_regime() {
+    quick();
+    let r = experiments::run("table5").unwrap();
+    assert_eq!(r.rows.len(), 5);
+    // Cooperative column hits the upper bound at every node count.
+    for row in 0..5 {
+        assert_eq!(cell(&r, row, 2), "478");
+    }
+    // Stand-alone declines monotonically.
+    let standalone: Vec<u64> = (1..5).map(|row| cell(&r, row, 1).parse().unwrap()).collect();
+    assert!(standalone.windows(2).all(|w| w[1] <= w[0]), "{standalone:?}");
+}
+
+#[test]
+fn table6_sim_lands_on_papers_736_percent() {
+    quick();
+    let r = experiments::run("table6").unwrap();
+    // 8-node cooperative row: 73.6% of the upper bound, as the paper.
+    assert_eq!(cell(&r, 4, 4), "73.6%");
+    // 8-node standalone under 40%.
+    let pct: f64 = cell(&r, 4, 3).trim_end_matches('%').parse().unwrap();
+    assert!(pct < 40.0, "{pct}");
+}
+
+#[test]
+fn falsemiss_is_zero_at_zero_delay_and_grows() {
+    let r = experiments::run("falsemiss").unwrap();
+    assert_eq!(cell(&r, 0, 2), "0", "no false misses at zero delay");
+    let first: u64 = cell(&r, 1, 2).parse().unwrap();
+    let last: u64 = cell(&r, r.rows.len() - 1, 2).parse().unwrap();
+    assert!(last > first, "anomalies grow with the window");
+}
+
+#[test]
+fn policies_hetero_cost_aware_saves_most_time() {
+    let r = experiments::run("policies-hetero").unwrap();
+    let saved_pct = |name: &str| -> f64 {
+        let row = r.rows.iter().find(|row| row[0] == name).unwrap();
+        row[4].trim_end_matches('%').parse().unwrap()
+    };
+    assert!(saved_pct("gds") > saved_pct("lru"), "gds beats lru on saved time");
+    assert!(saved_pct("cost") > saved_pct("lru"), "cost beats lru on saved time");
+}
+
+#[test]
+fn unknown_experiment_is_none() {
+    assert!(experiments::run("not-an-experiment").is_none());
+}
+
+#[test]
+fn table1_analysis_regime() {
+    let r = experiments::run("table1").unwrap();
+    let pct: f64 = r.rows[1][5].trim_end_matches('%').parse().unwrap();
+    assert!((20.0..=36.0).contains(&pct), "1s-threshold saving {pct}%");
+}
+
+#[test]
+fn fig4_sim_shapes() {
+    let r = experiments::run("fig4-sim").unwrap();
+    assert_eq!(r.rows.len(), 6);
+    // Caching improves every row; response time falls monotonically
+    // with nodes in both modes.
+    let col = |row: usize, col: usize| -> f64 {
+        r.rows[row][col].trim_end_matches(['%', 'x']).parse().unwrap()
+    };
+    for row in 0..6 {
+        assert!(col(row, 2) < col(row, 1), "coop faster at row {row}");
+    }
+    for row in 1..6 {
+        assert!(col(row, 1) < col(row - 1, 1), "no-cache monotone at {row}");
+        assert!(col(row, 2) < col(row - 1, 2), "coop monotone at {row}");
+    }
+}

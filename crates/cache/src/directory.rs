@@ -1,0 +1,373 @@
+//! The replicated global cache directory.
+//!
+//! Every node holds a directory with *one table per cluster node*; table
+//! `i` describes what node `i` currently caches. The local node's table is
+//! authoritative; remote tables are asynchronously maintained replicas fed
+//! by insert/delete broadcasts (§4.2).
+//!
+//! Locking follows the paper's analysis exactly: "We implement locking at
+//! the table level, with read- and write-locks to protect the table, in
+//! order to minimize lock contention while maximizing scalability." A
+//! lookup takes the tables' read locks one at a time; an insert or delete
+//! write-locks a single table. The rejected alternatives (one global lock;
+//! per-entry locks) live in [`crate::locking`] for the ablation bench.
+
+use crate::entry::{unix_now, EntryMeta};
+use crate::key::CacheKey;
+use crate::node::NodeId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Result of a directory lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Classification {
+    /// No node caches this key (or only expired copies exist).
+    NotCached,
+    /// This node's own store has the body.
+    Local(EntryMeta),
+    /// A remote node's store has the body.
+    Remote(EntryMeta),
+}
+
+/// One node's view of the whole cluster's cache contents.
+pub struct CacheDirectory {
+    local: NodeId,
+    /// `tables[i]` = entries cached at node `i`.
+    tables: Vec<RwLock<HashMap<CacheKey, EntryMeta>>>,
+}
+
+impl CacheDirectory {
+    /// Directory for a cluster of `num_nodes`, run at node `local`.
+    pub fn new(num_nodes: usize, local: NodeId) -> Self {
+        assert!(num_nodes >= 1, "cluster needs at least one node");
+        assert!(local.index() < num_nodes, "local node out of range");
+        CacheDirectory {
+            local,
+            tables: (0..num_nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The node this directory instance belongs to.
+    pub fn local_node(&self) -> NodeId {
+        self.local
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn num_nodes(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Classify `key`: not cached / cached locally / cached remotely.
+    ///
+    /// The local table is consulted first — a local fetch is always
+    /// cheaper than a remote one. Expired entries are treated as absent
+    /// (but not removed here; the purge pass owns removal so that file
+    /// deletion and delete-broadcasts happen in one place).
+    pub fn classify(&self, key: &CacheKey) -> Classification {
+        let now = unix_now();
+        {
+            let local = self.tables[self.local.index()].read();
+            if let Some(meta) = local.get(key) {
+                if !meta.is_expired_at(now) {
+                    return Classification::Local(meta.clone());
+                }
+            }
+        }
+        for (i, table) in self.tables.iter().enumerate() {
+            if i == self.local.index() {
+                continue;
+            }
+            let t = table.read();
+            if let Some(meta) = t.get(key) {
+                if !meta.is_expired_at(now) {
+                    return Classification::Remote(meta.clone());
+                }
+            }
+        }
+        Classification::NotCached
+    }
+
+    /// Insert (or replace) `meta` in `node`'s table.
+    ///
+    /// Returns the replaced entry, if any. Used both for local inserts and
+    /// for applying a remote node's insert broadcast.
+    pub fn insert(&self, node: NodeId, meta: EntryMeta) -> Option<EntryMeta> {
+        self.tables[node.index()].write().insert(meta.key.clone(), meta)
+    }
+
+    /// Remove `key` from `node`'s table; returns the removed entry.
+    pub fn remove(&self, node: NodeId, key: &CacheKey) -> Option<EntryMeta> {
+        self.tables[node.index()].write().remove(key)
+    }
+
+    /// Look up `key` in `node`'s table (unexpired only).
+    pub fn get(&self, node: NodeId, key: &CacheKey) -> Option<EntryMeta> {
+        let t = self.tables[node.index()].read();
+        t.get(key).filter(|m| !m.is_expired()).cloned()
+    }
+
+    /// Record a hit on an entry in `node`'s table at logical time `seq`,
+    /// applying the policy's bookkeeping under the table's write lock.
+    ///
+    /// Returns false if the entry has vanished meanwhile (racing delete).
+    pub fn record_hit(
+        &self,
+        node: NodeId,
+        key: &CacheKey,
+        seq: u64,
+        policy: &mut crate::policy::Policy,
+    ) -> bool {
+        let mut t = self.tables[node.index()].write();
+        match t.get_mut(key) {
+            Some(meta) => {
+                meta.record_hit(seq);
+                policy.on_hit(meta);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of entries in `node`'s table.
+    pub fn len(&self, node: NodeId) -> usize {
+        self.tables[node.index()].read().len()
+    }
+
+    /// True when every table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.iter().all(|t| t.read().is_empty())
+    }
+
+    /// Total entries across all tables.
+    pub fn total_len(&self) -> usize {
+        self.tables.iter().map(|t| t.read().len()).sum()
+    }
+
+    /// Run `policy` to bring the local table at or below `capacity`,
+    /// returning the evicted entries (the caller deletes their files and
+    /// broadcasts the deletions).
+    pub fn evict_to_capacity(
+        &self,
+        capacity: usize,
+        policy: &mut crate::policy::Policy,
+    ) -> Vec<EntryMeta> {
+        let mut evicted = Vec::new();
+        let mut t = self.tables[self.local.index()].write();
+        while t.len() > capacity {
+            let Some(victim_key) = policy.choose_victim(t.values()) else { break };
+            if let Some(victim) = t.remove(&victim_key) {
+                policy.on_evict(&victim);
+                evicted.push(victim);
+            }
+        }
+        evicted
+    }
+
+    /// Remove expired entries from the *local* table, returning them.
+    ///
+    /// Expired entries in remote tables are dropped silently (their owner
+    /// is responsible for the authoritative delete broadcast; we just stop
+    /// advertising them).
+    pub fn purge_expired(&self) -> Vec<EntryMeta> {
+        let now = unix_now();
+        let mut out = Vec::new();
+        {
+            let mut t = self.tables[self.local.index()].write();
+            let dead: Vec<CacheKey> =
+                t.values().filter(|m| m.is_expired_at(now)).map(|m| m.key.clone()).collect();
+            for k in dead {
+                if let Some(m) = t.remove(&k) {
+                    out.push(m);
+                }
+            }
+        }
+        for (i, table) in self.tables.iter().enumerate() {
+            if i == self.local.index() {
+                continue;
+            }
+            table.write().retain(|_, m| !m.is_expired_at(now));
+        }
+        out
+    }
+
+    /// Snapshot of `node`'s table (for directory sync and inspection).
+    pub fn snapshot(&self, node: NodeId) -> Vec<EntryMeta> {
+        self.tables[node.index()].read().values().cloned().collect()
+    }
+
+    /// Replace `node`'s table wholesale (directory sync on join).
+    pub fn load_snapshot(&self, node: NodeId, entries: Vec<EntryMeta>) {
+        let mut t = self.tables[node.index()].write();
+        t.clear();
+        for e in entries {
+            t.insert(e.key.clone(), e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Policy, PolicyKind};
+    use std::time::Duration;
+
+    fn meta(key: &str, owner: NodeId, seq: u64) -> EntryMeta {
+        EntryMeta::new(CacheKey::new(key), owner, 100, "text/html", 1000, None, seq)
+    }
+
+    #[test]
+    fn classify_prefers_local() {
+        let d = CacheDirectory::new(3, NodeId(1));
+        let k = CacheKey::new("/cgi-bin/x?1");
+        d.insert(NodeId(0), meta("/cgi-bin/x?1", NodeId(0), 1));
+        d.insert(NodeId(1), meta("/cgi-bin/x?1", NodeId(1), 2));
+        match d.classify(&k) {
+            Classification::Local(m) => assert_eq!(m.owner, NodeId(1)),
+            other => panic!("expected Local, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classify_remote_and_missing() {
+        let d = CacheDirectory::new(3, NodeId(0));
+        let k = CacheKey::new("/cgi-bin/y?1");
+        assert_eq!(d.classify(&k), Classification::NotCached);
+        d.insert(NodeId(2), meta("/cgi-bin/y?1", NodeId(2), 1));
+        match d.classify(&k) {
+            Classification::Remote(m) => assert_eq!(m.owner, NodeId(2)),
+            other => panic!("expected Remote, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_entries_classify_as_missing() {
+        let d = CacheDirectory::new(1, NodeId(0));
+        let mut m = meta("/e", NodeId(0), 1);
+        m.expires_unix = Some(0); // epoch: long expired
+        d.insert(NodeId(0), m);
+        assert_eq!(d.classify(&CacheKey::new("/e")), Classification::NotCached);
+        assert!(d.get(NodeId(0), &CacheKey::new("/e")).is_none());
+        // Still physically present until purge.
+        assert_eq!(d.len(NodeId(0)), 1);
+    }
+
+    #[test]
+    fn insert_replace_and_remove() {
+        let d = CacheDirectory::new(2, NodeId(0));
+        let k = CacheKey::new("/a");
+        assert!(d.insert(NodeId(0), meta("/a", NodeId(0), 1)).is_none());
+        let replaced = d.insert(NodeId(0), meta("/a", NodeId(0), 2)).unwrap();
+        assert_eq!(replaced.insert_seq, 1);
+        let removed = d.remove(NodeId(0), &k).unwrap();
+        assert_eq!(removed.insert_seq, 2);
+        assert!(d.remove(NodeId(0), &k).is_none());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn record_hit_updates_and_detects_races() {
+        let d = CacheDirectory::new(1, NodeId(0));
+        let k = CacheKey::new("/h");
+        let mut policy = Policy::new(PolicyKind::Lru);
+        d.insert(NodeId(0), meta("/h", NodeId(0), 1));
+        assert!(d.record_hit(NodeId(0), &k, 50, &mut policy));
+        assert_eq!(d.get(NodeId(0), &k).unwrap().hits, 1);
+        assert_eq!(d.get(NodeId(0), &k).unwrap().last_access_seq, 50);
+        d.remove(NodeId(0), &k);
+        assert!(!d.record_hit(NodeId(0), &k, 51, &mut policy));
+    }
+
+    #[test]
+    fn evict_to_capacity_uses_policy() {
+        let d = CacheDirectory::new(1, NodeId(0));
+        let mut policy = Policy::new(PolicyKind::Lru);
+        for i in 0..5 {
+            d.insert(NodeId(0), meta(&format!("/k{i}"), NodeId(0), i));
+        }
+        let evicted = d.evict_to_capacity(3, &mut policy);
+        assert_eq!(evicted.len(), 2);
+        // LRU evicts the two oldest sequence numbers.
+        let mut keys: Vec<String> = evicted.iter().map(|e| e.key.to_string()).collect();
+        keys.sort();
+        assert_eq!(keys, vec!["/k0", "/k1"]);
+        assert_eq!(d.len(NodeId(0)), 3);
+        // Already under capacity: no-op.
+        assert!(d.evict_to_capacity(3, &mut policy).is_empty());
+    }
+
+    #[test]
+    fn purge_returns_local_expired_only() {
+        let d = CacheDirectory::new(2, NodeId(0));
+        let mut dead_local = meta("/dead-local", NodeId(0), 1);
+        dead_local.expires_unix = Some(1);
+        let mut dead_remote = meta("/dead-remote", NodeId(1), 2);
+        dead_remote.expires_unix = Some(1);
+        d.insert(NodeId(0), dead_local);
+        d.insert(NodeId(0), meta("/alive", NodeId(0), 3));
+        d.insert(NodeId(1), dead_remote);
+
+        let purged = d.purge_expired();
+        assert_eq!(purged.len(), 1);
+        assert_eq!(purged[0].key.as_str(), "/dead-local");
+        assert_eq!(d.len(NodeId(0)), 1);
+        assert_eq!(d.len(NodeId(1)), 0, "expired remote metadata dropped silently");
+    }
+
+    #[test]
+    fn ttl_entries_live_until_expiry() {
+        let d = CacheDirectory::new(1, NodeId(0));
+        let m = EntryMeta::new(
+            CacheKey::new("/ttl"),
+            NodeId(0),
+            10,
+            "t",
+            1,
+            Some(Duration::from_secs(3600)),
+            1,
+        );
+        d.insert(NodeId(0), m);
+        assert!(matches!(d.classify(&CacheKey::new("/ttl")), Classification::Local(_)));
+        assert!(d.purge_expired().is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let d = CacheDirectory::new(2, NodeId(0));
+        d.insert(NodeId(1), meta("/s1", NodeId(1), 1));
+        d.insert(NodeId(1), meta("/s2", NodeId(1), 2));
+        let snap = d.snapshot(NodeId(1));
+        assert_eq!(snap.len(), 2);
+
+        let d2 = CacheDirectory::new(2, NodeId(0));
+        d2.load_snapshot(NodeId(1), snap);
+        assert_eq!(d2.len(NodeId(1)), 2);
+        assert!(matches!(d2.classify(&CacheKey::new("/s1")), Classification::Remote(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "local node out of range")]
+    fn local_must_be_member() {
+        CacheDirectory::new(2, NodeId(5));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        use std::sync::Arc;
+        let d = Arc::new(CacheDirectory::new(4, NodeId(0)));
+        let mut handles = Vec::new();
+        for node in 0..4u16 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    let key = format!("/n{node}/k{i}");
+                    d.insert(NodeId(node), meta(&key, NodeId(node), i));
+                    let _ = d.classify(&CacheKey::new(&key));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.total_len(), 800);
+    }
+}

@@ -1,0 +1,107 @@
+//! Cache keys for dynamic-content results.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The identity of a cacheable dynamic request.
+///
+/// Swala keys results by the full request target — normalized path plus
+/// raw query string — because a CGI's output is a function of exactly
+/// those bytes (§4.1). Method is not part of the key: only GET results
+/// are ever cached.
+///
+/// The string is reference-counted: keys are shared between the local
+/// table, remote tables, in-flight broadcast messages and statistics
+/// without copying.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(Arc<str>);
+
+impl CacheKey {
+    /// Key from a canonical target string (`/cgi-bin/map?x=1`).
+    pub fn new(target: impl AsRef<str>) -> Self {
+        CacheKey(Arc::from(target.as_ref()))
+    }
+
+    /// The canonical string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Stable 64-bit hash used to derive on-disk file names.
+    ///
+    /// FNV-1a: tiny, stable across runs and platforms (unlike
+    /// `DefaultHasher`, which is randomly seeded per process — file names
+    /// must be reproducible so a node can rediscover its store).
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.0.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for CacheKey {
+    fn from(s: &str) -> Self {
+        CacheKey::new(s)
+    }
+}
+
+impl From<String> for CacheKey {
+    fn from(s: String) -> Self {
+        CacheKey::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_by_content() {
+        let a = CacheKey::new("/cgi-bin/map?x=1");
+        let b = CacheKey::new(String::from("/cgi-bin/map?x=1"));
+        assert_eq!(a, b);
+        assert_ne!(a, CacheKey::new("/cgi-bin/map?x=2"));
+    }
+
+    #[test]
+    fn usable_in_hash_set() {
+        let mut s = HashSet::new();
+        s.insert(CacheKey::new("/a"));
+        s.insert(CacheKey::new("/a"));
+        s.insert(CacheKey::new("/b"));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_discriminating() {
+        let a = CacheKey::new("/cgi-bin/adl?id=1");
+        assert_eq!(a.stable_hash(), CacheKey::new("/cgi-bin/adl?id=1").stable_hash());
+        // FNV-1a of distinct short strings should differ.
+        let hashes: HashSet<u64> =
+            (0..1000).map(|i| CacheKey::new(format!("/cgi-bin/adl?id={i}")).stable_hash()).collect();
+        assert_eq!(hashes.len(), 1000);
+    }
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(CacheKey::new("a").stable_hash(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = CacheKey::new("/x");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str().as_ptr(), b.as_str().as_ptr()));
+    }
+}

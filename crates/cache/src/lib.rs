@@ -1,0 +1,51 @@
+//! # swala-cache
+//!
+//! The caching subsystem of the Swala distributed Web server: everything
+//! §4 of the paper describes except the network (which lives in
+//! `swala-proto`) and the HTTP plumbing (in `swala`).
+//!
+//! Key design points taken from the paper:
+//!
+//! * **Replicated global directory** ([`directory`]): every node holds one
+//!   table *per cluster node*, each recording what that node caches. A
+//!   lookup scans all tables under read locks; inserts/deletes write-lock
+//!   exactly one table (§4.2's chosen locking granularity — the rejected
+//!   alternatives are also implemented, in [`locking`], for the ablation
+//!   benches).
+//! * **Memory directory, disk bodies** ([`store`]): only metadata lives in
+//!   memory; each cached result is one file, so "every cache fetch in
+//!   effect becomes a file fetch" served by the OS page cache.
+//! * **TTL content consistency** ([`rules`], [`manager`]): per-pattern
+//!   time-to-live set by the administrator's configuration file; a purge
+//!   pass deletes expired entries.
+//! * **Replacement policies** ([`policy`]): the five policies of the
+//!   companion technical report \[10\] — LRU, LFU, SIZE, COST and
+//!   GreedyDual-Size.
+//! * **Statistics** ([`stats`]): hit/miss/false-hit/false-miss counters
+//!   that the §5 experiments report.
+//!
+//! Recency/frequency bookkeeping uses *logical sequence numbers* from a
+//! per-manager atomic counter rather than wall-clock time, so policy
+//! decisions are deterministic and the simulator (`swala-sim`) reproduces
+//! the exact same evictions as the live server.
+
+pub mod directory;
+pub mod entry;
+pub mod key;
+pub mod locking;
+pub mod manager;
+pub mod node;
+pub mod policy;
+pub mod rules;
+pub mod stats;
+pub mod store;
+
+pub use directory::{CacheDirectory, Classification};
+pub use entry::EntryMeta;
+pub use key::CacheKey;
+pub use manager::{CacheManager, CacheManagerConfig, InsertOutcome, LookupResult};
+pub use node::NodeId;
+pub use policy::{Policy, PolicyKind};
+pub use rules::{CacheDecision, CacheRules, Rule};
+pub use stats::CacheStats;
+pub use store::{DiskStore, MemStore, Store};

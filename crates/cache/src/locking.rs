@@ -1,0 +1,294 @@
+//! Lock-granularity alternatives for the directory — the §4.2 ablation.
+//!
+//! The paper weighs three designs: "we could lock the whole directory for
+//! each access, lock only a table at a time, or lock each individual
+//! entry", and chooses table-level locking. To let the benchmark measure
+//! that claim rather than take it on faith, all three live here behind
+//! one trait:
+//!
+//! * [`GlobalLockDirectory`] — one `RwLock` around everything; a lookup
+//!   holds the whole directory.
+//! * [`TableLockDirectory`] — the production design (a thin adapter over
+//!   [`CacheDirectory`]).
+//! * [`EntryLockDirectory`] — per-entry locks under a sharded index; a
+//!   lookup acquires/releases a lock per probed entry, modelling the
+//!   "significant number of locks and unlocks" the paper predicts.
+
+use crate::directory::{CacheDirectory, Classification};
+use crate::entry::EntryMeta;
+use crate::key::CacheKey;
+use crate::node::NodeId;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Directory operations common to all granularities, as exercised by the
+/// lock-ablation bench: lookups dominate, with a trickle of inserts and
+/// deletes, matching a cacheable-heavy request mix.
+pub trait DirectoryOps: Send + Sync {
+    /// Find which node caches `key`, if any.
+    fn lookup(&self, key: &CacheKey) -> Option<NodeId>;
+    /// Insert metadata into `node`'s table.
+    fn insert(&self, node: NodeId, meta: EntryMeta);
+    /// Remove `key` from `node`'s table.
+    fn remove(&self, node: NodeId, key: &CacheKey);
+    /// Granularity name for reports.
+    fn granularity(&self) -> &'static str;
+}
+
+/// One `RwLock` around the entire directory (rejected design 1).
+pub struct GlobalLockDirectory {
+    tables: RwLock<Vec<HashMap<CacheKey, EntryMeta>>>,
+}
+
+impl GlobalLockDirectory {
+    pub fn new(num_nodes: usize) -> Self {
+        GlobalLockDirectory { tables: RwLock::new(vec![HashMap::new(); num_nodes]) }
+    }
+}
+
+impl DirectoryOps for GlobalLockDirectory {
+    fn lookup(&self, key: &CacheKey) -> Option<NodeId> {
+        let tables = self.tables.read();
+        for (i, t) in tables.iter().enumerate() {
+            if t.contains_key(key) {
+                return Some(NodeId(i as u16));
+            }
+        }
+        None
+    }
+
+    fn insert(&self, node: NodeId, meta: EntryMeta) {
+        // A write takes the global lock, stalling every concurrent lookup.
+        self.tables.write()[node.index()].insert(meta.key.clone(), meta);
+    }
+
+    fn remove(&self, node: NodeId, key: &CacheKey) {
+        self.tables.write()[node.index()].remove(key);
+    }
+
+    fn granularity(&self) -> &'static str {
+        "global"
+    }
+}
+
+/// The production table-granularity design (paper's choice).
+pub struct TableLockDirectory {
+    inner: CacheDirectory,
+}
+
+impl TableLockDirectory {
+    pub fn new(num_nodes: usize) -> Self {
+        TableLockDirectory { inner: CacheDirectory::new(num_nodes, NodeId(0)) }
+    }
+}
+
+impl DirectoryOps for TableLockDirectory {
+    fn lookup(&self, key: &CacheKey) -> Option<NodeId> {
+        match self.inner.classify(key) {
+            Classification::Local(m) | Classification::Remote(m) => Some(m.owner),
+            Classification::NotCached => None,
+        }
+    }
+
+    fn insert(&self, node: NodeId, meta: EntryMeta) {
+        self.inner.insert(node, meta);
+    }
+
+    fn remove(&self, node: NodeId, key: &CacheKey) {
+        self.inner.remove(node, key);
+    }
+
+    fn granularity(&self) -> &'static str {
+        "table"
+    }
+}
+
+/// Per-entry locking (rejected design 3).
+///
+/// Each table is a set of shards; each shard protects a handful of
+/// entries, every one of which carries its own `Mutex`. A lookup probes
+/// the key's shard in every table, locking and unlocking each candidate
+/// entry — `O(nodes)` lock round-trips per lookup, exactly the scaling
+/// hazard §4.2 calls out ("every added server would increase the number
+/// of locks & unlocks on lookup").
+/// One shard of an entry-locked table: key → entry behind its own lock.
+type EntryShard = RwLock<HashMap<CacheKey, Arc<Mutex<EntryMeta>>>>;
+
+pub struct EntryLockDirectory {
+    /// `tables[node][shard]` maps key → entry-with-its-own-lock.
+    tables: Vec<Vec<EntryShard>>,
+    shards: usize,
+}
+
+impl EntryLockDirectory {
+    pub fn new(num_nodes: usize) -> Self {
+        let shards = 16;
+        EntryLockDirectory {
+            tables: (0..num_nodes)
+                .map(|_| (0..shards).map(|_| RwLock::new(HashMap::new())).collect())
+                .collect(),
+            shards,
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        (key.stable_hash() as usize) % self.shards
+    }
+}
+
+impl DirectoryOps for EntryLockDirectory {
+    fn lookup(&self, key: &CacheKey) -> Option<NodeId> {
+        let shard = self.shard_of(key);
+        for table in &self.tables {
+            let idx = table[shard].read();
+            if let Some(cell) = idx.get(key) {
+                // Per-entry lock round-trip: this is the measured cost.
+                let meta = cell.lock();
+                return Some(meta.owner);
+            }
+        }
+        None
+    }
+
+    fn insert(&self, node: NodeId, meta: EntryMeta) {
+        let shard = self.shard_of(&meta.key);
+        let key = meta.key.clone();
+        self.tables[node.index()][shard].write().insert(key, Arc::new(Mutex::new(meta)));
+    }
+
+    fn remove(&self, node: NodeId, key: &CacheKey) {
+        let shard = self.shard_of(key);
+        self.tables[node.index()][shard].write().remove(key);
+    }
+
+    fn granularity(&self) -> &'static str {
+        "entry"
+    }
+}
+
+/// Multi-granularity locking — the paper's unexplored "fourth option":
+/// "for instance using entry locks on one table while using table lock
+/// on the other tables."
+///
+/// The *local* table is the write-hot one (every miss inserts there), so
+/// it gets per-entry locks under a sharded index; the remote replica
+/// tables see only notice-driven writes and keep cheap table-level
+/// `RwLock`s.
+pub struct HybridLockDirectory {
+    local: EntryLockDirectory,
+    remote: Vec<RwLock<HashMap<CacheKey, EntryMeta>>>,
+}
+
+impl HybridLockDirectory {
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes >= 1);
+        HybridLockDirectory {
+            local: EntryLockDirectory::new(1),
+            remote: (1..num_nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+}
+
+impl DirectoryOps for HybridLockDirectory {
+    fn lookup(&self, key: &CacheKey) -> Option<NodeId> {
+        // Local table first (entry-granularity), then remote replicas
+        // (table-granularity) — mirroring the production lookup order.
+        if let Some(owner) = self.local.lookup(key) {
+            return Some(owner);
+        }
+        for table in &self.remote {
+            if let Some(meta) = table.read().get(key) {
+                return Some(meta.owner);
+            }
+        }
+        None
+    }
+
+    fn insert(&self, node: NodeId, meta: EntryMeta) {
+        if node.index() == 0 {
+            self.local.insert(NodeId(0), meta);
+        } else {
+            self.remote[node.index() - 1].write().insert(meta.key.clone(), meta);
+        }
+    }
+
+    fn remove(&self, node: NodeId, key: &CacheKey) {
+        if node.index() == 0 {
+            self.local.remove(NodeId(0), key);
+        } else {
+            self.remote[node.index() - 1].write().remove(key);
+        }
+    }
+
+    fn granularity(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+/// Construct a backend by granularity name
+/// (`global`/`table`/`entry`/`hybrid`).
+pub fn backend(granularity: &str, num_nodes: usize) -> Option<Box<dyn DirectoryOps>> {
+    match granularity {
+        "global" => Some(Box::new(GlobalLockDirectory::new(num_nodes))),
+        "table" => Some(Box::new(TableLockDirectory::new(num_nodes))),
+        "entry" => Some(Box::new(EntryLockDirectory::new(num_nodes))),
+        "hybrid" => Some(Box::new(HybridLockDirectory::new(num_nodes))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(key: &str, owner: NodeId) -> EntryMeta {
+        EntryMeta::new(CacheKey::new(key), owner, 10, "t", 100, None, 0)
+    }
+
+    fn exercise(ops: &dyn DirectoryOps) {
+        let k = CacheKey::new("/x?1");
+        assert_eq!(ops.lookup(&k), None);
+        ops.insert(NodeId(1), meta("/x?1", NodeId(1)));
+        assert_eq!(ops.lookup(&k), Some(NodeId(1)));
+        ops.remove(NodeId(1), &k);
+        assert_eq!(ops.lookup(&k), None);
+    }
+
+    #[test]
+    fn all_backends_agree_on_semantics() {
+        for g in ["global", "table", "entry", "hybrid"] {
+            let ops = backend(g, 4).unwrap();
+            assert_eq!(ops.granularity(), g);
+            exercise(ops.as_ref());
+        }
+        assert!(backend("mystery", 4).is_none());
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_all_backends() {
+        use std::sync::Arc as StdArc;
+        for g in ["global", "table", "entry", "hybrid"] {
+            let ops: StdArc<Box<dyn DirectoryOps>> = StdArc::new(backend(g, 4).unwrap());
+            let mut handles = Vec::new();
+            for t in 0..4u16 {
+                let ops = StdArc::clone(&ops);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..300 {
+                        let key = CacheKey::new(format!("/t{t}/k{}", i % 50));
+                        match i % 10 {
+                            0 => ops.insert(NodeId(t), meta(key.as_str(), NodeId(t))),
+                            9 => ops.remove(NodeId(t), &key),
+                            _ => {
+                                let _ = ops.lookup(&key);
+                            }
+                        }
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,602 @@
+//! The cache manager — §4.1's "cacher module" state, minus the network.
+//!
+//! One `CacheManager` lives on each node. It owns the replicated
+//! directory, the local disk store, the replacement policy, the
+//! cacheability rules and the statistics, and exposes exactly the
+//! operations Figure 2's control flow needs. The `swala` server and the
+//! `swala-proto` daemons drive it; none of them touch the directory or
+//! the store directly.
+
+use crate::directory::{CacheDirectory, Classification};
+use crate::entry::EntryMeta;
+use crate::key::CacheKey;
+use crate::node::NodeId;
+use crate::policy::{Policy, PolicyKind};
+use crate::rules::{CacheDecision, CacheRules};
+use crate::stats::CacheStats;
+use crate::store::Store;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Construction parameters for a [`CacheManager`].
+pub struct CacheManagerConfig {
+    /// Cluster size (number of directory tables).
+    pub num_nodes: usize,
+    /// This node's id.
+    pub local: NodeId,
+    /// Maximum entries in the local cache (the paper's "cache size").
+    pub capacity: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Cacheability rules.
+    pub rules: CacheRules,
+}
+
+impl Default for CacheManagerConfig {
+    fn default() -> Self {
+        CacheManagerConfig {
+            num_nodes: 1,
+            local: NodeId(0),
+            capacity: 2000,
+            policy: PolicyKind::Lru,
+            rules: CacheRules::allow_all(),
+        }
+    }
+}
+
+/// What the manager tells a request thread about a cacheable request.
+#[derive(Debug)]
+pub enum LookupResult {
+    /// Rules say never cache: execute without further manager contact.
+    Uncacheable,
+    /// Cacheable but absent: execute, then call
+    /// [`CacheManager::complete_execution`]. `first_in_flight` is false
+    /// when an identical request is already executing on this node — the
+    /// paper's first false-miss scenario.
+    Miss { decision: CacheDecision, first_in_flight: bool },
+    /// Cached in the local store: here is the body.
+    LocalHit { meta: EntryMeta, body: Vec<u8> },
+    /// Cached at a remote node: the caller must fetch over the wire.
+    RemoteHit { meta: EntryMeta },
+}
+
+/// Result of committing an executed CGI result.
+#[derive(Debug)]
+pub enum InsertOutcome {
+    /// Entry inserted; broadcast `meta` and (separately) the evictions.
+    Inserted { meta: EntryMeta, evicted: Vec<EntryMeta> },
+    /// Below the execution-time threshold (or uncacheable): nothing kept.
+    Discarded,
+}
+
+/// Per-node cache state machine.
+pub struct CacheManager {
+    local: NodeId,
+    capacity: usize,
+    directory: CacheDirectory,
+    store: Box<dyn Store>,
+    policy: Mutex<Policy>,
+    rules: CacheRules,
+    stats: CacheStats,
+    /// Logical clock for recency bookkeeping.
+    seq: AtomicU64,
+    /// Keys currently being executed on this node (false-miss detection).
+    in_flight: Mutex<HashSet<CacheKey>>,
+}
+
+impl CacheManager {
+    /// Build a manager over the given body store.
+    pub fn new(cfg: CacheManagerConfig, store: Box<dyn Store>) -> Self {
+        CacheManager {
+            local: cfg.local,
+            capacity: cfg.capacity,
+            directory: CacheDirectory::new(cfg.num_nodes, cfg.local),
+            store,
+            policy: Mutex::new(Policy::new(cfg.policy)),
+            rules: cfg.rules,
+            stats: CacheStats::new(),
+            seq: AtomicU64::new(0),
+            in_flight: Mutex::new(HashSet::new()),
+        }
+    }
+
+    /// This node's id.
+    pub fn local_node(&self) -> NodeId {
+        self.local
+    }
+
+    /// The replicated directory (read-mostly introspection).
+    pub fn directory(&self) -> &CacheDirectory {
+        &self.directory
+    }
+
+    /// Statistics counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Local capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The rules' verdict for `path`, without touching the directory.
+    ///
+    /// Used by fallback paths (e.g. after a false hit) that need the
+    /// TTL/threshold parameters for a fresh insertion.
+    pub fn lookup_decision(&self, path: &str) -> CacheDecision {
+        self.rules.decide(path)
+    }
+
+    /// Next logical timestamp.
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Figure 2, top half: classify a GET for `path_with_query`.
+    ///
+    /// For misses the key is marked in-flight; the caller *must* balance
+    /// with [`complete_execution`](Self::complete_execution) or
+    /// [`abort_execution`](Self::abort_execution).
+    pub fn lookup(&self, key: &CacheKey, path: &str) -> LookupResult {
+        let decision = self.rules.decide(path);
+        if decision == CacheDecision::Uncacheable {
+            CacheStats::bump(&self.stats.uncacheable);
+            return LookupResult::Uncacheable;
+        }
+        CacheStats::bump(&self.stats.lookups);
+        match self.directory.classify(key) {
+            Classification::Local(meta) => match self.store.get(key) {
+                Ok(body) => {
+                    let seq = self.next_seq();
+                    self.directory.record_hit(self.local, key, seq, &mut self.policy.lock());
+                    CacheStats::bump(&self.stats.local_hits);
+                    LookupResult::LocalHit { meta, body }
+                }
+                // Directory/store disagreement (e.g. file removed out from
+                // under us): self-heal by dropping the directory entry and
+                // treating it as a miss.
+                Err(_) => {
+                    self.directory.remove(self.local, key);
+                    self.note_miss(key, decision)
+                }
+            },
+            Classification::Remote(meta) => {
+                CacheStats::bump(&self.stats.remote_hits);
+                LookupResult::RemoteHit { meta }
+            }
+            Classification::NotCached => self.note_miss(key, decision),
+        }
+    }
+
+    fn note_miss(&self, key: &CacheKey, decision: CacheDecision) -> LookupResult {
+        CacheStats::bump(&self.stats.misses);
+        let first = self.in_flight.lock().insert(key.clone());
+        if !first {
+            // Identical request already executing here: Swala re-runs it
+            // rather than waiting (§4.2, false-miss scenario 1).
+            CacheStats::bump(&self.stats.false_misses);
+        }
+        LookupResult::Miss { decision, first_in_flight: first }
+    }
+
+    /// Figure 2, bottom half: the CGI ran successfully in `exec` time.
+    ///
+    /// Applies the execution-time threshold, stores the body, inserts the
+    /// directory entry and evicts down to capacity. Returns what must be
+    /// broadcast.
+    pub fn complete_execution(
+        &self,
+        key: &CacheKey,
+        body: &[u8],
+        content_type: &str,
+        exec: Duration,
+        decision: &CacheDecision,
+    ) -> io::Result<InsertOutcome> {
+        self.in_flight.lock().remove(key);
+        if !decision.should_insert(exec) {
+            CacheStats::bump(&self.stats.discards);
+            return Ok(InsertOutcome::Discarded);
+        }
+        let ttl = match decision {
+            CacheDecision::Cacheable { ttl, .. } => *ttl,
+            CacheDecision::Uncacheable => unreachable!("should_insert rejected uncacheable"),
+        };
+        let seq = self.next_seq();
+        let mut meta = EntryMeta::new(
+            key.clone(),
+            self.local,
+            body.len() as u64,
+            content_type,
+            exec.as_micros() as u64,
+            ttl,
+            seq,
+        );
+        // Self-describing write: the header carries everything needed to
+        // rebuild the directory entry on a warm restart.
+        self.store.put_described(key, &(&meta).into(), body)?;
+        let mut policy = self.policy.lock();
+        policy.on_insert(&mut meta);
+        self.directory.insert(self.local, meta.clone());
+        CacheStats::bump(&self.stats.inserts);
+
+        let evicted = self.directory.evict_to_capacity(self.capacity, &mut policy);
+        drop(policy);
+        for victim in &evicted {
+            let _ = self.store.delete(&victim.key);
+            CacheStats::bump(&self.stats.evictions);
+        }
+        Ok(InsertOutcome::Inserted { meta, evicted })
+    }
+
+    /// The CGI failed (Figure 2's unhappy path): release the in-flight
+    /// marker without inserting anything.
+    pub fn abort_execution(&self, key: &CacheKey) {
+        self.in_flight.lock().remove(key);
+        CacheStats::bump(&self.stats.discards);
+    }
+
+    /// Serve a peer's fetch of a locally owned entry.
+    ///
+    /// `None` means the entry is gone — the peer experiences a false hit.
+    /// On success the owner updates the entry's hit statistics (§4.1:
+    /// "After a cache fetch, the cache manager on the node that owns the
+    /// item updates meta-data statistics").
+    pub fn fetch_local_body(&self, key: &CacheKey) -> Option<(EntryMeta, Vec<u8>)> {
+        let meta = self.directory.get(self.local, key)?;
+        match self.store.get(key) {
+            Ok(body) => {
+                let seq = self.next_seq();
+                self.directory.record_hit(self.local, key, seq, &mut self.policy.lock());
+                Some((meta, body))
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// A remote fetch came back empty: §4.2's false hit. The caller falls
+    /// back to executing locally; we also stop advertising the entry.
+    pub fn note_false_hit(&self, owner: NodeId, key: &CacheKey) {
+        CacheStats::bump(&self.stats.false_hits);
+        self.directory.remove(owner, key);
+    }
+
+    /// Mark the start of the fallback execution after a false hit (the
+    /// usual miss bookkeeping, minus the `misses` count which already
+    /// happened as a remote hit).
+    pub fn begin_fallback_execution(&self, key: &CacheKey) {
+        self.in_flight.lock().insert(key.clone());
+    }
+
+    /// Apply a peer's insert notice to its directory table.
+    pub fn apply_remote_insert(&self, meta: EntryMeta) {
+        debug_assert_ne!(meta.owner, self.local, "own inserts are applied directly");
+        CacheStats::bump(&self.stats.updates_applied);
+        // If we are executing the same key right now, that execution is a
+        // false miss (§4.2, scenario 2): the peer cached it first.
+        if self.in_flight.lock().contains(&meta.key) {
+            CacheStats::bump(&self.stats.false_misses);
+        }
+        self.directory.insert(meta.owner, meta);
+    }
+
+    /// Apply a peer's delete notice.
+    pub fn apply_remote_delete(&self, owner: NodeId, key: &CacheKey) {
+        CacheStats::bump(&self.stats.updates_applied);
+        self.directory.remove(owner, key);
+    }
+
+    /// Explicitly remove a local entry (admin/invalidations). Returns the
+    /// removed metadata — the caller broadcasts the deletion.
+    pub fn remove_local(&self, key: &CacheKey) -> Option<EntryMeta> {
+        let meta = self.directory.remove(self.local, key)?;
+        let _ = self.store.delete(key);
+        Some(meta)
+    }
+
+    /// The purge daemon's body: drop expired local entries (deleting
+    /// their files) and stale remote metadata. Returns the local
+    /// expirations for delete-broadcast.
+    pub fn purge_expired(&self) -> Vec<EntryMeta> {
+        let dead = self.directory.purge_expired();
+        for m in &dead {
+            let _ = self.store.delete(&m.key);
+            CacheStats::bump(&self.stats.expirations);
+        }
+        dead
+    }
+
+    /// Snapshot of the local table (directory sync for joining peers).
+    pub fn local_snapshot(&self) -> Vec<EntryMeta> {
+        self.directory.snapshot(self.local)
+    }
+
+    /// Warm restart: rebuild the local directory from the store's
+    /// self-describing entries (an extension beyond the paper, whose
+    /// nodes always started cold). Expired entries are deleted rather
+    /// than resurrected; the replacement policy is applied so the
+    /// recovered set respects capacity. Returns how many entries were
+    /// restored.
+    pub fn recover_from_store(&self) -> usize {
+        let now = crate::entry::unix_now();
+        let mut restored = 0;
+        let mut policy = self.policy.lock();
+        for recovered in self.store.recover() {
+            if recovered.expires_unix.is_some_and(|e| e <= now) {
+                let _ = self.store.delete(&recovered.key);
+                CacheStats::bump(&self.stats.expirations);
+                continue;
+            }
+            let seq = self.next_seq();
+            let mut meta = recovered.into_meta(self.local, seq);
+            policy.on_insert(&mut meta);
+            self.directory.insert(self.local, meta);
+            restored += 1;
+        }
+        let evicted = self.directory.evict_to_capacity(self.capacity, &mut policy);
+        drop(policy);
+        for victim in &evicted {
+            let _ = self.store.delete(&victim.key);
+            CacheStats::bump(&self.stats.evictions);
+        }
+        restored - evicted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn manager(capacity: usize) -> CacheManager {
+        CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 3,
+                local: NodeId(0),
+                capacity,
+                policy: PolicyKind::Lru,
+                rules: CacheRules::allow_all(),
+            },
+            Box::new(MemStore::new()),
+        )
+    }
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey::new(s)
+    }
+
+    fn run_and_insert(m: &CacheManager, k: &CacheKey, body: &[u8]) -> InsertOutcome {
+        let decision = match m.lookup(k, k.as_str()) {
+            LookupResult::Miss { decision, .. } => decision,
+            other => panic!("expected miss, got {other:?}"),
+        };
+        m.complete_execution(k, body, "text/html", Duration::from_millis(100), &decision).unwrap()
+    }
+
+    #[test]
+    fn miss_then_local_hit() {
+        let m = manager(10);
+        let k = key("/cgi-bin/a?x=1");
+        match run_and_insert(&m, &k, b"body-a") {
+            InsertOutcome::Inserted { meta, evicted } => {
+                assert_eq!(meta.owner, NodeId(0));
+                assert_eq!(meta.size, 6);
+                assert!(evicted.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+        match m.lookup(&k, k.as_str()) {
+            LookupResult::LocalHit { body, meta } => {
+                assert_eq!(body, b"body-a");
+                assert_eq!(meta.key, k);
+            }
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = m.stats().snapshot();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.local_hits, 1);
+        assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn uncacheable_rules_short_circuit() {
+        let m = CacheManager::new(
+            CacheManagerConfig { rules: CacheRules::deny_all(), ..Default::default() },
+            Box::new(MemStore::new()),
+        );
+        let k = key("/cgi-bin/a");
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Uncacheable));
+        assert_eq!(m.stats().snapshot().uncacheable, 1);
+        assert_eq!(m.stats().snapshot().lookups, 0);
+    }
+
+    #[test]
+    fn threshold_discards_fast_results() {
+        let rules = CacheRules::parse("cache * min_ms=500\n").unwrap();
+        let m = CacheManager::new(
+            CacheManagerConfig { rules, ..Default::default() },
+            Box::new(MemStore::new()),
+        );
+        let k = key("/cgi-bin/fast");
+        let decision = match m.lookup(&k, k.as_str()) {
+            LookupResult::Miss { decision, .. } => decision,
+            other => panic!("{other:?}"),
+        };
+        let out = m
+            .complete_execution(&k, b"x", "text/html", Duration::from_millis(10), &decision)
+            .unwrap();
+        assert!(matches!(out, InsertOutcome::Discarded));
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { .. }));
+        assert_eq!(m.stats().snapshot().discards, 1);
+    }
+
+    #[test]
+    fn duplicate_in_flight_is_false_miss() {
+        let m = manager(10);
+        let k = key("/cgi-bin/slow?x=1");
+        let first = m.lookup(&k, k.as_str());
+        assert!(matches!(first, LookupResult::Miss { first_in_flight: true, .. }));
+        let second = m.lookup(&k, k.as_str());
+        assert!(matches!(second, LookupResult::Miss { first_in_flight: false, .. }));
+        assert_eq!(m.stats().snapshot().false_misses, 1);
+        // Both complete; second insert replaces the first harmlessly.
+        if let LookupResult::Miss { decision, .. } = first {
+            m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision).unwrap();
+        }
+        if let LookupResult::Miss { decision, .. } = second {
+            m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision).unwrap();
+        }
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::LocalHit { .. }));
+    }
+
+    #[test]
+    fn capacity_eviction_lru() {
+        let m = manager(2);
+        for i in 0..3 {
+            let k = key(&format!("/cgi-bin/e?i={i}"));
+            run_and_insert(&m, &k, b"body");
+        }
+        assert_eq!(m.directory().len(NodeId(0)), 2);
+        let s = m.stats().snapshot();
+        assert_eq!(s.evictions, 1);
+        // The oldest key is gone from directory and store alike.
+        assert!(matches!(m.lookup(&key("/cgi-bin/e?i=0"), "/cgi-bin/e?i=0"), LookupResult::Miss { .. }));
+        assert!(matches!(
+            m.lookup(&key("/cgi-bin/e?i=2"), "/cgi-bin/e?i=2"),
+            LookupResult::LocalHit { .. }
+        ));
+        // Release in-flight marker from the miss lookup above.
+        m.abort_execution(&key("/cgi-bin/e?i=0"));
+    }
+
+    #[test]
+    fn remote_insert_classifies_remote_then_false_hit_fallback() {
+        let m = manager(10);
+        let k = key("/cgi-bin/r?x=1");
+        let remote_meta =
+            EntryMeta::new(k.clone(), NodeId(2), 4, "text/html", 1_000_000, None, 1);
+        m.apply_remote_insert(remote_meta);
+        match m.lookup(&k, k.as_str()) {
+            LookupResult::RemoteHit { meta } => assert_eq!(meta.owner, NodeId(2)),
+            other => panic!("{other:?}"),
+        }
+        // Remote says gone: false hit, entry dropped, fallback executes.
+        m.note_false_hit(NodeId(2), &k);
+        assert_eq!(m.stats().snapshot().false_hits, 1);
+        m.begin_fallback_execution(&k);
+        let decision = CacheRules::allow_all().decide(k.as_str());
+        m.complete_execution(&k, b"recomputed", "text/html", Duration::from_millis(20), &decision)
+            .unwrap();
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::LocalHit { .. }));
+    }
+
+    #[test]
+    fn remote_insert_during_execution_is_false_miss() {
+        let m = manager(10);
+        let k = key("/cgi-bin/race?x=1");
+        let decision = match m.lookup(&k, k.as_str()) {
+            LookupResult::Miss { decision, first_in_flight: true } => decision,
+            other => panic!("{other:?}"),
+        };
+        // Peer's insert notice lands mid-execution.
+        m.apply_remote_insert(EntryMeta::new(k.clone(), NodeId(1), 4, "t", 1000, None, 9));
+        assert_eq!(m.stats().snapshot().false_misses, 1);
+        // Our completion still inserts locally — both copies exist,
+        // matching the paper ("the same information will be cached at two
+        // nodes").
+        m.complete_execution(&k, b"dup", "t", Duration::from_millis(5), &decision).unwrap();
+        assert_eq!(m.directory().len(NodeId(0)), 1);
+        assert_eq!(m.directory().len(NodeId(1)), 1);
+    }
+
+    #[test]
+    fn abort_releases_in_flight() {
+        let m = manager(10);
+        let k = key("/cgi-bin/fail");
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { first_in_flight: true, .. }));
+        m.abort_execution(&k);
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { first_in_flight: true, .. }));
+        assert_eq!(m.stats().snapshot().false_misses, 0);
+    }
+
+    #[test]
+    fn fetch_local_body_updates_owner_stats() {
+        let m = manager(10);
+        let k = key("/cgi-bin/owned");
+        run_and_insert(&m, &k, b"served-to-peer");
+        let (meta, body) = m.fetch_local_body(&k).unwrap();
+        assert_eq!(body, b"served-to-peer");
+        assert_eq!(meta.key, k);
+        assert_eq!(m.directory().get(NodeId(0), &k).unwrap().hits, 1);
+        // Unknown key: None (peer sees a false hit).
+        assert!(m.fetch_local_body(&key("/ghost")).is_none());
+    }
+
+    #[test]
+    fn apply_remote_delete_removes_entry() {
+        let m = manager(10);
+        let k = key("/cgi-bin/del");
+        m.apply_remote_insert(EntryMeta::new(k.clone(), NodeId(1), 4, "t", 1000, None, 1));
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::RemoteHit { .. }));
+        m.apply_remote_delete(NodeId(1), &k);
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { .. }));
+        m.abort_execution(&k);
+        assert_eq!(m.stats().snapshot().updates_applied, 2);
+    }
+
+    #[test]
+    fn purge_expired_deletes_files() {
+        let rules = CacheRules::parse("cache * ttl=1\n").unwrap();
+        let m = CacheManager::new(
+            CacheManagerConfig { rules, ..Default::default() },
+            Box::new(MemStore::new()),
+        );
+        let k = key("/cgi-bin/ttl");
+        let decision = match m.lookup(&k, k.as_str()) {
+            LookupResult::Miss { decision, .. } => decision,
+            other => panic!("{other:?}"),
+        };
+        m.complete_execution(&k, b"x", "t", Duration::from_millis(10), &decision).unwrap();
+        // Force expiry by rewriting the entry's clock.
+        let mut meta = m.directory().get(NodeId(0), &k).unwrap();
+        meta.expires_unix = Some(1);
+        m.directory().insert(NodeId(0), meta);
+        let dead = m.purge_expired();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(m.stats().snapshot().expirations, 1);
+        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { .. }));
+    }
+
+    #[test]
+    fn remove_local_returns_meta_for_broadcast() {
+        let m = manager(10);
+        let k = key("/cgi-bin/rm");
+        run_and_insert(&m, &k, b"x");
+        let meta = m.remove_local(&k).unwrap();
+        assert_eq!(meta.key, k);
+        assert!(m.remove_local(&k).is_none());
+    }
+
+    #[test]
+    fn self_heals_directory_store_disagreement() {
+        let m = manager(10);
+        let k = key("/cgi-bin/heal");
+        run_and_insert(&m, &k, b"x");
+        // Simulate the body vanishing (e.g. operator wiped the cache dir).
+        // MemStore::delete never fails.
+        m.directory().get(NodeId(0), &k).unwrap();
+        // Reach in via the store trait on a fresh manager is not possible,
+        // so emulate by removing through remove_local then re-adding only
+        // the directory entry.
+        let meta = m.remove_local(&k).unwrap();
+        m.directory().insert(NodeId(0), meta);
+        match m.lookup(&k, k.as_str()) {
+            LookupResult::Miss { .. } => {}
+            other => panic!("expected self-healing miss, got {other:?}"),
+        }
+        assert!(m.directory().get(NodeId(0), &k).is_none(), "stale entry dropped");
+    }
+}

@@ -1,0 +1,49 @@
+//! Cluster node identifiers.
+
+use std::fmt;
+
+/// Identifies one server node in the cluster.
+///
+/// Node ids are dense indices `0..n`, assigned by position in the cluster
+/// membership list (the paper's configuration is static: Swala is started
+/// knowing its group). Density lets the directory be a plain `Vec` of
+/// tables indexed by node id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The index into per-node vectors.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_display() {
+        let n = NodeId(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(n.to_string(), "node3");
+        assert_eq!(NodeId::from(3u16), n);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(0) < NodeId(1));
+    }
+}

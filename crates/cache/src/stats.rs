@@ -1,0 +1,193 @@
+//! Cache statistics counters.
+//!
+//! Counts every event class §4–5 of the paper discusses, including the
+//! weak-consistency anomalies it names: *false misses* (a request is
+//! re-executed although a usable cached copy exists or is being produced)
+//! and *false hits* (the directory pointed at a remote entry that turned
+//! out to be deleted).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free event counters, shared across request threads.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Directory lookups for cacheable requests.
+    pub lookups: AtomicU64,
+    /// Hits served from the local store.
+    pub local_hits: AtomicU64,
+    /// Hits served by fetching from a remote node's store.
+    pub remote_hits: AtomicU64,
+    /// Cacheable requests that found no directory entry.
+    pub misses: AtomicU64,
+    /// Re-executions that a perfectly consistent system would have
+    /// avoided (§4.2's false misses).
+    pub false_misses: AtomicU64,
+    /// Remote fetches answered "gone" — §4.2's false hits; the request
+    /// falls back to local execution.
+    pub false_hits: AtomicU64,
+    /// Requests the rules classified uncacheable.
+    pub uncacheable: AtomicU64,
+    /// Successful cache insertions.
+    pub inserts: AtomicU64,
+    /// Results discarded (failed execution or under min-exec threshold).
+    pub discards: AtomicU64,
+    /// Entries evicted by the replacement policy.
+    pub evictions: AtomicU64,
+    /// Entries removed by TTL expiry.
+    pub expirations: AtomicU64,
+    /// Insert/delete notices sent to peers.
+    pub broadcasts_sent: AtomicU64,
+    /// Insert/delete notices applied from peers.
+    pub updates_applied: AtomicU64,
+}
+
+/// Plain-value snapshot of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub lookups: u64,
+    pub local_hits: u64,
+    pub remote_hits: u64,
+    pub misses: u64,
+    pub false_misses: u64,
+    pub false_hits: u64,
+    pub uncacheable: u64,
+    pub inserts: u64,
+    pub discards: u64,
+    pub evictions: u64,
+    pub expirations: u64,
+    pub broadcasts_sent: u64,
+    pub updates_applied: u64,
+}
+
+impl StatsSnapshot {
+    /// Total hits (local + remote).
+    pub fn hits(&self) -> u64 {
+        self.local_hits + self.remote_hits
+    }
+
+    /// Hit ratio over cacheable lookups, in [0, 1]; 0 when no lookups.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl CacheStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment helper (relaxed ordering: counters are advisory).
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Coherent-enough snapshot for reporting.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            false_misses: self.false_misses.load(Ordering::Relaxed),
+            false_hits: self.false_hits.load(Ordering::Relaxed),
+            uncacheable: self.uncacheable.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            discards: self.discards.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expirations: self.expirations.load(Ordering::Relaxed),
+            broadcasts_sent: self.broadcasts_sent.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "lookups={} hits={} (local={} remote={}) misses={} false_miss={} false_hit={} \
+             uncacheable={} inserts={} discards={} evictions={} expirations={} bcast={} applied={} \
+             hit_ratio={:.3}",
+            self.lookups,
+            self.hits(),
+            self.local_hits,
+            self.remote_hits,
+            self.misses,
+            self.false_misses,
+            self.false_hits,
+            self.uncacheable,
+            self.inserts,
+            self.discards,
+            self.evictions,
+            self.expirations,
+            self.broadcasts_sent,
+            self.updates_applied,
+            self.hit_ratio(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_snapshot() {
+        let s = CacheStats::new();
+        CacheStats::bump(&s.lookups);
+        CacheStats::bump(&s.lookups);
+        CacheStats::bump(&s.local_hits);
+        CacheStats::add(&s.remote_hits, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.lookups, 2);
+        assert_eq!(snap.hits(), 4);
+    }
+
+    #[test]
+    fn hit_ratio_edge_cases() {
+        let mut snap = StatsSnapshot::default();
+        assert_eq!(snap.hit_ratio(), 0.0);
+        snap.lookups = 10;
+        snap.local_hits = 3;
+        snap.remote_hits = 2;
+        assert!((snap.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_lossless() {
+        use std::sync::Arc;
+        let s = Arc::new(CacheStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    CacheStats::bump(&s.inserts);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().inserts, 80_000);
+    }
+
+    #[test]
+    fn display_mentions_key_fields() {
+        let s = CacheStats::new();
+        CacheStats::bump(&s.false_misses);
+        let text = s.snapshot().to_string();
+        assert!(text.contains("false_miss=1"));
+        assert!(text.contains("hit_ratio="));
+    }
+}

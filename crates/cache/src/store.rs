@@ -1,0 +1,506 @@
+//! Body stores: where cached CGI results physically live.
+//!
+//! §4.1: "we store only the cache directory in main memory, and use a
+//! separate operating system file to store the results of each cached
+//! request. Thus, every cache fetch in effect becomes a file fetch." The
+//! production store is [`DiskStore`]; [`MemStore`] backs unit tests and
+//! the deterministic simulator where file I/O would only add noise.
+//!
+//! Disk files are *self-describing*: a small header carries the key and
+//! the metadata the directory needs, so a restarted node can rebuild its
+//! directory from the store (warm restart — an extension beyond the
+//! paper, whose nodes started cold).
+
+use crate::entry::{unix_now, EntryMeta};
+use crate::key::CacheKey;
+use crate::node::NodeId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes + version for the disk-entry header.
+const MAGIC: &[u8; 4] = b"SWC1";
+
+/// Metadata recovered from a disk entry's header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredEntry {
+    pub key: CacheKey,
+    pub content_type: String,
+    pub exec_micros: u64,
+    pub expires_unix: Option<u64>,
+    pub created_unix: u64,
+    /// Body length in bytes.
+    pub size: u64,
+}
+
+impl RecoveredEntry {
+    /// Rebuild directory metadata for `owner` at logical time `seq`.
+    pub fn into_meta(self, owner: NodeId, seq: u64) -> EntryMeta {
+        EntryMeta {
+            key: self.key,
+            owner,
+            size: self.size,
+            content_type: self.content_type,
+            exec_micros: self.exec_micros,
+            expires_unix: self.expires_unix,
+            created_unix: self.created_unix,
+            hits: 0,
+            last_access_seq: seq,
+            insert_seq: seq,
+            gds_credit: 0.0,
+        }
+    }
+}
+
+/// Abstract body store.
+pub trait Store: Send + Sync {
+    /// Persist `body` for `key`, replacing any previous content.
+    fn put(&self, key: &CacheKey, body: &[u8]) -> io::Result<()> {
+        let meta = HeaderMeta {
+            content_type: "application/octet-stream".to_string(),
+            exec_micros: 0,
+            expires_unix: None,
+            created_unix: unix_now(),
+        };
+        self.put_described(key, &meta, body)
+    }
+    /// Persist `body` with descriptive metadata (enables recovery).
+    fn put_described(&self, key: &CacheKey, meta: &HeaderMeta, body: &[u8]) -> io::Result<()>;
+    /// Fetch the body for `key`; `NotFound` if absent.
+    fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>>;
+    /// Delete `key`'s body. Deleting an absent key is not an error
+    /// (delete broadcasts may race with purges).
+    fn delete(&self, key: &CacheKey) -> io::Result<()>;
+    /// True when a body exists for `key`.
+    fn contains(&self, key: &CacheKey) -> bool;
+    /// Number of stored bodies.
+    fn len(&self) -> usize;
+    /// True when the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Enumerate recoverable entries (empty for stores that don't
+    /// persist metadata).
+    fn recover(&self) -> Vec<RecoveredEntry> {
+        Vec::new()
+    }
+}
+
+/// The describable subset of [`EntryMeta`] written into entry headers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeaderMeta {
+    pub content_type: String,
+    pub exec_micros: u64,
+    pub expires_unix: Option<u64>,
+    pub created_unix: u64,
+}
+
+impl From<&EntryMeta> for HeaderMeta {
+    fn from(m: &EntryMeta) -> Self {
+        HeaderMeta {
+            content_type: m.content_type.clone(),
+            exec_micros: m.exec_micros,
+            expires_unix: m.expires_unix,
+            created_unix: m.created_unix,
+        }
+    }
+}
+
+/// One-file-per-entry store under a root directory.
+///
+/// File names are the key's stable FNV hash in hex (plus a `.swc` suffix)
+/// so they are reproducible across restarts and safe regardless of what
+/// bytes the key contains. Writes go to a temp file and rename into
+/// place, so a concurrent reader never observes a torn body.
+pub struct DiskStore {
+    root: PathBuf,
+    /// Write serial for temp-name uniqueness within the process.
+    serial: Mutex<u64>,
+}
+
+impl DiskStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(DiskStore { root, serial: Mutex::new(0) })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &CacheKey) -> PathBuf {
+        self.root.join(format!("{:016x}.swc", key.stable_hash()))
+    }
+
+    fn encode_header(key: &CacheKey, meta: &HeaderMeta) -> Vec<u8> {
+        let mut h = Vec::with_capacity(64 + key.as_str().len());
+        h.extend_from_slice(MAGIC);
+        h.extend_from_slice(&(key.as_str().len() as u32).to_be_bytes());
+        h.extend_from_slice(key.as_str().as_bytes());
+        h.extend_from_slice(&(meta.content_type.len() as u32).to_be_bytes());
+        h.extend_from_slice(meta.content_type.as_bytes());
+        h.extend_from_slice(&meta.exec_micros.to_be_bytes());
+        match meta.expires_unix {
+            Some(e) => {
+                h.push(1);
+                h.extend_from_slice(&e.to_be_bytes());
+            }
+            None => {
+                h.push(0);
+                h.extend_from_slice(&0u64.to_be_bytes());
+            }
+        }
+        h.extend_from_slice(&meta.created_unix.to_be_bytes());
+        h
+    }
+
+    /// Parse a header; returns the recovered fields and the body offset.
+    fn decode_header(bytes: &[u8]) -> Option<(RecoveredEntry, usize)> {
+        let mut at = 0usize;
+        let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = bytes.get(*at..*at + n)?;
+            *at += n;
+            Some(s)
+        };
+        if take(&mut at, 4)? != MAGIC {
+            return None;
+        }
+        let key_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let key = std::str::from_utf8(take(&mut at, key_len)?).ok()?.to_string();
+        let ct_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+        let content_type = std::str::from_utf8(take(&mut at, ct_len)?).ok()?.to_string();
+        let exec_micros = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let has_expiry = take(&mut at, 1)?[0];
+        let expires_raw = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let created_unix = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+        let size = (bytes.len() - at) as u64;
+        Some((
+            RecoveredEntry {
+                key: CacheKey::new(key),
+                content_type,
+                exec_micros,
+                expires_unix: (has_expiry == 1).then_some(expires_raw),
+                created_unix,
+                size,
+            },
+            at,
+        ))
+    }
+}
+
+impl Store for DiskStore {
+    fn put_described(&self, key: &CacheKey, meta: &HeaderMeta, body: &[u8]) -> io::Result<()> {
+        let final_path = self.path_for(key);
+        let serial = {
+            let mut s = self.serial.lock();
+            *s += 1;
+            *s
+        };
+        let tmp = self.root.join(format!(".tmp-{}-{serial}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&Self::encode_header(key, meta))?;
+            f.write_all(body)?;
+            f.flush()?;
+        }
+        fs::rename(&tmp, &final_path)
+    }
+
+    fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>> {
+        let mut f = fs::File::open(self.path_for(key))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        let (_, body_at) = Self::decode_header(&bytes)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt cache entry"))?;
+        bytes.drain(..body_at);
+        Ok(bytes)
+    }
+
+    fn delete(&self, key: &CacheKey) -> io::Result<()> {
+        match fs::remove_file(self.path_for(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.path_for(key).exists()
+    }
+
+    fn len(&self) -> usize {
+        fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "swc"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    fn recover(&self) -> Vec<RecoveredEntry> {
+        let Ok(rd) = fs::read_dir(&self.root) else { return Vec::new() };
+        let mut out = Vec::new();
+        for entry in rd.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            if path.extension().is_none_or(|x| x != "swc") {
+                continue;
+            }
+            // Corrupt or foreign files are skipped, not fatal: a warm
+            // restart must never be worse than a cold one.
+            let Ok(bytes) = fs::read(&path) else { continue };
+            if let Some((recovered, _)) = Self::decode_header(&bytes) {
+                out.push(recovered);
+            }
+        }
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+}
+
+/// In-memory store for tests and simulation.
+#[derive(Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<CacheKey, Vec<u8>>>,
+}
+
+impl MemStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Store for MemStore {
+    fn put_described(&self, key: &CacheKey, _meta: &HeaderMeta, body: &[u8]) -> io::Result<()> {
+        self.map.lock().insert(key.clone(), body.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>> {
+        self.map
+            .lock()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no body for {key}")))
+    }
+
+    fn delete(&self, key: &CacheKey) -> io::Result<()> {
+        self.map.lock().remove(key);
+        Ok(())
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.map.lock().contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "swala-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn exercise(store: &dyn Store) {
+        let k = CacheKey::new("/cgi-bin/adl?id=1&ms=40");
+        assert!(!store.contains(&k));
+        assert!(store.get(&k).is_err());
+        store.put(&k, b"result-body").unwrap();
+        assert!(store.contains(&k));
+        assert_eq!(store.get(&k).unwrap(), b"result-body");
+        assert_eq!(store.len(), 1);
+        // Overwrite.
+        store.put(&k, b"v2").unwrap();
+        assert_eq!(store.get(&k).unwrap(), b"v2");
+        assert_eq!(store.len(), 1);
+        // Delete is idempotent.
+        store.delete(&k).unwrap();
+        store.delete(&k).unwrap();
+        assert!(!store.contains(&k));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn mem_store_semantics() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn disk_store_semantics() {
+        let root = tmp_root("sem");
+        exercise(&DiskStore::open(&root).unwrap());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn disk_store_persists_across_reopen() {
+        let root = tmp_root("reopen");
+        let k = CacheKey::new("/persist?x=1");
+        {
+            let s = DiskStore::open(&root).unwrap();
+            s.put(&k, b"durable").unwrap();
+        }
+        let s2 = DiskStore::open(&root).unwrap();
+        assert_eq!(s2.get(&k).unwrap(), b"durable");
+        assert_eq!(s2.len(), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn disk_store_distinct_keys_distinct_files() {
+        let root = tmp_root("distinct");
+        let s = DiskStore::open(&root).unwrap();
+        for i in 0..20 {
+            s.put(&CacheKey::new(format!("/k?i={i}")), format!("body{i}").as_bytes()).unwrap();
+        }
+        assert_eq!(s.len(), 20);
+        for i in 0..20 {
+            assert_eq!(s.get(&CacheKey::new(format!("/k?i={i}"))).unwrap(), format!("body{i}").as_bytes());
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn disk_store_large_body() {
+        let root = tmp_root("large");
+        let s = DiskStore::open(&root).unwrap();
+        let k = CacheKey::new("/big");
+        let body: Vec<u8> = (0..1_000_000u32).map(|i| (i % 251) as u8).collect();
+        s.put(&k, &body).unwrap();
+        assert_eq!(s.get(&k).unwrap(), body);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn concurrent_disk_access() {
+        use std::sync::Arc;
+        let root = tmp_root("conc");
+        let s = Arc::new(DiskStore::open(&root).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let k = CacheKey::new(format!("/t{t}?i={i}"));
+                    s.put(&k, format!("{t}-{i}").as_bytes()).unwrap();
+                    assert_eq!(s.get(&k).unwrap(), format!("{t}-{i}").as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 200);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn recovery_roundtrips_metadata() {
+        let root = tmp_root("recover");
+        {
+            let s = DiskStore::open(&root).unwrap();
+            s.put_described(
+                &CacheKey::new("/cgi-bin/a?x=1"),
+                &HeaderMeta {
+                    content_type: "text/html".into(),
+                    exec_micros: 1_600_000,
+                    expires_unix: Some(9_999_999_999),
+                    created_unix: 901_627_200,
+                },
+                b"body-a",
+            )
+            .unwrap();
+            s.put_described(
+                &CacheKey::new("/cgi-bin/b"),
+                &HeaderMeta {
+                    content_type: "application/pdf".into(),
+                    exec_micros: 50_000,
+                    expires_unix: None,
+                    created_unix: 901_627_201,
+                },
+                b"body-bb",
+            )
+            .unwrap();
+        }
+        let s = DiskStore::open(&root).unwrap();
+        let recovered = s.recover();
+        assert_eq!(recovered.len(), 2);
+        let a = &recovered[0];
+        assert_eq!(a.key.as_str(), "/cgi-bin/a?x=1");
+        assert_eq!(a.content_type, "text/html");
+        assert_eq!(a.exec_micros, 1_600_000);
+        assert_eq!(a.expires_unix, Some(9_999_999_999));
+        assert_eq!(a.size, 6);
+        let b = &recovered[1];
+        assert_eq!(b.key.as_str(), "/cgi-bin/b");
+        assert_eq!(b.expires_unix, None);
+        assert_eq!(b.size, 7);
+        // Bodies still readable after recovery.
+        assert_eq!(s.get(&a.key).unwrap(), b"body-a");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_files() {
+        let root = tmp_root("corrupt");
+        let s = DiskStore::open(&root).unwrap();
+        s.put(&CacheKey::new("/good"), b"fine").unwrap();
+        fs::write(root.join("deadbeefdeadbeef.swc"), b"not a header").unwrap();
+        fs::write(root.join("unrelated.txt"), b"ignore me").unwrap();
+        let recovered = s.recover();
+        assert_eq!(recovered.len(), 1);
+        assert_eq!(recovered[0].key.as_str(), "/good");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_body_read_is_invalid_data() {
+        let root = tmp_root("badread");
+        let s = DiskStore::open(&root).unwrap();
+        let k = CacheKey::new("/x");
+        fs::write(s.path_for(&k), b"garbage").unwrap();
+        let err = s.get(&k).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn mem_store_has_no_recovery() {
+        let s = MemStore::new();
+        s.put(&CacheKey::new("/x"), b"y").unwrap();
+        assert!(s.recover().is_empty());
+    }
+
+    #[test]
+    fn recovered_entry_into_meta() {
+        let r = RecoveredEntry {
+            key: CacheKey::new("/k"),
+            content_type: "t".into(),
+            exec_micros: 5,
+            expires_unix: None,
+            created_unix: 7,
+            size: 11,
+        };
+        let m = r.into_meta(NodeId(3), 42);
+        assert_eq!(m.owner, NodeId(3));
+        assert_eq!(m.size, 11);
+        assert_eq!(m.insert_seq, 42);
+        assert_eq!(m.hits, 0);
+    }
+}

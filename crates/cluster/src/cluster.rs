@@ -1,0 +1,281 @@
+//! Cluster bring-up and coordination.
+
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swala::{BoundSwala, ServerOptions, SwalaServer};
+use swala_cache::{CacheRules, NodeId, PolicyKind};
+use swala_cgi::{CpuGate, GatedProgram, ProgramRegistry, SimulatedProgram, WorkKind};
+
+/// Configuration for a whole cluster (uniform across nodes, as in the
+/// paper's experiments — "the CPU power is roughly equivalent on all
+/// nodes").
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Cooperative caching on (`true`) or the no-cache baseline.
+    pub caching: bool,
+    /// Per-node cache capacity in entries.
+    pub capacity: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Request threads per node.
+    pub pool_size: usize,
+    /// Cacheability rules (shared by all nodes).
+    pub rules: CacheRules,
+    /// Purge-daemon interval.
+    pub purge_interval: Duration,
+    /// Docroot served by every node (e.g. the WebStone files).
+    pub docroot: Option<PathBuf>,
+    /// Base directory for per-node disk stores; `None` = memory stores.
+    pub cache_dir_base: Option<PathBuf>,
+    /// Simulated-CGI work kind. `Sleep` lets large clusters run on few
+    /// cores without CPU contention skew; `Spin` is faithful to the
+    /// paper's CPU-bound workload.
+    pub work: WorkKind,
+    /// When set, each node's CGI executions pass through a per-node
+    /// [`CpuGate`] with this many slots, restoring the paper's
+    /// one-CPU-per-node resource model on any host (see swala-cgi::gate).
+    pub cores_per_node: Option<usize>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            caching: true,
+            capacity: 2000,
+            policy: PolicyKind::Lru,
+            pool_size: 8,
+            rules: CacheRules::allow_all(),
+            purge_interval: Duration::from_secs(2),
+            docroot: None,
+            cache_dir_base: None,
+            work: WorkKind::Sleep,
+            cores_per_node: None,
+        }
+    }
+}
+
+/// The standard program registry every cluster node runs: the paper's
+/// `nullcgi` plus the trace-driven `adl` program.
+pub fn standard_registry(work: WorkKind) -> ProgramRegistry {
+    gated_registry(work, None)
+}
+
+/// [`standard_registry`] with every program routed through a per-node
+/// CPU gate when `cores` is set.
+pub fn gated_registry(work: WorkKind, cores: Option<usize>) -> ProgramRegistry {
+    let mut registry = ProgramRegistry::new();
+    let mut programs: Vec<Arc<dyn swala_cgi::Program>> = vec![
+        Arc::new(swala_cgi::null_cgi()),
+        Arc::new(SimulatedProgram::trace_driven("adl", work)),
+    ];
+    if let Some(cores) = cores {
+        let gate = CpuGate::new(cores);
+        programs = programs
+            .into_iter()
+            .map(|p| GatedProgram::wrap(p, Arc::clone(&gate)))
+            .collect();
+    }
+    for p in programs {
+        registry.register(p);
+    }
+    registry
+}
+
+/// A running cluster of Swala nodes.
+pub struct SwalaCluster {
+    servers: Vec<SwalaServer>,
+}
+
+impl SwalaCluster {
+    /// Bring up a cluster: bind every node, learn all cache addresses,
+    /// then start the nodes fully wired to each other.
+    pub fn start(cfg: &ClusterConfig) -> io::Result<SwalaCluster> {
+        assert!(cfg.nodes >= 1, "cluster needs at least one node");
+        let bounds: Vec<BoundSwala> = (0..cfg.nodes)
+            .map(|i| {
+                let options = ServerOptions {
+                    node: NodeId(i as u16),
+                    num_nodes: cfg.nodes,
+                    pool_size: cfg.pool_size,
+                    capacity: cfg.capacity,
+                    policy: cfg.policy,
+                    rules: cfg.rules.clone(),
+                    caching_enabled: cfg.caching,
+                    purge_interval: cfg.purge_interval,
+                    docroot: cfg.docroot.clone(),
+                    cache_dir: cfg
+                        .cache_dir_base
+                        .as_ref()
+                        .map(|base| base.join(format!("node{i}"))),
+                    server_name: format!("Swala/0.1 (node {i}/{})", cfg.nodes),
+                    ..Default::default()
+                };
+                BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))
+            })
+            .collect::<io::Result<_>>()?;
+        let cache_addrs: Vec<Option<SocketAddr>> =
+            bounds.iter().map(|b| Some(b.cache_addr())).collect();
+        let servers = bounds
+            .into_iter()
+            .map(|b| b.start(cache_addrs.clone()))
+            .collect::<io::Result<_>>()?;
+        Ok(SwalaCluster { servers })
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// True for a zero-node cluster (cannot be constructed; for clippy).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// One node.
+    pub fn node(&self, i: usize) -> &SwalaServer {
+        &self.servers[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[SwalaServer] {
+        &self.servers
+    }
+
+    /// Every node's HTTP address, in node order.
+    pub fn http_addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.http_addr()).collect()
+    }
+
+    /// Every node's cache-protocol address, in node order.
+    pub fn cache_addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.cache_addr()).collect()
+    }
+
+    /// Sum of a per-node statistic across the cluster.
+    pub fn total_cache_stat(&self, f: impl Fn(&swala_cache::stats::StatsSnapshot) -> u64) -> u64 {
+        self.servers.iter().map(|s| f(&s.cache_stats())).sum()
+    }
+
+    /// Wait until every node's directory shows exactly `expected_total`
+    /// entries across all of its tables — i.e. all insert notices have
+    /// propagated and every node sees the same cluster-wide entry count.
+    /// Returns whether agreement was reached within `timeout`.
+    pub fn wait_for_directory_convergence(
+        &self,
+        expected_total: usize,
+        timeout: Duration,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let converged = self
+                .servers
+                .iter()
+                .all(|s| s.manager().directory().total_len() == expected_total);
+            if converged {
+                return true;
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Issue `targets` against node `node` once each (cache warm-up, as
+    /// in §5.1: "The cache on the first node is initially warmed").
+    pub fn warm(&self, node: usize, targets: &[String]) -> io::Result<()> {
+        let mut client = swala::HttpClient::new(self.servers[node].http_addr());
+        for t in targets {
+            client
+                .get(t)
+                .map_err(|e| io::Error::other(format!("warm-up GET {t} failed: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Shut every node down.
+    pub fn shutdown(self) {
+        for s in self.servers {
+            s.shutdown();
+        }
+    }
+
+    /// Dismantle the cluster into its servers — used by partial-failure
+    /// tests that crash individual nodes while others keep serving.
+    pub fn into_nodes(self) -> Vec<SwalaServer> {
+        self.servers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swala::HttpClient;
+
+    #[test]
+    fn four_node_cluster_cooperates() {
+        let cluster = SwalaCluster::start(&ClusterConfig { nodes: 4, ..Default::default() }).unwrap();
+        assert_eq!(cluster.len(), 4);
+
+        // Warm node 0 with three entries.
+        let targets: Vec<String> =
+            (0..3).map(|i| format!("/cgi-bin/adl?id={i}&ms=0")).collect();
+        cluster.warm(0, &targets).unwrap();
+        // Every node's directory view must show the 3 cluster-wide entries.
+        assert!(cluster.wait_for_directory_convergence(3, Duration::from_secs(5)));
+
+        // Every other node now serves them as remote hits.
+        for n in 1..4 {
+            let mut client = HttpClient::new(cluster.node(n).http_addr());
+            let resp = client.get(&targets[0]).unwrap();
+            assert_eq!(
+                resp.headers.get("X-Swala-Cache"),
+                Some("remote-hit"),
+                "node {n}"
+            );
+        }
+        assert_eq!(cluster.total_cache_stat(|s| s.remote_hits), 3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn no_cache_cluster_has_empty_directories() {
+        let cluster = SwalaCluster::start(&ClusterConfig {
+            nodes: 2,
+            caching: false,
+            ..Default::default()
+        })
+        .unwrap();
+        cluster.warm(0, &["/cgi-bin/adl?id=1&ms=0".to_string()]).unwrap();
+        assert_eq!(cluster.node(0).manager().directory().total_len(), 0);
+        assert_eq!(cluster.total_cache_stat(|s| s.inserts), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn single_node_cluster_works() {
+        let cluster =
+            SwalaCluster::start(&ClusterConfig { nodes: 1, ..Default::default() }).unwrap();
+        let mut client = HttpClient::new(cluster.node(0).http_addr());
+        client.get("/cgi-bin/adl?id=9&ms=0").unwrap();
+        let hit = client.get("/cgi-bin/adl?id=9&ms=0").unwrap();
+        assert_eq!(hit.headers.get("X-Swala-Cache"), Some("local-hit"));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn convergence_times_out_honestly() {
+        let cluster =
+            SwalaCluster::start(&ClusterConfig { nodes: 2, ..Default::default() }).unwrap();
+        // Nothing was inserted; expecting entries must time out.
+        assert!(!cluster.wait_for_directory_convergence(99, Duration::from_millis(100)));
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,20 @@
+//! # swala-cluster
+//!
+//! Orchestration for multi-node Swala deployments, standing in for the
+//! paper's testbed of "six Sun 143-MHz Ultra 1 and two Sun Ultra 2 …
+//! connected by a fast (100 Mbit) Ethernet": every node is a full
+//! [`swala::SwalaServer`] with its own HTTP listener, cache daemons and
+//! disk/memory store, wired over real localhost TCP.
+//!
+//! * [`cluster`] — two-phase cluster bring-up (bind everything, learn the
+//!   ephemeral ports, wire the broadcasters, start), warm-up and
+//!   synchronization helpers;
+//! * [`pseudo`] — §5.2's pseudo-server, "a program which only sends cache
+//!   directory updates to a Swala node", used by Table 4 to impose a
+//!   controlled update-per-second load without running real peers.
+
+pub mod cluster;
+pub mod pseudo;
+
+pub use cluster::{ClusterConfig, SwalaCluster};
+pub use pseudo::PseudoServer;

@@ -1,0 +1,143 @@
+//! Common Log Format access logging.
+//!
+//! 1998 servers wrote NCSA Common Log Format, and so does Swala:
+//!
+//! ```text
+//! 127.0.0.1 - - [28/Jul/1998:12:00:00 +0000] "GET /cgi-bin/adl?id=1 HTTP/1.0" 200 2048
+//! ```
+//!
+//! Lines are buffered per write and the file is shared by all request
+//! threads through a mutex — the bottleneck profile of the original
+//! servers, which is fine because a log write is two orders of magnitude
+//! cheaper than the dynamic requests Swala exists to serve.
+
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use swala_http::date::UtcDateTime;
+use swala_http::{Request, Response};
+
+/// A shared, append-only CLF log.
+pub struct AccessLog {
+    file: Mutex<File>,
+}
+
+impl AccessLog {
+    /// Open (appending) the log at `path`.
+    pub fn open(path: &Path) -> io::Result<AccessLog> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(AccessLog { file: Mutex::new(file) })
+    }
+
+    /// Append one request/response pair.
+    pub fn log(&self, peer: &str, req: &Request, resp: &Response) {
+        let line = format_clf(peer, req, resp, std::time::SystemTime::now());
+        let mut file = self.file.lock();
+        // Logging must never take the server down; drop the line on error.
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// Render one CLF line (without writing it) — separated for testing.
+pub fn format_clf(
+    peer: &str,
+    req: &Request,
+    resp: &Response,
+    now: std::time::SystemTime,
+) -> String {
+    let host = peer.rsplit_once(':').map(|(h, _)| h).unwrap_or(peer);
+    let t = UtcDateTime::from_system_time(now);
+    const MONTHS: [&str; 12] =
+        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+    format!(
+        "{host} - - [{:02}/{}/{:04}:{:02}:{:02}:{:02} +0000] \"{} {} {}\" {} {}\n",
+        t.day,
+        MONTHS[(t.month - 1) as usize],
+        t.year,
+        t.hour,
+        t.minute,
+        t.second,
+        req.method,
+        req.target.cache_key_string(),
+        req.version,
+        resp.status.as_u16(),
+        resp.body.len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, UNIX_EPOCH};
+    use swala_http::{Method, StatusCode};
+
+    fn sample() -> (Request, Response) {
+        let req = Request::get("/cgi-bin/adl?id=1&ms=5").unwrap();
+        let resp = Response::ok("text/html", vec![b'x'; 2048]);
+        (req, resp)
+    }
+
+    #[test]
+    fn clf_line_shape() {
+        let (req, resp) = sample();
+        // 1998-07-28 12:00:00 UTC.
+        let when = UNIX_EPOCH + Duration::from_secs(901_627_200);
+        let line = format_clf("10.1.2.3:51000", &req, &resp, when);
+        assert_eq!(
+            line,
+            "10.1.2.3 - - [28/Jul/1998:12:00:00 +0000] \
+             \"GET /cgi-bin/adl?id=1&ms=5 HTTP/1.0\" 200 2048\n"
+        );
+    }
+
+    #[test]
+    fn status_and_method_vary() {
+        let mut req = Request::new(Method::Post, "/cgi-bin/x").unwrap();
+        req.version = swala_http::Version::Http11;
+        let mut resp = Response::error(StatusCode::NOT_FOUND);
+        resp.body = b"nf".to_vec();
+        let line = format_clf("h:1", &req, &resp, UNIX_EPOCH);
+        assert!(line.contains("\"POST /cgi-bin/x HTTP/1.1\" 404 2"), "{line}");
+    }
+
+    #[test]
+    fn log_appends_to_file() {
+        let path = std::env::temp_dir().join(format!("swala-clf-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path).unwrap();
+        let (req, resp) = sample();
+        log.log("1.2.3.4:9", &req, &resp);
+        log.log("5.6.7.8:9", &req, &resp);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("1.2.3.4 - - ["));
+        assert!(text.lines().nth(1).unwrap().starts_with("5.6.7.8"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn concurrent_logging_keeps_lines_whole() {
+        use std::sync::Arc;
+        let path = std::env::temp_dir().join(format!("swala-clf-conc-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = Arc::new(AccessLog::open(&path).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let log = Arc::clone(&log);
+                s.spawn(move || {
+                    let (req, resp) = sample();
+                    for _ in 0..100 {
+                        log.log(&format!("10.0.0.{t}:1"), &req, &resp);
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 400);
+        for line in text.lines() {
+            assert!(line.ends_with("200 2048"), "torn line: {line:?}");
+        }
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,124 @@
+//! Administrative endpoints.
+//!
+//! Two reserved paths, in the spirit of 1998 server status screens:
+//!
+//! * `GET /swala-status` — an HTML page with the node's request and
+//!   cache statistics and the directory's view of the cluster;
+//! * `GET /swala-admin/invalidate?key=<target>` — application-driven
+//!   invalidation (§4.2's planned extension after Iyengar & Challenger
+//!   \[12\]): removes the entry wherever it lives. If this node owns it,
+//!   it is deleted and the deletion broadcast; if a peer owns it, an
+//!   `Invalidate` message is forwarded to the owner.
+//!
+//! The admin prefix is reserved before program and file resolution, so a
+//! CGI program or file cannot shadow it.
+
+use crate::handler::NodeContext;
+use swala_cache::directory::Classification;
+use swala_cache::{CacheKey, CacheStats};
+use swala_http::{Request, Response, StatusCode};
+use swala_proto::{request_invalidate, Message};
+
+/// Path prefix reserved for administration.
+pub const ADMIN_PREFIX: &str = "/swala-admin/";
+/// The status page path.
+pub const STATUS_PATH: &str = "/swala-status";
+
+/// True when `path` is handled by the admin module.
+pub fn is_admin_path(path: &str) -> bool {
+    path == STATUS_PATH || path.starts_with(ADMIN_PREFIX)
+}
+
+/// Dispatch an admin request.
+pub fn handle_admin(ctx: &NodeContext, req: &Request) -> Response {
+    match req.target.path.as_str() {
+        STATUS_PATH => status_page(ctx),
+        "/swala-admin/invalidate" => invalidate(ctx, req),
+        _ => Response::error(StatusCode::NOT_FOUND),
+    }
+}
+
+fn status_page(ctx: &NodeContext) -> Response {
+    let http = ctx.stats.snapshot();
+    let cache = ctx.manager.stats().snapshot();
+    let dir = ctx.manager.directory();
+    let mut tables = String::new();
+    for n in 0..dir.num_nodes() {
+        let id = swala_cache::NodeId(n as u16);
+        tables.push_str(&format!(
+            "<tr><td>node{n}{}</td><td>{}</td></tr>\n",
+            if id == ctx.node { " (this node)" } else { "" },
+            dir.len(id),
+        ));
+    }
+    let body = format!(
+        "<html><head><title>Swala status — {node}</title></head><body>\
+         <h1>Swala node {node}</h1>\
+         <h2>HTTP</h2><pre>{http}</pre>\
+         <h2>Cache</h2><pre>{cache}</pre>\
+         <h2>Directory (entries per node table)</h2>\
+         <table border=1>{tables}</table>\
+         </body></html>\n",
+        node = ctx.node,
+    );
+    Response::ok("text/html", body.into_bytes())
+}
+
+fn invalidate(ctx: &NodeContext, req: &Request) -> Response {
+    let Some(raw_key) = req
+        .target
+        .query_pairs()
+        .into_iter()
+        .find(|(k, _)| k == "key")
+        .map(|(_, v)| v)
+    else {
+        let mut r = Response::ok("text/plain", "missing ?key= parameter\n");
+        r.status = StatusCode::BAD_REQUEST;
+        return r;
+    };
+    let key = CacheKey::new(&raw_key);
+    match ctx.manager.directory().classify(&key) {
+        Classification::Local(_) => {
+            if let Some(dead) = ctx.manager.remove_local(&key) {
+                ctx.broadcaster
+                    .broadcast(&Message::DeleteNotice { owner: dead.owner, key: dead.key });
+                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            }
+            Response::ok("text/plain", format!("invalidated local entry {key}\n"))
+        }
+        Classification::Remote(meta) => {
+            let owner = meta.owner;
+            match ctx
+                .cache_addrs
+                .read()
+                .get(owner.index())
+                .copied()
+                .flatten()
+            {
+                Some(addr) => match request_invalidate(addr, &key, ctx.fetch_timeout) {
+                    Ok(()) => Response::ok(
+                        "text/plain",
+                        format!("invalidation forwarded to owner {owner}\n"),
+                    ),
+                    Err(e) => {
+                        let mut r = Response::ok(
+                            "text/plain",
+                            format!("owner {owner} unreachable: {e}\n"),
+                        );
+                        r.status = StatusCode::BAD_GATEWAY;
+                        r
+                    }
+                },
+                None => {
+                    let mut r =
+                        Response::ok("text/plain", format!("owner {owner} address unknown\n"));
+                    r.status = StatusCode::BAD_GATEWAY;
+                    r
+                }
+            }
+        }
+        Classification::NotCached => {
+            Response::ok("text/plain", format!("no cached entry for {key}\n"))
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! A small keep-alive HTTP client, used by tests, examples and the
+//! WebStone-style load generator.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use swala_http::{HttpError, Request, Response};
+
+/// One persistent client connection.
+pub struct HttpClient {
+    addr: SocketAddr,
+    conn: Option<Conn>,
+    timeout: Duration,
+}
+
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl HttpClient {
+    /// Client for `addr`; connects lazily on first request.
+    pub fn new(addr: SocketAddr) -> Self {
+        HttpClient { addr, conn: None, timeout: Duration::from_secs(30) }
+    }
+
+    /// Override the per-operation socket timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    fn connect(&self) -> io::Result<Conn> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let writer = stream.try_clone()?;
+        Ok(Conn { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send `req` and read the response, reconnecting once if the
+    /// keep-alive connection has gone stale.
+    pub fn request(&mut self, req: &Request) -> Result<Response, HttpError> {
+        if self.conn.is_none() {
+            self.conn = Some(self.connect()?);
+        }
+        match self.roundtrip(req) {
+            Ok(resp) => Ok(resp),
+            Err(_) => {
+                // Stale keep-alive (server closed between requests):
+                // reconnect and retry exactly once.
+                self.conn = Some(self.connect()?);
+                self.roundtrip(req)
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, HttpError> {
+        let conn = self.conn.as_mut().expect("connected");
+        use std::io::Write;
+        conn.writer.write_all(&req.to_bytes())?;
+        conn.writer.flush()?;
+        // HEAD responses advertise a Content-Length but carry no body.
+        let expect_body = req.method.response_has_body();
+        let resp = Response::read_from_expecting(&mut conn.reader, expect_body)?;
+        if !resp.headers.keep_alive(resp.version) {
+            self.conn = None;
+        }
+        Ok(resp)
+    }
+
+    /// Convenience: GET `target` and return the response.
+    pub fn get(&mut self, target: &str) -> Result<Response, HttpError> {
+        self.request(&Request::get(target)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    /// Minimal canned server: answers every request with `body`, honoring
+    /// keep-alive, for `max_requests` requests per connection.
+    fn canned_server(body: &'static str, max_requests: usize) -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(stream) = conn else { return };
+                let body = body.to_string();
+                std::thread::spawn(move || {
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    for served in 0.. {
+                        let Ok(req) = swala_http::read_request(&mut reader) else { return };
+                        let keep = req.keep_alive() && served + 1 < max_requests;
+                        let mut resp = Response::ok("text/plain", body.clone());
+                        resp.set_keep_alive(keep);
+                        if resp.write_to(&mut writer, true).is_err() {
+                            return;
+                        }
+                        if !keep {
+                            let _ = writer.flush();
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn get_roundtrip() {
+        let addr = canned_server("hello-client", usize::MAX);
+        let mut c = HttpClient::new(addr);
+        let resp = c.get("/x").unwrap();
+        assert_eq!(resp.body, b"hello-client");
+    }
+
+    #[test]
+    fn keep_alive_reuses_connection() {
+        let addr = canned_server("ka", usize::MAX);
+        let mut c = HttpClient::new(addr);
+        for _ in 0..5 {
+            assert_eq!(c.get("/x").unwrap().body, b"ka");
+        }
+        assert!(c.conn.is_some(), "connection retained across requests");
+    }
+
+    #[test]
+    fn reconnects_when_server_closes_between_requests() {
+        // Server closes after every single request.
+        let addr = canned_server("once", 1);
+        let mut c = HttpClient::new(addr);
+        assert_eq!(c.get("/a").unwrap().body, b"once");
+        assert_eq!(c.get("/b").unwrap().body, b"once");
+        assert_eq!(c.get("/c").unwrap().body, b"once");
+    }
+
+    #[test]
+    fn connection_refused_is_error() {
+        let mut c = HttpClient::new("127.0.0.1:1".parse().unwrap())
+            .with_timeout(Duration::from_millis(200));
+        assert!(c.get("/x").is_err());
+    }
+}

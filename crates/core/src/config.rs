@@ -1,0 +1,284 @@
+//! Server configuration.
+
+use crate::monitor::MonitorRule;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Duration;
+use swala_cache::{CacheRules, NodeId, PolicyKind};
+
+/// Everything needed to run one Swala node.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// This node's id within the cluster.
+    pub node: NodeId,
+    /// Cluster size (including this node).
+    pub num_nodes: usize,
+    /// HTTP listen address (port 0 = ephemeral).
+    pub http_addr: SocketAddr,
+    /// Cache-protocol listen address (port 0 = ephemeral).
+    pub cache_addr: SocketAddr,
+    /// Request-handler thread-pool size.
+    pub pool_size: usize,
+    /// Document root for static files; `None` disables file serving.
+    pub docroot: Option<PathBuf>,
+    /// Directory for the disk cache store; `None` = in-memory store.
+    pub cache_dir: Option<PathBuf>,
+    /// Local cache capacity in entries (the paper's "cache size").
+    pub capacity: usize,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Cacheability rules.
+    pub rules: CacheRules,
+    /// Master switch: false = "Swala no-cache" baseline mode.
+    pub caching_enabled: bool,
+    /// Timeout for remote cache fetches.
+    pub fetch_timeout: Duration,
+    /// Purge-daemon wake interval.
+    pub purge_interval: Duration,
+    /// Value of the `Server:` header.
+    pub server_name: String,
+    /// Source-monitoring rules (automatic invalidation, after \[16\]).
+    pub monitors: Vec<MonitorRule>,
+    /// How often monitored sources are polled.
+    pub monitor_interval: Duration,
+    /// Pull peers' directory snapshots at startup (late-joining nodes).
+    pub sync_on_join: bool,
+    /// Warm restart: rebuild the directory from a disk store's
+    /// self-describing entries at startup (no effect on memory stores).
+    pub recover_cache: bool,
+    /// Write a Common-Log-Format access log to this file.
+    pub access_log: Option<PathBuf>,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            node: NodeId(0),
+            num_nodes: 1,
+            http_addr: "127.0.0.1:0".parse().expect("static addr"),
+            cache_addr: "127.0.0.1:0".parse().expect("static addr"),
+            pool_size: 16,
+            docroot: None,
+            cache_dir: None,
+            capacity: 2000,
+            policy: PolicyKind::Lru,
+            rules: CacheRules::allow_all(),
+            caching_enabled: true,
+            fetch_timeout: Duration::from_secs(2),
+            purge_interval: Duration::from_secs(2),
+            server_name: "Swala/0.1".to_string(),
+            monitors: Vec::new(),
+            monitor_interval: Duration::from_secs(2),
+            sync_on_join: false,
+            recover_cache: true,
+            access_log: None,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Parse the `swala.conf` line format. Unknown keys are errors.
+    ///
+    /// ```text
+    /// node 0
+    /// nodes 4
+    /// listen 127.0.0.1:8080
+    /// cache_listen 127.0.0.1:9080
+    /// pool 16
+    /// docroot /var/www
+    /// cache_dir /var/cache/swala
+    /// capacity 2000
+    /// policy gds
+    /// caching on
+    /// fetch_timeout_ms 2000
+    /// purge_interval_ms 2000
+    /// # cacheability rules use the rule syntax directly:
+    /// cache /cgi-bin/adl* ttl=300 min_ms=50
+    /// nocache /cgi-bin/private/*
+    /// ```
+    pub fn parse(text: &str) -> Result<ServerOptions, String> {
+        let mut opts = ServerOptions::default();
+        let mut rule_lines = String::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+            let (keyword, rest) = match line.split_once(char::is_whitespace) {
+                Some((k, r)) => (k, r.trim()),
+                None => (line, ""),
+            };
+            match keyword {
+                "node" => opts.node = NodeId(rest.parse().map_err(|_| err("bad node id"))?),
+                "nodes" => opts.num_nodes = rest.parse().map_err(|_| err("bad node count"))?,
+                "listen" => opts.http_addr = rest.parse().map_err(|_| err("bad listen addr"))?,
+                "cache_listen" => {
+                    opts.cache_addr = rest.parse().map_err(|_| err("bad cache_listen addr"))?
+                }
+                "pool" => opts.pool_size = rest.parse().map_err(|_| err("bad pool size"))?,
+                "docroot" => opts.docroot = Some(PathBuf::from(rest)),
+                "cache_dir" => opts.cache_dir = Some(PathBuf::from(rest)),
+                "capacity" => opts.capacity = rest.parse().map_err(|_| err("bad capacity"))?,
+                "policy" => opts.policy = rest.parse().map_err(|e: String| err(&e))?,
+                "caching" => {
+                    opts.caching_enabled = match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(err("caching must be on|off")),
+                    }
+                }
+                "fetch_timeout_ms" => {
+                    opts.fetch_timeout = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad fetch_timeout_ms"))?,
+                    )
+                }
+                "purge_interval_ms" => {
+                    opts.purge_interval = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad purge_interval_ms"))?,
+                    )
+                }
+                "server_name" => opts.server_name = rest.to_string(),
+                "monitor" => {
+                    let (prefix, source) = rest
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| err("monitor needs <key-prefix> <source-file>"))?;
+                    if !prefix.starts_with('/') {
+                        return Err(err("monitor key-prefix must start with '/'"));
+                    }
+                    opts.monitors.push(MonitorRule {
+                        key_prefix: prefix.to_string(),
+                        source: PathBuf::from(source.trim()),
+                    });
+                }
+                "monitor_interval_ms" => {
+                    opts.monitor_interval = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad monitor_interval_ms"))?,
+                    )
+                }
+                "sync_on_join" => {
+                    opts.sync_on_join = match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(err("sync_on_join must be on|off")),
+                    }
+                }
+                "recover_cache" => {
+                    opts.recover_cache = match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(err("recover_cache must be on|off")),
+                    }
+                }
+                "access_log" => opts.access_log = Some(PathBuf::from(rest)),
+                // Cacheability rules pass through to the rules parser.
+                "cache" | "nocache" => {
+                    rule_lines.push_str(line);
+                    rule_lines.push('\n');
+                }
+                other => return Err(err(&format!("unknown keyword {other:?}"))),
+            }
+        }
+        if !rule_lines.is_empty() {
+            opts.rules = CacheRules::parse(&rule_lines)?;
+        }
+        if opts.node.index() >= opts.num_nodes {
+            return Err(format!("node {} out of range for {} nodes", opts.node, opts.num_nodes));
+        }
+        if opts.pool_size == 0 {
+            return Err("pool size must be positive".into());
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let o = ServerOptions::default();
+        assert_eq!(o.num_nodes, 1);
+        assert!(o.caching_enabled);
+        assert_eq!(o.capacity, 2000);
+        assert!(o.pool_size > 0);
+    }
+
+    #[test]
+    fn full_config_parses() {
+        let text = "\
+# Swala node 2 of 4
+node 2
+nodes 4
+listen 127.0.0.1:8082
+cache_listen 127.0.0.1:9082
+pool 24
+docroot /srv/www
+cache_dir /srv/cache
+capacity 500
+policy gds
+caching on
+fetch_timeout_ms 1500
+purge_interval_ms 750
+server_name TestSwala
+nocache /cgi-bin/private/*
+cache /cgi-bin/* ttl=60 min_ms=20
+";
+        let o = ServerOptions::parse(text).unwrap();
+        assert_eq!(o.node, NodeId(2));
+        assert_eq!(o.num_nodes, 4);
+        assert_eq!(o.http_addr.port(), 8082);
+        assert_eq!(o.cache_addr.port(), 9082);
+        assert_eq!(o.pool_size, 24);
+        assert_eq!(o.docroot.as_deref(), Some(std::path::Path::new("/srv/www")));
+        assert_eq!(o.capacity, 500);
+        assert_eq!(o.policy, PolicyKind::GreedyDualSize);
+        assert_eq!(o.fetch_timeout, Duration::from_millis(1500));
+        assert_eq!(o.purge_interval, Duration::from_millis(750));
+        assert_eq!(o.server_name, "TestSwala");
+        assert_eq!(o.rules.len(), 2);
+        assert_eq!(o.rules.decide("/cgi-bin/private/x"), swala_cache::CacheDecision::Uncacheable);
+    }
+
+    #[test]
+    fn monitor_and_sync_keywords() {
+        let o = ServerOptions::parse(
+            "monitor /cgi-bin/gaz* /srv/gazetteer.db
+monitor_interval_ms 500
+sync_on_join on
+",
+        )
+        .unwrap();
+        assert_eq!(o.monitors.len(), 1);
+        assert_eq!(o.monitors[0].key_prefix, "/cgi-bin/gaz*");
+        assert_eq!(o.monitors[0].source, PathBuf::from("/srv/gazetteer.db"));
+        assert_eq!(o.monitor_interval, Duration::from_millis(500));
+        assert!(o.sync_on_join);
+        assert!(ServerOptions::parse("monitor nopath file").is_err());
+        assert!(ServerOptions::parse("monitor /x").is_err());
+        assert!(ServerOptions::parse("sync_on_join maybe").is_err());
+    }
+
+    #[test]
+    fn caching_off() {
+        let o = ServerOptions::parse("caching off\n").unwrap();
+        assert!(!o.caching_enabled);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(ServerOptions::parse("nonsense 1").unwrap_err().contains("unknown keyword"));
+        assert!(ServerOptions::parse("node abc").unwrap_err().contains("bad node id"));
+        assert!(ServerOptions::parse("caching sideways").unwrap_err().contains("on|off"));
+        assert!(ServerOptions::parse("policy mystery").unwrap_err().contains("line 1"));
+        assert!(ServerOptions::parse("node 5\nnodes 2").unwrap_err().contains("out of range"));
+        assert!(ServerOptions::parse("pool 0").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn empty_config_is_defaults() {
+        let o = ServerOptions::parse("  \n# only a comment\n").unwrap();
+        assert_eq!(o.num_nodes, ServerOptions::default().num_nodes);
+    }
+}

@@ -1,0 +1,255 @@
+//! Figure 2: the per-request control flow.
+//!
+//! `handle_request` is invoked by a pool thread that owns the request
+//! "from parsing to completion". Everything it needs hangs off the shared
+//! [`NodeContext`].
+
+use crate::files::serve_file_conditional;
+use crate::stats::RequestStats;
+use parking_lot::RwLock;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swala_cache::{
+    CacheDecision, CacheKey, CacheManager, CacheStats, InsertOutcome, LookupResult, NodeId,
+};
+use swala_cgi::{CgiOutput, CgiRequest, Program, ProgramRegistry};
+use swala_http::{Method, Request, Response, StatusCode};
+use swala_proto::{fetch_remote, Broadcaster, FetchOutcome, Message};
+
+/// Value of the diagnostic `X-Swala-Cache` response header.
+pub mod cache_header {
+    pub const NAME: &str = "X-Swala-Cache";
+    pub const UNCACHEABLE: &str = "uncacheable";
+    pub const MISS: &str = "miss";
+    pub const LOCAL_HIT: &str = "local-hit";
+    pub const REMOTE_HIT: &str = "remote-hit";
+    pub const FALSE_HIT: &str = "false-hit-fallback";
+    pub const REMOTE_DOWN: &str = "remote-unreachable-fallback";
+    pub const DISABLED: &str = "disabled";
+}
+
+/// Shared state one node's request threads operate on.
+pub struct NodeContext {
+    pub node: NodeId,
+    pub server_name: String,
+    pub caching_enabled: bool,
+    pub fetch_timeout: Duration,
+    pub docroot: Option<PathBuf>,
+    pub registry: ProgramRegistry,
+    pub manager: Arc<CacheManager>,
+    pub broadcaster: Arc<Broadcaster>,
+    /// Cache-protocol address of every node, indexed by `NodeId`.
+    /// Filled in when the cluster is wired; `None` = unknown peer.
+    pub cache_addrs: RwLock<Vec<Option<SocketAddr>>>,
+    pub stats: RequestStats,
+    /// Port reported to CGI programs as `SERVER_PORT`.
+    pub http_port: u16,
+    /// Common-Log-Format access log, when configured.
+    pub access_log: Option<crate::accesslog::AccessLog>,
+}
+
+impl NodeContext {
+    fn peer_cache_addr(&self, node: NodeId) -> Option<SocketAddr> {
+        self.cache_addrs.read().get(node.index()).copied().flatten()
+    }
+}
+
+/// Handle one parsed request, producing the response to write.
+pub fn handle_request(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
+    RequestStats::bump(&ctx.stats.requests);
+    let mut resp = route(ctx, req, remote_addr);
+    resp.set_server(&ctx.server_name);
+    resp.headers.set("Date", swala_http::date::http_date_now());
+    if resp.status.is_client_error() {
+        RequestStats::bump(&ctx.stats.client_errors);
+    } else if resp.status.is_server_error() {
+        RequestStats::bump(&ctx.stats.server_errors);
+    }
+    RequestStats::add(&ctx.stats.bytes_sent, resp.body.len() as u64);
+    if let Some(log) = &ctx.access_log {
+        log.log(remote_addr, req, &resp);
+    }
+    resp
+}
+
+fn route(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
+    let path = req.target.path.as_str();
+    // Reserved administrative paths take precedence over programs/files.
+    if crate::admin::is_admin_path(path) {
+        return crate::admin::handle_admin(ctx, req);
+    }
+    if ctx.registry.is_dynamic(path) {
+        RequestStats::bump(&ctx.stats.dynamic);
+        return handle_dynamic(ctx, req, remote_addr);
+    }
+    RequestStats::bump(&ctx.stats.static_files);
+    match &ctx.docroot {
+        Some(root) => {
+            serve_file_conditional(root, path, req.headers.get("If-Modified-Since"))
+        }
+        None => Response::error(StatusCode::NOT_FOUND),
+    }
+}
+
+/// The dynamic-request flow of Figure 2.
+fn handle_dynamic(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
+    let program = match ctx.registry.resolve(req.target.path.as_str()) {
+        Some(Some(p)) => p,
+        Some(None) => return Response::error(StatusCode::NOT_FOUND),
+        None => unreachable!("route() checked is_dynamic"),
+    };
+    let cgi_req =
+        CgiRequest::from_http(req, remote_addr, &ctx.server_name, ctx.http_port);
+
+    // Only GET results participate in caching; POST always executes.
+    if !ctx.caching_enabled || !req.method.is_cacheable() {
+        let tag =
+            if ctx.caching_enabled { cache_header::UNCACHEABLE } else { cache_header::DISABLED };
+        return execute_plain(ctx, program.as_ref(), &cgi_req, tag);
+    }
+
+    let key = CacheKey::new(req.target.cache_key_string());
+    match ctx.manager.lookup(&key, key.as_str()) {
+        LookupResult::Uncacheable => {
+            execute_plain(ctx, program.as_ref(), &cgi_req, cache_header::UNCACHEABLE)
+        }
+        LookupResult::LocalHit { meta, body } => {
+            RequestStats::bump(&ctx.stats.served_local_cache);
+            let mut resp = Response::ok(&meta.content_type, body);
+            resp.headers.set(cache_header::NAME, cache_header::LOCAL_HIT);
+            resp
+        }
+        LookupResult::RemoteHit { meta } => handle_remote_hit(ctx, program.as_ref(), &cgi_req, key, meta),
+        LookupResult::Miss { decision, .. } => {
+            execute_and_cache(ctx, program.as_ref(), &cgi_req, key, decision, cache_header::MISS)
+        }
+    }
+}
+
+/// Figure 2's "Fetch from remote cache" edge, including the false-hit
+/// fallback ("when node A receives the miss response, it will execute the
+/// CGI request locally").
+fn handle_remote_hit(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    key: CacheKey,
+    meta: swala_cache::EntryMeta,
+) -> Response {
+    let Some(addr) = ctx.peer_cache_addr(meta.owner) else {
+        // Cluster wiring incomplete: behave like an unreachable peer.
+        ctx.manager.begin_fallback_execution(&key);
+        let decision = fallback_decision(ctx, &key);
+        return execute_and_cache(ctx, program, cgi_req, key, decision, cache_header::REMOTE_DOWN);
+    };
+    match fetch_remote(addr, &key, ctx.fetch_timeout) {
+        FetchOutcome::Hit { content_type, body } => {
+            RequestStats::bump(&ctx.stats.served_remote_cache);
+            let mut resp = Response::ok(&content_type, body);
+            resp.headers.set(cache_header::NAME, cache_header::REMOTE_HIT);
+            resp
+        }
+        FetchOutcome::Gone => {
+            ctx.manager.note_false_hit(meta.owner, &key);
+            ctx.manager.begin_fallback_execution(&key);
+            let decision = fallback_decision(ctx, &key);
+            execute_and_cache(ctx, program, cgi_req, key, decision, cache_header::FALSE_HIT)
+        }
+        FetchOutcome::Unreachable(_) => {
+            // Peer down ≠ entry gone: keep the directory entry (the purge
+            // or a delete notice will reap it) but satisfy this client by
+            // executing locally.
+            ctx.manager.begin_fallback_execution(&key);
+            let decision = fallback_decision(ctx, &key);
+            execute_and_cache(ctx, program, cgi_req, key, decision, cache_header::REMOTE_DOWN)
+        }
+    }
+}
+
+fn fallback_decision(ctx: &NodeContext, key: &CacheKey) -> CacheDecision {
+    // Re-derive the rules decision for the fallback execution path (the
+    // original lookup returned RemoteHit, which carries no decision).
+    ctx.manager.lookup_decision(key.as_str())
+}
+
+/// Execute without any cache interaction.
+fn execute_plain(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    tag: &'static str,
+) -> Response {
+    RequestStats::bump(&ctx.stats.executions);
+    match program.run(cgi_req) {
+        Ok(out) => {
+            let mut resp = output_to_response(out);
+            resp.headers.set(cache_header::NAME, tag);
+            resp
+        }
+        Err(_) => Response::error(StatusCode::INTERNAL_SERVER_ERROR),
+    }
+}
+
+/// Execute, then run Figure 2's bottom half: threshold check, store,
+/// directory insert, broadcast.
+fn execute_and_cache(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    key: CacheKey,
+    decision: CacheDecision,
+    tag: &'static str,
+) -> Response {
+    RequestStats::bump(&ctx.stats.executions);
+    let started = Instant::now();
+    let out = match program.run(cgi_req) {
+        Ok(out) => out,
+        Err(_) => {
+            ctx.manager.abort_execution(&key);
+            return Response::error(StatusCode::INTERNAL_SERVER_ERROR);
+        }
+    };
+    let exec = started.elapsed();
+
+    // Only 200s are cacheable; an error result is returned but not kept.
+    if out.status != StatusCode::OK {
+        ctx.manager.abort_execution(&key);
+        let mut resp = output_to_response(out);
+        resp.headers.set(cache_header::NAME, tag);
+        return resp;
+    }
+
+    match ctx.manager.complete_execution(&key, &out.body, &out.content_type, exec, &decision) {
+        Ok(InsertOutcome::Inserted { meta, evicted }) => {
+            ctx.broadcaster.broadcast(&Message::InsertNotice { meta });
+            CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            for victim in evicted {
+                ctx.broadcaster
+                    .broadcast(&Message::DeleteNotice { owner: victim.owner, key: victim.key });
+                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            }
+        }
+        Ok(InsertOutcome::Discarded) => {}
+        Err(_) => {
+            // Store write failed (disk full...): the response is still
+            // good; the cache just doesn't keep it.
+        }
+    }
+    let mut resp = output_to_response(out);
+    resp.headers.set(cache_header::NAME, tag);
+    resp
+}
+
+fn output_to_response(out: CgiOutput) -> Response {
+    let mut resp = Response::ok(&out.content_type, out.body);
+    resp.status = out.status;
+    resp
+}
+
+/// HEAD requests reuse the GET path; the connection loop suppresses the
+/// body. POST bodies reach programs through `CgiRequest::from_http`.
+pub fn response_body_allowed(method: Method) -> bool {
+    method.response_has_body()
+}

@@ -1,0 +1,166 @@
+//! The request-handler thread pool.
+//!
+//! §4.1: "The request threads in the HTTP module take turns listening on
+//! the main port for incoming connections and handling the requests.
+//! After receiving a new connection, the request thread is responsible
+//! for the request from parsing to completion."
+//!
+//! That is implemented literally: `pool_size` threads share one
+//! `TcpListener` and each blocks in `accept()` in turn (the kernel hands
+//! each connection to exactly one accepter). There is no separate
+//! dispatcher thread and no queue — the 1998 design, which also happens
+//! to avoid a dispatch hop on the critical path.
+
+use crate::handler::{handle_request, response_body_allowed, NodeContext};
+use crate::stats::RequestStats;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use swala_http::{read_request, HttpError, Response};
+
+/// A running accept pool.
+pub struct RequestPool {
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+    addr: std::net::SocketAddr,
+}
+
+impl RequestPool {
+    /// Spawn `size` request threads over `listener`.
+    pub fn start(
+        listener: TcpListener,
+        ctx: Arc<NodeContext>,
+        size: usize,
+    ) -> std::io::Result<RequestPool> {
+        assert!(size > 0, "pool must have at least one thread");
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let listener = Arc::new(listener);
+        let mut handles = Vec::with_capacity(size);
+        for i in 0..size {
+            let listener = Arc::clone(&listener);
+            let ctx = Arc::clone(&ctx);
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("swala-request-{i}"))
+                    .spawn(move || request_thread(&listener, &ctx, &shutdown))?,
+            );
+        }
+        Ok(RequestPool { shutdown, handles, addr })
+    }
+
+    /// The listener's bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every thread, and join them.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // One dummy connection per thread unblocks all accepts.
+        for _ in 0..self.handles.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for RequestPool {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+/// One pool thread: accept, serve the connection to completion, repeat.
+fn request_thread(listener: &TcpListener, ctx: &NodeContext, shutdown: &AtomicBool) {
+    loop {
+        let conn = listener.accept();
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok((stream, peer)) = conn else { continue };
+        RequestStats::bump(&ctx.stats.connections);
+        serve_connection(stream, &peer.to_string(), ctx, shutdown);
+    }
+}
+
+/// Idle keep-alive connections are dropped after this long, as 1998
+/// servers did, so they cannot pin a pool thread forever.
+const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+
+/// Granularity at which an idle pool thread re-checks the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Serve one connection's keep-alive request loop.
+fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    // Short read timeouts let the thread poll the shutdown flag while the
+    // connection idles between keep-alive requests.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let mut idle = Duration::ZERO;
+        let req = loop {
+            if shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match read_request(&mut reader) {
+                Ok(r) => break Ok(r),
+                Err(HttpError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Idle between requests (a timeout mid-request would
+                    // lose buffered bytes, but a client that stalls
+                    // mid-request is indistinguishable from a dead one).
+                    idle += READ_TICK;
+                    if idle >= KEEP_ALIVE_IDLE {
+                        return;
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        let req = match req {
+            Ok(r) => r,
+            Err(HttpError::ConnectionClosed { .. }) => return,
+            Err(HttpError::Io(_)) => return, // reset
+            Err(e) => {
+                // Parse error: answer if possible, then close.
+                if let Some(status) = e.response_status() {
+                    let mut resp = Response::error(status);
+                    resp.set_keep_alive(false);
+                    resp.set_server(&ctx.server_name);
+                    let _ = resp.write_to(&mut writer, true);
+                }
+                return;
+            }
+        };
+        let keep = req.keep_alive();
+        let mut resp = handle_request(ctx, &req, peer);
+        resp.version = req.version;
+        resp.set_keep_alive(keep);
+        if resp.write_to(&mut writer, response_body_allowed(req.method)).is_err() {
+            return;
+        }
+        if !keep {
+            return;
+        }
+    }
+}

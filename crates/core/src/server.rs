@@ -1,0 +1,239 @@
+//! The Swala server: binds the pieces into one node.
+
+use crate::config::ServerOptions;
+use crate::handler::NodeContext;
+use crate::monitor::SourceMonitor;
+use crate::pool::RequestPool;
+use crate::stats::{RequestStats, RequestStatsSnapshot};
+use parking_lot::RwLock;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use swala_cache::{
+    CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store,
+};
+use swala_cgi::ProgramRegistry;
+use swala_proto::{Broadcaster, CacheDaemons};
+
+/// A node whose listeners are bound but whose daemons and pool have not
+/// started — the point at which ephemeral port numbers become known, so a
+/// cluster can collect every node's addresses before wiring broadcasters.
+pub struct BoundSwala {
+    options: ServerOptions,
+    registry: ProgramRegistry,
+    http_listener: TcpListener,
+    cache_listener: TcpListener,
+    http_addr: SocketAddr,
+    cache_addr: SocketAddr,
+}
+
+impl BoundSwala {
+    /// Bind both listeners.
+    pub fn bind(options: ServerOptions, registry: ProgramRegistry) -> io::Result<BoundSwala> {
+        let http_listener = TcpListener::bind(options.http_addr)?;
+        let cache_listener = TcpListener::bind(options.cache_addr)?;
+        let http_addr = http_listener.local_addr()?;
+        let cache_addr = cache_listener.local_addr()?;
+        Ok(BoundSwala { options, registry, http_listener, cache_listener, http_addr, cache_addr })
+    }
+
+    /// HTTP address clients connect to.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Cache-protocol address peers connect to.
+    pub fn cache_addr(&self) -> SocketAddr {
+        self.cache_addr
+    }
+
+    /// Start the node. `peer_cache_addrs[i]` must hold node `i`'s
+    /// cache-protocol address for every remote peer (this node's own slot
+    /// is filled automatically; extra `None`s are tolerated).
+    pub fn start(self, peer_cache_addrs: Vec<Option<SocketAddr>>) -> io::Result<SwalaServer> {
+        let BoundSwala { options, registry, http_listener, cache_listener, http_addr, cache_addr } =
+            self;
+
+        let store: Box<dyn Store> = match &options.cache_dir {
+            Some(dir) => Box::new(DiskStore::open(dir)?),
+            None => Box::new(MemStore::new()),
+        };
+        let manager = Arc::new(CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: options.num_nodes,
+                local: options.node,
+                capacity: options.capacity,
+                policy: options.policy,
+                rules: options.rules.clone(),
+            },
+            store,
+        ));
+        if options.caching_enabled && options.recover_cache && options.cache_dir.is_some() {
+            manager.recover_from_store();
+        }
+
+        let mut addrs = peer_cache_addrs;
+        addrs.resize(options.num_nodes, None);
+        addrs[options.node.index()] = Some(cache_addr);
+        let peers: Vec<(NodeId, SocketAddr)> = addrs
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != options.node.index())
+            .filter_map(|(i, a)| a.map(|a| (NodeId(i as u16), a)))
+            .collect();
+        let broadcaster = Arc::new(Broadcaster::new(options.node, peers));
+
+        let daemons = CacheDaemons::start_with_listener(
+            cache_listener,
+            Arc::clone(&manager),
+            Arc::clone(&broadcaster),
+            options.purge_interval,
+        )?;
+
+        // Late-join directory sync: pull every reachable peer's table so
+        // this node starts with a warm directory instead of learning the
+        // cluster's contents one notice at a time.
+        if options.sync_on_join {
+            for (i, addr) in addrs.iter().enumerate() {
+                if i == options.node.index() {
+                    continue;
+                }
+                let Some(addr) = addr else { continue };
+                if let Ok((peer, entries)) =
+                    swala_proto::request_sync(*addr, options.fetch_timeout)
+                {
+                    manager.directory().load_snapshot(peer, entries);
+                }
+            }
+        }
+
+        let monitor = if options.monitors.is_empty() {
+            None
+        } else {
+            Some(SourceMonitor::start(
+                Arc::clone(&manager),
+                Arc::clone(&broadcaster),
+                options.monitors.clone(),
+                options.monitor_interval,
+            ))
+        };
+
+        let access_log = match &options.access_log {
+            Some(path) => Some(crate::accesslog::AccessLog::open(path)?),
+            None => None,
+        };
+
+        let ctx = Arc::new(NodeContext {
+            node: options.node,
+            server_name: options.server_name.clone(),
+            caching_enabled: options.caching_enabled,
+            fetch_timeout: options.fetch_timeout,
+            docroot: options.docroot.clone(),
+            registry,
+            manager: Arc::clone(&manager),
+            broadcaster: Arc::clone(&broadcaster),
+            cache_addrs: RwLock::new(addrs),
+            stats: RequestStats::new(),
+            http_port: http_addr.port(),
+            access_log,
+        });
+
+        let pool = RequestPool::start(http_listener, Arc::clone(&ctx), options.pool_size)?;
+
+        Ok(SwalaServer {
+            ctx,
+            manager,
+            daemons: Some(daemons),
+            pool: Some(pool),
+            monitor,
+            http_addr,
+            cache_addr,
+        })
+    }
+}
+
+/// A running Swala node.
+pub struct SwalaServer {
+    ctx: Arc<NodeContext>,
+    manager: Arc<CacheManager>,
+    daemons: Option<CacheDaemons>,
+    pool: Option<RequestPool>,
+    monitor: Option<SourceMonitor>,
+    http_addr: SocketAddr,
+    cache_addr: SocketAddr,
+}
+
+impl SwalaServer {
+    /// Bind and start a stand-alone node (no peers) in one call.
+    pub fn start_single(options: ServerOptions, registry: ProgramRegistry) -> io::Result<SwalaServer> {
+        BoundSwala::bind(options, registry)?.start(Vec::new())
+    }
+
+    /// HTTP address clients connect to.
+    pub fn http_addr(&self) -> SocketAddr {
+        self.http_addr
+    }
+
+    /// Cache-protocol address peers connect to.
+    pub fn cache_addr(&self) -> SocketAddr {
+        self.cache_addr
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.ctx.node
+    }
+
+    /// The cache manager (stats, directory inspection).
+    pub fn manager(&self) -> &Arc<CacheManager> {
+        &self.manager
+    }
+
+    /// Late-wire a peer's cache address (nodes started before the peer).
+    pub fn set_peer_cache_addr(&self, node: NodeId, addr: SocketAddr) {
+        let mut addrs = self.ctx.cache_addrs.write();
+        if node.index() < addrs.len() {
+            addrs[node.index()] = Some(addr);
+        }
+    }
+
+    /// HTTP-level statistics.
+    pub fn request_stats(&self) -> RequestStatsSnapshot {
+        self.ctx.stats.snapshot()
+    }
+
+    /// Cache-level statistics.
+    pub fn cache_stats(&self) -> swala_cache::stats::StatsSnapshot {
+        self.manager.stats().snapshot()
+    }
+
+    /// The source monitor, when configured.
+    pub fn source_monitor(&self) -> Option<&SourceMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Stop the pool, the daemons and the monitor, then return.
+    pub fn shutdown(mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        if let Some(monitor) = self.monitor.take() {
+            monitor.shutdown();
+        }
+        if let Some(daemons) = self.daemons.take() {
+            daemons.shutdown();
+        }
+    }
+}
+
+impl Drop for SwalaServer {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+        drop(self.monitor.take());
+        if let Some(daemons) = self.daemons.take() {
+            daemons.shutdown();
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-node request statistics.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// HTTP-level counters for one server node (the cache-level counters live
+/// in [`swala_cache::CacheStats`]).
+#[derive(Debug, Default)]
+pub struct RequestStats {
+    /// Requests fully processed (any status).
+    pub requests: AtomicU64,
+    /// Static-file responses.
+    pub static_files: AtomicU64,
+    /// Dynamic (CGI) responses, however satisfied.
+    pub dynamic: AtomicU64,
+    /// CGI executions actually performed (≠ dynamic when cache hits).
+    pub executions: AtomicU64,
+    /// Responses served from the local cache store.
+    pub served_local_cache: AtomicU64,
+    /// Responses served via a remote cache fetch.
+    pub served_remote_cache: AtomicU64,
+    /// 4xx responses sent.
+    pub client_errors: AtomicU64,
+    /// 5xx responses sent.
+    pub server_errors: AtomicU64,
+    /// Body bytes written.
+    pub bytes_sent: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+}
+
+/// Plain-value snapshot of [`RequestStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestStatsSnapshot {
+    pub requests: u64,
+    pub static_files: u64,
+    pub dynamic: u64,
+    pub executions: u64,
+    pub served_local_cache: u64,
+    pub served_remote_cache: u64,
+    pub client_errors: u64,
+    pub server_errors: u64,
+    pub bytes_sent: u64,
+    pub connections: u64,
+}
+
+impl RequestStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> RequestStatsSnapshot {
+        RequestStatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            static_files: self.static_files.load(Ordering::Relaxed),
+            dynamic: self.dynamic.load(Ordering::Relaxed),
+            executions: self.executions.load(Ordering::Relaxed),
+            served_local_cache: self.served_local_cache.load(Ordering::Relaxed),
+            served_remote_cache: self.served_remote_cache.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            server_errors: self.server_errors.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Display for RequestStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "requests={} static={} dynamic={} exec={} cache(local={},remote={}) \
+             errors(4xx={},5xx={}) bytes={} conns={}",
+            self.requests,
+            self.static_files,
+            self.dynamic,
+            self.executions,
+            self.served_local_cache,
+            self.served_remote_cache,
+            self.client_errors,
+            self.server_errors,
+            self.bytes_sent,
+            self.connections,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = RequestStats::new();
+        RequestStats::bump(&s.requests);
+        RequestStats::bump(&s.dynamic);
+        RequestStats::add(&s.bytes_sent, 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.dynamic, 1);
+        assert_eq!(snap.bytes_sent, 4096);
+        assert_eq!(snap.executions, 0);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let snap = RequestStats::new().snapshot();
+        let text = snap.to_string();
+        for field in ["requests=", "static=", "dynamic=", "cache(", "errors(", "bytes=", "conns="] {
+            assert!(text.contains(field), "missing {field} in {text}");
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! End-to-end tests for the extension features: the status page,
+//! application-driven invalidation, conditional GET, source monitoring
+//! and join-time directory sync.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use swala::monitor::MonitorRule;
+use swala::{BoundSwala, HttpClient, ServerOptions, SwalaServer};
+use swala_cache::NodeId;
+use swala_cgi::{ProgramRegistry, SimulatedProgram, WorkKind};
+use swala_http::{Method, Request, StatusCode};
+
+fn registry() -> ProgramRegistry {
+    let mut r = ProgramRegistry::new();
+    r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+    r
+}
+
+fn wait_until(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timeout: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn two_node_cluster() -> Vec<SwalaServer> {
+    let bounds: Vec<BoundSwala> = (0..2)
+        .map(|i| {
+            BoundSwala::bind(
+                ServerOptions {
+                    node: NodeId(i),
+                    num_nodes: 2,
+                    pool_size: 4,
+                    ..Default::default()
+                },
+                registry(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let addrs: Vec<_> = bounds.iter().map(|b| Some(b.cache_addr())).collect();
+    bounds.into_iter().map(|b| b.start(addrs.clone()).unwrap()).collect()
+}
+
+#[test]
+fn status_page_reports_stats() {
+    let server = SwalaServer::start_single(
+        ServerOptions { pool_size: 2, ..Default::default() },
+        registry(),
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+    client.get("/cgi-bin/adl?id=1&ms=1").unwrap();
+    client.get("/cgi-bin/adl?id=1&ms=1").unwrap();
+
+    let page = client.get("/swala-status").unwrap();
+    assert_eq!(page.status, StatusCode::OK);
+    let html = String::from_utf8(page.body).unwrap();
+    assert!(html.contains("Swala node node0"), "{html}");
+    assert!(html.contains("hits=1"), "cache hit visible: {html}");
+    assert!(html.contains("this node"));
+    server.shutdown();
+}
+
+#[test]
+fn invalidate_local_entry_over_http() {
+    let server = SwalaServer::start_single(
+        ServerOptions { pool_size: 2, ..Default::default() },
+        registry(),
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+    client.get("/cgi-bin/adl?id=5&ms=1").unwrap();
+    assert_eq!(server.manager().directory().len(NodeId(0)), 1);
+
+    // Invalidate via the admin endpoint (key percent-encoded).
+    let resp = client
+        .get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D5%26ms%3D1")
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    assert!(String::from_utf8(resp.body).unwrap().contains("invalidated local entry"));
+    assert_eq!(server.manager().directory().len(NodeId(0)), 0);
+
+    // Next request re-executes.
+    let r = client.get("/cgi-bin/adl?id=5&ms=1").unwrap();
+    assert_eq!(r.headers.get("X-Swala-Cache"), Some("miss"));
+    server.shutdown();
+}
+
+#[test]
+fn invalidate_forwards_to_remote_owner() {
+    let servers = two_node_cluster();
+    let mut c0 = HttpClient::new(servers[0].http_addr());
+    c0.get("/cgi-bin/adl?id=9&ms=1").unwrap();
+    wait_until("replication to node 1", || {
+        servers[1].manager().directory().len(NodeId(0)) == 1
+    });
+
+    // Ask node 1 (non-owner) to invalidate: it forwards to node 0, which
+    // deletes and broadcasts; eventually both directories are clean.
+    let mut c1 = HttpClient::new(servers[1].http_addr());
+    let resp = c1
+        .get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D9%26ms%3D1")
+        .unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    assert!(String::from_utf8(resp.body).unwrap().contains("forwarded to owner node0"));
+    wait_until("owner dropped entry", || {
+        servers[0].manager().directory().len(NodeId(0)) == 0
+    });
+    wait_until("delete broadcast applied", || {
+        servers[1].manager().directory().len(NodeId(0)) == 0
+    });
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
+fn invalidate_requires_key_param_and_handles_absent_keys() {
+    let server = SwalaServer::start_single(
+        ServerOptions { pool_size: 2, ..Default::default() },
+        registry(),
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+    let resp = client.get("/swala-admin/invalidate").unwrap();
+    assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+    let resp = client.get("/swala-admin/invalidate?key=%2Fnothing").unwrap();
+    assert_eq!(resp.status, StatusCode::OK);
+    assert!(String::from_utf8(resp.body).unwrap().contains("no cached entry"));
+    // Unknown admin path.
+    let resp = client.get("/swala-admin/frobnicate").unwrap();
+    assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    server.shutdown();
+}
+
+#[test]
+fn conditional_get_over_http() {
+    let root = std::env::temp_dir().join(format!("swala-ims-{}", std::process::id()));
+    std::fs::create_dir_all(&root).unwrap();
+    std::fs::write(root.join("doc.html"), "<p>doc</p>").unwrap();
+    let server = SwalaServer::start_single(
+        ServerOptions { docroot: Some(root.clone()), pool_size: 2, ..Default::default() },
+        registry(),
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+
+    let first = client.get("/doc.html").unwrap();
+    assert_eq!(first.status, StatusCode::OK);
+    let validator = first.headers.get("Last-Modified").unwrap().to_string();
+
+    let mut revalidate = Request::new(Method::Get, "/doc.html").unwrap();
+    revalidate.headers.set("If-Modified-Since", &validator);
+    revalidate.headers.set("Connection", "keep-alive");
+    let second = client.request(&revalidate).unwrap();
+    assert_eq!(second.status.as_u16(), 304);
+    assert!(second.body.is_empty());
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn source_monitor_invalidates_through_live_server() {
+    let dir = std::env::temp_dir().join(format!("swala-srvmon-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("index.db");
+    std::fs::write(&source, "v1").unwrap();
+
+    let server = SwalaServer::start_single(
+        ServerOptions {
+            pool_size: 2,
+            monitors: vec![MonitorRule {
+                key_prefix: "/cgi-bin/adl".to_string(),
+                source: source.clone(),
+            }],
+            monitor_interval: Duration::from_millis(40),
+            ..Default::default()
+        },
+        registry(),
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+    client.get("/cgi-bin/adl?id=3&ms=1").unwrap();
+    let hit = client.get("/cgi-bin/adl?id=3&ms=1").unwrap();
+    assert_eq!(hit.headers.get("X-Swala-Cache"), Some("local-hit"));
+
+    std::thread::sleep(Duration::from_millis(60));
+    std::fs::write(&source, "v2: reindexed").unwrap();
+    wait_until("monitor invalidates", || {
+        server.source_monitor().unwrap().invalidations() == 1
+    });
+    let after = client.get("/cgi-bin/adl?id=3&ms=1").unwrap();
+    assert_eq!(after.headers.get("X-Swala-Cache"), Some("miss"));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn late_joiner_syncs_directory() {
+    // Node 0 starts alone (in a 2-slot cluster) and caches entries.
+    let b0 = BoundSwala::bind(
+        ServerOptions { node: NodeId(0), num_nodes: 2, pool_size: 2, ..Default::default() },
+        registry(),
+    )
+    .unwrap();
+    let addr0 = b0.cache_addr();
+    let s0 = b0.start(vec![Some(addr0), None]).unwrap();
+    let mut c0 = HttpClient::new(s0.http_addr());
+    for i in 0..4 {
+        c0.get(&format!("/cgi-bin/adl?id={i}&ms=1")).unwrap();
+    }
+
+    // Node 1 joins later with sync_on_join: it learns all 4 entries at
+    // startup instead of waiting for future notices.
+    let b1 = BoundSwala::bind(
+        ServerOptions {
+            node: NodeId(1),
+            num_nodes: 2,
+            pool_size: 2,
+            sync_on_join: true,
+            ..Default::default()
+        },
+        registry(),
+    )
+    .unwrap();
+    let addr1 = b1.cache_addr();
+    let s1 = b1.start(vec![Some(addr0), Some(addr1)]).unwrap();
+    assert_eq!(s1.manager().directory().len(NodeId(0)), 4, "synced at join");
+    s0.set_peer_cache_addr(NodeId(1), addr1);
+
+    // And it can serve those entries as remote hits immediately.
+    let mut c1 = HttpClient::new(s1.http_addr());
+    let r = c1.get("/cgi-bin/adl?id=0&ms=1").unwrap();
+    assert_eq!(r.headers.get("X-Swala-Cache"), Some("remote-hit"));
+    s0.shutdown();
+    s1.shutdown();
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests with *real* CGI processes: a shell script registered
+//! as a program, executed via fork+exec with a CGI/1.1 environment, its
+//! output cached and shared — the exact mechanism the 1998 server ran.
+//! Plus HTTP/1.1 pipelining through the request pool.
+
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use swala::{HttpClient, ServerOptions, SwalaServer};
+use swala_cgi::{ProcessProgram, ProgramRegistry};
+use swala_http::StatusCode;
+
+fn script_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("swala-proc-e2e-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn write_script(dir: &std::path::Path, name: &str, body: &str) -> PathBuf {
+    use std::os::unix::fs::PermissionsExt;
+    let path = dir.join(name);
+    std::fs::write(&path, body).unwrap();
+    std::fs::set_permissions(&path, std::fs::Permissions::from_mode(0o755)).unwrap();
+    path
+}
+
+#[test]
+fn shell_script_cgi_served_and_cached() {
+    let dir = script_dir("cache");
+    // A script whose output depends on its query string and on a side
+    // effect (a counter file), so a re-execution is detectable.
+    let exe = write_script(
+        &dir,
+        "counter.sh",
+        r#"#!/bin/sh
+COUNT_FILE="$0.count"
+N=$(cat "$COUNT_FILE" 2>/dev/null || echo 0)
+N=$((N + 1))
+echo "$N" > "$COUNT_FILE"
+printf 'Content-Type: text/plain\n\nquery=%s execution=%s' "$QUERY_STRING" "$N"
+"#,
+    );
+    let mut registry = ProgramRegistry::new();
+    registry.register(Arc::new(ProcessProgram::new("counter", exe)));
+
+    let server = SwalaServer::start_single(
+        ServerOptions { pool_size: 2, ..Default::default() },
+        registry,
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+
+    let first = client.get("/cgi-bin/counter?who=adl").unwrap();
+    assert_eq!(first.status, StatusCode::OK);
+    assert_eq!(first.body, b"query=who=adl execution=1");
+    assert_eq!(first.headers.get("Content-Type"), Some("text/plain"));
+
+    // Cached: the script does NOT run again (execution counter stays 1).
+    let second = client.get("/cgi-bin/counter?who=adl").unwrap();
+    assert_eq!(second.headers.get("X-Swala-Cache"), Some("local-hit"));
+    assert_eq!(second.body, b"query=who=adl execution=1");
+
+    // A different query is a different entry and does run the script.
+    let third = client.get("/cgi-bin/counter?who=other").unwrap();
+    assert_eq!(third.body, b"query=who=other execution=2");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn failing_script_returns_500_and_is_not_cached() {
+    let dir = script_dir("fail");
+    let exe = write_script(&dir, "flaky.sh", "#!/bin/sh\nexit 9\n");
+    let mut registry = ProgramRegistry::new();
+    registry.register(Arc::new(ProcessProgram::new("flaky", exe)));
+    let server = SwalaServer::start_single(
+        ServerOptions { pool_size: 2, ..Default::default() },
+        registry,
+    )
+    .unwrap();
+    let mut client = HttpClient::new(server.http_addr());
+    let r = client.get("/cgi-bin/flaky").unwrap();
+    assert_eq!(r.status, StatusCode::INTERNAL_SERVER_ERROR);
+    assert_eq!(server.cache_stats().inserts, 0, "failures are never cached (Figure 2)");
+    assert_eq!(server.manager().directory().len(swala_cache::NodeId(0)), 0);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let dir = script_dir("pipe");
+    let exe = write_script(
+        &dir,
+        "echoq.sh",
+        "#!/bin/sh\nprintf 'Content-Type: text/plain\\n\\nq=%s' \"$QUERY_STRING\"\n",
+    );
+    let mut registry = ProgramRegistry::new();
+    registry.register(Arc::new(ProcessProgram::new("echoq", exe)));
+    let server = SwalaServer::start_single(
+        ServerOptions { pool_size: 2, ..Default::default() },
+        registry,
+    )
+    .unwrap();
+
+    // Raw socket: three pipelined HTTP/1.1 requests in one write.
+    let mut s = std::net::TcpStream::connect(server.http_addr()).unwrap();
+    s.write_all(
+        b"GET /cgi-bin/echoq?n=1 HTTP/1.1\r\n\r\n\
+          GET /cgi-bin/echoq?n=2 HTTP/1.1\r\n\r\n\
+          GET /cgi-bin/echoq?n=3 HTTP/1.1\r\nConnection: close\r\n\r\n",
+    )
+    .unwrap();
+    let mut raw = Vec::new();
+    s.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    // Responses must arrive in request order.
+    let p1 = text.find("q=n=1").expect("response 1");
+    let p2 = text.find("q=n=2").expect("response 2");
+    let p3 = text.find("q=n=3").expect("response 3");
+    assert!(p1 < p2 && p2 < p3, "out of order: {p1} {p2} {p3}");
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 3);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}

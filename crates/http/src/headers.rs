@@ -1,0 +1,230 @@
+//! Case-insensitive, insertion-ordered header map.
+
+use std::fmt;
+
+/// A single header as parsed from or written to the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Field name with original casing preserved for writing.
+    pub name: String,
+    /// Field value, with surrounding whitespace trimmed.
+    pub value: String,
+}
+
+/// An ordered multimap of HTTP headers.
+///
+/// * lookup is case-insensitive (RFC 1945 §4.2),
+/// * insertion order is preserved when serializing,
+/// * duplicate names are allowed (needed for e.g. `Set-Cookie`), with
+///   [`HeaderMap::get`] returning the first occurrence.
+///
+/// With the `MAX_HEADERS` cap at 128 a linear scan beats a hash map here:
+/// requests in the Swala workloads carry fewer than ten headers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeaderMap {
+    entries: Vec<Header>,
+}
+
+impl HeaderMap {
+    /// Create an empty map.
+    pub fn new() -> Self {
+        HeaderMap { entries: Vec::new() }
+    }
+
+    /// Number of header lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no headers are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Append a header, preserving any existing ones with the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push(Header { name: name.into(), value: value.into() });
+    }
+
+    /// Set a header, replacing every existing occurrence of the name.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.entries.retain(|h| !h.name.eq_ignore_ascii_case(name));
+        self.entries.push(Header { name: name.to_string(), value: value.into() });
+    }
+
+    /// First value for `name`, case-insensitively.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|h| h.name.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+    }
+
+    /// All values for `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |h| h.name.eq_ignore_ascii_case(name))
+            .map(|h| h.value.as_str())
+    }
+
+    /// Remove every occurrence of `name`; returns true if any was present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|h| !h.name.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    /// True when `name` is present.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Iterate over all headers in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Header> {
+        self.entries.iter()
+    }
+
+    /// Parsed `Content-Length`, if present and syntactically valid.
+    ///
+    /// Returns `Err` with the raw value when present but invalid, so the
+    /// caller can reject the request instead of silently mis-framing it.
+    pub fn content_length(&self) -> Result<Option<usize>, String> {
+        match self.get("Content-Length") {
+            None => Ok(None),
+            Some(v) => v.trim().parse::<usize>().map(Some).map_err(|_| v.to_string()),
+        }
+    }
+
+    /// Evaluate keep-alive semantics for a message of version `version`.
+    ///
+    /// HTTP/1.1 defaults to persistent unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self, version: crate::Version) -> bool {
+        match self.get("Connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => version.default_keep_alive(),
+        }
+    }
+}
+
+impl fmt::Display for HeaderMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for h in &self.entries {
+            writeln!(f, "{}: {}", h.name, h.value)?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse one `name: value` header line (without the trailing CRLF).
+///
+/// Returns `None` for syntactically invalid lines. Leading/trailing
+/// whitespace around the value is trimmed; the name must be a non-empty
+/// RFC 1945 token (no spaces, no control characters).
+pub fn parse_header_line(line: &str) -> Option<Header> {
+    let colon = line.find(':')?;
+    let (name, rest) = line.split_at(colon);
+    let value = &rest[1..];
+    if name.is_empty() || !name.bytes().all(is_token_byte) {
+        return None;
+    }
+    Some(Header { name: name.to_string(), value: value.trim().to_string() })
+}
+
+/// RFC 1945 token characters: printable ASCII minus separators.
+fn is_token_byte(b: u8) -> bool {
+    matches!(b,
+        b'!' | b'#' | b'$' | b'%' | b'&' | b'\'' | b'*' | b'+' | b'-' | b'.' |
+        b'^' | b'_' | b'`' | b'|' | b'~' | b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Version;
+
+    #[test]
+    fn case_insensitive_get() {
+        let mut h = HeaderMap::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert_eq!(h.get("X-Missing"), None);
+    }
+
+    #[test]
+    fn append_keeps_duplicates_set_replaces() {
+        let mut h = HeaderMap::new();
+        h.append("X-A", "1");
+        h.append("x-a", "2");
+        assert_eq!(h.get("X-A"), Some("1"));
+        assert_eq!(h.get_all("X-A").collect::<Vec<_>>(), vec!["1", "2"]);
+        h.set("X-a", "3");
+        assert_eq!(h.get_all("X-A").collect::<Vec<_>>(), vec!["3"]);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn remove_is_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.append("Foo", "a");
+        h.append("FOO", "b");
+        assert!(h.remove("foo"));
+        assert!(h.is_empty());
+        assert!(!h.remove("foo"));
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = HeaderMap::new();
+        assert_eq!(h.content_length().unwrap(), None);
+        h.set("Content-Length", " 42 ");
+        assert_eq!(h.content_length().unwrap(), Some(42));
+        h.set("Content-Length", "abc");
+        assert!(h.content_length().is_err());
+        h.set("Content-Length", "-1");
+        assert!(h.content_length().is_err());
+    }
+
+    #[test]
+    fn keep_alive_semantics() {
+        let mut h = HeaderMap::new();
+        assert!(!h.keep_alive(Version::Http10));
+        assert!(h.keep_alive(Version::Http11));
+        h.set("Connection", "keep-alive");
+        assert!(h.keep_alive(Version::Http10));
+        h.set("Connection", "Close");
+        assert!(!h.keep_alive(Version::Http11));
+        h.set("Connection", "upgrade"); // unknown token falls back to default
+        assert!(h.keep_alive(Version::Http11));
+        assert!(!h.keep_alive(Version::Http10));
+    }
+
+    #[test]
+    fn parse_header_line_ok() {
+        let h = parse_header_line("Host:  example.org ").unwrap();
+        assert_eq!(h.name, "Host");
+        assert_eq!(h.value, "example.org");
+        // empty value is legal
+        let h = parse_header_line("X-Empty:").unwrap();
+        assert_eq!(h.value, "");
+    }
+
+    #[test]
+    fn parse_header_line_rejects_bad() {
+        assert!(parse_header_line("NoColonHere").is_none());
+        assert!(parse_header_line(": value").is_none());
+        assert!(parse_header_line("Bad Name: v").is_none());
+        assert!(parse_header_line("Bad\tName: v").is_none());
+    }
+
+    #[test]
+    fn display_renders_lines() {
+        let mut h = HeaderMap::new();
+        h.append("A", "1");
+        h.append("B", "2");
+        assert_eq!(h.to_string(), "A: 1\nB: 2\n");
+    }
+}

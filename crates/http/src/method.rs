@@ -1,0 +1,104 @@
+//! HTTP request methods.
+
+use crate::error::HttpError;
+use std::fmt;
+use std::str::FromStr;
+
+/// The request methods Swala understands.
+///
+/// The paper's log study filters out `HEAD` and `POST` before replay, but
+/// the server itself must still parse them (HEAD is answered without a
+/// body, POST is forwarded to CGI programs and is never cached — a POST is
+/// by definition a state-changing request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Method {
+    Get,
+    Head,
+    Post,
+}
+
+impl Method {
+    /// Canonical token as it appears on the wire.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+        }
+    }
+
+    /// Whether responses to this method are ever eligible for caching.
+    ///
+    /// Only `GET` results are cacheable; `HEAD` carries no body to cache
+    /// and `POST` is assumed to have side effects (§4.1: "CGI scripts that
+    /// return different results for different users should not be cached" —
+    /// POST is the archetype).
+    pub fn is_cacheable(&self) -> bool {
+        matches!(self, Method::Get)
+    }
+
+    /// Whether a response to this method includes a message body.
+    pub fn response_has_body(&self) -> bool {
+        !matches!(self, Method::Head)
+    }
+}
+
+impl FromStr for Method {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "GET" => Ok(Method::Get),
+            "HEAD" => Ok(Method::Head),
+            "POST" => Ok(Method::Post),
+            other => Err(HttpError::BadMethod(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_known_methods() {
+        assert_eq!("GET".parse::<Method>().unwrap(), Method::Get);
+        assert_eq!("HEAD".parse::<Method>().unwrap(), Method::Head);
+        assert_eq!("POST".parse::<Method>().unwrap(), Method::Post);
+    }
+
+    #[test]
+    fn rejects_unknown_and_lowercase() {
+        assert!("PUT".parse::<Method>().is_err());
+        // Methods are case-sensitive per RFC 1945 §5.1.1.
+        assert!("get".parse::<Method>().is_err());
+        assert!("".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn cacheability() {
+        assert!(Method::Get.is_cacheable());
+        assert!(!Method::Head.is_cacheable());
+        assert!(!Method::Post.is_cacheable());
+    }
+
+    #[test]
+    fn head_has_no_response_body() {
+        assert!(!Method::Head.response_has_body());
+        assert!(Method::Get.response_has_body());
+        assert!(Method::Post.response_has_body());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for m in [Method::Get, Method::Head, Method::Post] {
+            assert_eq!(m.to_string().parse::<Method>().unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! File-extension → MIME-type mapping.
+//!
+//! Covers the types appearing in the WebStone mix and the ADL-style
+//! workloads (HTML pages, images, map tiles, archives).
+
+/// Content type for a lowercase file extension; `None` for unknown.
+pub fn from_extension(ext: &str) -> Option<&'static str> {
+    Some(match ext {
+        "html" | "htm" => "text/html",
+        "txt" => "text/plain",
+        "css" => "text/css",
+        "js" => "application/javascript",
+        "gif" => "image/gif",
+        "jpg" | "jpeg" => "image/jpeg",
+        "png" => "image/png",
+        "tif" | "tiff" => "image/tiff",
+        "pdf" => "application/pdf",
+        "ps" => "application/postscript",
+        "zip" => "application/zip",
+        "gz" => "application/gzip",
+        "tar" => "application/x-tar",
+        "bin" | "exe" => "application/octet-stream",
+        "xml" => "text/xml",
+        _ => return None,
+    })
+}
+
+/// Content type for a path, defaulting to `application/octet-stream`.
+pub fn for_path(path: &str) -> &'static str {
+    path.rsplit('/')
+        .next()
+        .and_then(|file| file.rfind('.').map(|i| &file[i + 1..]))
+        .map(|e| e.to_ascii_lowercase())
+        .and_then(|e| from_extension(&e))
+        .unwrap_or("application/octet-stream")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_extensions() {
+        assert_eq!(from_extension("html"), Some("text/html"));
+        assert_eq!(from_extension("gif"), Some("image/gif"));
+        assert_eq!(from_extension("jpeg"), Some("image/jpeg"));
+        assert_eq!(from_extension("weird"), None);
+    }
+
+    #[test]
+    fn path_resolution() {
+        assert_eq!(for_path("/a/b/index.html"), "text/html");
+        assert_eq!(for_path("/a/IMG.JPG"), "image/jpeg");
+        assert_eq!(for_path("/a/noext"), "application/octet-stream");
+        assert_eq!(for_path("/dir.d/file"), "application/octet-stream");
+        assert_eq!(for_path("/a/archive.tar.gz"), "application/gzip");
+    }
+}

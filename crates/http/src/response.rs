@@ -1,0 +1,217 @@
+//! HTTP response construction, serialization and (client-side) parsing.
+
+use crate::error::{HttpError, Result};
+use crate::headers::{parse_header_line, HeaderMap};
+use crate::status::StatusCode;
+use crate::version::Version;
+use std::io::{BufRead, Write};
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub version: Version,
+    pub status: StatusCode,
+    pub headers: HeaderMap,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` response with the given content type and body.
+    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+        let mut r = Response {
+            version: Version::Http10,
+            status: StatusCode::OK,
+            headers: HeaderMap::new(),
+            body: body.into(),
+        };
+        r.headers.set("Content-Type", content_type);
+        r
+    }
+
+    /// An error response with a small HTML body.
+    pub fn error(status: StatusCode) -> Response {
+        let body = format!(
+            "<html><head><title>{status}</title></head>\
+             <body><h1>{status}</h1><p>Swala server.</p></body></html>\n"
+        );
+        let mut r = Response::ok("text/html", body.into_bytes());
+        r.status = status;
+        r
+    }
+
+    /// Set the `Connection` header according to the keep-alive decision.
+    pub fn set_keep_alive(&mut self, keep: bool) {
+        self.headers.set("Connection", if keep { "keep-alive" } else { "close" });
+    }
+
+    /// Server identification header.
+    pub fn set_server(&mut self, name: &str) {
+        self.headers.set("Server", name);
+    }
+
+    /// Write this response to `out`, framing the body with `Content-Length`.
+    ///
+    /// When `include_body` is false (HEAD requests) the headers still
+    /// advertise the full length but no body bytes are sent.
+    pub fn write_to<W: Write>(&self, out: &mut W, include_body: bool) -> Result<()> {
+        let mut head = Vec::with_capacity(256);
+        head.extend_from_slice(self.version.as_str().as_bytes());
+        head.push(b' ');
+        head.extend_from_slice(self.status.to_string().as_bytes());
+        head.extend_from_slice(b"\r\n");
+        for h in self.headers.iter() {
+            if h.name.eq_ignore_ascii_case("Content-Length") {
+                continue; // authoritative value computed below
+            }
+            head.extend_from_slice(h.name.as_bytes());
+            head.extend_from_slice(b": ");
+            head.extend_from_slice(h.value.as_bytes());
+            head.extend_from_slice(b"\r\n");
+        }
+        head.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
+        head.extend_from_slice(b"\r\n");
+        out.write_all(&head)?;
+        if include_body {
+            out.write_all(&self.body)?;
+        }
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Serialize to a byte vector (body included).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(256 + self.body.len());
+        self.write_to(&mut v, true).expect("writing to Vec cannot fail");
+        v
+    }
+
+    /// Parse a response from `reader` (used by load-generator clients).
+    pub fn read_from<R: BufRead>(reader: &mut R) -> Result<Response> {
+        Self::read_from_expecting(reader, true)
+    }
+
+    /// Parse a response, optionally without reading a body.
+    ///
+    /// Pass `expect_body = false` for responses to HEAD requests, whose
+    /// `Content-Length` describes the entity that *would* have been sent.
+    pub fn read_from_expecting<R: BufRead>(reader: &mut R, expect_body: bool) -> Result<Response> {
+        let status_line = read_line(reader)?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version: Version = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequestLine(status_line.clone()))?
+            .parse()?;
+        let code: u16 = parts
+            .next()
+            .and_then(|c| c.parse().ok())
+            .ok_or_else(|| HttpError::BadRequestLine(status_line.clone()))?;
+        // Reason phrase (rest of line) is ignored.
+        let mut headers = HeaderMap::new();
+        loop {
+            let line = read_line(reader)?;
+            if line.is_empty() {
+                break;
+            }
+            let h = parse_header_line(&line).ok_or_else(|| HttpError::BadHeader(line.clone()))?;
+            headers.append(h.name, h.value);
+        }
+        let len = if expect_body {
+            headers.content_length().map_err(HttpError::BadContentLength)?.unwrap_or(0)
+        } else {
+            0
+        };
+        let mut body = vec![0u8; len];
+        if len > 0 {
+            reader.read_exact(&mut body)?;
+        }
+        Ok(Response { version, status: StatusCode(code), headers, body })
+    }
+}
+
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String> {
+    let mut s = String::new();
+    let n = reader.read_line(&mut s)?;
+    if n == 0 {
+        return Err(HttpError::ConnectionClosed { clean: false });
+    }
+    while s.ends_with('\n') || s.ends_with('\r') {
+        s.pop();
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn ok_roundtrip() {
+        let mut r = Response::ok("text/plain", "hello");
+        r.set_keep_alive(true);
+        r.set_server("swala/0.1");
+        let bytes = r.to_bytes();
+        let parsed = Response::read_from(&mut BufReader::new(&bytes[..])).unwrap();
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body, b"hello");
+        assert_eq!(parsed.headers.get("content-type"), Some("text/plain"));
+        assert_eq!(parsed.headers.get("server"), Some("swala/0.1"));
+        assert!(parsed.headers.keep_alive(parsed.version));
+    }
+
+    #[test]
+    fn content_length_is_authoritative() {
+        let mut r = Response::ok("text/plain", "abc");
+        // A stale manual Content-Length must be overridden on the wire.
+        r.headers.set("Content-Length", "9999");
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(!text.contains("9999"));
+    }
+
+    #[test]
+    fn head_omits_body_keeps_length() {
+        let r = Response::ok("text/plain", "abcdef");
+        let mut out = Vec::new();
+        r.write_to(&mut out, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Content-Length: 6"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn error_pages_contain_status() {
+        let r = Response::error(StatusCode::NOT_FOUND);
+        assert_eq!(r.status, StatusCode::NOT_FOUND);
+        let body = String::from_utf8(r.body.clone()).unwrap();
+        assert!(body.contains("404 Not Found"));
+    }
+
+    #[test]
+    fn parse_rejects_truncated() {
+        let full = Response::ok("text/plain", "0123456789").to_bytes();
+        let cut = &full[..full.len() - 4];
+        assert!(Response::read_from(&mut BufReader::new(cut)).is_err());
+    }
+
+    #[test]
+    fn parse_empty_body() {
+        let r = Response::error(StatusCode::NO_CONTENT);
+        let mut r = r;
+        r.body.clear();
+        let parsed = Response::read_from(&mut BufReader::new(&r.to_bytes()[..])).unwrap();
+        assert!(parsed.body.is_empty());
+        assert_eq!(parsed.status.as_u16(), 204);
+    }
+
+    #[test]
+    fn sequential_responses_on_one_stream() {
+        let a = Response::ok("text/plain", "first").to_bytes();
+        let b = Response::ok("text/plain", "second").to_bytes();
+        let wire: Vec<u8> = a.into_iter().chain(b).collect();
+        let mut reader = BufReader::new(&wire[..]);
+        assert_eq!(Response::read_from(&mut reader).unwrap().body, b"first");
+        assert_eq!(Response::read_from(&mut reader).unwrap().body, b"second");
+    }
+}

@@ -1,0 +1,111 @@
+//! HTTP status codes.
+
+use std::fmt;
+
+/// An HTTP response status code.
+///
+/// A thin newtype over `u16` with associated constants for every status the
+/// Swala server and its baselines emit, plus the canonical reason phrases
+/// from RFC 1945 / RFC 2616.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    pub const OK: StatusCode = StatusCode(200);
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    pub const NOT_MODIFIED: StatusCode = StatusCode(304);
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    pub const NOT_IMPLEMENTED: StatusCode = StatusCode(501);
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    pub const VERSION_NOT_SUPPORTED: StatusCode = StatusCode(505);
+
+    /// Numeric code.
+    pub fn as_u16(&self) -> u16 {
+        self.0
+    }
+
+    /// True for 2xx codes.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// True for 4xx codes.
+    pub fn is_client_error(&self) -> bool {
+        (400..500).contains(&self.0)
+    }
+
+    /// True for 5xx codes.
+    pub fn is_server_error(&self) -> bool {
+        (500..600).contains(&self.0)
+    }
+
+    /// Canonical reason phrase; unknown codes get a bland default.
+    pub fn reason(&self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            304 => "Not Modified",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            505 => "HTTP Version Not Supported",
+            _ => "Unknown",
+        }
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+impl From<u16> for StatusCode {
+    fn from(v: u16) -> Self {
+        StatusCode(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::OK.is_client_error());
+        assert!(StatusCode::NOT_FOUND.is_client_error());
+        assert!(StatusCode::INTERNAL_SERVER_ERROR.is_server_error());
+        assert!(!StatusCode::NOT_FOUND.is_server_error());
+    }
+
+    #[test]
+    fn reasons() {
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode::NOT_FOUND.reason(), "Not Found");
+        assert_eq!(StatusCode(299).reason(), "Unknown");
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode::BAD_REQUEST.to_string(), "400 Bad Request");
+    }
+
+    #[test]
+    fn from_u16() {
+        assert_eq!(StatusCode::from(404), StatusCode::NOT_FOUND);
+    }
+}

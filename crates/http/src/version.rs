@@ -1,0 +1,74 @@
+//! HTTP protocol versions.
+
+use crate::error::HttpError;
+use std::fmt;
+use std::str::FromStr;
+
+/// Supported protocol versions.
+///
+/// Swala is a 1998-era server: HTTP/1.0 with `Connection: keep-alive` is
+/// the native dialect; HTTP/1.1 requests are accepted and answered with
+/// `Content-Length`-framed responses (never chunked).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Version {
+    Http10,
+    Http11,
+}
+
+impl Version {
+    /// The on-wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Version::Http10 => "HTTP/1.0",
+            Version::Http11 => "HTTP/1.1",
+        }
+    }
+
+    /// Whether connections persist by default (absent a `Connection` header).
+    pub fn default_keep_alive(&self) -> bool {
+        matches!(self, Version::Http11)
+    }
+}
+
+impl FromStr for Version {
+    type Err = HttpError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "HTTP/1.0" => Ok(Version::Http10),
+            "HTTP/1.1" => Ok(Version::Http11),
+            other => Err(HttpError::BadVersion(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!("HTTP/1.0".parse::<Version>().unwrap(), Version::Http10);
+        assert_eq!("HTTP/1.1".parse::<Version>().unwrap(), Version::Http11);
+        assert_eq!(Version::Http10.to_string(), "HTTP/1.0");
+    }
+
+    #[test]
+    fn rejects_others() {
+        for bad in ["HTTP/0.9", "HTTP/2", "http/1.0", "HTTP/1.01", ""] {
+            assert!(bad.parse::<Version>().is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn keep_alive_defaults() {
+        assert!(!Version::Http10.default_keep_alive());
+        assert!(Version::Http11.default_keep_alive());
+    }
+}

@@ -1,0 +1,463 @@
+//! The cacher module's daemon threads (§4.1).
+//!
+//! [`CacheDaemons::start`] binds a TCP listener and spawns:
+//!
+//! * an **accept thread** which, per incoming connection, starts a
+//!   handler thread ("The second thread listens for data requests from
+//!   the other nodes and starts a separate thread for each request");
+//!   handler threads apply insert/delete notices to the local directory
+//!   (the paper's first daemon) and answer fetch/sync/ping requests;
+//! * a **purge thread** that "wakes up every few seconds and deletes
+//!   expired cache entries", broadcasting a delete notice for each.
+
+use crate::message::Message;
+use crate::peers::Broadcaster;
+use crate::wire::{read_frame, write_frame};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use swala_cache::{CacheManager, CacheStats};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind the cache-protocol listener on (port 0 = ephemeral).
+    pub listen_addr: SocketAddr,
+    /// How often the purge daemon wakes ("every few seconds" — scaled
+    /// down for tests).
+    pub purge_interval: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            listen_addr: "127.0.0.1:0".parse().expect("static addr"),
+            purge_interval: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Handle to a node's running cache daemons.
+pub struct CacheDaemons {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl CacheDaemons {
+    /// Start the daemons for `manager`, broadcasting purges via
+    /// `broadcaster`.
+    pub fn start(
+        manager: Arc<CacheManager>,
+        broadcaster: Arc<Broadcaster>,
+        cfg: DaemonConfig,
+    ) -> io::Result<CacheDaemons> {
+        let listener = TcpListener::bind(cfg.listen_addr)?;
+        Self::start_with_listener(listener, manager, broadcaster, cfg.purge_interval)
+    }
+
+    /// Start the daemons on an already-bound listener.
+    ///
+    /// Multi-node deployments bind every node's listener first (to learn
+    /// ephemeral ports), wire up the broadcasters, and only then start the
+    /// daemons — this entry point supports that two-phase bring-up.
+    pub fn start_with_listener(
+        listener: TcpListener,
+        manager: Arc<CacheManager>,
+        broadcaster: Arc<Broadcaster>,
+        purge_interval: Duration,
+    ) -> io::Result<CacheDaemons> {
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+
+        // Accept thread.
+        {
+            let manager = Arc::clone(&manager);
+            let broadcaster = Arc::clone(&broadcaster);
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(std::thread::Builder::new().name("swala-cache-accept".into()).spawn(
+                move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let manager = Arc::clone(&manager);
+                        let broadcaster = Arc::clone(&broadcaster);
+                        let shutdown = Arc::clone(&shutdown);
+                        // Per-connection handler thread, as the paper does.
+                        let _ = std::thread::Builder::new()
+                            .name("swala-cache-conn".into())
+                            .spawn(move || {
+                                handle_connection(stream, &manager, &broadcaster, &shutdown)
+                            });
+                    }
+                },
+            )?);
+        }
+
+        // Purge thread.
+        {
+            let manager = Arc::clone(&manager);
+            let broadcaster = Arc::clone(&broadcaster);
+            let shutdown = Arc::clone(&shutdown);
+            let interval = purge_interval;
+            handles.push(std::thread::Builder::new().name("swala-cache-purge".into()).spawn(
+                move || {
+                    let tick = Duration::from_millis(25).min(interval);
+                    let mut elapsed = Duration::ZERO;
+                    while !shutdown.load(Ordering::Acquire) {
+                        std::thread::sleep(tick);
+                        elapsed += tick;
+                        if elapsed < interval {
+                            continue;
+                        }
+                        elapsed = Duration::ZERO;
+                        for dead in manager.purge_expired() {
+                            let owner = dead.owner;
+                            broadcaster.broadcast(&Message::DeleteNotice {
+                                owner,
+                                key: dead.key,
+                            });
+                            CacheStats::bump(&manager.stats().broadcasts_sent);
+                        }
+                    }
+                },
+            )?);
+        }
+
+        Ok(CacheDaemons { addr, shutdown, handles })
+    }
+
+    /// The listener's actual address (for peers' broadcaster config).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop all daemon threads and wait for them.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CacheDaemons {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Serve one peer connection until EOF, error or shutdown.
+fn handle_connection(
+    mut stream: TcpStream,
+    manager: &CacheManager,
+    broadcaster: &Broadcaster,
+    shutdown: &AtomicBool,
+) {
+    // A finite read timeout lets the handler observe shutdown even when
+    // the peer link is idle.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = match read_frame(&mut stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean close
+            Err(crate::wire::ProtoError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; re-check shutdown
+            }
+            Err(_) => return,
+        };
+        let Ok(msg) = Message::decode(&frame) else { return };
+        match msg {
+            Message::Hello { .. } => {}
+            Message::InsertNotice { meta } => manager.apply_remote_insert(meta),
+            Message::DeleteNotice { owner, key } => manager.apply_remote_delete(owner, &key),
+            Message::FetchRequest { key } => {
+                let reply = match manager.fetch_local_body(&key) {
+                    Some((meta, body)) => {
+                        Message::FetchHit { content_type: meta.content_type, body }
+                    }
+                    None => Message::FetchMiss,
+                };
+                if write_frame(&mut stream, &reply.encode()).is_err() {
+                    return;
+                }
+            }
+            Message::SyncRequest => {
+                let reply = Message::SyncReply {
+                    node: manager.local_node(),
+                    entries: manager.local_snapshot(),
+                };
+                if write_frame(&mut stream, &reply.encode()).is_err() {
+                    return;
+                }
+            }
+            Message::Ping => {
+                if write_frame(&mut stream, &Message::Pong.encode()).is_err() {
+                    return;
+                }
+            }
+            Message::Invalidate { key } => {
+                // Application-driven invalidation: drop the owned entry
+                // and tell the cluster. Invalidating an absent key is a
+                // no-op (the application may race a purge).
+                if let Some(dead) = manager.remove_local(&key) {
+                    broadcaster
+                        .broadcast(&Message::DeleteNotice { owner: dead.owner, key: dead.key });
+                    CacheStats::bump(&manager.stats().broadcasts_sent);
+                }
+            }
+            // Replies arriving inbound are protocol violations; drop the
+            // connection rather than guessing.
+            Message::FetchHit { .. }
+            | Message::FetchMiss
+            | Message::SyncReply { .. }
+            | Message::Pong => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::{fetch_remote, FetchOutcome};
+    use std::time::Instant;
+    use swala_cache::{
+        CacheKey, CacheManagerConfig, CacheRules, LookupResult, MemStore, NodeId,
+    };
+
+    fn start_node(rules: CacheRules, purge_ms: u64) -> (Arc<CacheManager>, CacheDaemons) {
+        let manager = Arc::new(CacheManager::new(
+            CacheManagerConfig { num_nodes: 2, local: NodeId(0), rules, ..Default::default() },
+            Box::new(MemStore::new()),
+        ));
+        let daemons = CacheDaemons::start(
+            Arc::clone(&manager),
+            Arc::new(Broadcaster::solo()),
+            DaemonConfig {
+                purge_interval: Duration::from_millis(purge_ms),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (manager, daemons)
+    }
+
+    fn insert(manager: &CacheManager, key: &CacheKey, body: &[u8]) {
+        match manager.lookup(key, key.as_str()) {
+            LookupResult::Miss { decision, .. } => {
+                manager
+                    .complete_execution(key, body, "text/html", Duration::from_millis(100), &decision)
+                    .unwrap();
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_fetch_requests() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let key = CacheKey::new("/cgi-bin/adl?id=1");
+        insert(&manager, &key, b"the-cached-result");
+
+        let out = fetch_remote(daemons.addr(), &key, Duration::from_secs(1));
+        assert_eq!(
+            out,
+            FetchOutcome::Hit { content_type: "text/html".into(), body: b"the-cached-result".to_vec() }
+        );
+        // Owner recorded the remote hit in its metadata (§4.1).
+        assert_eq!(manager.directory().get(NodeId(0), &key).unwrap().hits, 1);
+
+        let gone = fetch_remote(daemons.addr(), &CacheKey::new("/nope"), Duration::from_secs(1));
+        assert_eq!(gone, FetchOutcome::Gone);
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn applies_insert_and_delete_notices() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let link = crate::peers::PeerLink::new(NodeId(1), NodeId(0), daemons.addr());
+        let key = CacheKey::new("/cgi-bin/remote?x=2");
+        let meta = swala_cache::EntryMeta::new(key.clone(), NodeId(1), 8, "t", 1000, None, 1);
+
+        link.send(&Message::InsertNotice { meta }).unwrap();
+        wait_until(|| manager.directory().len(NodeId(1)) == 1);
+
+        link.send(&Message::DeleteNotice { owner: NodeId(1), key }).unwrap();
+        wait_until(|| manager.directory().len(NodeId(1)) == 0);
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn answers_sync_and_ping() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        insert(&manager, &CacheKey::new("/cgi-bin/s?1"), b"a");
+        insert(&manager, &CacheKey::new("/cgi-bin/s?2"), b"b");
+
+        let mut s = TcpStream::connect(daemons.addr()).unwrap();
+        write_frame(&mut s, &Message::Ping.encode()).unwrap();
+        let f = read_frame(&mut s).unwrap().unwrap();
+        assert_eq!(Message::decode(&f).unwrap(), Message::Pong);
+
+        write_frame(&mut s, &Message::SyncRequest.encode()).unwrap();
+        match Message::decode(&read_frame(&mut s).unwrap().unwrap()).unwrap() {
+            Message::SyncReply { node, entries } => {
+                assert_eq!(node, NodeId(0));
+                assert_eq!(entries.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn purge_daemon_expires_and_broadcasts() {
+        // Node 0's purge notices go to a collector acting as node 1.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer_addr = listener.local_addr().unwrap();
+        let collector = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut deletes = Vec::new();
+            while let Ok(Some(f)) = read_frame(&mut s) {
+                if let Ok(Message::DeleteNotice { key, .. }) = Message::decode(&f) {
+                    deletes.push(key);
+                }
+            }
+            deletes
+        });
+
+        let rules = CacheRules::parse("cache * ttl=1\n").unwrap();
+        let manager = Arc::new(CacheManager::new(
+            CacheManagerConfig { num_nodes: 2, local: NodeId(0), rules, ..Default::default() },
+            Box::new(MemStore::new()),
+        ));
+        let broadcaster = Arc::new(Broadcaster::new(NodeId(0), [(NodeId(1), peer_addr)]));
+        let daemons = CacheDaemons::start(
+            Arc::clone(&manager),
+            broadcaster,
+            DaemonConfig { purge_interval: Duration::from_millis(50), ..Default::default() },
+        )
+        .unwrap();
+
+        let key = CacheKey::new("/cgi-bin/ttl?x=1");
+        insert(&manager, &key, b"short-lived");
+        // Backdate expiry instead of sleeping out the 1-second TTL.
+        let mut meta = manager.directory().get(NodeId(0), &key).unwrap();
+        meta.expires_unix = Some(1);
+        manager.directory().insert(NodeId(0), meta);
+
+        wait_until(|| manager.stats().snapshot().expirations == 1);
+        daemons.shutdown();
+        let deletes = collector.join().unwrap();
+        assert_eq!(deletes, vec![key]);
+    }
+
+    #[test]
+    fn shutdown_is_prompt() {
+        let (_, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        // Open an idle connection so a handler thread exists too.
+        let _idle = TcpStream::connect(daemons.addr()).unwrap();
+        let start = Instant::now();
+        daemons.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(2), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn garbage_frame_drops_connection_only() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let mut s = TcpStream::connect(daemons.addr()).unwrap();
+        write_frame(&mut s, &[0x7f, 1, 2, 3]).unwrap();
+        // The daemon drops this connection; the node still serves others.
+        let key = CacheKey::new("/cgi-bin/still-alive");
+        insert(&manager, &key, b"yes");
+        let out = fetch_remote(daemons.addr(), &key, Duration::from_secs(1));
+        assert!(matches!(out, FetchOutcome::Hit { .. }));
+        daemons.shutdown();
+    }
+
+    fn wait_until(cond: impl Fn() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(Instant::now() < deadline, "condition not met within 5s");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_and_broadcasts() {
+        // Collector standing in for a peer that must hear the deletion.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer_addr = listener.local_addr().unwrap();
+        let collector = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut deletes = Vec::new();
+            while let Ok(Some(f)) = read_frame(&mut s) {
+                if let Ok(Message::DeleteNotice { key, .. }) = Message::decode(&f) {
+                    deletes.push(key);
+                }
+            }
+            deletes
+        });
+
+        let manager = Arc::new(CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 2,
+                local: NodeId(0),
+                rules: CacheRules::allow_all(),
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        ));
+        let broadcaster =
+            Arc::new(Broadcaster::new(NodeId(0), [(NodeId(1), peer_addr)]));
+        let daemons = CacheDaemons::start(
+            Arc::clone(&manager),
+            broadcaster,
+            DaemonConfig { purge_interval: Duration::from_secs(60), ..Default::default() },
+        )
+        .unwrap();
+
+        let key = CacheKey::new("/cgi-bin/stale?x=1");
+        insert(&manager, &key, b"stale-content");
+        assert_eq!(manager.directory().len(NodeId(0)), 1);
+
+        crate::fetch::request_invalidate(daemons.addr(), &key, Duration::from_secs(1)).unwrap();
+        wait_until(|| manager.directory().len(NodeId(0)) == 0);
+        // Invalidating again is a harmless no-op.
+        crate::fetch::request_invalidate(daemons.addr(), &key, Duration::from_secs(1)).unwrap();
+
+        daemons.shutdown();
+        let deletes = collector.join().unwrap();
+        assert_eq!(deletes, vec![key]);
+    }
+
+    #[test]
+    fn request_sync_returns_peer_table() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        insert(&manager, &CacheKey::new("/cgi-bin/a?1"), b"a");
+        insert(&manager, &CacheKey::new("/cgi-bin/a?2"), b"b");
+        let (node, entries) =
+            crate::fetch::request_sync(daemons.addr(), Duration::from_secs(1)).unwrap();
+        assert_eq!(node, NodeId(0));
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|e| e.owner == NodeId(0)));
+        daemons.shutdown();
+    }
+}

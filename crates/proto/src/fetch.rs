@@ -1,0 +1,179 @@
+//! Client side of a remote cache fetch.
+//!
+//! Figure 2's "Fetch from remote cache" edge: a node whose directory says
+//! a peer holds the result opens a short-lived connection, sends a
+//! [`Message::FetchRequest`] and reads the reply. A `FetchMiss` reply is
+//! the §4.2 *false hit* — the caller falls back to executing the CGI
+//! locally, paying "only the added delay of a request/reply session
+//! between the two nodes".
+
+use crate::message::Message;
+use crate::wire::{read_frame, write_frame, ProtoError};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Result of a remote fetch attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FetchOutcome {
+    /// Body retrieved from the peer's store.
+    Hit { content_type: String, body: Vec<u8> },
+    /// Peer no longer has the entry (false hit): execute locally.
+    Gone,
+    /// Transport failure (peer down, timeout): execute locally.
+    Unreachable(String),
+}
+
+/// Fetch `key` from the peer at `addr`.
+pub fn fetch_remote(
+    addr: SocketAddr,
+    key: &swala_cache::CacheKey,
+    timeout: Duration,
+) -> FetchOutcome {
+    match try_fetch(addr, key, timeout) {
+        Ok(outcome) => outcome,
+        Err(e) => FetchOutcome::Unreachable(e.to_string()),
+    }
+}
+
+fn try_fetch(
+    addr: SocketAddr,
+    key: &swala_cache::CacheKey,
+    timeout: Duration,
+) -> Result<FetchOutcome, ProtoError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &Message::FetchRequest { key: key.clone() }.encode())?;
+    let frame = read_frame(&mut stream)?.ok_or(ProtoError::Truncated("fetch reply"))?;
+    match Message::decode(&frame)? {
+        Message::FetchHit { content_type, body } => Ok(FetchOutcome::Hit { content_type, body }),
+        Message::FetchMiss => Ok(FetchOutcome::Gone),
+        other => Err(ProtoError::Io(std::io::Error::other(format!(
+            "unexpected fetch reply: {other:?}"
+        )))),
+    }
+}
+
+/// Ask the peer at `addr` for its full local table (join-time directory
+/// sync). Returns the peer's node id and its entries.
+pub fn request_sync(
+    addr: SocketAddr,
+    timeout: Duration,
+) -> Result<(swala_cache::NodeId, Vec<swala_cache::EntryMeta>), ProtoError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &Message::SyncRequest.encode())?;
+    let frame = read_frame(&mut stream)?.ok_or(ProtoError::Truncated("sync reply"))?;
+    match Message::decode(&frame)? {
+        Message::SyncReply { node, entries } => Ok((node, entries)),
+        other => Err(ProtoError::Io(std::io::Error::other(format!(
+            "unexpected sync reply: {other:?}"
+        )))),
+    }
+}
+
+/// Ask the owner at `addr` to invalidate `key` (application-driven
+/// invalidation). Fire-and-forget: the owner broadcasts the resulting
+/// deletion to the whole cluster.
+pub fn request_invalidate(
+    addr: SocketAddr,
+    key: &swala_cache::CacheKey,
+    timeout: Duration,
+) -> Result<(), ProtoError> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
+    stream.set_write_timeout(Some(timeout))?;
+    write_frame(&mut stream, &Message::Invalidate { key: key.clone() }.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use swala_cache::CacheKey;
+
+    /// One-shot fetch server answering from a closure.
+    fn fetch_server(
+        reply: impl Fn(&CacheKey) -> Message + Send + 'static,
+    ) -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let frame = read_frame(&mut s).unwrap().unwrap();
+            match Message::decode(&frame).unwrap() {
+                Message::FetchRequest { key } => {
+                    write_frame(&mut s, &reply(&key).encode()).unwrap();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn fetch_hit() {
+        let (addr, h) = fetch_server(|_| Message::FetchHit {
+            content_type: "text/html".into(),
+            body: b"cached-body".to_vec(),
+        });
+        let out = fetch_remote(addr, &CacheKey::new("/cgi-bin/x?1"), Duration::from_secs(1));
+        assert_eq!(
+            out,
+            FetchOutcome::Hit { content_type: "text/html".into(), body: b"cached-body".to_vec() }
+        );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fetch_gone_is_false_hit() {
+        let (addr, h) = fetch_server(|_| Message::FetchMiss);
+        let out = fetch_remote(addr, &CacheKey::new("/cgi-bin/deleted"), Duration::from_secs(1));
+        assert_eq!(out, FetchOutcome::Gone);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn fetch_unreachable() {
+        let out = fetch_remote(
+            "127.0.0.1:1".parse().unwrap(),
+            &CacheKey::new("/x"),
+            Duration::from_millis(200),
+        );
+        assert!(matches!(out, FetchOutcome::Unreachable(_)));
+    }
+
+    #[test]
+    fn fetch_peer_closes_without_reply() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let h = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            drop(s); // slam the door
+        });
+        let out = fetch_remote(addr, &CacheKey::new("/x"), Duration::from_millis(500));
+        assert!(matches!(out, FetchOutcome::Unreachable(_)));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn unexpected_reply_type_is_unreachable() {
+        let (addr, h) = fetch_server(|_| Message::Pong);
+        let out = fetch_remote(addr, &CacheKey::new("/x"), Duration::from_secs(1));
+        assert!(matches!(out, FetchOutcome::Unreachable(_)));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn requested_key_reaches_server() {
+        let (addr, h) = fetch_server(|key| {
+            assert_eq!(key.as_str(), "/cgi-bin/echo?k=v");
+            Message::FetchMiss
+        });
+        fetch_remote(addr, &CacheKey::new("/cgi-bin/echo?k=v"), Duration::from_secs(1));
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,39 @@
+//! # swala-proto
+//!
+//! The inter-node cache protocol of the Swala distributed Web server.
+//!
+//! §4.1 describes the "cacher module" with three daemon threads per node:
+//!
+//! 1. one that *receives information about cache insertions and deletions
+//!    from the other nodes* and updates the local directory,
+//! 2. one that *listens for cache data requests* from other nodes and
+//!    starts a thread per request to return the contents,
+//! 3. one that *wakes up every few seconds and deletes expired entries*.
+//!
+//! §4.2 fixes the consistency model: insert/delete notices are broadcast
+//! **asynchronously** — no global locks, no two-phase commit — accepting
+//! rare false misses and false hits in exchange for a short critical
+//! path.
+//!
+//! This crate implements that machinery over TCP:
+//!
+//! * [`wire`] — length-prefixed binary framing and primitive codecs;
+//! * [`message`] — the message set (hello, insert/delete notices, fetch
+//!   request/reply, directory sync, ping);
+//! * [`peers`] — persistent outgoing notice links with reconnection, and
+//!   the cluster [`peers::Broadcaster`];
+//! * [`fetch`] — the client side of a remote cache fetch;
+//! * [`daemon`] — the listener + purge daemons, bound to a
+//!   [`swala_cache::CacheManager`].
+
+pub mod daemon;
+pub mod fetch;
+pub mod message;
+pub mod peers;
+pub mod wire;
+
+pub use daemon::{CacheDaemons, DaemonConfig};
+pub use fetch::{fetch_remote, request_invalidate, request_sync, FetchOutcome};
+pub use message::Message;
+pub use peers::{Broadcaster, PeerLink};
+pub use wire::{read_frame, write_frame, ProtoError};

@@ -1,0 +1,262 @@
+//! Protocol messages and their binary encoding.
+
+use crate::wire::{
+    get_bytes, get_f64, get_string, get_u16, get_u32, get_u64, get_u8, put_bytes, put_string,
+    ProtoError,
+};
+use bytes::{BufMut, BytesMut};
+use swala_cache::{CacheKey, EntryMeta, NodeId};
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_INSERT: u8 = 0x02;
+const TAG_DELETE: u8 = 0x03;
+const TAG_FETCH_REQ: u8 = 0x04;
+const TAG_FETCH_HIT: u8 = 0x05;
+const TAG_FETCH_MISS: u8 = 0x06;
+const TAG_SYNC_REQ: u8 = 0x07;
+const TAG_SYNC_REPLY: u8 = 0x08;
+const TAG_PING: u8 = 0x09;
+const TAG_PONG: u8 = 0x0a;
+const TAG_INVALIDATE: u8 = 0x0b;
+
+/// Everything Swala nodes say to each other.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// First message on a notice link: identifies the sender.
+    Hello { node: NodeId },
+    /// "I just cached this" — apply to the sender's table (§4.2:
+    /// broadcast on every insert, applied asynchronously).
+    InsertNotice { meta: EntryMeta },
+    /// "I dropped this" (eviction, expiry or explicit invalidation).
+    DeleteNotice { owner: NodeId, key: CacheKey },
+    /// "Send me the body you advertise for this key."
+    FetchRequest { key: CacheKey },
+    /// Fetch succeeded.
+    FetchHit { content_type: String, body: Vec<u8> },
+    /// Fetch found nothing — the requester experienced a false hit.
+    FetchMiss,
+    /// "Send me your whole local table" (join-time directory sync).
+    SyncRequest,
+    /// Full local table of `node`.
+    SyncReply { node: NodeId, entries: Vec<EntryMeta> },
+    /// Liveness probe.
+    Ping,
+    Pong,
+    /// "Drop this entry if you own it" — application-driven
+    /// invalidation (§4.2's planned stronger consistency, after \[12\]).
+    /// The owner removes the entry and broadcasts the deletion.
+    Invalidate { key: CacheKey },
+}
+
+impl Message {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64);
+        match self {
+            Message::Hello { node } => {
+                buf.put_u8(TAG_HELLO);
+                buf.put_u16(node.0);
+            }
+            Message::InsertNotice { meta } => {
+                buf.put_u8(TAG_INSERT);
+                encode_meta(&mut buf, meta);
+            }
+            Message::DeleteNotice { owner, key } => {
+                buf.put_u8(TAG_DELETE);
+                buf.put_u16(owner.0);
+                put_string(&mut buf, key.as_str());
+            }
+            Message::FetchRequest { key } => {
+                buf.put_u8(TAG_FETCH_REQ);
+                put_string(&mut buf, key.as_str());
+            }
+            Message::FetchHit { content_type, body } => {
+                buf.put_u8(TAG_FETCH_HIT);
+                put_string(&mut buf, content_type);
+                put_bytes(&mut buf, body);
+            }
+            Message::FetchMiss => buf.put_u8(TAG_FETCH_MISS),
+            Message::SyncRequest => buf.put_u8(TAG_SYNC_REQ),
+            Message::SyncReply { node, entries } => {
+                buf.put_u8(TAG_SYNC_REPLY);
+                buf.put_u16(node.0);
+                buf.put_u32(entries.len() as u32);
+                for e in entries {
+                    encode_meta(&mut buf, e);
+                }
+            }
+            Message::Ping => buf.put_u8(TAG_PING),
+            Message::Pong => buf.put_u8(TAG_PONG),
+            Message::Invalidate { key } => {
+                buf.put_u8(TAG_INVALIDATE);
+                put_string(&mut buf, key.as_str());
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Decode from a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Message, ProtoError> {
+        let mut r = payload;
+        let tag = get_u8(&mut r)?;
+        let msg = match tag {
+            TAG_HELLO => Message::Hello { node: NodeId(get_u16(&mut r)?) },
+            TAG_INSERT => Message::InsertNotice { meta: decode_meta(&mut r)? },
+            TAG_DELETE => Message::DeleteNotice {
+                owner: NodeId(get_u16(&mut r)?),
+                key: CacheKey::new(get_string(&mut r)?),
+            },
+            TAG_FETCH_REQ => Message::FetchRequest { key: CacheKey::new(get_string(&mut r)?) },
+            TAG_FETCH_HIT => Message::FetchHit {
+                content_type: get_string(&mut r)?,
+                body: get_bytes(&mut r)?,
+            },
+            TAG_FETCH_MISS => Message::FetchMiss,
+            TAG_SYNC_REQ => Message::SyncRequest,
+            TAG_SYNC_REPLY => {
+                let node = NodeId(get_u16(&mut r)?);
+                let n = get_u32(&mut r)? as usize;
+                let mut entries = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    entries.push(decode_meta(&mut r)?);
+                }
+                Message::SyncReply { node, entries }
+            }
+            TAG_PING => Message::Ping,
+            TAG_PONG => Message::Pong,
+            TAG_INVALIDATE => Message::Invalidate { key: CacheKey::new(get_string(&mut r)?) },
+            t => return Err(ProtoError::UnknownTag(t)),
+        };
+        Ok(msg)
+    }
+}
+
+fn encode_meta(buf: &mut BytesMut, m: &EntryMeta) {
+    put_string(buf, m.key.as_str());
+    buf.put_u16(m.owner.0);
+    buf.put_u64(m.size);
+    put_string(buf, &m.content_type);
+    buf.put_u64(m.exec_micros);
+    match m.expires_unix {
+        Some(e) => {
+            buf.put_u8(1);
+            buf.put_u64(e);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u64(m.created_unix);
+    buf.put_u64(m.hits);
+    buf.put_u64(m.last_access_seq);
+    buf.put_u64(m.insert_seq);
+    buf.put_u64(m.gds_credit.to_bits());
+}
+
+fn decode_meta(r: &mut &[u8]) -> Result<EntryMeta, ProtoError> {
+    let key = CacheKey::new(get_string(r)?);
+    let owner = NodeId(get_u16(r)?);
+    let size = get_u64(r)?;
+    let content_type = get_string(r)?;
+    let exec_micros = get_u64(r)?;
+    let expires_unix = match get_u8(r)? {
+        0 => None,
+        _ => Some(get_u64(r)?),
+    };
+    let created_unix = get_u64(r)?;
+    let hits = get_u64(r)?;
+    let last_access_seq = get_u64(r)?;
+    let insert_seq = get_u64(r)?;
+    let gds_credit = get_f64(r)?;
+    Ok(EntryMeta {
+        key,
+        owner,
+        size,
+        content_type,
+        exec_micros,
+        expires_unix,
+        created_unix,
+        hits,
+        last_access_seq,
+        insert_seq,
+        gds_credit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta() -> EntryMeta {
+        let mut m = EntryMeta::new(
+            CacheKey::new("/cgi-bin/adl?id=42&ms=1000"),
+            NodeId(3),
+            2048,
+            "text/html",
+            1_000_000,
+            Some(std::time::Duration::from_secs(300)),
+            17,
+        );
+        m.hits = 5;
+        m.gds_credit = 488.28125;
+        m
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let messages = vec![
+            Message::Hello { node: NodeId(7) },
+            Message::InsertNotice { meta: sample_meta() },
+            Message::DeleteNotice { owner: NodeId(1), key: CacheKey::new("/cgi-bin/x?q=1") },
+            Message::FetchRequest { key: CacheKey::new("/cgi-bin/y") },
+            Message::FetchHit { content_type: "text/html".into(), body: b"payload".to_vec() },
+            Message::FetchMiss,
+            Message::SyncRequest,
+            Message::SyncReply { node: NodeId(2), entries: vec![sample_meta(), sample_meta()] },
+            Message::Ping,
+            Message::Pong,
+            Message::Invalidate { key: CacheKey::new("/cgi-bin/stale?x=1") },
+        ];
+        for msg in messages {
+            let decoded = Message::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn meta_without_ttl_roundtrips() {
+        let mut m = sample_meta();
+        m.expires_unix = None;
+        let msg = Message::InsertNotice { meta: m.clone() };
+        match Message::decode(&msg.encode()).unwrap() {
+            Message::InsertNotice { meta } => assert_eq!(meta, m),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(Message::decode(&[0x7f]), Err(ProtoError::UnknownTag(0x7f))));
+        assert!(Message::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let full = Message::InsertNotice { meta: sample_meta() }.encode();
+        for cut in [1, 5, full.len() / 2, full.len() - 1] {
+            assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_sync_reply() {
+        let msg = Message::SyncReply { node: NodeId(0), entries: vec![] };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn large_body_fetch_hit() {
+        let body = vec![0xabu8; 1 << 20];
+        let msg = Message::FetchHit { content_type: "application/octet-stream".into(), body };
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        assert_eq!(decoded, msg);
+    }
+}

@@ -1,0 +1,288 @@
+//! Outgoing peer links and the cluster broadcaster.
+//!
+//! Each node keeps one persistent TCP connection per peer for directory
+//! notices. Sends are asynchronous with respect to the protocol — a node
+//! never waits for acknowledgements (§4.2: "updates are done
+//! asynchronously among the nodes without any global locks") — but each
+//! link serializes its own writes so frames cannot interleave.
+//!
+//! A dead link is reconnected lazily on the next send; if the peer stays
+//! unreachable the notice is dropped, which the weak-consistency protocol
+//! tolerates by design (the worst case is a false miss or false hit).
+
+use crate::message::Message;
+use crate::wire::write_frame;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use swala_cache::NodeId;
+
+/// Persistent notice link to one peer.
+pub struct PeerLink {
+    /// Peer's cache-protocol listener address.
+    addr: SocketAddr,
+    /// Peer node id (informational).
+    peer: NodeId,
+    /// Our node id, announced in the `Hello`.
+    local: NodeId,
+    stream: Mutex<Option<TcpStream>>,
+    /// Notices successfully written.
+    sent: AtomicU64,
+    /// Notices dropped because the peer was unreachable.
+    dropped: AtomicU64,
+    connect_timeout: Duration,
+}
+
+impl PeerLink {
+    /// Create an unconnected link (connection happens on first send).
+    pub fn new(local: NodeId, peer: NodeId, addr: SocketAddr) -> Self {
+        PeerLink {
+            addr,
+            peer,
+            local,
+            stream: Mutex::new(None),
+            sent: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            connect_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Peer node id.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Notices written / dropped so far.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.sent.load(Ordering::Relaxed), self.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Send a notice, (re)connecting if necessary.
+    ///
+    /// Returns `Ok(())` on a successful write; on failure the link is torn
+    /// down (next send reconnects) and the error is surfaced so callers
+    /// can count drops, but broadcast semantics treat it as best-effort.
+    pub fn send(&self, msg: &Message) -> io::Result<()> {
+        let mut guard = self.stream.lock();
+        if guard.is_none() {
+            match self.connect() {
+                Ok(s) => *guard = Some(s),
+                Err(e) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        let stream = guard.as_mut().expect("just connected");
+        match write_frame(stream, &msg.encode()) {
+            Ok(()) => {
+                self.sent.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                // One reconnect-and-retry: the common failure is a peer
+                // restart having closed the old connection.
+                *guard = None;
+                match self.connect() {
+                    Ok(mut s) => match write_frame(&mut s, &msg.encode()) {
+                        Ok(()) => {
+                            *guard = Some(s);
+                            self.sent.fetch_add(1, Ordering::Relaxed);
+                            Ok(())
+                        }
+                        Err(e2) => {
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                            Err(to_io(e2))
+                        }
+                    },
+                    Err(_) => {
+                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                        Err(to_io(e))
+                    }
+                }
+            }
+        }
+    }
+
+    fn connect(&self) -> io::Result<TcpStream> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        write_frame(&mut stream, &Message::Hello { node: self.local }.encode()).map_err(to_io)?;
+        Ok(stream)
+    }
+}
+
+fn to_io(e: crate::wire::ProtoError) -> io::Error {
+    match e {
+        crate::wire::ProtoError::Io(e) => e,
+        other => io::Error::other(other.to_string()),
+    }
+}
+
+/// All of a node's outgoing links; fan-out lives here.
+pub struct Broadcaster {
+    links: Vec<PeerLink>,
+}
+
+impl Broadcaster {
+    /// Build links from `local` to every `(peer, addr)` pair.
+    pub fn new(local: NodeId, peers: impl IntoIterator<Item = (NodeId, SocketAddr)>) -> Self {
+        Broadcaster {
+            links: peers.into_iter().map(|(peer, addr)| PeerLink::new(local, peer, addr)).collect(),
+        }
+    }
+
+    /// A broadcaster with no peers (single-node operation).
+    pub fn solo() -> Self {
+        Broadcaster { links: Vec::new() }
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Send `msg` to every peer; returns how many sends succeeded.
+    ///
+    /// Failures are logged in the per-link drop counters; the caller does
+    /// not block on or retry them (asynchronous weak consistency).
+    pub fn broadcast(&self, msg: &Message) -> usize {
+        self.links.iter().filter(|l| l.send(msg).is_ok()).count()
+    }
+
+    /// Aggregate (sent, dropped) counters across links.
+    pub fn counters(&self) -> (u64, u64) {
+        self.links.iter().fold((0, 0), |(s, d), l| {
+            let (ls, ld) = l.counters();
+            (s + ls, d + ld)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::read_frame;
+    use std::net::TcpListener;
+
+    /// Accept `n` connections, collecting every message until each peer
+    /// disconnects; returns all messages received.
+    fn collecting_listener(n: usize) -> (SocketAddr, std::thread::JoinHandle<Vec<Message>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut all = Vec::new();
+            for _ in 0..n {
+                let (mut s, _) = listener.accept().unwrap();
+                while let Ok(Some(frame)) = read_frame(&mut s) {
+                    all.push(Message::decode(&frame).unwrap());
+                }
+            }
+            all
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn link_sends_hello_then_notices() {
+        let (addr, handle) = collecting_listener(1);
+        let link = PeerLink::new(NodeId(0), NodeId(1), addr);
+        link.send(&Message::Ping).unwrap();
+        link.send(&Message::Pong).unwrap();
+        assert_eq!(link.counters(), (2, 0));
+        drop(link); // closes the stream, unblocking the listener
+        let msgs = handle.join().unwrap();
+        assert_eq!(
+            msgs,
+            vec![Message::Hello { node: NodeId(0) }, Message::Ping, Message::Pong]
+        );
+    }
+
+    #[test]
+    fn unreachable_peer_counts_drops() {
+        // Port 1 on localhost: connection refused immediately.
+        let link = PeerLink::new(NodeId(0), NodeId(1), "127.0.0.1:1".parse().unwrap());
+        assert!(link.send(&Message::Ping).is_err());
+        assert_eq!(link.counters(), (0, 1));
+    }
+
+    #[test]
+    fn link_reconnects_after_peer_restart() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let link = PeerLink::new(NodeId(0), NodeId(1), addr);
+
+        // First connection: accept, read hello+ping, then drop (restart).
+        let t = std::thread::spawn(move || {
+            {
+                let (mut s, _) = listener.accept().unwrap();
+                let _ = read_frame(&mut s).unwrap(); // hello
+                let _ = read_frame(&mut s).unwrap(); // ping
+                // connection dropped here
+            }
+            // "Restarted" peer accepts again and reads everything.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut msgs = Vec::new();
+            while let Ok(Some(f)) = read_frame(&mut s) {
+                msgs.push(Message::decode(&f).unwrap());
+            }
+            msgs
+        });
+
+        link.send(&Message::Ping).unwrap();
+        // Give the listener a moment to drop the first connection; the
+        // next send detects the dead stream (possibly after one buffered
+        // success) and reconnects.
+        std::thread::sleep(Duration::from_millis(50));
+        let mut delivered_after_restart = false;
+        for _ in 0..20 {
+            if link.send(&Message::Pong).is_ok() {
+                delivered_after_restart = true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(delivered_after_restart);
+        drop(link);
+        let msgs = t.join().unwrap();
+        assert!(msgs.contains(&Message::Hello { node: NodeId(0) }), "re-hello on reconnect");
+    }
+
+    #[test]
+    fn broadcaster_fans_out() {
+        let (addr_a, ha) = collecting_listener(1);
+        let (addr_b, hb) = collecting_listener(1);
+        let b = Broadcaster::new(NodeId(0), [(NodeId(1), addr_a), (NodeId(2), addr_b)]);
+        assert_eq!(b.peer_count(), 2);
+        assert_eq!(b.broadcast(&Message::Ping), 2);
+        assert_eq!(b.counters().0, 2);
+        drop(b);
+        for h in [ha, hb] {
+            let msgs = h.join().unwrap();
+            assert_eq!(msgs.len(), 2); // hello + ping
+            assert_eq!(msgs[1], Message::Ping);
+        }
+    }
+
+    #[test]
+    fn broadcast_partial_failure() {
+        let (addr_ok, h) = collecting_listener(1);
+        let b = Broadcaster::new(
+            NodeId(0),
+            [(NodeId(1), addr_ok), (NodeId(2), "127.0.0.1:1".parse().unwrap())],
+        );
+        assert_eq!(b.broadcast(&Message::Ping), 1);
+        let (sent, dropped) = b.counters();
+        assert_eq!((sent, dropped), (1, 1));
+        drop(b);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn solo_broadcaster_is_a_noop() {
+        let b = Broadcaster::solo();
+        assert_eq!(b.peer_count(), 0);
+        assert_eq!(b.broadcast(&Message::Ping), 0);
+    }
+}

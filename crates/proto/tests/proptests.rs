@@ -1,0 +1,93 @@
+//! Property tests for the wire protocol: encode/decode is a bijection on
+//! the message set, and the decoder never panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use swala_cache::{CacheKey, EntryMeta, NodeId};
+use swala_proto::{read_frame, write_frame, Message};
+
+fn key_strategy() -> impl Strategy<Value = CacheKey> {
+    "[a-z0-9/?&=._-]{1,64}".prop_map(|s| CacheKey::new(format!("/{s}")))
+}
+
+fn meta_strategy() -> impl Strategy<Value = EntryMeta> {
+    (
+        key_strategy(),
+        0u16..16,
+        any::<u64>(),
+        "[a-z/+-]{1,24}",
+        any::<u64>(),
+        proptest::option::of(any::<u64>()),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(
+            |(key, owner, size, ct, exec, expires, created, hits, last, ins, credit)| EntryMeta {
+                key,
+                owner: NodeId(owner),
+                size,
+                content_type: ct,
+                exec_micros: exec,
+                expires_unix: expires,
+                created_unix: created,
+                hits,
+                last_access_seq: last,
+                insert_seq: ins,
+                // f64 from u32 keeps NaN out (NaN breaks PartialEq).
+                gds_credit: credit as f64 / 7.0,
+            },
+        )
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (0u16..64).prop_map(|n| Message::Hello { node: NodeId(n) }),
+        meta_strategy().prop_map(|meta| Message::InsertNotice { meta }),
+        (0u16..64, key_strategy())
+            .prop_map(|(n, key)| Message::DeleteNotice { owner: NodeId(n), key }),
+        key_strategy().prop_map(|key| Message::FetchRequest { key }),
+        ("[a-z/]{1,16}", proptest::collection::vec(any::<u8>(), 0..2048))
+            .prop_map(|(content_type, body)| Message::FetchHit { content_type, body }),
+        Just(Message::FetchMiss),
+        Just(Message::SyncRequest),
+        (0u16..64, proptest::collection::vec(meta_strategy(), 0..8))
+            .prop_map(|(n, entries)| Message::SyncReply { node: NodeId(n), entries }),
+        Just(Message::Ping),
+        Just(Message::Pong),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn message_roundtrip(msg in message_strategy()) {
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn framed_stream_roundtrip(msgs in proptest::collection::vec(message_strategy(), 0..10)) {
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_frame(&mut wire, &m.encode()).unwrap();
+        }
+        let mut r = &wire[..];
+        let mut out = Vec::new();
+        while let Some(frame) = read_frame(&mut r).unwrap() {
+            out.push(Message::decode(&frame).unwrap());
+        }
+        prop_assert_eq!(out, msgs);
+    }
+
+    #[test]
+    fn frame_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = &bytes[..];
+        while let Ok(Some(_)) = read_frame(&mut r) {}
+    }
+}

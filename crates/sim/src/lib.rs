@@ -1,0 +1,28 @@
+//! # swala-sim
+//!
+//! A deterministic, discrete-event model of a Swala cluster's caching
+//! behaviour. Where the live cluster (`swala-cluster`) measures
+//! wall-clock response times, the simulator counts events *exactly*:
+//! hits, misses, evictions, and the weak-consistency anomalies of §4.2
+//! (false misses and false hits), under any replacement policy, cache
+//! size, node count, request routing and broadcast latency.
+//!
+//! §5.3's hit-ratio experiments (Tables 5 and 6) are count experiments —
+//! "the ability to reuse another node's cache entry … accounts for a
+//! large portion of the advantage of cooperative caching" — so the
+//! simulator is their authoritative reproduction, with the live cluster
+//! as a cross-check. The simulator also powers the ablations: policy
+//! comparisons and false-miss/false-hit rates as a function of broadcast
+//! delay.
+//!
+//! The cache logic is *shared* with the live server: entries are
+//! [`swala_cache::EntryMeta`] and eviction runs through
+//! [`swala_cache::Policy`], so a policy bug would show up in both.
+
+pub mod engine;
+pub mod model;
+pub mod queueing;
+
+pub use engine::simulate;
+pub use model::{Routing, SimConfig, SimResult};
+pub use queueing::{simulate_queueing, QueueConfig, QueueResult};

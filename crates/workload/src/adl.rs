@@ -1,0 +1,245 @@
+//! Alexandria-Digital-Library-style trace synthesis.
+//!
+//! The paper's §3 studies the real ADL access log for September–October
+//! 1997. The log itself is not available, so this module synthesizes a
+//! trace calibrated to every aggregate §3 reports:
+//!
+//! * 69,337 analyzed requests, of which 28,663 (41.3 %) are CGI;
+//! * mean service time 0.03 s for file fetches, 1.6 s for CGI;
+//! * CGI accounts for ~97 % of the ~46,156 s total service time;
+//! * at a 1-second caching threshold, a couple of hundred unique cache
+//!   entries absorb ~2,900 repeats and save ~13,000 s (~29 %).
+//!
+//! The generative model is a two-population mixture observed in digital
+//! library logs: a small *hot* set of expensive queries (map views the
+//! interface links to directly) that attracts repeated access with
+//! Zipf-like popularity, and a long tail of *cold*, mostly-unique
+//! queries. Static file fetches are cheap and uniform.
+//!
+//! Everything is deterministic under the configured seed.
+
+use crate::trace::{Trace, TraceRequest};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for [`synthesize_adl_trace`]. Defaults reproduce §3's log.
+#[derive(Debug, Clone)]
+pub struct AdlTraceConfig {
+    /// Total requests in the trace.
+    pub total_requests: usize,
+    /// Fraction that are CGI (paper: 0.413).
+    pub cgi_fraction: f64,
+    /// Size of the hot (frequently repeated) CGI population.
+    pub hot_entities: usize,
+    /// Fraction of CGI requests that go to the hot population.
+    pub hot_fraction: f64,
+    /// Zipf exponent over the hot population.
+    pub zipf_s: f64,
+    /// Mean service time of a hot CGI in paper-seconds.
+    pub hot_mean_secs: f64,
+    /// Minimum service time of a hot CGI (keeps them above the paper's
+    /// 1-second caching threshold, as the repeated ADL queries were).
+    pub hot_min_secs: f64,
+    /// Mean service time of a cold CGI in paper-seconds.
+    pub cold_mean_secs: f64,
+    /// Probability a cold request repeats an earlier cold id.
+    pub cold_repeat_p: f64,
+    /// Mean file-fetch time in paper-seconds (paper: 0.03).
+    pub file_mean_secs: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Live-replay scale: milliseconds of simulated work per
+    /// paper-second (e.g. 25.0 → the paper's 1 s CGI runs 25 ms live).
+    pub live_ms_per_paper_second: f64,
+}
+
+impl Default for AdlTraceConfig {
+    fn default() -> Self {
+        AdlTraceConfig {
+            total_requests: 69_337,
+            cgi_fraction: 0.413,
+            hot_entities: 200,
+            hot_fraction: 0.11,
+            zipf_s: 0.9,
+            hot_mean_secs: 4.5,
+            hot_min_secs: 1.2,
+            cold_mean_secs: 1.2,
+            cold_repeat_p: 0.01,
+            file_mean_secs: 0.03,
+            seed: 1998,
+            live_ms_per_paper_second: 25.0,
+        }
+    }
+}
+
+impl AdlTraceConfig {
+    /// A proportionally shrunk trace for live experiments (the paper's
+    /// §5.2 synthetic workload "contains the same number of repeats and
+    /// the same amount of temporal locality as the original log").
+    pub fn scaled_to(total_requests: usize) -> Self {
+        let full = AdlTraceConfig::default();
+        let ratio = total_requests as f64 / full.total_requests as f64;
+        AdlTraceConfig {
+            total_requests,
+            // Keep per-entity access counts comparable by shrinking the
+            // populations with the trace.
+            hot_entities: ((full.hot_entities as f64 * ratio).ceil() as usize).max(8),
+            ..full
+        }
+    }
+}
+
+/// Generate the trace.
+pub fn synthesize_adl_trace(cfg: &AdlTraceConfig) -> Trace {
+    assert!(cfg.total_requests > 0);
+    assert!((0.0..=1.0).contains(&cfg.cgi_fraction));
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_cgi = (cfg.total_requests as f64 * cfg.cgi_fraction).round() as usize;
+    let n_files = cfg.total_requests - n_cgi;
+
+    // Hot population: per-entity service time fixed at generation (the
+    // same query costs the same every time — the premise of caching).
+    let zipf = Zipf::new(cfg.hot_entities.max(1), cfg.zipf_s);
+    let hot_times: Vec<f64> = (0..cfg.hot_entities)
+        .map(|_| cfg.hot_min_secs + exp_sample(&mut rng, cfg.hot_mean_secs - cfg.hot_min_secs))
+        .collect();
+
+    // Cold ids are drawn from a disjoint id space (offset by hot count).
+    let mut cold_ids: Vec<u64> = Vec::new();
+    let mut cold_times: Vec<f64> = Vec::new();
+
+    let mut requests = Vec::with_capacity(cfg.total_requests);
+    for _ in 0..n_cgi {
+        let (id, secs) = if rng.random::<f64>() < cfg.hot_fraction && cfg.hot_entities > 0 {
+            let rank = zipf.sample(&mut rng);
+            (rank as u64, hot_times[rank])
+        } else if !cold_ids.is_empty() && rng.random::<f64>() < cfg.cold_repeat_p {
+            let i = rng.random_range(0..cold_ids.len());
+            (cold_ids[i], cold_times[i])
+        } else {
+            let id = cfg.hot_entities as u64 + cold_ids.len() as u64;
+            let secs = exp_sample(&mut rng, cfg.cold_mean_secs);
+            cold_ids.push(id);
+            cold_times.push(secs);
+            (id, secs)
+        };
+        let micros = (secs * 1e6) as u64;
+        let live_ms = (secs * cfg.live_ms_per_paper_second).round() as u64;
+        requests.push(TraceRequest::dynamic(id, micros, live_ms));
+    }
+    // One fixed service time per file path: identical requests must cost
+    // the same (the premise every repeat-analysis column rests on).
+    let file_slots = 512usize;
+    let file_times: Vec<u64> = (0..file_slots)
+        .map(|_| (exp_sample(&mut rng, cfg.file_mean_secs) * 1e6) as u64)
+        .collect();
+    for i in 0..n_files {
+        let slot = i % file_slots;
+        requests.push(TraceRequest::file(&format!("/files/f{slot}.html"), file_times[slot]));
+    }
+
+    // Interleave deterministically (Fisher–Yates under the seeded RNG).
+    for i in (1..requests.len()).rev() {
+        let j = rng.random_range(0..=i);
+        requests.swap(i, j);
+    }
+    Trace::new(requests)
+}
+
+/// Exponential sample with the given mean (inverse-CDF).
+fn exp_sample<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    let mean = mean.max(1e-9);
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::RequestKind;
+
+    #[test]
+    fn default_trace_matches_paper_aggregates() {
+        let trace = synthesize_adl_trace(&AdlTraceConfig::default());
+        assert_eq!(trace.len(), 69_337);
+
+        let (n_cgi, cgi_micros) = trace.dynamic_stats();
+        let cgi_frac = n_cgi as f64 / trace.len() as f64;
+        assert!((cgi_frac - 0.413).abs() < 0.01, "cgi fraction {cgi_frac}");
+
+        let cgi_mean = cgi_micros as f64 / n_cgi as f64 / 1e6;
+        assert!((1.3..=1.9).contains(&cgi_mean), "cgi mean {cgi_mean}s vs paper 1.6s");
+
+        let total_secs = trace.total_service_micros() as f64 / 1e6;
+        assert!((40_000.0..=55_000.0).contains(&total_secs), "total {total_secs}s vs paper 46,156s");
+
+        let cgi_share = cgi_micros as f64 / trace.total_service_micros() as f64;
+        assert!(cgi_share > 0.95, "CGI share of time {cgi_share} vs paper 0.97");
+    }
+
+    #[test]
+    fn file_fetches_are_cheap() {
+        let trace = synthesize_adl_trace(&AdlTraceConfig::default());
+        let files: Vec<_> =
+            trace.requests.iter().filter(|r| r.kind == RequestKind::Static).collect();
+        let mean =
+            files.iter().map(|r| r.service_micros).sum::<u64>() as f64 / files.len() as f64 / 1e6;
+        assert!((0.02..=0.04).contains(&mean), "file mean {mean}s vs paper 0.03s");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = AdlTraceConfig { total_requests: 2000, ..Default::default() };
+        let a = synthesize_adl_trace(&cfg);
+        let b = synthesize_adl_trace(&cfg);
+        assert_eq!(a.requests, b.requests);
+        let c = synthesize_adl_trace(&AdlTraceConfig { seed: 7, ..cfg });
+        assert_ne!(a.requests, c.requests);
+    }
+
+    #[test]
+    fn repeats_exist_and_are_consistent() {
+        let trace = synthesize_adl_trace(&AdlTraceConfig::default());
+        assert!(trace.upper_bound_hits() > 2000, "hot set should produce thousands of repeats");
+        // Same target ⇒ same service time (cachability premise).
+        let mut times = std::collections::HashMap::new();
+        for r in &trace.requests {
+            let prev = times.insert(&r.target, r.service_micros);
+            if let Some(prev) = prev {
+                assert_eq!(prev, r.service_micros, "{}", r.target);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_trace_keeps_proportions() {
+        let trace = synthesize_adl_trace(&AdlTraceConfig::scaled_to(3000));
+        assert_eq!(trace.len(), 3000);
+        let (n_cgi, _) = trace.dynamic_stats();
+        let frac = n_cgi as f64 / 3000.0;
+        assert!((frac - 0.413).abs() < 0.03, "{frac}");
+        assert!(trace.upper_bound_hits() > 50);
+    }
+
+    #[test]
+    fn live_ms_encodes_scaled_cost() {
+        let cfg = AdlTraceConfig {
+            total_requests: 500,
+            live_ms_per_paper_second: 10.0,
+            ..Default::default()
+        };
+        let trace = synthesize_adl_trace(&cfg);
+        for r in trace.requests.iter().filter(|r| r.kind == RequestKind::Dynamic) {
+            let ms: u64 = r
+                .target
+                .split("ms=")
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            let expected = (r.service_micros as f64 / 1e6 * 10.0).round() as u64;
+            assert_eq!(ms, expected, "{}", r.target);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Heterogeneous-cost workload synthesis.
+//!
+//! The §5.3 trace carries uniform costs and sizes, where every reasonable
+//! replacement policy degenerates to recency. Real digital-library
+//! traffic is heterogeneous: §3 found requests from 30 ms file fetches to
+//! CGIs of hundreds of seconds. This generator produces Zipf-popular
+//! requests over entities whose *cost and size are properties of the
+//! entity* (an expensive map extraction stays expensive), which is where
+//! the five replacement policies of tech report \[10\] part ways.
+
+use crate::trace::{Trace, TraceRequest};
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning for [`heterogeneous_trace`].
+#[derive(Debug, Clone)]
+pub struct HeteroConfig {
+    /// Number of requests.
+    pub requests: usize,
+    /// Entity population size.
+    pub entities: usize,
+    /// Zipf exponent over entities.
+    pub zipf_s: f64,
+    /// Fraction of entities that are expensive (seconds, not millis).
+    pub expensive_fraction: f64,
+    /// Expensive entity cost range in microseconds.
+    pub expensive_micros: (u64, u64),
+    /// Cheap entity cost range in microseconds.
+    pub cheap_micros: (u64, u64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HeteroConfig {
+    fn default() -> Self {
+        HeteroConfig {
+            requests: 6000,
+            entities: 1500,
+            zipf_s: 0.9,
+            expensive_fraction: 0.2,
+            expensive_micros: (2_000_000, 20_000_000), // 2–20 s queries
+            cheap_micros: (50_000, 500_000),           // 50–500 ms lookups
+            seed: 7,
+        }
+    }
+}
+
+/// Generate a heterogeneous trace (deterministic per seed).
+pub fn heterogeneous_trace(cfg: &HeteroConfig) -> Trace {
+    assert!(cfg.entities >= 1 && cfg.requests >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.entities, cfg.zipf_s);
+    let costs: Vec<u64> = (0..cfg.entities)
+        .map(|_| {
+            if rng.random::<f64>() < cfg.expensive_fraction {
+                rng.random_range(cfg.expensive_micros.0..cfg.expensive_micros.1)
+            } else {
+                rng.random_range(cfg.cheap_micros.0..cfg.cheap_micros.1)
+            }
+        })
+        .collect();
+    let requests = (0..cfg.requests)
+        .map(|_| {
+            let id = zipf.sample(&mut rng);
+            let cost = costs[id];
+            TraceRequest::dynamic(id as u64, cost, cost / 1000)
+        })
+        .collect();
+    Trace::new(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sized() {
+        let t = heterogeneous_trace(&HeteroConfig::default());
+        assert_eq!(t.len(), 6000);
+        assert_eq!(t.requests, heterogeneous_trace(&HeteroConfig::default()).requests);
+    }
+
+    #[test]
+    fn per_entity_cost_is_stable() {
+        let t = heterogeneous_trace(&HeteroConfig { requests: 2000, ..Default::default() });
+        let mut costs = std::collections::HashMap::new();
+        for r in &t.requests {
+            if let Some(prev) = costs.insert(&r.target, r.service_micros) {
+                assert_eq!(prev, r.service_micros);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_distribution_is_bimodal() {
+        let t = heterogeneous_trace(&HeteroConfig::default());
+        let expensive = t.requests.iter().filter(|r| r.service_micros >= 2_000_000).count();
+        let cheap = t.requests.iter().filter(|r| r.service_micros < 500_000).count();
+        assert!(expensive > 100, "{expensive}");
+        assert!(cheap > 100, "{cheap}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Latency recording and summarization.
+
+use std::time::Duration;
+
+/// Collects per-request latencies for one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    micros: Vec<u64>,
+}
+
+/// Aggregates of a [`LatencyRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub mean: Duration,
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+    pub total: Duration,
+}
+
+impl LatencyRecorder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyRecorder { micros: Vec::with_capacity(n) }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        self.micros.push(d.as_micros() as u64);
+    }
+
+    /// Merge another recorder (per-thread recorders → one report).
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        self.micros.extend(other.micros);
+    }
+
+    pub fn len(&self) -> usize {
+        self.micros.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.micros.is_empty()
+    }
+
+    /// Summarize. Returns `None` when no samples were recorded.
+    pub fn summarize(&self) -> Option<LatencySummary> {
+        if self.micros.is_empty() {
+            return None;
+        }
+        let mut sorted = self.micros.clone();
+        sorted.sort_unstable();
+        let total: u64 = sorted.iter().sum();
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            Duration::from_micros(sorted[idx])
+        };
+        Some(LatencySummary {
+            count: sorted.len(),
+            mean: Duration::from_micros(total / sorted.len() as u64),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: Duration::from_micros(*sorted.last().expect("non-empty")),
+            total: Duration::from_micros(total),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summarizes_to_none() {
+        assert!(LatencyRecorder::new().summarize().is_none());
+    }
+
+    #[test]
+    fn known_values() {
+        let mut r = LatencyRecorder::new();
+        for ms in [10u64, 20, 30, 40, 100] {
+            r.record(Duration::from_millis(ms));
+        }
+        let s = r.summarize().unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.mean, Duration::from_millis(40));
+        assert_eq!(s.p50, Duration::from_millis(30));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.total, Duration::from_millis(200));
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(Duration::from_millis(1));
+        let mut b = LatencyRecorder::new();
+        b.record(Duration::from_millis(3));
+        a.merge(b);
+        let s = a.summarize().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn percentiles_on_single_sample() {
+        let mut r = LatencyRecorder::new();
+        r.record(Duration::from_millis(7));
+        let s = r.summarize().unwrap();
+        assert_eq!(s.p50, Duration::from_millis(7));
+        assert_eq!(s.p99, Duration::from_millis(7));
+    }
+}

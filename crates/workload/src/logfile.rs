@@ -1,0 +1,199 @@
+//! Access-log driven analysis — the paper's §3 methodology.
+//!
+//! "We have studied its log for September and October 1997… After
+//! filtering out HEAD and POST requests, we have re-sent the requests to
+//! the server and timed them. Illegal requests have been removed from
+//! the result file before analyzing the statistics."
+//!
+//! This module does the same for any NCSA Common-Log-Format file (the
+//! format Swala's own `access_log` writes):
+//!
+//! 1. [`parse_clf`] reads the log, keeping successful `GET`s (the
+//!    paper's filter);
+//! 2. [`replay_and_time`] re-sends those requests to a live server and
+//!    measures each response time;
+//! 3. the resulting [`Trace`] feeds [`crate::analysis::analyze_thresholds`]
+//!    to produce Table-1-style potential-savings rows for *your* site.
+
+use crate::trace::{Trace, TraceRequest};
+use std::net::SocketAddr;
+use std::time::Instant;
+use swala::HttpClient;
+
+/// One parsed Common-Log-Format record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClfRecord {
+    pub host: String,
+    pub method: String,
+    pub target: String,
+    pub status: u16,
+    pub bytes: u64,
+}
+
+/// Parse CLF text, skipping malformed lines ("illegal requests have been
+/// removed"). Returns every record; use [`filter_for_replay`] for the
+/// paper's GET-and-successful filter.
+pub fn parse_clf(text: &str) -> Vec<ClfRecord> {
+    text.lines().filter_map(parse_clf_line).collect()
+}
+
+/// Parse one CLF line:
+/// `host - - [date] "METHOD target HTTP/x.y" status bytes`
+pub fn parse_clf_line(line: &str) -> Option<ClfRecord> {
+    let host = line.split_whitespace().next()?.to_string();
+    // The request component is the first quoted string.
+    let quote_start = line.find('"')?;
+    let rest = &line[quote_start + 1..];
+    let quote_end = rest.find('"')?;
+    let request = &rest[..quote_end];
+    let mut parts = request.split_whitespace();
+    let method = parts.next()?.to_string();
+    let target = parts.next()?.to_string();
+    if !target.starts_with('/') {
+        return None;
+    }
+    // status and bytes follow the closing quote.
+    let tail = &rest[quote_end + 1..];
+    let mut tail_parts = tail.split_whitespace();
+    let status: u16 = tail_parts.next()?.parse().ok()?;
+    let bytes: u64 = match tail_parts.next()? {
+        "-" => 0,
+        b => b.parse().ok()?,
+    };
+    Some(ClfRecord { host, method, target, status, bytes })
+}
+
+/// The paper's filter: successful GETs only (HEAD and POST are dropped,
+/// as are errors — an error response is not a cacheable result).
+pub fn filter_for_replay(records: &[ClfRecord]) -> Vec<String> {
+    records
+        .iter()
+        .filter(|r| r.method == "GET" && (200..300).contains(&r.status))
+        .map(|r| r.target.clone())
+        .collect()
+}
+
+/// Re-send `targets` to the server at `addr` sequentially, timing each
+/// response; returns a [`Trace`] whose service times are the measured
+/// wall-clock times in microseconds (ready for threshold analysis).
+///
+/// Failures are recorded with zero service time and reported in the
+/// second return value, mirroring the paper's removal of requests that
+/// no longer resolve.
+pub fn replay_and_time(addr: SocketAddr, targets: &[String]) -> (Trace, usize) {
+    let mut client = HttpClient::new(addr);
+    let mut requests = Vec::with_capacity(targets.len());
+    let mut failures = 0usize;
+    for target in targets {
+        let t0 = Instant::now();
+        match client.get(target) {
+            Ok(resp) if resp.status.is_success() => {
+                let micros = t0.elapsed().as_micros() as u64;
+                let kind = if target.starts_with("/cgi-") || target.contains('?') {
+                    crate::trace::RequestKind::Dynamic
+                } else {
+                    crate::trace::RequestKind::Static
+                };
+                requests.push(TraceRequest {
+                    target: target.clone(),
+                    kind,
+                    service_micros: micros,
+                });
+            }
+            _ => failures += 1,
+        }
+    }
+    (Trace::new(requests), failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+10.0.0.1 - - [28/Jul/1998:12:00:00 +0000] \"GET /cgi-bin/adl?id=1 HTTP/1.0\" 200 2048
+10.0.0.2 - - [28/Jul/1998:12:00:01 +0000] \"POST /cgi-bin/submit HTTP/1.0\" 200 12
+10.0.0.3 - - [28/Jul/1998:12:00:02 +0000] \"HEAD /index.html HTTP/1.0\" 200 0
+10.0.0.4 - - [28/Jul/1998:12:00:03 +0000] \"GET /missing HTTP/1.0\" 404 180
+10.0.0.5 - - [28/Jul/1998:12:00:04 +0000] \"GET /files/a.html HTTP/1.1\" 200 -
+complete garbage line
+10.0.0.6 - - [28/Jul/1998:12:00:05 +0000] \"GET /cgi-bin/adl?id=1 HTTP/1.0\" 200 2048
+";
+
+    #[test]
+    fn parses_wellformed_lines_and_skips_garbage() {
+        let records = parse_clf(SAMPLE);
+        assert_eq!(records.len(), 6, "the garbage line is dropped");
+        assert_eq!(records[0].host, "10.0.0.1");
+        assert_eq!(records[0].method, "GET");
+        assert_eq!(records[0].target, "/cgi-bin/adl?id=1");
+        assert_eq!(records[0].status, 200);
+        assert_eq!(records[0].bytes, 2048);
+        assert_eq!(records[4].bytes, 0, "dash bytes field");
+    }
+
+    #[test]
+    fn replay_filter_matches_paper() {
+        let records = parse_clf(SAMPLE);
+        let targets = filter_for_replay(&records);
+        // POST, HEAD and the 404 are out; two /cgi-bin/adl?id=1 plus the
+        // file remain.
+        assert_eq!(
+            targets,
+            vec![
+                "/cgi-bin/adl?id=1".to_string(),
+                "/files/a.html".to_string(),
+                "/cgi-bin/adl?id=1".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrips_our_own_access_log_format() {
+        // A line produced by swala::accesslog::format_clf must parse.
+        let line = "10.1.2.3 - - [28/Jul/1998:12:00:00 +0000] \
+                    \"GET /cgi-bin/adl?id=1&ms=5 HTTP/1.0\" 200 2048";
+        let r = parse_clf_line(line).unwrap();
+        assert_eq!(r.target, "/cgi-bin/adl?id=1&ms=5");
+        assert_eq!(r.status, 200);
+    }
+
+    #[test]
+    fn replay_against_live_server_produces_timed_trace() {
+        use std::sync::Arc;
+        use swala::{ProgramRegistry, ServerOptions, SimulatedProgram, SwalaServer, WorkKind};
+        let mut registry = ProgramRegistry::new();
+        registry.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+        let server = SwalaServer::start_single(
+            ServerOptions { pool_size: 2, caching_enabled: false, ..Default::default() },
+            registry,
+        )
+        .unwrap();
+        let targets: Vec<String> = vec![
+            "/cgi-bin/adl?id=1&ms=20".into(),
+            "/cgi-bin/adl?id=2&ms=1".into(),
+            "/cgi-bin/adl?id=1&ms=20".into(),
+            "/missing.html".into(), // fails → counted, not traced
+        ];
+        let (trace, failures) = replay_and_time(server.http_addr(), &targets);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(failures, 1);
+        assert_eq!(trace.upper_bound_hits(), 1);
+        // The 20 ms request measured ≥ 20 ms; repeat of the same target.
+        assert!(trace.requests[0].service_micros >= 20_000);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_variants_rejected() {
+        for bad in [
+            "",
+            "no quotes here 200 5",
+            "h - - [d] \"GET\" 200 5",                 // no target
+            "h - - [d] \"GET nopath HTTP/1.0\" 200 5", // relative target
+            "h - - [d] \"GET / HTTP/1.0\" abc 5",      // bad status
+        ] {
+            assert!(parse_clf_line(bad).is_none(), "{bad:?}");
+        }
+    }
+}

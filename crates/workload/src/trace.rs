@@ -1,0 +1,138 @@
+//! The request-trace model.
+
+/// Static file fetch or dynamic (CGI) execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    Static,
+    Dynamic,
+}
+
+/// One request in a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRequest {
+    /// Request target. For dynamic requests the query encodes identity
+    /// and cost (`/cgi-bin/adl?id=N&ms=M`), so replaying the trace
+    /// against a live server reproduces the intended cache behaviour and
+    /// service times with no side channel.
+    pub target: String,
+    pub kind: RequestKind,
+    /// Service time this request costs to execute, in microseconds
+    /// (unscaled — the paper's log is in seconds; live replays scale it).
+    pub service_micros: u64,
+}
+
+impl TraceRequest {
+    /// A dynamic request for entity `id` costing `service_micros`.
+    ///
+    /// `scale_num/scale_den` converts analysis-time microseconds to the
+    /// live `ms=` parameter (e.g. 1 s of paper time → 25 ms live).
+    pub fn dynamic(id: u64, service_micros: u64, live_ms: u64) -> TraceRequest {
+        TraceRequest {
+            target: format!("/cgi-bin/adl?id={id}&ms={live_ms}"),
+            kind: RequestKind::Dynamic,
+            service_micros,
+        }
+    }
+
+    /// A static file request.
+    pub fn file(path: &str, service_micros: u64) -> TraceRequest {
+        TraceRequest { target: path.to_string(), kind: RequestKind::Static, service_micros }
+    }
+}
+
+/// A sequence of requests plus aggregate helpers.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub requests: Vec<TraceRequest>,
+}
+
+impl Trace {
+    pub fn new(requests: Vec<TraceRequest>) -> Self {
+        Trace { requests }
+    }
+
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Number of distinct targets.
+    pub fn unique_targets(&self) -> usize {
+        let mut seen = std::collections::HashSet::with_capacity(self.requests.len());
+        for r in &self.requests {
+            seen.insert(r.target.as_str());
+        }
+        seen.len()
+    }
+
+    /// Requests minus uniques = the theoretical upper bound on cache hits
+    /// with infinite capacity (§5.3: "by counting the exact number of
+    /// unique requests and repeats, we know how many cache hits are
+    /// theoretically possible on a cache of infinite size").
+    pub fn upper_bound_hits(&self) -> usize {
+        self.len() - self.unique_targets()
+    }
+
+    /// Total service time in microseconds.
+    pub fn total_service_micros(&self) -> u64 {
+        self.requests.iter().map(|r| r.service_micros).sum()
+    }
+
+    /// Count and total time of dynamic requests.
+    pub fn dynamic_stats(&self) -> (usize, u64) {
+        self.requests
+            .iter()
+            .filter(|r| r.kind == RequestKind::Dynamic)
+            .fold((0, 0), |(n, t), r| (n + 1, t + r.service_micros))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace::new(vec![
+            TraceRequest::dynamic(1, 1_000_000, 25),
+            TraceRequest::dynamic(2, 2_000_000, 50),
+            TraceRequest::dynamic(1, 1_000_000, 25), // repeat
+            TraceRequest::file("/index.html", 30_000),
+        ])
+    }
+
+    #[test]
+    fn aggregates() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.unique_targets(), 3);
+        assert_eq!(t.upper_bound_hits(), 1);
+        assert_eq!(t.total_service_micros(), 4_030_000);
+        let (n, micros) = t.dynamic_stats();
+        assert_eq!(n, 3);
+        assert_eq!(micros, 4_000_000);
+    }
+
+    #[test]
+    fn dynamic_target_encodes_identity_and_cost() {
+        let r = TraceRequest::dynamic(42, 1_600_000, 40);
+        assert_eq!(r.target, "/cgi-bin/adl?id=42&ms=40");
+        assert_eq!(r.kind, RequestKind::Dynamic);
+    }
+
+    #[test]
+    fn identical_ids_share_targets() {
+        let a = TraceRequest::dynamic(7, 10, 1);
+        let b = TraceRequest::dynamic(7, 10, 1);
+        assert_eq!(a.target, b.target);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.upper_bound_hits(), 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Zipf-distributed sampling over ranks `0..n`.
+//!
+//! Implemented as an inverse-CDF table: exact, allocation-once, and
+//! deterministic under a seeded RNG — properties the hit-ratio
+//! experiments need for reproducibility.
+
+use rand::Rng;
+
+/// A Zipf(s) distribution over `n` ranks (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build for `n ≥ 1` ranks with exponent `s ≥ 0` (s = 0 is uniform).
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when only one rank exists.
+    pub fn is_empty(&self) -> bool {
+        false // n >= 1 by construction
+    }
+
+    /// Sample a rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point: first rank whose CDF value exceeds u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(100, 0.9);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for r in 1..100 {
+            assert!(z.pmf(r) <= z.pmf(r - 1) + 1e-12, "pmf not monotone at {r}");
+        }
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_matches_pmf_roughly() {
+        let z = Zipf::new(50, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate; empirical frequency within 10% of pmf.
+        let f0 = counts[0] as f64 / n as f64;
+        assert!((f0 - z.pmf(0)).abs() / z.pmf(0) < 0.1, "f0={f0}, pmf={}", z.pmf(0));
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[49]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(20, 0.8);
+        let a: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(42), |rng, _| Some(z.sample(rng))).collect();
+        let b: Vec<usize> =
+            (0..100).scan(StdRng::seed_from_u64(42), |rng, _| Some(z.sample(rng))).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # swala-repro
+//!
+//! Facade over the Swala reproduction workspace. Re-exports the pieces
+//! the examples and integration tests compose, so downstream users can
+//! depend on one crate:
+//!
+//! * [`swala`] — the distributed Web server itself;
+//! * [`swala_cluster`] — multi-node orchestration;
+//! * [`swala_workload`] — trace synthesis and load generation;
+//! * [`swala_sim`] — the deterministic cooperative-cache simulator;
+//! * [`swala_baseline`] — the §5.1 comparison servers.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use swala;
+pub use swala_baseline;
+pub use swala_cache;
+pub use swala_cgi;
+pub use swala_cluster;
+pub use swala_http;
+pub use swala_proto;
+pub use swala_sim;
+pub use swala_workload;
+
+/// Workspace version, for examples that print a banner.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
