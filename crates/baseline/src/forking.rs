@@ -52,29 +52,36 @@ impl ForkingServer {
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let served = Arc::clone(&served);
-            std::thread::Builder::new().name("httpd-accept".into()).spawn(move || {
-                for conn in listener.incoming() {
-                    if shutdown.load(Ordering::Acquire) {
-                        return;
+            std::thread::Builder::new()
+                .name("httpd-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let inner = Arc::clone(&inner);
+                        let served = Arc::clone(&served);
+                        // A thread carries the per-request "process": it pays
+                        // a real process spawn before any work, reproducing
+                        // the fork-per-request cost without re-implementing
+                        // the whole server as separate binaries.
+                        let _ = std::thread::Builder::new()
+                            .name("httpd-child".into())
+                            .spawn(move || {
+                                let _ = pay_fork_exec_cost();
+                                handle_one(stream, &inner);
+                                served.fetch_add(1, Ordering::Relaxed);
+                            });
                     }
-                    let Ok(stream) = conn else { continue };
-                    let inner = Arc::clone(&inner);
-                    let served = Arc::clone(&served);
-                    // A thread carries the per-request "process": it pays
-                    // a real process spawn before any work, reproducing
-                    // the fork-per-request cost without re-implementing
-                    // the whole server as separate binaries.
-                    let _ = std::thread::Builder::new()
-                        .name("httpd-child".into())
-                        .spawn(move || {
-                            let _ = pay_fork_exec_cost();
-                            handle_one(stream, &inner);
-                            served.fetch_add(1, Ordering::Relaxed);
-                        });
-                }
-            })?
+                })?
         };
-        Ok(ForkingServer { addr, shutdown, acceptor: Some(acceptor), served })
+        Ok(ForkingServer {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            served,
+        })
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -111,7 +118,10 @@ impl Drop for ForkingServer {
 fn handle_one(stream: TcpStream, inner: &Inner) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_default();
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_default();
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -192,7 +202,10 @@ mod tests {
         let server = ForkingServer::start(Some(dir.clone()), registry()).unwrap();
         let mut client = HttpClient::new(server.addr());
         assert_eq!(client.get("/f.txt").unwrap().body, b"forked file");
-        assert_eq!(client.get("/missing").unwrap().status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            client.get("/missing").unwrap().status,
+            StatusCode::NOT_FOUND
+        );
         server.shutdown();
         let _ = std::fs::remove_dir_all(dir);
     }

@@ -55,18 +55,25 @@ impl ThreadedServer {
             let inner = Arc::clone(&inner);
             let shutdown = Arc::clone(&shutdown);
             let served = Arc::clone(&served);
-            handles.push(std::thread::Builder::new().name(format!("enterprise-{i}")).spawn(
-                move || loop {
-                    let conn = listener.accept();
-                    if shutdown.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let Ok((stream, peer)) = conn else { continue };
-                    serve_connection(stream, &peer.to_string(), &inner, &served, &shutdown);
-                },
-            )?);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("enterprise-{i}"))
+                    .spawn(move || loop {
+                        let conn = listener.accept();
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let Ok((stream, peer)) = conn else { continue };
+                        serve_connection(stream, &peer.to_string(), &inner, &served, &shutdown);
+                    })?,
+            );
         }
-        Ok(ThreadedServer { addr, shutdown, handles, served })
+        Ok(ThreadedServer {
+            addr,
+            shutdown,
+            handles,
+            served,
+        })
     }
 
     pub fn addr(&self) -> SocketAddr {
@@ -159,7 +166,10 @@ fn serve_connection(
         resp.version = req.version;
         resp.set_server(&inner.server_name);
         resp.set_keep_alive(keep);
-        if resp.write_to(&mut writer, req.method.response_has_body()).is_err() {
+        if resp
+            .write_to(&mut writer, req.method.response_has_body())
+            .is_err()
+        {
             return;
         }
         served.fetch_add(1, Ordering::Relaxed);
@@ -179,7 +189,10 @@ mod tests {
     fn registry() -> ProgramRegistry {
         let mut r = ProgramRegistry::new();
         r.register(StdArc::new(null_cgi()));
-        r.register(StdArc::new(SimulatedProgram::trace_driven("adl", WorkKind::Spin)));
+        r.register(StdArc::new(SimulatedProgram::trace_driven(
+            "adl",
+            WorkKind::Spin,
+        )));
         r
     }
 
@@ -190,7 +203,10 @@ mod tests {
         let a = client.get("/cgi-bin/adl?id=1&ms=0").unwrap();
         let b = client.get("/cgi-bin/adl?id=1&ms=0").unwrap();
         assert_eq!(a.body, b.body);
-        assert!(a.headers.get("X-Swala-Cache").is_none(), "no cache machinery at all");
+        assert!(
+            a.headers.get("X-Swala-Cache").is_none(),
+            "no cache machinery at all"
+        );
         std::thread::sleep(Duration::from_millis(50));
         assert_eq!(server.served(), 2);
         server.shutdown();
@@ -217,7 +233,9 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let mut c = HttpClient::new(addr);
                 for i in 0..10 {
-                    let r = c.get(&format!("/cgi-bin/adl?id={}&ms=0", t * 10 + i)).unwrap();
+                    let r = c
+                        .get(&format!("/cgi-bin/adl?id={}&ms=0", t * 10 + i))
+                        .unwrap();
                     assert!(r.status.is_success());
                 }
             }));

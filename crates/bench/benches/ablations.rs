@@ -122,7 +122,9 @@ fn bench_wire_codec(c: &mut Criterion) {
     let msg = Message::InsertNotice { meta };
     let encoded = msg.encode();
     let mut group = c.benchmark_group("wire");
-    group.bench_function("encode_insert_notice", |b| b.iter(|| black_box(msg.encode())));
+    group.bench_function("encode_insert_notice", |b| {
+        b.iter(|| black_box(msg.encode()))
+    });
     group.bench_function("decode_insert_notice", |b| {
         b.iter(|| black_box(Message::decode(&encoded).unwrap()))
     });

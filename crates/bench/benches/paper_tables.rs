@@ -30,7 +30,11 @@ fn bench_table2_file_fetch(c: &mut Criterion) {
     let docroot = std::env::temp_dir().join(format!("swala-bench-t2-{}", std::process::id()));
     materialize_docroot(&docroot).unwrap();
     let server = SwalaServer::start_single(
-        ServerOptions { docroot: Some(docroot.clone()), pool_size: 4, ..Default::default() },
+        ServerOptions {
+            docroot: Some(docroot.clone()),
+            pool_size: 4,
+            ..Default::default()
+        },
         ProgramRegistry::new(),
     )
     .unwrap();
@@ -56,14 +60,21 @@ fn bench_fig3_nullcgi(c: &mut Criterion) {
     let mut nocache_registry = ProgramRegistry::new();
     nocache_registry.register(ForkedCgi::wrap(Arc::new(null_cgi())));
     let nocache = SwalaServer::start_single(
-        ServerOptions { caching_enabled: false, pool_size: 4, ..Default::default() },
+        ServerOptions {
+            caching_enabled: false,
+            pool_size: 4,
+            ..Default::default()
+        },
         nocache_registry,
     )
     .unwrap();
     // Two-node cached pair, node 0 warmed.
     let pair = custom_cluster(
         2,
-        |_| ServerOptions { pool_size: 4, ..Default::default() },
+        |_| ServerOptions {
+            pool_size: 4,
+            ..Default::default()
+        },
         |_| {
             let mut r = ProgramRegistry::new();
             r.register(ForkedCgi::wrap(Arc::new(null_cgi())));
@@ -71,7 +82,9 @@ fn bench_fig3_nullcgi(c: &mut Criterion) {
         },
     )
     .unwrap();
-    HttpClient::new(pair[0].http_addr()).get("/cgi-bin/nullcgi").unwrap();
+    HttpClient::new(pair[0].http_addr())
+        .get("/cgi-bin/nullcgi")
+        .unwrap();
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while pair[1].manager().directory().total_len() == 0 {
         assert!(std::time::Instant::now() < deadline);
@@ -109,7 +122,11 @@ fn bench_fig4_scaling(c: &mut Criterion) {
         group.bench_function(format!("simulate_adl_{nodes}_nodes"), |b| {
             b.iter(|| {
                 black_box(simulate(
-                    &SimConfig { nodes, capacity: 2000, ..Default::default() },
+                    &SimConfig {
+                        nodes,
+                        capacity: 2000,
+                        ..Default::default()
+                    },
                     &trace,
                 ))
             })
@@ -133,7 +150,11 @@ fn bench_table3_insert_overhead(c: &mut Criterion) {
         }
     });
     let manager = CacheManager::new(
-        CacheManagerConfig { num_nodes: 2, capacity: 1_000_000, ..Default::default() },
+        CacheManagerConfig {
+            num_nodes: 2,
+            capacity: 1_000_000,
+            ..Default::default()
+        },
         Box::new(MemStore::new()),
     );
     let broadcaster = Broadcaster::new(NodeId(0), [(NodeId(1), sink_addr)]);
@@ -147,7 +168,13 @@ fn bench_table3_insert_overhead(c: &mut Criterion) {
                 other => panic!("{other:?}"),
             };
             let out = manager
-                .complete_execution(&key, b"result", "text/html", Duration::from_millis(1), &decision)
+                .complete_execution(
+                    &key,
+                    b"result",
+                    "text/html",
+                    Duration::from_millis(1),
+                    &decision,
+                )
                 .unwrap();
             if let swala_cache::InsertOutcome::Inserted { meta, .. } = out {
                 black_box(broadcaster.broadcast(&Message::InsertNotice { meta }));
@@ -156,11 +183,52 @@ fn bench_table3_insert_overhead(c: &mut Criterion) {
     });
 }
 
+/// The broadcast pipeline's caller-side primitive: one encode + one
+/// bounded enqueue per link, whether peers are reachable or not.
+fn bench_broadcast_enqueue(c: &mut Criterion) {
+    use swala_cache::{CacheKey, EntryMeta, NodeId};
+    use swala_proto::{Broadcaster, Message};
+    let dead = || {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        drop(l);
+        addr
+    };
+    let mut group = c.benchmark_group("broadcast");
+    for peers in [1usize, 8] {
+        let b = Broadcaster::new(
+            NodeId(0),
+            (0..peers).map(|i| (NodeId(i as u16 + 1), dead())),
+        );
+        let mut n = 0u64;
+        group.bench_function(format!("enqueue_{peers}_dead_peers"), |bench| {
+            bench.iter(|| {
+                n += 1;
+                let meta = EntryMeta::new(
+                    CacheKey::new(format!("/cgi-bin/adl?id={n}")),
+                    NodeId(0),
+                    256,
+                    "text/html",
+                    1_000_000,
+                    None,
+                    n,
+                );
+                black_box(b.broadcast(&Message::InsertNotice { meta }))
+            })
+        });
+        b.shutdown();
+    }
+    group.finish();
+}
+
 /// Table 4's primitive: applying a peer's insert notice to the directory.
 fn bench_table4_directory_updates(c: &mut Criterion) {
     use swala_cache::{CacheKey, CacheManager, CacheManagerConfig, EntryMeta, MemStore, NodeId};
     let manager = CacheManager::new(
-        CacheManagerConfig { num_nodes: 8, ..Default::default() },
+        CacheManagerConfig {
+            num_nodes: 8,
+            ..Default::default()
+        },
         Box::new(MemStore::new()),
     );
     let mut n = 0u64;
@@ -185,13 +253,24 @@ fn bench_table4_directory_updates(c: &mut Criterion) {
 fn bench_table56_hit_ratio(c: &mut Criterion) {
     let trace = section53_trace(53, 1);
     let mut group = c.benchmark_group("table56");
-    for (label, capacity) in [("table5_large_cache", 2000usize), ("table6_small_cache", 20)] {
+    for (label, capacity) in [
+        ("table5_large_cache", 2000usize),
+        ("table6_small_cache", 20),
+    ] {
         for cooperative in [false, true] {
-            let name = format!("{label}_{}", if cooperative { "coop" } else { "standalone" });
+            let name = format!(
+                "{label}_{}",
+                if cooperative { "coop" } else { "standalone" }
+            );
             group.bench_function(name, |b| {
                 b.iter(|| {
                     black_box(simulate(
-                        &SimConfig { nodes: 8, capacity, cooperative, ..Default::default() },
+                        &SimConfig {
+                            nodes: 8,
+                            capacity,
+                            cooperative,
+                            ..Default::default()
+                        },
                         &trace,
                     ))
                 })
@@ -210,6 +289,7 @@ criterion_group! {
         bench_fig3_nullcgi,
         bench_fig4_scaling,
         bench_table3_insert_overhead,
+        bench_broadcast_enqueue,
         bench_table4_directory_updates,
         bench_table56_hit_ratio,
 }

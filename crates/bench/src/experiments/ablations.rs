@@ -25,10 +25,19 @@ pub fn run_policies() -> TableReport {
         let mut cells = vec![capacity.to_string()];
         for policy in PolicyKind::ALL {
             let r = simulate(
-                &SimConfig { nodes: 4, capacity, policy, ..Default::default() },
+                &SimConfig {
+                    nodes: 4,
+                    capacity,
+                    policy,
+                    ..Default::default()
+                },
                 &trace,
             );
-            cells.push(format!("{} ({})", r.hits(), fmt_pct(r.pct_of_upper_bound(upper))));
+            cells.push(format!(
+                "{} ({})",
+                r.hits(),
+                fmt_pct(r.pct_of_upper_bound(upper))
+            ));
         }
         report.row(cells);
     }
@@ -53,7 +62,12 @@ pub fn run_policies_hetero() -> TableReport {
     );
     for policy in PolicyKind::ALL {
         let r = simulate(
-            &SimConfig { nodes: 4, capacity: 60, policy, ..Default::default() },
+            &SimConfig {
+                nodes: 4,
+                capacity: 60,
+                policy,
+                ..Default::default()
+            },
             &trace,
         );
         report.row(vec![
@@ -86,7 +100,12 @@ pub fn run_false_consistency() -> TableReport {
     );
     for delay in [0u64, 1, 2, 4, 8, 16, 64] {
         let r = simulate(
-            &SimConfig { nodes: 4, capacity: 20, broadcast_delay: delay, ..Default::default() },
+            &SimConfig {
+                nodes: 4,
+                capacity: 20,
+                broadcast_delay: delay,
+                ..Default::default()
+            },
             &trace,
         );
         report.row(vec![

@@ -1,0 +1,195 @@
+//! Broadcast pipeline — notice fan-out off the request critical path.
+//!
+//! §4.2 sends cache notices asynchronously; the weak-consistency design
+//! tolerates stale directories, so the request thread should pay only an
+//! O(1) enqueue per broadcast, independent of how many peers exist and of
+//! whether they are reachable. Two measurements:
+//!
+//! 1. Caller-side cost of `Broadcaster::broadcast` against live sink
+//!    peers at several cluster sizes, and against entirely dead peers —
+//!    the enqueue must cost microseconds either way.
+//! 2. A live node whose only peer is dead answering unique cacheable
+//!    requests (miss + store + insert + broadcast each): its mean
+//!    response must track a fully-alive pair, because connect timeouts
+//!    and retries happen on writer threads, not request threads.
+
+use crate::report::{fmt_ms, TableReport};
+use crate::scale;
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+use swala::{BoundSwala, HttpClient, ServerOptions, SwalaServer};
+use swala_cache::{CacheKey, EntryMeta, NodeId};
+use swala_cgi::{ProgramRegistry, SimulatedProgram, WorkKind};
+use swala_proto::{Broadcaster, Message};
+
+/// An address that refuses connections: bind, record, drop.
+fn dead_addr() -> SocketAddr {
+    let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = l.local_addr().expect("addr");
+    drop(l);
+    addr
+}
+
+/// Spawn a sink peer that drains frames forever; returns its address.
+fn sink_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut s) = conn else { return };
+            std::thread::spawn(move || while let Ok(Some(_)) = swala_proto::read_frame(&mut s) {});
+        }
+    });
+    addr
+}
+
+fn notice(n: u64) -> Message {
+    Message::InsertNotice {
+        meta: EntryMeta::new(
+            CacheKey::new(format!("/cgi-bin/adl?id={n}")),
+            NodeId(0),
+            256,
+            "text/html",
+            1_000_000,
+            None,
+            n,
+        ),
+    }
+}
+
+/// Mean caller-side microseconds per broadcast, plus final (sent, dropped).
+fn enqueue_cost(peer_addrs: Vec<SocketAddr>, rounds: u64) -> (f64, u64, u64) {
+    let peers: Vec<(NodeId, SocketAddr)> = peer_addrs
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| (NodeId(i as u16 + 1), a))
+        .collect();
+    let b = Broadcaster::new(NodeId(0), peers);
+    for n in 0..rounds / 10 {
+        b.broadcast(&notice(n));
+    }
+    let t0 = Instant::now();
+    for n in 0..rounds {
+        std::hint::black_box(b.broadcast(&notice(n)));
+    }
+    let micros = t0.elapsed().as_secs_f64() * 1e6 / rounds as f64;
+    b.flush(Duration::from_secs(5));
+    let (sent, dropped) = b.counters();
+    b.shutdown();
+    (micros, sent, dropped)
+}
+
+/// Mean response time (ms) of `requests` unique cacheable requests against
+/// a node whose single peer is either a live node or a dead address.
+fn live_insert_mean(dead_peer: bool, requests: usize, ms: u64) -> f64 {
+    fn registry() -> ProgramRegistry {
+        let mut r = ProgramRegistry::new();
+        r.register(std::sync::Arc::new(SimulatedProgram::trace_driven(
+            "adl",
+            WorkKind::Sleep,
+        )));
+        r
+    }
+    let options = |node: u16| ServerOptions {
+        node: NodeId(node),
+        num_nodes: 2,
+        pool_size: 4,
+        sync_on_join: false,
+        ..Default::default()
+    };
+    let mut servers: Vec<SwalaServer> = Vec::new();
+    let node0 = if dead_peer {
+        BoundSwala::bind(options(0), registry())
+            .and_then(|b| b.start(vec![None, Some(dead_addr())]))
+            .expect("start node")
+    } else {
+        let b0 = BoundSwala::bind(options(0), registry()).expect("bind");
+        let b1 = BoundSwala::bind(options(1), registry()).expect("bind");
+        let addrs = vec![Some(b0.cache_addr()), Some(b1.cache_addr())];
+        let n0 = b0.start(addrs.clone()).expect("start node");
+        servers.push(b1.start(addrs).expect("start peer"));
+        n0
+    };
+    let mut client = HttpClient::new(node0.http_addr());
+    // Warm the connection and the pool.
+    for n in 0..requests / 10 {
+        client
+            .get(&format!("/cgi-bin/adl?id=w{n}&ms={ms}"))
+            .expect("warmup");
+    }
+    let mut total = 0.0;
+    for n in 0..requests {
+        let t0 = Instant::now();
+        let resp = client
+            .get(&format!("/cgi-bin/adl?id=m{n}&ms={ms}"))
+            .expect("request");
+        assert!(resp.status.is_success());
+        total += t0.elapsed().as_secs_f64();
+    }
+    drop(client);
+    node0.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+    total / requests as f64 * 1e3
+}
+
+pub fn run() -> TableReport {
+    let quick = scale::quick();
+    let rounds: u64 = if quick { 5_000 } else { 20_000 };
+    let requests = if quick { 60 } else { 200 };
+    let ms = 2u64;
+
+    let mut report = TableReport::new(
+        "broadcast",
+        "Broadcast pipeline: request-thread cost of notice fan-out",
+        &["scenario", "peers", "mean cost", "sent", "dropped"],
+    );
+
+    for peers in [1usize, 2, 4, 8] {
+        let (us, sent, dropped) = enqueue_cost((0..peers).map(|_| sink_addr()).collect(), rounds);
+        report.row(vec![
+            "enqueue, live sinks".into(),
+            peers.to_string(),
+            format!("{us:.2} us"),
+            sent.to_string(),
+            dropped.to_string(),
+        ]);
+    }
+    let (us_dead, sent_dead, dropped_dead) =
+        enqueue_cost((0..4).map(|_| dead_addr()).collect(), rounds);
+    assert_eq!(sent_dead, 0, "dead peers must never be counted as sent");
+    assert!(dropped_dead > 0, "dead peers must shed load as drops");
+    report.row(vec![
+        "enqueue, dead peers".into(),
+        "4".to_string(),
+        format!("{us_dead:.2} us"),
+        sent_dead.to_string(),
+        dropped_dead.to_string(),
+    ]);
+
+    let alive = live_insert_mean(false, requests, ms);
+    let dead = live_insert_mean(true, requests, ms);
+    report.row(vec![
+        "live insert, peer alive".into(),
+        "1".into(),
+        format!("{} ms", fmt_ms(alive)),
+        String::new(),
+        String::new(),
+    ]);
+    report.row(vec![
+        "live insert, peer dead".into(),
+        "1".into(),
+        format!("{} ms", fmt_ms(dead)),
+        String::new(),
+        String::new(),
+    ]);
+    report.note(format!(
+        "live insert mean (ms): alive {} vs dead {} ({:+.1}%) — a dead peer must not slow the request path",
+        fmt_ms(alive),
+        fmt_ms(dead),
+        (dead - alive) / alive * 1e2,
+    ));
+    report.note("caller cost is one encode + one bounded enqueue per link; connects, retries and timeouts happen on writer threads");
+    report
+}

@@ -17,9 +17,8 @@ use swala_workload::LoadGenerator;
 const TARGET: &str = "/cgi-bin/nullcgi";
 
 fn measure(addr: std::net::SocketAddr, clients: usize, per_client: usize) -> f64 {
-    let report = LoadGenerator::new(clients).run_sampler(&[addr], per_client, 3, |_| {
-        TARGET.to_string()
-    });
+    let report =
+        LoadGenerator::new(clients).run_sampler(&[addr], per_client, 3, |_| TARGET.to_string());
     assert_eq!(report.errors, 0, "nullcgi errors against {addr}");
     report.latency.mean.as_secs_f64() * 1e3
 }
@@ -48,7 +47,11 @@ pub fn run() -> TableReport {
 
     // Swala, caching disabled.
     let nocache = SwalaServer::start_single(
-        ServerOptions { caching_enabled: false, pool_size: 16, ..Default::default() },
+        ServerOptions {
+            caching_enabled: false,
+            pool_size: 16,
+            ..Default::default()
+        },
         forked_registry(),
     )
     .expect("swala no-cache");
@@ -61,7 +64,10 @@ pub fn run() -> TableReport {
     // all the requests from WebStone are sent to the second node").
     let servers = custom_cluster(
         2,
-        |_| ServerOptions { pool_size: 16, ..Default::default() },
+        |_| ServerOptions {
+            pool_size: 16,
+            ..Default::default()
+        },
         |_| forked_registry(),
     )
     .expect("swala pair");
@@ -70,7 +76,10 @@ pub fn run() -> TableReport {
         warm.get(TARGET).expect("warm node 0");
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         while servers[1].manager().directory().total_len() == 0 {
-            assert!(std::time::Instant::now() < deadline, "insert notice never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "insert notice never arrived"
+            );
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
     }

@@ -14,7 +14,11 @@ use swala_sim::{simulate_queueing, QueueConfig};
 use swala_workload::{synthesize_adl_trace, AdlTraceConfig, LoadGenerator, RequestKind};
 
 pub fn run() -> TableReport {
-    let node_counts: &[usize] = if scale::quick() { &[1, 4] } else { &[1, 2, 4, 8] };
+    let node_counts: &[usize] = if scale::quick() {
+        &[1, 4]
+    } else {
+        &[1, 2, 4, 8]
+    };
     let trace_len = if scale::quick() { 300 } else { 800 };
     let clients = 16; // "each of two clients starts eight threads"
 
@@ -35,7 +39,14 @@ pub fn run() -> TableReport {
     let mut report = TableReport::new(
         "fig4",
         "Multi-node mean response time (ms), synthetic ADL workload, 16 client threads",
-        &["#nodes", "no cache", "coop cache", "improvement", "speedup(nc)", "speedup(cc)"],
+        &[
+            "#nodes",
+            "no cache",
+            "coop cache",
+            "improvement",
+            "speedup(nc)",
+            "speedup(cc)",
+        ],
     );
 
     let mut base_nc = None;
@@ -54,7 +65,10 @@ pub fn run() -> TableReport {
             .expect("start cluster");
             let report_run =
                 LoadGenerator::new(clients).replay_shared(&cluster.http_addrs(), &targets);
-            assert_eq!(report_run.errors, 0, "replay errors at {nodes} nodes caching={caching}");
+            assert_eq!(
+                report_run.errors, 0,
+                "replay errors at {nodes} nodes caching={caching}"
+            );
             means[i] = report_run.latency.mean.as_secs_f64() * 1e3;
             cluster.shutdown();
         }
@@ -88,12 +102,23 @@ pub fn run_sim() -> TableReport {
     let mut report = TableReport::new(
         "fig4-sim",
         "Figure 4, queueing model (paper-seconds): 16 closed-loop clients",
-        &["#nodes", "no cache (s)", "coop cache (s)", "improvement", "speedup(cc)"],
+        &[
+            "#nodes",
+            "no cache (s)",
+            "coop cache (s)",
+            "improvement",
+            "speedup(cc)",
+        ],
     );
     let mut base_cc = None;
     for nodes in [1usize, 2, 4, 8, 12, 16] {
         let coop = simulate_queueing(
-            &QueueConfig { nodes, clients: 16, cooperative: true, ..Default::default() },
+            &QueueConfig {
+                nodes,
+                clients: 16,
+                cooperative: true,
+                ..Default::default()
+            },
             &trace,
         );
         let nocache = simulate_queueing(
@@ -106,8 +131,10 @@ pub fn run_sim() -> TableReport {
             },
             &trace,
         );
-        let (nc, cc) =
-            (nocache.mean_response_micros / 1e6, coop.mean_response_micros / 1e6);
+        let (nc, cc) = (
+            nocache.mean_response_micros / 1e6,
+            coop.mean_response_micros / 1e6,
+        );
         let base_cc = *base_cc.get_or_insert(cc);
         report.row(vec![
             nodes.to_string(),

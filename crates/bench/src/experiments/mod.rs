@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure, plus the ablations.
 
 pub mod ablations;
+pub mod broadcast;
 pub mod fig3;
 pub mod fig4;
 pub mod table1;
@@ -13,8 +14,20 @@ use crate::report::TableReport;
 
 /// Every experiment id the `tables` binary accepts, in paper order.
 pub const ALL_IDS: &[&str] = &[
-    "table1", "table2", "fig3", "fig4", "fig4-sim", "table3", "table4", "table5", "table6", "policies",
-    "policies-hetero", "falsemiss", "locking",
+    "table1",
+    "table2",
+    "fig3",
+    "fig4",
+    "fig4-sim",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "policies",
+    "policies-hetero",
+    "falsemiss",
+    "locking",
+    "broadcast",
 ];
 
 /// Run one experiment by id.
@@ -33,6 +46,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "policies-hetero" => ablations::run_policies_hetero(),
         "falsemiss" => ablations::run_false_consistency(),
         "locking" => ablations::run_locking(),
+        "broadcast" => broadcast::run(),
         _ => return None,
     })
 }

@@ -17,7 +17,14 @@ pub fn run() -> TableReport {
     let mut report = TableReport::new(
         "table1",
         "Potential time saving by caching CGI (synthesized ADL trace)",
-        &["threshold", "#long", "#repeats", "#uniq", "saved (s)", "saved %"],
+        &[
+            "threshold",
+            "#long",
+            "#repeats",
+            "#uniq",
+            "saved (s)",
+            "saved %",
+        ],
     );
     for r in &rows {
         report.row(vec![

@@ -12,7 +12,11 @@ use swala_baseline::{ForkingServer, ThreadedServer};
 use swala_workload::{materialize_docroot, FileMix, LoadGenerator};
 
 pub fn run() -> TableReport {
-    let clients_list: &[usize] = if scale::quick() { &[4, 16] } else { &[4, 8, 16, 24] };
+    let clients_list: &[usize] = if scale::quick() {
+        &[4, 16]
+    } else {
+        &[4, 8, 16, 24]
+    };
     let per_client = if scale::quick() { 25 } else { 60 };
 
     let docroot = std::env::temp_dir().join(format!("swala-table2-{}", std::process::id()));
@@ -29,18 +33,22 @@ pub fn run() -> TableReport {
         // client counts.
         let httpd = ForkingServer::start(Some(docroot.clone()), ProgramRegistry::new())
             .expect("start forking server");
-        let enterprise =
-            ThreadedServer::start(Some(docroot.clone()), ProgramRegistry::new(), 16)
-                .expect("start threaded server");
+        let enterprise = ThreadedServer::start(Some(docroot.clone()), ProgramRegistry::new(), 16)
+            .expect("start threaded server");
         let swala = SwalaServer::start_single(
-            ServerOptions { docroot: Some(docroot.clone()), pool_size: 16, ..Default::default() },
+            ServerOptions {
+                docroot: Some(docroot.clone()),
+                pool_size: 16,
+                ..Default::default()
+            },
             ProgramRegistry::new(),
         )
         .expect("start swala");
 
         let run = |addr| {
-            LoadGenerator::new(clients)
-                .run_sampler(&[addr], per_client, 1998, |rng| FileMix::sample(rng).to_string())
+            LoadGenerator::new(clients).run_sampler(&[addr], per_client, 1998, |rng| {
+                FileMix::sample(rng).to_string()
+            })
         };
         let httpd_report = run(httpd.addr());
         let ent_report = run(enterprise.addr());
@@ -55,7 +63,10 @@ pub fn run() -> TableReport {
             fmt_ms(s),
             format!("{:.1}x", h / s.max(1e-9)),
         ]);
-        assert_eq!(httpd_report.errors + ent_report.errors + swala_report.errors, 0);
+        assert_eq!(
+            httpd_report.errors + ent_report.errors + swala_report.errors,
+            0
+        );
 
         httpd.shutdown();
         enterprise.shutdown();

@@ -9,10 +9,10 @@
 
 use crate::report::{fmt_ms, TableReport};
 use crate::scale;
+use std::time::Instant;
 use swala::HttpClient;
 use swala_cgi::WorkKind;
 use swala_cluster::{ClusterConfig, SwalaCluster};
-use std::time::Instant;
 
 pub fn run() -> TableReport {
     let node_counts: &[usize] = if scale::quick() { &[2, 4] } else { &[2, 4, 8] };
@@ -51,7 +51,10 @@ pub fn run() -> TableReport {
             if caching {
                 let stats = cluster.node(0).cache_stats();
                 assert_eq!(stats.inserts, requests as u64, "every request must insert");
-                assert_eq!(stats.broadcasts_sent, requests as u64, "every insert broadcasts once");
+                assert_eq!(
+                    stats.broadcasts_sent, requests as u64,
+                    "every insert broadcasts once"
+                );
             }
             cluster.shutdown();
         }
@@ -64,6 +67,8 @@ pub fn run() -> TableReport {
         ]);
     }
     report.note("paper: \"the miss and insert overhead is insignificant and independent of the number of server nodes\" (exact cell values lost in the available text)");
-    report.note(format!("scale: 1 paper-second = {ms} live ms; all requests sequential to node 0"));
+    report.note(format!(
+        "scale: 1 paper-second = {ms} live ms; all requests sequential to node 0"
+    ));
     report
 }

@@ -10,13 +10,17 @@
 use crate::report::{fmt_ms, TableReport};
 use crate::scale;
 use crate::servers::gated_sleep_registry;
+use std::time::Instant;
 use swala::{HttpClient, ServerOptions, SwalaServer};
 use swala_cache::CacheRules;
 use swala_cluster::PseudoServer;
-use std::time::Instant;
 
 pub fn run() -> TableReport {
-    let ups_list: &[u64] = if scale::quick() { &[0, 400] } else { &[0, 100, 400, 1600] };
+    let ups_list: &[u64] = if scale::quick() {
+        &[0, 400]
+    } else {
+        &[0, 100, 400, 1600]
+    };
     let requests = if scale::quick() { 60 } else { 180 };
     let ms = scale::ms_per_paper_second().round() as u64;
 
@@ -46,7 +50,9 @@ pub fn run() -> TableReport {
         let mut total = 0.0;
         for n in 0..requests {
             let t0 = Instant::now();
-            let resp = client.get(&format!("/cgi-bin/adl?id={n}&ms={ms}")).expect("request");
+            let resp = client
+                .get(&format!("/cgi-bin/adl?id={n}&ms={ms}"))
+                .expect("request");
             assert!(resp.status.is_success());
             total += t0.elapsed().as_secs_f64();
         }
@@ -54,15 +60,24 @@ pub fn run() -> TableReport {
         let sent = pseudo.stop();
         if ups > 0 {
             assert!(sent > 0, "pseudo-server sent nothing at {ups} UPS");
-            assert!(server.cache_stats().updates_applied > 0, "no updates applied");
+            assert!(
+                server.cache_stats().updates_applied > 0,
+                "no updates applied"
+            );
         }
         assert_eq!(server.cache_stats().uncacheable, requests as u64);
         server.shutdown();
 
         let base = *base.get_or_insert(mean);
-        report.row(vec![ups.to_string(), fmt_ms(mean), format!("{:+.2}", mean - base)]);
+        report.row(vec![
+            ups.to_string(),
+            fmt_ms(mean),
+            format!("{:+.2}", mean - base),
+        ]);
     }
     report.note("paper: \"the increase in response time on the one-second requests is insignificant\" at every tested UPS");
-    report.note(format!("scale: 1 paper-second = {ms} live ms; pseudo-server impersonates 7 peers"));
+    report.note(format!(
+        "scale: 1 paper-second = {ms} live ms; pseudo-server impersonates 7 peers"
+    ));
     report
 }

@@ -28,7 +28,12 @@ impl TableReport {
 
     /// Append a row; must match the header count.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width mismatch in {}", self.id);
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in {}",
+            self.id
+        );
         self.rows.push(cells);
     }
 
@@ -106,7 +111,11 @@ mod tests {
         // Line layout: title, headers, separator, rows...
         let lines: Vec<&str> = text.lines().collect();
         assert!(lines[2].contains("---"), "separator line");
-        assert!(lines[3].ends_with(" 1"), "right-aligned value cell: {:?}", lines[3]);
+        assert!(
+            lines[3].ends_with(" 1"),
+            "right-aligned value cell: {:?}",
+            lines[3]
+        );
     }
 
     #[test]

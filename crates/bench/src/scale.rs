@@ -19,7 +19,9 @@ pub fn ms_per_paper_second() -> f64 {
 
 /// Whether quick mode is on (smaller request counts, same shapes).
 pub fn quick() -> bool {
-    std::env::var("SWALA_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("SWALA_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@ use std::sync::Arc;
 use swala::{BoundSwala, ServerOptions, SwalaServer};
 use swala_baseline::ForkedCgi;
 use swala_cache::NodeId;
-use swala_cgi::{null_cgi, CpuGate, GatedProgram, Program, ProgramRegistry, SimulatedProgram, WorkKind};
+use swala_cgi::{
+    null_cgi, CpuGate, GatedProgram, Program, ProgramRegistry, SimulatedProgram, WorkKind,
+};
 
 /// Registry used by the §5.1 comparisons: the paper's `nullcgi` plus the
 /// trace-driven `adl` program, each behind a real `fork`+`exec` (the CGI
@@ -14,7 +16,10 @@ use swala_cgi::{null_cgi, CpuGate, GatedProgram, Program, ProgramRegistry, Simul
 pub fn forked_registry() -> ProgramRegistry {
     let mut r = ProgramRegistry::new();
     r.register(ForkedCgi::wrap(Arc::new(null_cgi())));
-    r.register(ForkedCgi::wrap(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep))));
+    r.register(ForkedCgi::wrap(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Sleep,
+    ))));
     r
 }
 
@@ -61,7 +66,10 @@ mod tests {
     fn custom_cluster_wires_peers() {
         let servers = custom_cluster(
             2,
-            |_| ServerOptions { pool_size: 2, ..Default::default() },
+            |_| ServerOptions {
+                pool_size: 2,
+                ..Default::default()
+            },
             |_| forked_registry(),
         )
         .unwrap();

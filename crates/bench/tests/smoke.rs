@@ -24,8 +24,13 @@ fn table5_sim_rows_match_paper_regime() {
         assert_eq!(cell(&r, row, 2), "478");
     }
     // Stand-alone declines monotonically.
-    let standalone: Vec<u64> = (1..5).map(|row| cell(&r, row, 1).parse().unwrap()).collect();
-    assert!(standalone.windows(2).all(|w| w[1] <= w[0]), "{standalone:?}");
+    let standalone: Vec<u64> = (1..5)
+        .map(|row| cell(&r, row, 1).parse().unwrap())
+        .collect();
+    assert!(
+        standalone.windows(2).all(|w| w[1] <= w[0]),
+        "{standalone:?}"
+    );
 }
 
 #[test]
@@ -55,8 +60,14 @@ fn policies_hetero_cost_aware_saves_most_time() {
         let row = r.rows.iter().find(|row| row[0] == name).unwrap();
         row[4].trim_end_matches('%').parse().unwrap()
     };
-    assert!(saved_pct("gds") > saved_pct("lru"), "gds beats lru on saved time");
-    assert!(saved_pct("cost") > saved_pct("lru"), "cost beats lru on saved time");
+    assert!(
+        saved_pct("gds") > saved_pct("lru"),
+        "gds beats lru on saved time"
+    );
+    assert!(
+        saved_pct("cost") > saved_pct("lru"),
+        "cost beats lru on saved time"
+    );
 }
 
 #[test]
@@ -78,7 +89,10 @@ fn fig4_sim_shapes() {
     // Caching improves every row; response time falls monotonically
     // with nodes in both modes.
     let col = |row: usize, col: usize| -> f64 {
-        r.rows[row][col].trim_end_matches(['%', 'x']).parse().unwrap()
+        r.rows[row][col]
+            .trim_end_matches(['%', 'x'])
+            .parse()
+            .unwrap()
     };
     for row in 0..6 {
         assert!(col(row, 2) < col(row, 1), "coop faster at row {row}");

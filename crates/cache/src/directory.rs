@@ -43,7 +43,9 @@ impl CacheDirectory {
         assert!(local.index() < num_nodes, "local node out of range");
         CacheDirectory {
             local,
-            tables: (0..num_nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+            tables: (0..num_nodes)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 
@@ -92,7 +94,9 @@ impl CacheDirectory {
     /// Returns the replaced entry, if any. Used both for local inserts and
     /// for applying a remote node's insert broadcast.
     pub fn insert(&self, node: NodeId, meta: EntryMeta) -> Option<EntryMeta> {
-        self.tables[node.index()].write().insert(meta.key.clone(), meta)
+        self.tables[node.index()]
+            .write()
+            .insert(meta.key.clone(), meta)
     }
 
     /// Remove `key` from `node`'s table; returns the removed entry.
@@ -154,7 +158,9 @@ impl CacheDirectory {
         let mut evicted = Vec::new();
         let mut t = self.tables[self.local.index()].write();
         while t.len() > capacity {
-            let Some(victim_key) = policy.choose_victim(t.values()) else { break };
+            let Some(victim_key) = policy.choose_victim(t.values()) else {
+                break;
+            };
             if let Some(victim) = t.remove(&victim_key) {
                 policy.on_evict(&victim);
                 evicted.push(victim);
@@ -173,8 +179,11 @@ impl CacheDirectory {
         let mut out = Vec::new();
         {
             let mut t = self.tables[self.local.index()].write();
-            let dead: Vec<CacheKey> =
-                t.values().filter(|m| m.is_expired_at(now)).map(|m| m.key.clone()).collect();
+            let dead: Vec<CacheKey> = t
+                .values()
+                .filter(|m| m.is_expired_at(now))
+                .map(|m| m.key.clone())
+                .collect();
             for k in dead {
                 if let Some(m) = t.remove(&k) {
                     out.push(m);
@@ -310,7 +319,11 @@ mod tests {
         assert_eq!(purged.len(), 1);
         assert_eq!(purged[0].key.as_str(), "/dead-local");
         assert_eq!(d.len(NodeId(0)), 1);
-        assert_eq!(d.len(NodeId(1)), 0, "expired remote metadata dropped silently");
+        assert_eq!(
+            d.len(NodeId(1)),
+            0,
+            "expired remote metadata dropped silently"
+        );
     }
 
     #[test]
@@ -326,7 +339,10 @@ mod tests {
             1,
         );
         d.insert(NodeId(0), m);
-        assert!(matches!(d.classify(&CacheKey::new("/ttl")), Classification::Local(_)));
+        assert!(matches!(
+            d.classify(&CacheKey::new("/ttl")),
+            Classification::Local(_)
+        ));
         assert!(d.purge_expired().is_empty());
     }
 
@@ -341,7 +357,10 @@ mod tests {
         let d2 = CacheDirectory::new(2, NodeId(0));
         d2.load_snapshot(NodeId(1), snap);
         assert_eq!(d2.len(NodeId(1)), 2);
-        assert!(matches!(d2.classify(&CacheKey::new("/s1")), Classification::Remote(_)));
+        assert!(matches!(
+            d2.classify(&CacheKey::new("/s1")),
+            Classification::Remote(_)
+        ));
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl EntryMeta {
 
 /// Current Unix time in whole seconds.
 pub fn unix_now() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or(Duration::ZERO).as_secs()
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_secs()
 }
 
 #[cfg(test)]
@@ -92,7 +95,15 @@ mod tests {
     use super::*;
 
     fn meta(ttl: Option<Duration>) -> EntryMeta {
-        EntryMeta::new(CacheKey::new("/cgi-bin/x?a=1"), NodeId(2), 512, "text/html", 40_000, ttl, 7)
+        EntryMeta::new(
+            CacheKey::new("/cgi-bin/x?a=1"),
+            NodeId(2),
+            512,
+            "text/html",
+            40_000,
+            ttl,
+            7,
+        )
     }
 
     #[test]

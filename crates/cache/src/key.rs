@@ -85,10 +85,14 @@ mod tests {
     #[test]
     fn stable_hash_is_stable_and_discriminating() {
         let a = CacheKey::new("/cgi-bin/adl?id=1");
-        assert_eq!(a.stable_hash(), CacheKey::new("/cgi-bin/adl?id=1").stable_hash());
+        assert_eq!(
+            a.stable_hash(),
+            CacheKey::new("/cgi-bin/adl?id=1").stable_hash()
+        );
         // FNV-1a of distinct short strings should differ.
-        let hashes: HashSet<u64> =
-            (0..1000).map(|i| CacheKey::new(format!("/cgi-bin/adl?id={i}")).stable_hash()).collect();
+        let hashes: HashSet<u64> = (0..1000)
+            .map(|i| CacheKey::new(format!("/cgi-bin/adl?id={i}")).stable_hash())
+            .collect();
         assert_eq!(hashes.len(), 1000);
     }
 

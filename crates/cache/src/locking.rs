@@ -43,7 +43,9 @@ pub struct GlobalLockDirectory {
 
 impl GlobalLockDirectory {
     pub fn new(num_nodes: usize) -> Self {
-        GlobalLockDirectory { tables: RwLock::new(vec![HashMap::new(); num_nodes]) }
+        GlobalLockDirectory {
+            tables: RwLock::new(vec![HashMap::new(); num_nodes]),
+        }
     }
 }
 
@@ -79,7 +81,9 @@ pub struct TableLockDirectory {
 
 impl TableLockDirectory {
     pub fn new(num_nodes: usize) -> Self {
-        TableLockDirectory { inner: CacheDirectory::new(num_nodes, NodeId(0)) }
+        TableLockDirectory {
+            inner: CacheDirectory::new(num_nodes, NodeId(0)),
+        }
     }
 }
 
@@ -154,7 +158,9 @@ impl DirectoryOps for EntryLockDirectory {
     fn insert(&self, node: NodeId, meta: EntryMeta) {
         let shard = self.shard_of(&meta.key);
         let key = meta.key.clone();
-        self.tables[node.index()][shard].write().insert(key, Arc::new(Mutex::new(meta)));
+        self.tables[node.index()][shard]
+            .write()
+            .insert(key, Arc::new(Mutex::new(meta)));
     }
 
     fn remove(&self, node: NodeId, key: &CacheKey) {
@@ -185,7 +191,9 @@ impl HybridLockDirectory {
         assert!(num_nodes >= 1);
         HybridLockDirectory {
             local: EntryLockDirectory::new(1),
-            remote: (1..num_nodes).map(|_| RwLock::new(HashMap::new())).collect(),
+            remote: (1..num_nodes)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
         }
     }
 }
@@ -209,7 +217,9 @@ impl DirectoryOps for HybridLockDirectory {
         if node.index() == 0 {
             self.local.insert(NodeId(0), meta);
         } else {
-            self.remote[node.index() - 1].write().insert(meta.key.clone(), meta);
+            self.remote[node.index() - 1]
+                .write()
+                .insert(meta.key.clone(), meta);
         }
     }
 

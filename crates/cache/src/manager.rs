@@ -56,7 +56,10 @@ pub enum LookupResult {
     /// [`CacheManager::complete_execution`]. `first_in_flight` is false
     /// when an identical request is already executing on this node — the
     /// paper's first false-miss scenario.
-    Miss { decision: CacheDecision, first_in_flight: bool },
+    Miss {
+        decision: CacheDecision,
+        first_in_flight: bool,
+    },
     /// Cached in the local store: here is the body.
     LocalHit { meta: EntryMeta, body: Vec<u8> },
     /// Cached at a remote node: the caller must fetch over the wire.
@@ -67,7 +70,10 @@ pub enum LookupResult {
 #[derive(Debug)]
 pub enum InsertOutcome {
     /// Entry inserted; broadcast `meta` and (separately) the evictions.
-    Inserted { meta: EntryMeta, evicted: Vec<EntryMeta> },
+    Inserted {
+        meta: EntryMeta,
+        evicted: Vec<EntryMeta>,
+    },
     /// Below the execution-time threshold (or uncacheable): nothing kept.
     Discarded,
 }
@@ -152,7 +158,8 @@ impl CacheManager {
             Classification::Local(meta) => match self.store.get(key) {
                 Ok(body) => {
                     let seq = self.next_seq();
-                    self.directory.record_hit(self.local, key, seq, &mut self.policy.lock());
+                    self.directory
+                        .record_hit(self.local, key, seq, &mut self.policy.lock());
                     CacheStats::bump(&self.stats.local_hits);
                     LookupResult::LocalHit { meta, body }
                 }
@@ -180,7 +187,10 @@ impl CacheManager {
             // rather than waiting (§4.2, false-miss scenario 1).
             CacheStats::bump(&self.stats.false_misses);
         }
-        LookupResult::Miss { decision, first_in_flight: first }
+        LookupResult::Miss {
+            decision,
+            first_in_flight: first,
+        }
     }
 
     /// Figure 2, bottom half: the CGI ran successfully in `exec` time.
@@ -250,7 +260,8 @@ impl CacheManager {
         match self.store.get(key) {
             Ok(body) => {
                 let seq = self.next_seq();
-                self.directory.record_hit(self.local, key, seq, &mut self.policy.lock());
+                self.directory
+                    .record_hit(self.local, key, seq, &mut self.policy.lock());
                 Some((meta, body))
             }
             Err(_) => None,
@@ -373,7 +384,8 @@ mod tests {
             LookupResult::Miss { decision, .. } => decision,
             other => panic!("expected miss, got {other:?}"),
         };
-        m.complete_execution(k, body, "text/html", Duration::from_millis(100), &decision).unwrap()
+        m.complete_execution(k, body, "text/html", Duration::from_millis(100), &decision)
+            .unwrap()
     }
 
     #[test]
@@ -404,11 +416,17 @@ mod tests {
     #[test]
     fn uncacheable_rules_short_circuit() {
         let m = CacheManager::new(
-            CacheManagerConfig { rules: CacheRules::deny_all(), ..Default::default() },
+            CacheManagerConfig {
+                rules: CacheRules::deny_all(),
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         );
         let k = key("/cgi-bin/a");
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Uncacheable));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Uncacheable
+        ));
         assert_eq!(m.stats().snapshot().uncacheable, 1);
         assert_eq!(m.stats().snapshot().lookups, 0);
     }
@@ -417,7 +435,10 @@ mod tests {
     fn threshold_discards_fast_results() {
         let rules = CacheRules::parse("cache * min_ms=500\n").unwrap();
         let m = CacheManager::new(
-            CacheManagerConfig { rules, ..Default::default() },
+            CacheManagerConfig {
+                rules,
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         );
         let k = key("/cgi-bin/fast");
@@ -429,7 +450,10 @@ mod tests {
             .complete_execution(&k, b"x", "text/html", Duration::from_millis(10), &decision)
             .unwrap();
         assert!(matches!(out, InsertOutcome::Discarded));
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss { .. }
+        ));
         assert_eq!(m.stats().snapshot().discards, 1);
     }
 
@@ -438,18 +462,35 @@ mod tests {
         let m = manager(10);
         let k = key("/cgi-bin/slow?x=1");
         let first = m.lookup(&k, k.as_str());
-        assert!(matches!(first, LookupResult::Miss { first_in_flight: true, .. }));
+        assert!(matches!(
+            first,
+            LookupResult::Miss {
+                first_in_flight: true,
+                ..
+            }
+        ));
         let second = m.lookup(&k, k.as_str());
-        assert!(matches!(second, LookupResult::Miss { first_in_flight: false, .. }));
+        assert!(matches!(
+            second,
+            LookupResult::Miss {
+                first_in_flight: false,
+                ..
+            }
+        ));
         assert_eq!(m.stats().snapshot().false_misses, 1);
         // Both complete; second insert replaces the first harmlessly.
         if let LookupResult::Miss { decision, .. } = first {
-            m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision).unwrap();
+            m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision)
+                .unwrap();
         }
         if let LookupResult::Miss { decision, .. } = second {
-            m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision).unwrap();
+            m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision)
+                .unwrap();
         }
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::LocalHit { .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::LocalHit { .. }
+        ));
     }
 
     #[test]
@@ -463,7 +504,10 @@ mod tests {
         let s = m.stats().snapshot();
         assert_eq!(s.evictions, 1);
         // The oldest key is gone from directory and store alike.
-        assert!(matches!(m.lookup(&key("/cgi-bin/e?i=0"), "/cgi-bin/e?i=0"), LookupResult::Miss { .. }));
+        assert!(matches!(
+            m.lookup(&key("/cgi-bin/e?i=0"), "/cgi-bin/e?i=0"),
+            LookupResult::Miss { .. }
+        ));
         assert!(matches!(
             m.lookup(&key("/cgi-bin/e?i=2"), "/cgi-bin/e?i=2"),
             LookupResult::LocalHit { .. }
@@ -476,8 +520,7 @@ mod tests {
     fn remote_insert_classifies_remote_then_false_hit_fallback() {
         let m = manager(10);
         let k = key("/cgi-bin/r?x=1");
-        let remote_meta =
-            EntryMeta::new(k.clone(), NodeId(2), 4, "text/html", 1_000_000, None, 1);
+        let remote_meta = EntryMeta::new(k.clone(), NodeId(2), 4, "text/html", 1_000_000, None, 1);
         m.apply_remote_insert(remote_meta);
         match m.lookup(&k, k.as_str()) {
             LookupResult::RemoteHit { meta } => assert_eq!(meta.owner, NodeId(2)),
@@ -488,9 +531,18 @@ mod tests {
         assert_eq!(m.stats().snapshot().false_hits, 1);
         m.begin_fallback_execution(&k);
         let decision = CacheRules::allow_all().decide(k.as_str());
-        m.complete_execution(&k, b"recomputed", "text/html", Duration::from_millis(20), &decision)
-            .unwrap();
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::LocalHit { .. }));
+        m.complete_execution(
+            &k,
+            b"recomputed",
+            "text/html",
+            Duration::from_millis(20),
+            &decision,
+        )
+        .unwrap();
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::LocalHit { .. }
+        ));
     }
 
     #[test]
@@ -498,7 +550,10 @@ mod tests {
         let m = manager(10);
         let k = key("/cgi-bin/race?x=1");
         let decision = match m.lookup(&k, k.as_str()) {
-            LookupResult::Miss { decision, first_in_flight: true } => decision,
+            LookupResult::Miss {
+                decision,
+                first_in_flight: true,
+            } => decision,
             other => panic!("{other:?}"),
         };
         // Peer's insert notice lands mid-execution.
@@ -507,7 +562,8 @@ mod tests {
         // Our completion still inserts locally — both copies exist,
         // matching the paper ("the same information will be cached at two
         // nodes").
-        m.complete_execution(&k, b"dup", "t", Duration::from_millis(5), &decision).unwrap();
+        m.complete_execution(&k, b"dup", "t", Duration::from_millis(5), &decision)
+            .unwrap();
         assert_eq!(m.directory().len(NodeId(0)), 1);
         assert_eq!(m.directory().len(NodeId(1)), 1);
     }
@@ -516,9 +572,21 @@ mod tests {
     fn abort_releases_in_flight() {
         let m = manager(10);
         let k = key("/cgi-bin/fail");
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { first_in_flight: true, .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss {
+                first_in_flight: true,
+                ..
+            }
+        ));
         m.abort_execution(&k);
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { first_in_flight: true, .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss {
+                first_in_flight: true,
+                ..
+            }
+        ));
         assert_eq!(m.stats().snapshot().false_misses, 0);
     }
 
@@ -540,9 +608,15 @@ mod tests {
         let m = manager(10);
         let k = key("/cgi-bin/del");
         m.apply_remote_insert(EntryMeta::new(k.clone(), NodeId(1), 4, "t", 1000, None, 1));
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::RemoteHit { .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::RemoteHit { .. }
+        ));
         m.apply_remote_delete(NodeId(1), &k);
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss { .. }
+        ));
         m.abort_execution(&k);
         assert_eq!(m.stats().snapshot().updates_applied, 2);
     }
@@ -551,7 +625,10 @@ mod tests {
     fn purge_expired_deletes_files() {
         let rules = CacheRules::parse("cache * ttl=1\n").unwrap();
         let m = CacheManager::new(
-            CacheManagerConfig { rules, ..Default::default() },
+            CacheManagerConfig {
+                rules,
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         );
         let k = key("/cgi-bin/ttl");
@@ -559,7 +636,8 @@ mod tests {
             LookupResult::Miss { decision, .. } => decision,
             other => panic!("{other:?}"),
         };
-        m.complete_execution(&k, b"x", "t", Duration::from_millis(10), &decision).unwrap();
+        m.complete_execution(&k, b"x", "t", Duration::from_millis(10), &decision)
+            .unwrap();
         // Force expiry by rewriting the entry's clock.
         let mut meta = m.directory().get(NodeId(0), &k).unwrap();
         meta.expires_unix = Some(1);
@@ -567,7 +645,10 @@ mod tests {
         let dead = m.purge_expired();
         assert_eq!(dead.len(), 1);
         assert_eq!(m.stats().snapshot().expirations, 1);
-        assert!(matches!(m.lookup(&k, k.as_str()), LookupResult::Miss { .. }));
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss { .. }
+        ));
     }
 
     #[test]
@@ -597,6 +678,9 @@ mod tests {
             LookupResult::Miss { .. } => {}
             other => panic!("expected self-healing miss, got {other:?}"),
         }
-        assert!(m.directory().get(NodeId(0), &k).is_none(), "stale entry dropped");
+        assert!(
+            m.directory().get(NodeId(0), &k).is_none(),
+            "stale entry dropped"
+        );
     }
 }

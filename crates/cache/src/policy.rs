@@ -166,13 +166,24 @@ mod tests {
     use std::time::Duration;
 
     fn entry(key: &str, size: u64, exec: u64, seq: u64) -> EntryMeta {
-        EntryMeta::new(CacheKey::new(key), NodeId(0), size, "text/html", exec, None, seq)
+        EntryMeta::new(
+            CacheKey::new(key),
+            NodeId(0),
+            size,
+            "text/html",
+            exec,
+            None,
+            seq,
+        )
     }
 
     #[test]
     fn kind_parsing() {
         assert_eq!("LRU".parse::<PolicyKind>().unwrap(), PolicyKind::Lru);
-        assert_eq!("gds".parse::<PolicyKind>().unwrap(), PolicyKind::GreedyDualSize);
+        assert_eq!(
+            "gds".parse::<PolicyKind>().unwrap(),
+            PolicyKind::GreedyDualSize
+        );
         assert!("clock".parse::<PolicyKind>().is_err());
         for k in PolicyKind::ALL {
             assert_eq!(k.as_str().parse::<PolicyKind>().unwrap(), k);
@@ -219,7 +230,10 @@ mod tests {
         let a = entry("/a", 100, 10, 1);
         let b = entry("/b", 5000, 10, 2);
         let c = entry("/c", 700, 10, 3);
-        assert_eq!(p.choose_victim([&a, &b, &c].into_iter()).unwrap().as_str(), "/b");
+        assert_eq!(
+            p.choose_victim([&a, &b, &c].into_iter()).unwrap().as_str(),
+            "/b"
+        );
     }
 
     #[test]
@@ -228,7 +242,10 @@ mod tests {
         let a = entry("/a", 10, 900_000, 1);
         let b = entry("/b", 10, 1_000, 2);
         let c = entry("/c", 10, 50_000, 3);
-        assert_eq!(p.choose_victim([&a, &b, &c].into_iter()).unwrap().as_str(), "/b");
+        assert_eq!(
+            p.choose_victim([&a, &b, &c].into_iter()).unwrap().as_str(),
+            "/b"
+        );
     }
 
     #[test]
@@ -238,7 +255,9 @@ mod tests {
         let mut dear_small = entry("/dear-small", 100, 1_000_000, 2);
         p.on_insert(&mut cheap_big);
         p.on_insert(&mut dear_small);
-        let v = p.choose_victim([&cheap_big, &dear_small].into_iter()).unwrap();
+        let v = p
+            .choose_victim([&cheap_big, &dear_small].into_iter())
+            .unwrap();
         assert_eq!(v.as_str(), "/cheap-big");
     }
 
@@ -277,7 +296,10 @@ mod tests {
         let p = Policy::new(PolicyKind::Lru);
         let a = entry("/b", 10, 10, 1);
         let b = entry("/a", 10, 10, 1);
-        assert_eq!(p.choose_victim([&a, &b].into_iter()).unwrap().as_str(), "/a");
+        assert_eq!(
+            p.choose_victim([&a, &b].into_iter()).unwrap().as_str(),
+            "/a"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub enum CacheDecision {
     /// Never cache (matched a `nocache` rule or no rule at all).
     Uncacheable,
     /// Cacheable if execution takes at least `min_exec`; lives for `ttl`.
-    Cacheable { ttl: Option<Duration>, min_exec: Duration },
+    Cacheable {
+        ttl: Option<Duration>,
+        min_exec: Duration,
+    },
 }
 
 impl CacheDecision {
@@ -125,7 +128,10 @@ impl CacheRules {
                 .ok_or_else(|| format!("line {}: missing pattern", lineno + 1))?
                 .to_string();
             if !pattern.starts_with('/') && pattern != "*" {
-                return Err(format!("line {}: pattern must start with '/' or be '*'", lineno + 1));
+                return Err(format!(
+                    "line {}: pattern must start with '/' or be '*'",
+                    lineno + 1
+                ));
             }
             let mut ttl = None;
             let mut min_exec = Duration::ZERO;
@@ -147,7 +153,12 @@ impl CacheRules {
             if !cacheable && (ttl.is_some() || min_exec > Duration::ZERO) {
                 return Err(format!("line {}: nocache takes no directives", lineno + 1));
             }
-            rules.push(Rule { pattern, cacheable, ttl, min_exec });
+            rules.push(Rule {
+                pattern,
+                cacheable,
+                ttl,
+                min_exec,
+            });
         }
         Ok(CacheRules { rules })
     }
@@ -158,7 +169,10 @@ impl CacheRules {
         for rule in &self.rules {
             if rule.matches(path) {
                 return if rule.cacheable {
-                    CacheDecision::Cacheable { ttl: rule.ttl, min_exec: rule.min_exec }
+                    CacheDecision::Cacheable {
+                        ttl: rule.ttl,
+                        min_exec: rule.min_exec,
+                    }
                 } else {
                     CacheDecision::Uncacheable
                 };
@@ -183,7 +197,10 @@ cache   /cgi-bin/*         min_ms=1000
     fn parse_and_first_match_wins() {
         let r = CacheRules::parse(SAMPLE).unwrap();
         assert_eq!(r.len(), 3);
-        assert_eq!(r.decide("/cgi-bin/private/secret"), CacheDecision::Uncacheable);
+        assert_eq!(
+            r.decide("/cgi-bin/private/secret"),
+            CacheDecision::Uncacheable
+        );
         assert_eq!(
             r.decide("/cgi-bin/adl?id=1"),
             CacheDecision::Cacheable {
@@ -193,7 +210,10 @@ cache   /cgi-bin/*         min_ms=1000
         );
         assert_eq!(
             r.decide("/cgi-bin/other"),
-            CacheDecision::Cacheable { ttl: None, min_exec: Duration::from_millis(1000) }
+            CacheDecision::Cacheable {
+                ttl: None,
+                min_exec: Duration::from_millis(1000)
+            }
         );
         assert_eq!(r.decide("/static/file.html"), CacheDecision::Uncacheable);
     }
@@ -201,7 +221,10 @@ cache   /cgi-bin/*         min_ms=1000
     #[test]
     fn exact_pattern_requires_equality() {
         let r = CacheRules::parse("cache /cgi-bin/map\n").unwrap();
-        assert!(matches!(r.decide("/cgi-bin/map"), CacheDecision::Cacheable { .. }));
+        assert!(matches!(
+            r.decide("/cgi-bin/map"),
+            CacheDecision::Cacheable { .. }
+        ));
         assert_eq!(r.decide("/cgi-bin/mapx"), CacheDecision::Uncacheable);
         assert_eq!(r.decide("/cgi-bin/map/sub"), CacheDecision::Uncacheable);
     }
@@ -209,7 +232,10 @@ cache   /cgi-bin/*         min_ms=1000
     #[test]
     fn star_matches_everything() {
         let r = CacheRules::parse("cache *\n").unwrap();
-        assert!(matches!(r.decide("/anything"), CacheDecision::Cacheable { .. }));
+        assert!(matches!(
+            r.decide("/anything"),
+            CacheDecision::Cacheable { .. }
+        ));
     }
 
     #[test]
@@ -221,18 +247,35 @@ cache   /cgi-bin/*         min_ms=1000
 
     #[test]
     fn parse_errors_carry_line_numbers() {
-        assert!(CacheRules::parse("frobnicate /x").unwrap_err().contains("line 1"));
-        assert!(CacheRules::parse("cache").unwrap_err().contains("missing pattern"));
-        assert!(CacheRules::parse("cache relative/x").unwrap_err().contains("line 1"));
-        assert!(CacheRules::parse("cache /x ttl=abc").unwrap_err().contains("bad ttl"));
-        assert!(CacheRules::parse("cache /x min_ms=--").unwrap_err().contains("bad min_ms"));
-        assert!(CacheRules::parse("cache /x wat=1").unwrap_err().contains("unknown directive"));
-        assert!(CacheRules::parse("nocache /x ttl=3").unwrap_err().contains("no directives"));
+        assert!(CacheRules::parse("frobnicate /x")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(CacheRules::parse("cache")
+            .unwrap_err()
+            .contains("missing pattern"));
+        assert!(CacheRules::parse("cache relative/x")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(CacheRules::parse("cache /x ttl=abc")
+            .unwrap_err()
+            .contains("bad ttl"));
+        assert!(CacheRules::parse("cache /x min_ms=--")
+            .unwrap_err()
+            .contains("bad min_ms"));
+        assert!(CacheRules::parse("cache /x wat=1")
+            .unwrap_err()
+            .contains("unknown directive"));
+        assert!(CacheRules::parse("nocache /x ttl=3")
+            .unwrap_err()
+            .contains("no directives"));
     }
 
     #[test]
     fn min_exec_threshold_gates_insert() {
-        let d = CacheDecision::Cacheable { ttl: None, min_exec: Duration::from_millis(100) };
+        let d = CacheDecision::Cacheable {
+            ttl: None,
+            min_exec: Duration::from_millis(100),
+        };
         assert!(!d.should_insert(Duration::from_millis(99)));
         assert!(d.should_insert(Duration::from_millis(100)));
         assert!(d.should_insert(Duration::from_secs(5)));
@@ -241,7 +284,10 @@ cache   /cgi-bin/*         min_ms=1000
 
     #[test]
     fn deny_and_allow_all() {
-        assert_eq!(CacheRules::deny_all().decide("/x"), CacheDecision::Uncacheable);
+        assert_eq!(
+            CacheRules::deny_all().decide("/x"),
+            CacheDecision::Uncacheable
+        );
         assert!(CacheRules::deny_all().is_empty());
         assert!(matches!(
             CacheRules::allow_all().decide("/x"),

@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Magic bytes + version for the disk-entry header.
 const MAGIC: &[u8; 4] = b"SWC1";
@@ -116,16 +117,38 @@ impl From<&EntryMeta> for HeaderMeta {
 /// place, so a concurrent reader never observes a torn body.
 pub struct DiskStore {
     root: PathBuf,
-    /// Write serial for temp-name uniqueness within the process.
+    /// Write serial for temp-name uniqueness within the process; also
+    /// serialises the exists/rename/remove windows that keep `count`
+    /// consistent with the directory contents.
     serial: Mutex<u64>,
+    /// Entry count, maintained on every mutation so `len()` is O(1)
+    /// instead of a directory scan per call.
+    count: AtomicUsize,
 }
 
 impl DiskStore {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`. The entry
+    /// count is established with a single scan here; afterwards `len()`
+    /// never touches the filesystem.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskStore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(DiskStore { root, serial: Mutex::new(0) })
+        let count = Self::scan_count(&root);
+        Ok(DiskStore {
+            root,
+            serial: Mutex::new(0),
+            count: AtomicUsize::new(count),
+        })
+    }
+
+    fn scan_count(root: &Path) -> usize {
+        fs::read_dir(root)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "swc"))
+                    .count()
+            })
+            .unwrap_or(0)
     }
 
     /// The root directory.
@@ -171,9 +194,13 @@ impl DiskStore {
             return None;
         }
         let key_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-        let key = std::str::from_utf8(take(&mut at, key_len)?).ok()?.to_string();
+        let key = std::str::from_utf8(take(&mut at, key_len)?)
+            .ok()?
+            .to_string();
         let ct_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
-        let content_type = std::str::from_utf8(take(&mut at, ct_len)?).ok()?.to_string();
+        let content_type = std::str::from_utf8(take(&mut at, ct_len)?)
+            .ok()?
+            .to_string();
         let exec_micros = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
         let has_expiry = take(&mut at, 1)?[0];
         let expires_raw = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
@@ -201,14 +228,24 @@ impl Store for DiskStore {
             *s += 1;
             *s
         };
-        let tmp = self.root.join(format!(".tmp-{}-{serial}", std::process::id()));
+        let tmp = self
+            .root
+            .join(format!(".tmp-{}-{serial}", std::process::id()));
         {
             let mut f = fs::File::create(&tmp)?;
             f.write_all(&Self::encode_header(key, meta))?;
             f.write_all(body)?;
             f.flush()?;
         }
-        fs::rename(&tmp, &final_path)
+        // Hold the serial lock across exists+rename so a racing put of
+        // the same key cannot double-increment the count.
+        let _guard = self.serial.lock();
+        let existed = final_path.exists();
+        fs::rename(&tmp, &final_path)?;
+        if !existed {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>> {
@@ -222,8 +259,12 @@ impl Store for DiskStore {
     }
 
     fn delete(&self, key: &CacheKey) -> io::Result<()> {
+        let _guard = self.serial.lock();
         match fs::remove_file(self.path_for(key)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.count.fetch_sub(1, Ordering::Relaxed);
+                Ok(())
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
         }
@@ -234,17 +275,13 @@ impl Store for DiskStore {
     }
 
     fn len(&self) -> usize {
-        fs::read_dir(&self.root)
-            .map(|rd| {
-                rd.filter_map(|e| e.ok())
-                    .filter(|e| e.path().extension().is_some_and(|x| x == "swc"))
-                    .count()
-            })
-            .unwrap_or(0)
+        self.count.load(Ordering::Relaxed)
     }
 
     fn recover(&self) -> Vec<RecoveredEntry> {
-        let Ok(rd) = fs::read_dir(&self.root) else { return Vec::new() };
+        let Ok(rd) = fs::read_dir(&self.root) else {
+            return Vec::new();
+        };
         let mut out = Vec::new();
         for entry in rd.filter_map(|e| e.ok()) {
             let path = entry.path();
@@ -367,11 +404,18 @@ mod tests {
         let root = tmp_root("distinct");
         let s = DiskStore::open(&root).unwrap();
         for i in 0..20 {
-            s.put(&CacheKey::new(format!("/k?i={i}")), format!("body{i}").as_bytes()).unwrap();
+            s.put(
+                &CacheKey::new(format!("/k?i={i}")),
+                format!("body{i}").as_bytes(),
+            )
+            .unwrap();
         }
         assert_eq!(s.len(), 20);
         for i in 0..20 {
-            assert_eq!(s.get(&CacheKey::new(format!("/k?i={i}"))).unwrap(), format!("body{i}").as_bytes());
+            assert_eq!(
+                s.get(&CacheKey::new(format!("/k?i={i}"))).unwrap(),
+                format!("body{i}").as_bytes()
+            );
         }
         let _ = fs::remove_dir_all(root);
     }
@@ -477,6 +521,35 @@ mod tests {
         fs::write(s.path_for(&k), b"garbage").unwrap();
         let err = s.get(&k).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn disk_len_tracks_mutations_without_scanning() {
+        let root = tmp_root("lencount");
+        // Foreign files present before open are not counted.
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join("unrelated.txt"), b"ignore").unwrap();
+        let s = DiskStore::open(&root).unwrap();
+        assert_eq!(s.len(), 0);
+        let a = CacheKey::new("/a");
+        let b = CacheKey::new("/b");
+        s.put(&a, b"1").unwrap();
+        s.put(&b, b"2").unwrap();
+        assert_eq!(s.len(), 2);
+        // Overwrite does not change the count.
+        s.put(&a, b"1v2").unwrap();
+        assert_eq!(s.len(), 2);
+        // Deleting an absent key does not underflow.
+        s.delete(&CacheKey::new("/missing")).unwrap();
+        assert_eq!(s.len(), 2);
+        s.delete(&a).unwrap();
+        s.delete(&a).unwrap();
+        assert_eq!(s.len(), 1);
+        // Reopen re-establishes the count from disk.
+        drop(s);
+        let s2 = DiskStore::open(&root).unwrap();
+        assert_eq!(s2.len(), 1);
         let _ = fs::remove_dir_all(root);
     }
 

@@ -19,14 +19,21 @@ pub fn build_env(req: &CgiRequest) -> Vec<(String, String)> {
         ("GATEWAY_INTERFACE".to_string(), "CGI/1.1".to_string()),
         ("SERVER_SOFTWARE".to_string(), SERVER_SOFTWARE.to_string()),
         ("SERVER_PROTOCOL".to_string(), "HTTP/1.0".to_string()),
-        ("REQUEST_METHOD".to_string(), req.method.as_str().to_string()),
+        (
+            "REQUEST_METHOD".to_string(),
+            req.method.as_str().to_string(),
+        ),
         ("SCRIPT_NAME".to_string(), req.script_name.clone()),
         ("QUERY_STRING".to_string(), req.query_string.clone()),
         ("SERVER_NAME".to_string(), req.server_name.clone()),
         ("SERVER_PORT".to_string(), req.server_port.to_string()),
     ];
     // REMOTE_ADDR without the port, as CGI specifies.
-    let addr = req.remote_addr.rsplit_once(':').map(|(h, _)| h).unwrap_or(&req.remote_addr);
+    let addr = req
+        .remote_addr
+        .rsplit_once(':')
+        .map(|(h, _)| h)
+        .unwrap_or(&req.remote_addr);
     env.push(("REMOTE_ADDR".to_string(), addr.to_string()));
     if !req.body.is_empty() {
         env.push(("CONTENT_LENGTH".to_string(), req.body.len().to_string()));

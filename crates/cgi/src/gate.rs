@@ -30,7 +30,11 @@ impl CpuGate {
     /// Gate with `cores` concurrent execution slots.
     pub fn new(cores: usize) -> Arc<CpuGate> {
         assert!(cores >= 1, "a node needs at least one core");
-        Arc::new(CpuGate { slots: Mutex::new(cores), available: Condvar::new(), cores })
+        Arc::new(CpuGate {
+            slots: Mutex::new(cores),
+            available: Condvar::new(),
+            cores,
+        })
     }
 
     /// Number of slots.
@@ -45,7 +49,9 @@ impl CpuGate {
             slots = self.available.wait(slots).expect("gate poisoned");
         }
         *slots -= 1;
-        CpuSlot { gate: Arc::clone(self) }
+        CpuSlot {
+            gate: Arc::clone(self),
+        }
     }
 }
 
@@ -116,7 +122,11 @@ mod tests {
             }
         });
         // 4 × 20 ms through a 1-core gate must serialize to ≥ 80 ms.
-        assert!(started.elapsed() >= Duration::from_millis(80), "{:?}", started.elapsed());
+        assert!(
+            started.elapsed() >= Duration::from_millis(80),
+            "{:?}",
+            started.elapsed()
+        );
     }
 
     #[test]

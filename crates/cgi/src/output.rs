@@ -57,7 +57,11 @@ impl CgiOutput {
         if !saw_any {
             return None;
         }
-        Some(CgiOutput { status, content_type, body: raw[body_start..].to_vec() })
+        Some(CgiOutput {
+            status,
+            content_type,
+            body: raw[body_start..].to_vec(),
+        })
     }
 
     /// Serialize to the CGI wire form (header block + blank line + body).
@@ -66,7 +70,12 @@ impl CgiOutput {
         out.extend_from_slice(format!("Content-Type: {}\r\n", self.content_type).as_bytes());
         if self.status != StatusCode::OK {
             out.extend_from_slice(
-                format!("Status: {} {}\r\n", self.status.as_u16(), self.status.reason()).as_bytes(),
+                format!(
+                    "Status: {} {}\r\n",
+                    self.status.as_u16(),
+                    self.status.reason()
+                )
+                .as_bytes(),
             );
         }
         out.extend_from_slice(b"\r\n");

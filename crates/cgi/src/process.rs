@@ -24,7 +24,11 @@ pub struct ProcessProgram {
 impl ProcessProgram {
     /// Program that runs `executable` per request.
     pub fn new(name: &str, executable: impl Into<PathBuf>) -> Self {
-        ProcessProgram { name: name.to_string(), executable: executable.into(), args: Vec::new() }
+        ProcessProgram {
+            name: name.to_string(),
+            executable: executable.into(),
+            args: Vec::new(),
+        }
     }
 
     /// Add a fixed command-line argument.
@@ -40,7 +44,11 @@ impl Program for ProcessProgram {
         cmd.args(&self.args)
             .env_clear()
             .envs(build_env(req))
-            .stdin(if req.body.is_empty() { Stdio::null() } else { Stdio::piped() })
+            .stdin(if req.body.is_empty() {
+                Stdio::null()
+            } else {
+                Stdio::piped()
+            })
             .stdout(Stdio::piped())
             .stderr(Stdio::null());
         let mut child = cmd.spawn()?;
@@ -127,14 +135,22 @@ mod tests {
     fn nonzero_exit_is_error() {
         let dir = tmpdir("fail");
         let exe = script(&dir, "fail.sh", "#!/bin/sh\nexit 3\n");
-        assert!(ProcessProgram::new("fail", exe).run(&cgi("/cgi-bin/f")).is_err());
+        assert!(ProcessProgram::new("fail", exe)
+            .run(&cgi("/cgi-bin/f"))
+            .is_err());
     }
 
     #[test]
     fn missing_header_block_is_error() {
         let dir = tmpdir("nohead");
-        let exe = script(&dir, "nohead.sh", "#!/bin/sh\necho 'just text, no headers'\n");
-        let err = ProcessProgram::new("nohead", exe).run(&cgi("/cgi-bin/n")).unwrap_err();
+        let exe = script(
+            &dir,
+            "nohead.sh",
+            "#!/bin/sh\necho 'just text, no headers'\n",
+        );
+        let err = ProcessProgram::new("nohead", exe)
+            .run(&cgi("/cgi-bin/n"))
+            .unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
@@ -152,7 +168,9 @@ mod tests {
             "notfound.sh",
             "#!/bin/sh\nprintf 'Content-Type: text/html\\nStatus: 404 Not Found\\n\\nmissing'\n",
         );
-        let out = ProcessProgram::new("nf", exe).run(&cgi("/cgi-bin/nf")).unwrap();
+        let out = ProcessProgram::new("nf", exe)
+            .run(&cgi("/cgi-bin/nf"))
+            .unwrap();
         assert_eq!(out.status, swala_http::StatusCode::NOT_FOUND);
     }
 }

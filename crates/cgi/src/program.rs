@@ -29,7 +29,12 @@ pub struct CgiRequest {
 
 impl CgiRequest {
     /// Build the program-facing view from a parsed HTTP request.
-    pub fn from_http(req: &Request, remote_addr: &str, server_name: &str, server_port: u16) -> Self {
+    pub fn from_http(
+        req: &Request,
+        remote_addr: &str,
+        server_name: &str,
+        server_port: u16,
+    ) -> Self {
         CgiRequest {
             method: req.method,
             script_name: req.target.path.clone(),

@@ -30,7 +30,10 @@ impl ProgramRegistry {
             prefix.starts_with('/') && prefix.ends_with('/'),
             "prefix must start and end with '/'"
         );
-        ProgramRegistry { prefix: prefix.to_string(), programs: HashMap::new() }
+        ProgramRegistry {
+            prefix: prefix.to_string(),
+            programs: HashMap::new(),
+        }
     }
 
     /// The dynamic-content prefix.
@@ -87,7 +90,10 @@ mod tests {
     fn registry() -> ProgramRegistry {
         let mut r = ProgramRegistry::new();
         r.register(Arc::new(null_cgi()));
-        r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Spin)));
+        r.register(Arc::new(SimulatedProgram::trace_driven(
+            "adl",
+            WorkKind::Spin,
+        )));
         r
     }
 

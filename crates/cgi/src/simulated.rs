@@ -142,7 +142,10 @@ fn render_body(program: &str, req: &CgiRequest, size: usize) -> Vec<u8> {
     body.extend_from_slice(header.as_bytes());
     // Deterministic filler derived from the query, so different requests
     // produce different payloads (useful for corruption detection).
-    let seed = req.query_string.bytes().fold(17u8, |a, b| a.wrapping_mul(31).wrapping_add(b));
+    let seed = req
+        .query_string
+        .bytes()
+        .fold(17u8, |a, b| a.wrapping_mul(31).wrapping_add(b));
     while body.len() + footer.len() < size {
         let line_len = (size - footer.len() - body.len()).min(64);
         for i in 0..line_len.saturating_sub(1) {
@@ -174,7 +177,11 @@ mod tests {
         let start = Instant::now();
         let out = p.run(&cgi("/cgi-bin/nullcgi")).unwrap();
         assert!(start.elapsed() < Duration::from_millis(50));
-        assert!(out.body.len() <= 100, "nullcgi output is {} bytes", out.body.len());
+        assert!(
+            out.body.len() <= 100,
+            "nullcgi output is {} bytes",
+            out.body.len()
+        );
         assert_eq!(out.status, swala_http::StatusCode::OK);
     }
 
@@ -211,14 +218,22 @@ mod tests {
         let p = SimulatedProgram::trace_driven("adl", WorkKind::Spin);
         let out = p.run(&cgi("/cgi-bin/adl?id=1&ms=0&bytes=4096")).unwrap();
         // Exact to within one filler line.
-        assert!(out.body.len() >= 4096 && out.body.len() < 4096 + 80, "{}", out.body.len());
+        assert!(
+            out.body.len() >= 4096 && out.body.len() < 4096 + 80,
+            "{}",
+            out.body.len()
+        );
     }
 
     #[test]
     fn fixed_ignores_query_overrides() {
         let p = SimulatedProgram::fixed("f", Duration::ZERO, WorkKind::Spin, 200);
         let out = p.run(&cgi("/cgi-bin/f?ms=5000&bytes=1")).unwrap();
-        assert!(out.body.len() >= 190, "fixed size should win: {}", out.body.len());
+        assert!(
+            out.body.len() >= 190,
+            "fixed size should win: {}",
+            out.body.len()
+        );
     }
 
     #[test]

@@ -167,11 +167,7 @@ impl SwalaCluster {
     /// entries across all of its tables — i.e. all insert notices have
     /// propagated and every node sees the same cluster-wide entry count.
     /// Returns whether agreement was reached within `timeout`.
-    pub fn wait_for_directory_convergence(
-        &self,
-        expected_total: usize,
-        timeout: Duration,
-    ) -> bool {
+    pub fn wait_for_directory_convergence(&self, expected_total: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             let converged = self
@@ -221,12 +217,17 @@ mod tests {
 
     #[test]
     fn four_node_cluster_cooperates() {
-        let cluster = SwalaCluster::start(&ClusterConfig { nodes: 4, ..Default::default() }).unwrap();
+        let cluster = SwalaCluster::start(&ClusterConfig {
+            nodes: 4,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(cluster.len(), 4);
 
         // Warm node 0 with three entries.
-        let targets: Vec<String> =
-            (0..3).map(|i| format!("/cgi-bin/adl?id={i}&ms=0")).collect();
+        let targets: Vec<String> = (0..3)
+            .map(|i| format!("/cgi-bin/adl?id={i}&ms=0"))
+            .collect();
         cluster.warm(0, &targets).unwrap();
         // Every node's directory view must show the 3 cluster-wide entries.
         assert!(cluster.wait_for_directory_convergence(3, Duration::from_secs(5)));
@@ -253,7 +254,9 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        cluster.warm(0, &["/cgi-bin/adl?id=1&ms=0".to_string()]).unwrap();
+        cluster
+            .warm(0, &["/cgi-bin/adl?id=1&ms=0".to_string()])
+            .unwrap();
         assert_eq!(cluster.node(0).manager().directory().total_len(), 0);
         assert_eq!(cluster.total_cache_stat(|s| s.inserts), 0);
         cluster.shutdown();
@@ -261,8 +264,11 @@ mod tests {
 
     #[test]
     fn single_node_cluster_works() {
-        let cluster =
-            SwalaCluster::start(&ClusterConfig { nodes: 1, ..Default::default() }).unwrap();
+        let cluster = SwalaCluster::start(&ClusterConfig {
+            nodes: 1,
+            ..Default::default()
+        })
+        .unwrap();
         let mut client = HttpClient::new(cluster.node(0).http_addr());
         client.get("/cgi-bin/adl?id=9&ms=0").unwrap();
         let hit = client.get("/cgi-bin/adl?id=9&ms=0").unwrap();
@@ -272,8 +278,11 @@ mod tests {
 
     #[test]
     fn convergence_times_out_honestly() {
-        let cluster =
-            SwalaCluster::start(&ClusterConfig { nodes: 2, ..Default::default() }).unwrap();
+        let cluster = SwalaCluster::start(&ClusterConfig {
+            nodes: 2,
+            ..Default::default()
+        })
+        .unwrap();
         // Nothing was inserted; expecting entries must time out.
         assert!(!cluster.wait_for_directory_convergence(99, Duration::from_millis(100)));
         cluster.shutdown();

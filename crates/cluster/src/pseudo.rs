@@ -44,7 +44,11 @@ impl PseudoServer {
                 .spawn(move || run(target, fake_nodes, updates_per_second, &stop, &sent))
                 .expect("spawn pseudo-server")
         };
-        PseudoServer { stop, sent, handle: Some(handle) }
+        PseudoServer {
+            stop,
+            sent,
+            handle: Some(handle),
+        }
     }
 
     /// Insert notices sent so far.
@@ -71,16 +75,11 @@ impl Drop for PseudoServer {
     }
 }
 
-fn run(
-    target: SocketAddr,
-    fake_nodes: u16,
-    ups: u64,
-    stop: &AtomicBool,
-    sent: &AtomicU64,
-) {
+fn run(target: SocketAddr, fake_nodes: u16, ups: u64, stop: &AtomicBool, sent: &AtomicU64) {
     // One persistent link per impersonated node, as real peers would have.
-    let links: Vec<PeerLink> =
-        (1..=fake_nodes).map(|n| PeerLink::new(NodeId(n), NodeId(0), target)).collect();
+    let links: Vec<PeerLink> = (1..=fake_nodes)
+        .map(|n| PeerLink::new(NodeId(n), NodeId(0), target))
+        .collect();
     if ups == 0 {
         while !stop.load(Ordering::Acquire) {
             std::thread::sleep(Duration::from_millis(20));
@@ -109,7 +108,10 @@ fn run(
             None,
             counter,
         );
-        if links[(node.0 - 1) as usize].send(&Message::InsertNotice { meta }).is_ok() {
+        if links[(node.0 - 1) as usize]
+            .send(&Message::InsertNotice { meta })
+            .is_ok()
+        {
             sent.fetch_add(1, Ordering::Relaxed);
         }
         counter += 1;
@@ -125,7 +127,11 @@ mod tests {
 
     fn one_node_expecting(n: usize) -> SwalaServer {
         SwalaServer::start_single(
-            ServerOptions { num_nodes: n, pool_size: 2, ..Default::default() },
+            ServerOptions {
+                num_nodes: n,
+                pool_size: 2,
+                ..Default::default()
+            },
             standard_registry(WorkKind::Sleep),
         )
         .unwrap()

@@ -27,7 +27,9 @@ impl AccessLog {
     /// Open (appending) the log at `path`.
     pub fn open(path: &Path) -> io::Result<AccessLog> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
-        Ok(AccessLog { file: Mutex::new(file) })
+        Ok(AccessLog {
+            file: Mutex::new(file),
+        })
     }
 
     /// Append one request/response pair.
@@ -48,8 +50,9 @@ pub fn format_clf(
 ) -> String {
     let host = peer.rsplit_once(':').map(|(h, _)| h).unwrap_or(peer);
     let t = UtcDateTime::from_system_time(now);
-    const MONTHS: [&str; 12] =
-        ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+    const MONTHS: [&str; 12] = [
+        "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+    ];
     format!(
         "{host} - - [{:02}/{}/{:04}:{:02}:{:02}:{:02} +0000] \"{} {} {}\" {} {}\n",
         t.day,
@@ -98,7 +101,10 @@ mod tests {
         let mut resp = Response::error(StatusCode::NOT_FOUND);
         resp.body = b"nf".to_vec();
         let line = format_clf("h:1", &req, &resp, UNIX_EPOCH);
-        assert!(line.contains("\"POST /cgi-bin/x HTTP/1.1\" 404 2"), "{line}");
+        assert!(
+            line.contains("\"POST /cgi-bin/x HTTP/1.1\" 404 2"),
+            "{line}"
+        );
     }
 
     #[test]

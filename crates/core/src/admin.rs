@@ -51,6 +51,19 @@ fn status_page(ctx: &NodeContext) -> Response {
             dir.len(id),
         ));
     }
+    let (bcast_sent, bcast_dropped) = ctx.broadcaster.counters();
+    let mut links = String::new();
+    for l in ctx.broadcaster.link_stats() {
+        links.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            l.peer,
+            l.addr,
+            l.queued,
+            l.sent,
+            l.dropped,
+            if l.connected { "yes" } else { "no" },
+        ));
+    }
     let body = format!(
         "<html><head><title>Swala status — {node}</title></head><body>\
          <h1>Swala node {node}</h1>\
@@ -58,6 +71,10 @@ fn status_page(ctx: &NodeContext) -> Response {
          <h2>Cache</h2><pre>{cache}</pre>\
          <h2>Directory (entries per node table)</h2>\
          <table border=1>{tables}</table>\
+         <h2>Broadcast links ({bcast_sent} sent, {bcast_dropped} dropped)</h2>\
+         <table border=1>\
+         <tr><th>peer</th><th>addr</th><th>queued</th><th>sent</th>\
+         <th>dropped</th><th>connected</th></tr>{links}</table>\
          </body></html>\n",
         node = ctx.node,
     );
@@ -80,31 +97,25 @@ fn invalidate(ctx: &NodeContext, req: &Request) -> Response {
     match ctx.manager.directory().classify(&key) {
         Classification::Local(_) => {
             if let Some(dead) = ctx.manager.remove_local(&key) {
-                ctx.broadcaster
-                    .broadcast(&Message::DeleteNotice { owner: dead.owner, key: dead.key });
+                ctx.broadcaster.broadcast(&Message::DeleteNotice {
+                    owner: dead.owner,
+                    key: dead.key,
+                });
                 CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             }
             Response::ok("text/plain", format!("invalidated local entry {key}\n"))
         }
         Classification::Remote(meta) => {
             let owner = meta.owner;
-            match ctx
-                .cache_addrs
-                .read()
-                .get(owner.index())
-                .copied()
-                .flatten()
-            {
+            match ctx.cache_addrs.read().get(owner.index()).copied().flatten() {
                 Some(addr) => match request_invalidate(addr, &key, ctx.fetch_timeout) {
                     Ok(()) => Response::ok(
                         "text/plain",
                         format!("invalidation forwarded to owner {owner}\n"),
                     ),
                     Err(e) => {
-                        let mut r = Response::ok(
-                            "text/plain",
-                            format!("owner {owner} unreachable: {e}\n"),
-                        );
+                        let mut r =
+                            Response::ok("text/plain", format!("owner {owner} unreachable: {e}\n"));
                         r.status = StatusCode::BAD_GATEWAY;
                         r
                     }

@@ -84,7 +84,10 @@ fn main() {
     let mut peer_addrs: Vec<Option<SocketAddr>> = vec![None; options.num_nodes];
     for (id, addr) in peers {
         if id >= options.num_nodes {
-            eprintln!("swala: peer id {id} out of range for {} nodes", options.num_nodes);
+            eprintln!(
+                "swala: peer id {id} out of range for {} nodes",
+                options.num_nodes
+            );
             std::process::exit(1);
         }
         peer_addrs[id] = Some(addr);
@@ -94,7 +97,10 @@ fn main() {
     // registers its own programs.
     let mut registry = ProgramRegistry::new();
     registry.register(Arc::new(null_cgi()));
-    registry.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Spin)));
+    registry.register(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Spin,
+    )));
 
     let node = options.node;
     let bound = match BoundSwala::bind(options, registry) {

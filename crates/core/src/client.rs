@@ -21,7 +21,11 @@ struct Conn {
 impl HttpClient {
     /// Client for `addr`; connects lazily on first request.
     pub fn new(addr: SocketAddr) -> Self {
-        HttpClient { addr, conn: None, timeout: Duration::from_secs(30) }
+        HttpClient {
+            addr,
+            conn: None,
+            timeout: Duration::from_secs(30),
+        }
     }
 
     /// Override the per-operation socket timeout.
@@ -36,7 +40,10 @@ impl HttpClient {
         stream.set_read_timeout(Some(self.timeout))?;
         stream.set_write_timeout(Some(self.timeout))?;
         let writer = stream.try_clone()?;
-        Ok(Conn { reader: BufReader::new(stream), writer })
+        Ok(Conn {
+            reader: BufReader::new(stream),
+            writer,
+        })
     }
 
     /// Send `req` and read the response, reconnecting once if the
@@ -95,7 +102,9 @@ mod tests {
                     let mut writer = stream.try_clone().unwrap();
                     let mut reader = BufReader::new(stream);
                     for served in 0.. {
-                        let Ok(req) = swala_http::read_request(&mut reader) else { return };
+                        let Ok(req) = swala_http::read_request(&mut reader) else {
+                            return;
+                        };
                         let keep = req.keep_alive() && served + 1 < max_requests;
                         let mut resp = Response::ok("text/plain", body.clone());
                         resp.set_keep_alive(keep);

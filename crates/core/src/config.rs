@@ -48,6 +48,14 @@ pub struct ServerOptions {
     pub recover_cache: bool,
     /// Write a Common-Log-Format access log to this file.
     pub access_log: Option<PathBuf>,
+    /// Per-peer broadcast queue depth; overflow drops the oldest notice
+    /// (asynchronous weak consistency tolerates the loss).
+    pub broadcast_queue: usize,
+    /// Max notices coalesced into one batch frame by a writer thread.
+    pub broadcast_batch: usize,
+    /// How long a writer lingers for more notices before flushing a
+    /// batch. Zero = opportunistic coalescing only.
+    pub broadcast_window: Duration,
 }
 
 impl Default for ServerOptions {
@@ -72,6 +80,9 @@ impl Default for ServerOptions {
             sync_on_join: false,
             recover_cache: true,
             access_log: None,
+            broadcast_queue: 1024,
+            broadcast_batch: 64,
+            broadcast_window: Duration::ZERO,
         }
     }
 }
@@ -171,6 +182,23 @@ impl ServerOptions {
                     }
                 }
                 "access_log" => opts.access_log = Some(PathBuf::from(rest)),
+                "broadcast_queue" => {
+                    opts.broadcast_queue = rest.parse().map_err(|_| err("bad broadcast_queue"))?;
+                    if opts.broadcast_queue == 0 {
+                        return Err(err("broadcast_queue must be positive"));
+                    }
+                }
+                "broadcast_batch" => {
+                    opts.broadcast_batch = rest.parse().map_err(|_| err("bad broadcast_batch"))?;
+                    if opts.broadcast_batch == 0 {
+                        return Err(err("broadcast_batch must be positive"));
+                    }
+                }
+                "broadcast_window_ms" => {
+                    opts.broadcast_window = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad broadcast_window_ms"))?,
+                    )
+                }
                 // Cacheability rules pass through to the rules parser.
                 "cache" | "nocache" => {
                     rule_lines.push_str(line);
@@ -183,7 +211,10 @@ impl ServerOptions {
             opts.rules = CacheRules::parse(&rule_lines)?;
         }
         if opts.node.index() >= opts.num_nodes {
-            return Err(format!("node {} out of range for {} nodes", opts.node, opts.num_nodes));
+            return Err(format!(
+                "node {} out of range for {} nodes",
+                opts.node, opts.num_nodes
+            ));
         }
         if opts.pool_size == 0 {
             return Err("pool size must be positive".into());
@@ -238,7 +269,10 @@ cache /cgi-bin/* ttl=60 min_ms=20
         assert_eq!(o.purge_interval, Duration::from_millis(750));
         assert_eq!(o.server_name, "TestSwala");
         assert_eq!(o.rules.len(), 2);
-        assert_eq!(o.rules.decide("/cgi-bin/private/x"), swala_cache::CacheDecision::Uncacheable);
+        assert_eq!(
+            o.rules.decide("/cgi-bin/private/x"),
+            swala_cache::CacheDecision::Uncacheable
+        );
     }
 
     #[test]
@@ -261,6 +295,29 @@ sync_on_join on
     }
 
     #[test]
+    fn broadcast_keywords() {
+        let o = ServerOptions::parse(
+            "broadcast_queue 256
+broadcast_batch 16
+broadcast_window_ms 5
+",
+        )
+        .unwrap();
+        assert_eq!(o.broadcast_queue, 256);
+        assert_eq!(o.broadcast_batch, 16);
+        assert_eq!(o.broadcast_window, Duration::from_millis(5));
+        assert!(ServerOptions::parse("broadcast_queue 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ServerOptions::parse("broadcast_batch 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ServerOptions::parse("broadcast_window_ms x")
+            .unwrap_err()
+            .contains("bad"));
+    }
+
+    #[test]
     fn caching_off() {
         let o = ServerOptions::parse("caching off\n").unwrap();
         assert!(!o.caching_enabled);
@@ -268,12 +325,24 @@ sync_on_join on
 
     #[test]
     fn rejects_bad_lines() {
-        assert!(ServerOptions::parse("nonsense 1").unwrap_err().contains("unknown keyword"));
-        assert!(ServerOptions::parse("node abc").unwrap_err().contains("bad node id"));
-        assert!(ServerOptions::parse("caching sideways").unwrap_err().contains("on|off"));
-        assert!(ServerOptions::parse("policy mystery").unwrap_err().contains("line 1"));
-        assert!(ServerOptions::parse("node 5\nnodes 2").unwrap_err().contains("out of range"));
-        assert!(ServerOptions::parse("pool 0").unwrap_err().contains("positive"));
+        assert!(ServerOptions::parse("nonsense 1")
+            .unwrap_err()
+            .contains("unknown keyword"));
+        assert!(ServerOptions::parse("node abc")
+            .unwrap_err()
+            .contains("bad node id"));
+        assert!(ServerOptions::parse("caching sideways")
+            .unwrap_err()
+            .contains("on|off"));
+        assert!(ServerOptions::parse("policy mystery")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(ServerOptions::parse("node 5\nnodes 2")
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(ServerOptions::parse("pool 0")
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

@@ -123,7 +123,10 @@ mod tests {
         assert_eq!(r.headers.get("Content-Type"), Some("image/gif"));
 
         let r = serve_file(&root, "/sub/data.bin");
-        assert_eq!(r.headers.get("Content-Type"), Some("application/octet-stream"));
+        assert_eq!(
+            r.headers.get("Content-Type"),
+            Some("application/octet-stream")
+        );
         let _ = fs::remove_dir_all(root);
     }
 
@@ -138,8 +141,14 @@ mod tests {
     #[test]
     fn missing_file_is_404() {
         let root = docroot("missing");
-        assert_eq!(serve_file(&root, "/ghost.html").status, StatusCode::NOT_FOUND);
-        assert_eq!(serve_file(&root, "/no/such/dir/").status, StatusCode::NOT_FOUND);
+        assert_eq!(
+            serve_file(&root, "/ghost.html").status,
+            StatusCode::NOT_FOUND
+        );
+        assert_eq!(
+            serve_file(&root, "/no/such/dir/").status,
+            StatusCode::NOT_FOUND
+        );
         let _ = fs::remove_dir_all(root);
     }
 
@@ -148,7 +157,10 @@ mod tests {
         let root = docroot("traversal");
         // The HTTP parser would never produce this, but serve_file must
         // still refuse it.
-        assert_eq!(serve_file(&root, "/../etc/passwd").status, StatusCode::FORBIDDEN);
+        assert_eq!(
+            serve_file(&root, "/../etc/passwd").status,
+            StatusCode::FORBIDDEN
+        );
         let _ = fs::remove_dir_all(root);
     }
 

@@ -86,9 +86,7 @@ fn route(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
     }
     RequestStats::bump(&ctx.stats.static_files);
     match &ctx.docroot {
-        Some(root) => {
-            serve_file_conditional(root, path, req.headers.get("If-Modified-Since"))
-        }
+        Some(root) => serve_file_conditional(root, path, req.headers.get("If-Modified-Since")),
         None => Response::error(StatusCode::NOT_FOUND),
     }
 }
@@ -100,13 +98,15 @@ fn handle_dynamic(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Respon
         Some(None) => return Response::error(StatusCode::NOT_FOUND),
         None => unreachable!("route() checked is_dynamic"),
     };
-    let cgi_req =
-        CgiRequest::from_http(req, remote_addr, &ctx.server_name, ctx.http_port);
+    let cgi_req = CgiRequest::from_http(req, remote_addr, &ctx.server_name, ctx.http_port);
 
     // Only GET results participate in caching; POST always executes.
     if !ctx.caching_enabled || !req.method.is_cacheable() {
-        let tag =
-            if ctx.caching_enabled { cache_header::UNCACHEABLE } else { cache_header::DISABLED };
+        let tag = if ctx.caching_enabled {
+            cache_header::UNCACHEABLE
+        } else {
+            cache_header::DISABLED
+        };
         return execute_plain(ctx, program.as_ref(), &cgi_req, tag);
     }
 
@@ -118,13 +118,21 @@ fn handle_dynamic(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Respon
         LookupResult::LocalHit { meta, body } => {
             RequestStats::bump(&ctx.stats.served_local_cache);
             let mut resp = Response::ok(&meta.content_type, body);
-            resp.headers.set(cache_header::NAME, cache_header::LOCAL_HIT);
+            resp.headers
+                .set(cache_header::NAME, cache_header::LOCAL_HIT);
             resp
         }
-        LookupResult::RemoteHit { meta } => handle_remote_hit(ctx, program.as_ref(), &cgi_req, key, meta),
-        LookupResult::Miss { decision, .. } => {
-            execute_and_cache(ctx, program.as_ref(), &cgi_req, key, decision, cache_header::MISS)
+        LookupResult::RemoteHit { meta } => {
+            handle_remote_hit(ctx, program.as_ref(), &cgi_req, key, meta)
         }
+        LookupResult::Miss { decision, .. } => execute_and_cache(
+            ctx,
+            program.as_ref(),
+            &cgi_req,
+            key,
+            decision,
+            cache_header::MISS,
+        ),
     }
 }
 
@@ -142,20 +150,35 @@ fn handle_remote_hit(
         // Cluster wiring incomplete: behave like an unreachable peer.
         ctx.manager.begin_fallback_execution(&key);
         let decision = fallback_decision(ctx, &key);
-        return execute_and_cache(ctx, program, cgi_req, key, decision, cache_header::REMOTE_DOWN);
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::REMOTE_DOWN,
+        );
     };
     match fetch_remote(addr, &key, ctx.fetch_timeout) {
         FetchOutcome::Hit { content_type, body } => {
             RequestStats::bump(&ctx.stats.served_remote_cache);
             let mut resp = Response::ok(&content_type, body);
-            resp.headers.set(cache_header::NAME, cache_header::REMOTE_HIT);
+            resp.headers
+                .set(cache_header::NAME, cache_header::REMOTE_HIT);
             resp
         }
         FetchOutcome::Gone => {
             ctx.manager.note_false_hit(meta.owner, &key);
             ctx.manager.begin_fallback_execution(&key);
             let decision = fallback_decision(ctx, &key);
-            execute_and_cache(ctx, program, cgi_req, key, decision, cache_header::FALSE_HIT)
+            execute_and_cache(
+                ctx,
+                program,
+                cgi_req,
+                key,
+                decision,
+                cache_header::FALSE_HIT,
+            )
         }
         FetchOutcome::Unreachable(_) => {
             // Peer down ≠ entry gone: keep the directory entry (the purge
@@ -163,7 +186,14 @@ fn handle_remote_hit(
             // executing locally.
             ctx.manager.begin_fallback_execution(&key);
             let decision = fallback_decision(ctx, &key);
-            execute_and_cache(ctx, program, cgi_req, key, decision, cache_header::REMOTE_DOWN)
+            execute_and_cache(
+                ctx,
+                program,
+                cgi_req,
+                key,
+                decision,
+                cache_header::REMOTE_DOWN,
+            )
         }
     }
 }
@@ -221,13 +251,18 @@ fn execute_and_cache(
         return resp;
     }
 
-    match ctx.manager.complete_execution(&key, &out.body, &out.content_type, exec, &decision) {
+    match ctx
+        .manager
+        .complete_execution(&key, &out.body, &out.content_type, exec, &decision)
+    {
         Ok(InsertOutcome::Inserted { meta, evicted }) => {
             ctx.broadcaster.broadcast(&Message::InsertNotice { meta });
             CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             for victim in evicted {
-                ctx.broadcaster
-                    .broadcast(&Message::DeleteNotice { owner: victim.owner, key: victim.key });
+                ctx.broadcaster.broadcast(&Message::DeleteNotice {
+                    owner: victim.owner,
+                    key: victim.key,
+                });
                 CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             }
         }

@@ -48,10 +48,23 @@ impl SourceMonitor {
             let invalidations = Arc::clone(&invalidations);
             std::thread::Builder::new()
                 .name("swala-source-monitor".into())
-                .spawn(move || run(&manager, &broadcaster, &rules, interval, &stop, &invalidations))
+                .spawn(move || {
+                    run(
+                        &manager,
+                        &broadcaster,
+                        &rules,
+                        interval,
+                        &stop,
+                        &invalidations,
+                    )
+                })
                 .expect("spawn source monitor")
         };
-        SourceMonitor { stop, invalidations, handle: Some(handle) }
+        SourceMonitor {
+            stop,
+            invalidations,
+            handle: Some(handle),
+        }
     }
 
     /// Entries invalidated because a source changed.
@@ -90,8 +103,10 @@ fn run(
     invalidations: &AtomicU64,
 ) {
     // Baseline mtimes; a source that appears later counts as a change.
-    let mut seen: HashMap<&PathBuf, Option<SystemTime>> =
-        rules.iter().map(|r| (&r.source, mtime_of(&r.source))).collect();
+    let mut seen: HashMap<&PathBuf, Option<SystemTime>> = rules
+        .iter()
+        .map(|r| (&r.source, mtime_of(&r.source)))
+        .collect();
     let tick = Duration::from_millis(20).min(interval);
     let mut elapsed = Duration::ZERO;
     while !stop.load(Ordering::Acquire) {
@@ -116,8 +131,10 @@ fn run(
                 .collect();
             for victim in victims {
                 if let Some(dead) = manager.remove_local(&victim.key) {
-                    broadcaster
-                        .broadcast(&Message::DeleteNotice { owner: dead.owner, key: dead.key });
+                    broadcaster.broadcast(&Message::DeleteNotice {
+                        owner: dead.owner,
+                        key: dead.key,
+                    });
                     CacheStats::bump(&manager.stats().broadcasts_sent);
                     invalidations.fetch_add(1, Ordering::Relaxed);
                 }
@@ -130,9 +147,7 @@ fn run(
 mod tests {
     use super::*;
     use std::time::Instant;
-    use swala_cache::{
-        CacheKey, CacheManagerConfig, CacheRules, LookupResult, MemStore,
-    };
+    use swala_cache::{CacheKey, CacheManagerConfig, CacheRules, LookupResult, MemStore};
 
     fn insert(manager: &CacheManager, key: &str) {
         let k = CacheKey::new(key);
@@ -162,7 +177,10 @@ mod tests {
         std::fs::write(&source, "v1").unwrap();
 
         let manager = Arc::new(CacheManager::new(
-            CacheManagerConfig { rules: CacheRules::allow_all(), ..Default::default() },
+            CacheManagerConfig {
+                rules: CacheRules::allow_all(),
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         ));
         insert(&manager, "/cgi-bin/gazetteer?q=a");
@@ -204,14 +222,20 @@ mod tests {
         std::fs::write(&source, "x").unwrap();
 
         let manager = Arc::new(CacheManager::new(
-            CacheManagerConfig { rules: CacheRules::allow_all(), ..Default::default() },
+            CacheManagerConfig {
+                rules: CacheRules::allow_all(),
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         ));
         insert(&manager, "/cgi-bin/t?1");
         let monitor = SourceMonitor::start(
             Arc::clone(&manager),
             Arc::new(Broadcaster::solo()),
-            vec![MonitorRule { key_prefix: "/cgi-bin/t".into(), source: source.clone() }],
+            vec![MonitorRule {
+                key_prefix: "/cgi-bin/t".into(),
+                source: source.clone(),
+            }],
             Duration::from_millis(40),
         );
         std::thread::sleep(Duration::from_millis(50));
@@ -230,14 +254,20 @@ mod tests {
         let source = dir.join("stable.db");
         std::fs::write(&source, "x").unwrap();
         let manager = Arc::new(CacheManager::new(
-            CacheManagerConfig { rules: CacheRules::allow_all(), ..Default::default() },
+            CacheManagerConfig {
+                rules: CacheRules::allow_all(),
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         ));
         insert(&manager, "/cgi-bin/stable?1");
         let monitor = SourceMonitor::start(
             Arc::clone(&manager),
             Arc::new(Broadcaster::solo()),
-            vec![MonitorRule { key_prefix: "/cgi-bin/stable".into(), source }],
+            vec![MonitorRule {
+                key_prefix: "/cgi-bin/stable".into(),
+                source,
+            }],
             Duration::from_millis(30),
         );
         std::thread::sleep(Duration::from_millis(150));

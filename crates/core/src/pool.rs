@@ -50,7 +50,11 @@ impl RequestPool {
                     .spawn(move || request_thread(&listener, &ctx, &shutdown))?,
             );
         }
-        Ok(RequestPool { shutdown, handles, addr })
+        Ok(RequestPool {
+            shutdown,
+            handles,
+            addr,
+        })
     }
 
     /// The listener's bound address.
@@ -156,7 +160,10 @@ fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: 
         let mut resp = handle_request(ctx, &req, peer);
         resp.version = req.version;
         resp.set_keep_alive(keep);
-        if resp.write_to(&mut writer, response_body_allowed(req.method)).is_err() {
+        if resp
+            .write_to(&mut writer, response_body_allowed(req.method))
+            .is_err()
+        {
             return;
         }
         if !keep {

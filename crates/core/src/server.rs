@@ -9,11 +9,9 @@ use parking_lot::RwLock;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use swala_cache::{
-    CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store,
-};
+use swala_cache::{CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store};
 use swala_cgi::ProgramRegistry;
-use swala_proto::{Broadcaster, CacheDaemons};
+use swala_proto::{BroadcastConfig, Broadcaster, CacheDaemons};
 
 /// A node whose listeners are bound but whose daemons and pool have not
 /// started — the point at which ephemeral port numbers become known, so a
@@ -34,7 +32,14 @@ impl BoundSwala {
         let cache_listener = TcpListener::bind(options.cache_addr)?;
         let http_addr = http_listener.local_addr()?;
         let cache_addr = cache_listener.local_addr()?;
-        Ok(BoundSwala { options, registry, http_listener, cache_listener, http_addr, cache_addr })
+        Ok(BoundSwala {
+            options,
+            registry,
+            http_listener,
+            cache_listener,
+            http_addr,
+            cache_addr,
+        })
     }
 
     /// HTTP address clients connect to.
@@ -51,8 +56,14 @@ impl BoundSwala {
     /// cache-protocol address for every remote peer (this node's own slot
     /// is filled automatically; extra `None`s are tolerated).
     pub fn start(self, peer_cache_addrs: Vec<Option<SocketAddr>>) -> io::Result<SwalaServer> {
-        let BoundSwala { options, registry, http_listener, cache_listener, http_addr, cache_addr } =
-            self;
+        let BoundSwala {
+            options,
+            registry,
+            http_listener,
+            cache_listener,
+            http_addr,
+            cache_addr,
+        } = self;
 
         let store: Box<dyn Store> = match &options.cache_dir {
             Some(dir) => Box::new(DiskStore::open(dir)?),
@@ -81,7 +92,16 @@ impl BoundSwala {
             .filter(|(i, _)| *i != options.node.index())
             .filter_map(|(i, a)| a.map(|a| (NodeId(i as u16), a)))
             .collect();
-        let broadcaster = Arc::new(Broadcaster::new(options.node, peers));
+        let broadcaster = Arc::new(Broadcaster::with_config(
+            options.node,
+            peers,
+            BroadcastConfig {
+                queue_depth: options.broadcast_queue,
+                batch_max: options.broadcast_batch,
+                batch_window: options.broadcast_window,
+                ..BroadcastConfig::default()
+            },
+        ));
 
         let daemons = CacheDaemons::start_with_listener(
             cache_listener,
@@ -99,8 +119,7 @@ impl BoundSwala {
                     continue;
                 }
                 let Some(addr) = addr else { continue };
-                if let Ok((peer, entries)) =
-                    swala_proto::request_sync(*addr, options.fetch_timeout)
+                if let Ok((peer, entries)) = swala_proto::request_sync(*addr, options.fetch_timeout)
                 {
                     manager.directory().load_snapshot(peer, entries);
                 }
@@ -165,7 +184,10 @@ pub struct SwalaServer {
 
 impl SwalaServer {
     /// Bind and start a stand-alone node (no peers) in one call.
-    pub fn start_single(options: ServerOptions, registry: ProgramRegistry) -> io::Result<SwalaServer> {
+    pub fn start_single(
+        options: ServerOptions,
+        registry: ProgramRegistry,
+    ) -> io::Result<SwalaServer> {
         BoundSwala::bind(options, registry)?.start(Vec::new())
     }
 
@@ -212,7 +234,10 @@ impl SwalaServer {
         self.monitor.as_ref()
     }
 
-    /// Stop the pool, the daemons and the monitor, then return.
+    /// Stop the pool, the daemons and the monitor, then return. The
+    /// broadcaster is drained in between: once no new requests can enqueue
+    /// notices, writer threads flush what is queued to live peers before
+    /// the cache daemons stop listening.
     pub fn shutdown(mut self) {
         if let Some(pool) = self.pool.take() {
             pool.shutdown();
@@ -220,6 +245,7 @@ impl SwalaServer {
         if let Some(monitor) = self.monitor.take() {
             monitor.shutdown();
         }
+        self.ctx.broadcaster.shutdown();
         if let Some(daemons) = self.daemons.take() {
             daemons.shutdown();
         }
@@ -232,6 +258,7 @@ impl Drop for SwalaServer {
             pool.shutdown();
         }
         drop(self.monitor.take());
+        self.ctx.broadcaster.shutdown();
         if let Some(daemons) = self.daemons.take() {
             daemons.shutdown();
         }

@@ -114,7 +114,15 @@ mod tests {
     fn display_is_complete() {
         let snap = RequestStats::new().snapshot();
         let text = snap.to_string();
-        for field in ["requests=", "static=", "dynamic=", "cache(", "errors(", "bytes=", "conns="] {
+        for field in [
+            "requests=",
+            "static=",
+            "dynamic=",
+            "cache(",
+            "errors(",
+            "bytes=",
+            "conns=",
+        ] {
             assert!(text.contains(field), "missing {field} in {text}");
         }
     }

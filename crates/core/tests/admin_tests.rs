@@ -12,7 +12,10 @@ use swala_http::{Method, Request, StatusCode};
 
 fn registry() -> ProgramRegistry {
     let mut r = ProgramRegistry::new();
-    r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+    r.register(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Sleep,
+    )));
     r
 }
 
@@ -40,13 +43,19 @@ fn two_node_cluster() -> Vec<SwalaServer> {
         })
         .collect();
     let addrs: Vec<_> = bounds.iter().map(|b| Some(b.cache_addr())).collect();
-    bounds.into_iter().map(|b| b.start(addrs.clone()).unwrap()).collect()
+    bounds
+        .into_iter()
+        .map(|b| b.start(addrs.clone()).unwrap())
+        .collect()
 }
 
 #[test]
 fn status_page_reports_stats() {
     let server = SwalaServer::start_single(
-        ServerOptions { pool_size: 2, ..Default::default() },
+        ServerOptions {
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();
@@ -64,9 +73,33 @@ fn status_page_reports_stats() {
 }
 
 #[test]
+fn status_page_reports_per_link_broadcast_counters() {
+    let servers = two_node_cluster();
+    let mut c0 = HttpClient::new(servers[0].http_addr());
+    c0.get("/cgi-bin/adl?id=77&ms=1").unwrap();
+    wait_until("notice delivered to node 1", || {
+        servers[1].manager().directory().len(NodeId(0)) == 1
+    });
+
+    let page = c0.get("/swala-status").unwrap();
+    let html = String::from_utf8(page.body).unwrap();
+    assert!(html.contains("Broadcast links"), "{html}");
+    // One row for the single peer, with the insert notice counted sent
+    // and nothing dropped.
+    assert!(html.contains("<td>node1</td>"), "{html}");
+    assert!(html.contains("(1 sent, 0 dropped)"), "{html}");
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
 fn invalidate_local_entry_over_http() {
     let server = SwalaServer::start_single(
-        ServerOptions { pool_size: 2, ..Default::default() },
+        ServerOptions {
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();
@@ -79,7 +112,9 @@ fn invalidate_local_entry_over_http() {
         .get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D5%26ms%3D1")
         .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    assert!(String::from_utf8(resp.body).unwrap().contains("invalidated local entry"));
+    assert!(String::from_utf8(resp.body)
+        .unwrap()
+        .contains("invalidated local entry"));
     assert_eq!(server.manager().directory().len(NodeId(0)), 0);
 
     // Next request re-executes.
@@ -104,7 +139,9 @@ fn invalidate_forwards_to_remote_owner() {
         .get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D9%26ms%3D1")
         .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    assert!(String::from_utf8(resp.body).unwrap().contains("forwarded to owner node0"));
+    assert!(String::from_utf8(resp.body)
+        .unwrap()
+        .contains("forwarded to owner node0"));
     wait_until("owner dropped entry", || {
         servers[0].manager().directory().len(NodeId(0)) == 0
     });
@@ -119,16 +156,23 @@ fn invalidate_forwards_to_remote_owner() {
 #[test]
 fn invalidate_requires_key_param_and_handles_absent_keys() {
     let server = SwalaServer::start_single(
-        ServerOptions { pool_size: 2, ..Default::default() },
+        ServerOptions {
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();
     let mut client = HttpClient::new(server.http_addr());
     let resp = client.get("/swala-admin/invalidate").unwrap();
     assert_eq!(resp.status, StatusCode::BAD_REQUEST);
-    let resp = client.get("/swala-admin/invalidate?key=%2Fnothing").unwrap();
+    let resp = client
+        .get("/swala-admin/invalidate?key=%2Fnothing")
+        .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    assert!(String::from_utf8(resp.body).unwrap().contains("no cached entry"));
+    assert!(String::from_utf8(resp.body)
+        .unwrap()
+        .contains("no cached entry"));
     // Unknown admin path.
     let resp = client.get("/swala-admin/frobnicate").unwrap();
     assert_eq!(resp.status, StatusCode::NOT_FOUND);
@@ -141,7 +185,11 @@ fn conditional_get_over_http() {
     std::fs::create_dir_all(&root).unwrap();
     std::fs::write(root.join("doc.html"), "<p>doc</p>").unwrap();
     let server = SwalaServer::start_single(
-        ServerOptions { docroot: Some(root.clone()), pool_size: 2, ..Default::default() },
+        ServerOptions {
+            docroot: Some(root.clone()),
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();
@@ -201,7 +249,12 @@ fn source_monitor_invalidates_through_live_server() {
 fn late_joiner_syncs_directory() {
     // Node 0 starts alone (in a 2-slot cluster) and caches entries.
     let b0 = BoundSwala::bind(
-        ServerOptions { node: NodeId(0), num_nodes: 2, pool_size: 2, ..Default::default() },
+        ServerOptions {
+            node: NodeId(0),
+            num_nodes: 2,
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();

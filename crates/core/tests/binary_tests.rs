@@ -71,13 +71,20 @@ fn binary_rejects_bad_config() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown keyword"));
     // Missing file also fails cleanly.
-    let out = Command::new(BIN).arg("/no/such/file.conf").output().unwrap();
+    let out = Command::new(BIN)
+        .arg("/no/such/file.conf")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
 /// Reserve a likely-free localhost port (bind ephemeral, read, release).
 fn free_port() -> u16 {
-    std::net::TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap()
+        .port()
 }
 
 #[test]
@@ -116,10 +123,14 @@ fn two_binary_processes_cooperate() {
         }
         // The notice may not have landed yet and node 1 cached its own
         // execution; invalidate and retry until the remote path is seen.
-        c1.get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D77%26ms%3D1").unwrap();
+        c1.get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D77%26ms%3D1")
+            .unwrap();
         assert!(Instant::now() < deadline, "never observed a remote hit");
         std::thread::sleep(Duration::from_millis(50));
     };
-    assert_eq!(r1.body, expect.body, "remote fetch returns node 0's exact bytes");
+    assert_eq!(
+        r1.body, expect.body,
+        "remote fetch returns node 0's exact bytes"
+    );
     drop((p0, p1));
 }

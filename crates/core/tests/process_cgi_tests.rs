@@ -44,7 +44,10 @@ printf 'Content-Type: text/plain\n\nquery=%s execution=%s' "$QUERY_STRING" "$N"
     registry.register(Arc::new(ProcessProgram::new("counter", exe)));
 
     let server = SwalaServer::start_single(
-        ServerOptions { pool_size: 2, ..Default::default() },
+        ServerOptions {
+            pool_size: 2,
+            ..Default::default()
+        },
         registry,
     )
     .unwrap();
@@ -74,14 +77,21 @@ fn failing_script_returns_500_and_is_not_cached() {
     let mut registry = ProgramRegistry::new();
     registry.register(Arc::new(ProcessProgram::new("flaky", exe)));
     let server = SwalaServer::start_single(
-        ServerOptions { pool_size: 2, ..Default::default() },
+        ServerOptions {
+            pool_size: 2,
+            ..Default::default()
+        },
         registry,
     )
     .unwrap();
     let mut client = HttpClient::new(server.http_addr());
     let r = client.get("/cgi-bin/flaky").unwrap();
     assert_eq!(r.status, StatusCode::INTERNAL_SERVER_ERROR);
-    assert_eq!(server.cache_stats().inserts, 0, "failures are never cached (Figure 2)");
+    assert_eq!(
+        server.cache_stats().inserts,
+        0,
+        "failures are never cached (Figure 2)"
+    );
     assert_eq!(server.manager().directory().len(swala_cache::NodeId(0)), 0);
     server.shutdown();
     let _ = std::fs::remove_dir_all(dir);
@@ -98,7 +108,10 @@ fn pipelined_requests_answered_in_order() {
     let mut registry = ProgramRegistry::new();
     registry.register(Arc::new(ProcessProgram::new("echoq", exe)));
     let server = SwalaServer::start_single(
-        ServerOptions { pool_size: 2, ..Default::default() },
+        ServerOptions {
+            pool_size: 2,
+            ..Default::default()
+        },
         registry,
     )
     .unwrap();

@@ -7,7 +7,10 @@ use swala_cgi::{ProgramRegistry, SimulatedProgram, WorkKind};
 
 fn registry() -> ProgramRegistry {
     let mut r = ProgramRegistry::new();
-    r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+    r.register(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Sleep,
+    )));
     r
 }
 
@@ -19,13 +22,22 @@ fn warm_restart_recovers_cached_results() {
     // First life: cache three results, then shut down.
     let bodies: Vec<Vec<u8>> = {
         let server = SwalaServer::start_single(
-            ServerOptions { cache_dir: Some(dir.clone()), pool_size: 2, ..Default::default() },
+            ServerOptions {
+                cache_dir: Some(dir.clone()),
+                pool_size: 2,
+                ..Default::default()
+            },
             registry(),
         )
         .unwrap();
         let mut client = HttpClient::new(server.http_addr());
         let bodies = (0..3)
-            .map(|i| client.get(&format!("/cgi-bin/adl?id={i}&ms=1")).unwrap().body)
+            .map(|i| {
+                client
+                    .get(&format!("/cgi-bin/adl?id={i}&ms=1"))
+                    .unwrap()
+                    .body
+            })
             .collect();
         assert_eq!(server.manager().directory().len(NodeId(0)), 3);
         server.shutdown();
@@ -35,11 +47,19 @@ fn warm_restart_recovers_cached_results() {
     // Second life: the directory is rebuilt from disk before the first
     // request, so all three are immediate local hits with identical bytes.
     let server = SwalaServer::start_single(
-        ServerOptions { cache_dir: Some(dir.clone()), pool_size: 2, ..Default::default() },
+        ServerOptions {
+            cache_dir: Some(dir.clone()),
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();
-    assert_eq!(server.manager().directory().len(NodeId(0)), 3, "directory recovered");
+    assert_eq!(
+        server.manager().directory().len(NodeId(0)),
+        3,
+        "directory recovered"
+    );
     let mut client = HttpClient::new(server.http_addr());
     for (i, expected) in bodies.iter().enumerate() {
         let r = client.get(&format!("/cgi-bin/adl?id={i}&ms=1")).unwrap();
@@ -57,11 +77,17 @@ fn recover_cache_off_starts_cold() {
     let _ = std::fs::remove_dir_all(&dir);
     {
         let server = SwalaServer::start_single(
-            ServerOptions { cache_dir: Some(dir.clone()), pool_size: 2, ..Default::default() },
+            ServerOptions {
+                cache_dir: Some(dir.clone()),
+                pool_size: 2,
+                ..Default::default()
+            },
             registry(),
         )
         .unwrap();
-        HttpClient::new(server.http_addr()).get("/cgi-bin/adl?id=0&ms=1").unwrap();
+        HttpClient::new(server.http_addr())
+            .get("/cgi-bin/adl?id=0&ms=1")
+            .unwrap();
         server.shutdown();
     }
     let server = SwalaServer::start_single(
@@ -115,7 +141,13 @@ fn recovery_respects_capacity() {
     assert_eq!(server.manager().directory().len(NodeId(0)), 4);
     let files = std::fs::read_dir(&dir)
         .unwrap()
-        .filter(|e| e.as_ref().unwrap().path().extension().is_some_and(|x| x == "swc"))
+        .filter(|e| {
+            e.as_ref()
+                .unwrap()
+                .path()
+                .extension()
+                .is_some_and(|x| x == "swc")
+        })
         .count();
     assert_eq!(files, 4, "evicted entries' files deleted");
     server.shutdown();
@@ -127,7 +159,11 @@ fn access_log_records_requests_in_clf() {
     let log_path = std::env::temp_dir().join(format!("swala-access-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&log_path);
     let server = SwalaServer::start_single(
-        ServerOptions { access_log: Some(log_path.clone()), pool_size: 2, ..Default::default() },
+        ServerOptions {
+            access_log: Some(log_path.clone()),
+            pool_size: 2,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();
@@ -140,7 +176,11 @@ fn access_log_records_requests_in_clf() {
     let text = std::fs::read_to_string(&log_path).unwrap();
     let lines: Vec<&str> = text.lines().collect();
     assert_eq!(lines.len(), 3);
-    assert!(lines[0].contains("\"GET /cgi-bin/adl?id=1&ms=1 HTTP/1.0\" 200"), "{}", lines[0]);
+    assert!(
+        lines[0].contains("\"GET /cgi-bin/adl?id=1&ms=1 HTTP/1.0\" 200"),
+        "{}",
+        lines[0]
+    );
     assert!(lines[2].contains("\" 404 "), "{}", lines[2]);
     // CLF timestamp bracket present.
     assert!(lines[0].contains(" - - ["));

@@ -13,7 +13,10 @@ use swala_http::{Method, Request, StatusCode};
 fn registry() -> ProgramRegistry {
     let mut r = ProgramRegistry::new();
     r.register(Arc::new(null_cgi()));
-    r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Spin)));
+    r.register(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Spin,
+    )));
     r
 }
 
@@ -42,8 +45,14 @@ fn serves_nullcgi() {
 fn unknown_program_is_404_and_static_without_docroot_is_404() {
     let server = single(ServerOptions::default());
     let mut client = HttpClient::new(server.http_addr());
-    assert_eq!(client.get("/cgi-bin/ghost").unwrap().status, StatusCode::NOT_FOUND);
-    assert_eq!(client.get("/static.html").unwrap().status, StatusCode::NOT_FOUND);
+    assert_eq!(
+        client.get("/cgi-bin/ghost").unwrap().status,
+        StatusCode::NOT_FOUND
+    );
+    assert_eq!(
+        client.get("/static.html").unwrap().status,
+        StatusCode::NOT_FOUND
+    );
     assert_eq!(server.request_stats().client_errors, 2);
     server.shutdown();
 }
@@ -53,7 +62,10 @@ fn serves_static_files_from_docroot() {
     let root = std::env::temp_dir().join(format!("swala-e2e-docroot-{}", std::process::id()));
     std::fs::create_dir_all(&root).unwrap();
     std::fs::write(root.join("hello.html"), "<h1>static hello</h1>").unwrap();
-    let server = single(ServerOptions { docroot: Some(root.clone()), ..Default::default() });
+    let server = single(ServerOptions {
+        docroot: Some(root.clone()),
+        ..Default::default()
+    });
     let mut client = HttpClient::new(server.http_addr());
     let resp = client.get("/hello.html").unwrap();
     assert_eq!(resp.status, StatusCode::OK);
@@ -74,13 +86,20 @@ fn miss_then_local_hit_with_identical_bytes() {
 
     let second = client.get("/cgi-bin/adl?id=1&ms=0").unwrap();
     assert_eq!(cache_tag(&second), cache_header::LOCAL_HIT);
-    assert_eq!(first.body, second.body, "cached bytes identical to executed bytes");
+    assert_eq!(
+        first.body, second.body,
+        "cached bytes identical to executed bytes"
+    );
 
     let stats = server.cache_stats();
     assert_eq!(stats.misses, 1);
     assert_eq!(stats.local_hits, 1);
     assert_eq!(stats.inserts, 1);
-    assert_eq!(server.request_stats().executions, 1, "second request executed nothing");
+    assert_eq!(
+        server.request_stats().executions,
+        1,
+        "second request executed nothing"
+    );
     server.shutdown();
 }
 
@@ -97,7 +116,10 @@ fn different_queries_are_different_entries() {
 
 #[test]
 fn caching_disabled_mode_never_caches() {
-    let server = single(ServerOptions { caching_enabled: false, ..Default::default() });
+    let server = single(ServerOptions {
+        caching_enabled: false,
+        ..Default::default()
+    });
     let mut client = HttpClient::new(server.http_addr());
     for _ in 0..3 {
         let r = client.get("/cgi-bin/adl?id=1&ms=0").unwrap();
@@ -124,11 +146,18 @@ fn post_is_never_cached() {
 #[test]
 fn rules_threshold_prevents_fast_results_from_caching() {
     let rules = CacheRules::parse("cache * min_ms=10000\n").unwrap();
-    let server = single(ServerOptions { rules, ..Default::default() });
+    let server = single(ServerOptions {
+        rules,
+        ..Default::default()
+    });
     let mut client = HttpClient::new(server.http_addr());
     client.get("/cgi-bin/adl?id=1&ms=0").unwrap();
     let again = client.get("/cgi-bin/adl?id=1&ms=0").unwrap();
-    assert_eq!(cache_tag(&again), cache_header::MISS, "fast result was not kept");
+    assert_eq!(
+        cache_tag(&again),
+        cache_header::MISS,
+        "fast result was not kept"
+    );
     assert_eq!(server.cache_stats().discards, 2);
     server.shutdown();
 }
@@ -136,7 +165,10 @@ fn rules_threshold_prevents_fast_results_from_caching() {
 #[test]
 fn nocache_rule_bypasses_directory() {
     let rules = CacheRules::parse("nocache /cgi-bin/nullcgi*\ncache *\n").unwrap();
-    let server = single(ServerOptions { rules, ..Default::default() });
+    let server = single(ServerOptions {
+        rules,
+        ..Default::default()
+    });
     let mut client = HttpClient::new(server.http_addr());
     let r = client.get("/cgi-bin/nullcgi").unwrap();
     assert_eq!(cache_tag(&r), cache_header::UNCACHEABLE);
@@ -160,7 +192,10 @@ fn head_request_returns_headers_only() {
 
 #[test]
 fn eviction_respects_capacity_over_http() {
-    let server = single(ServerOptions { capacity: 3, ..Default::default() });
+    let server = single(ServerOptions {
+        capacity: 3,
+        ..Default::default()
+    });
     let mut client = HttpClient::new(server.http_addr());
     for i in 0..6 {
         client.get(&format!("/cgi-bin/adl?id={i}&ms=0")).unwrap();
@@ -174,7 +209,10 @@ fn eviction_respects_capacity_over_http() {
 fn disk_store_survives_on_disk() {
     let dir = std::env::temp_dir().join(format!("swala-e2e-diskstore-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let server = single(ServerOptions { cache_dir: Some(dir.clone()), ..Default::default() });
+    let server = single(ServerOptions {
+        cache_dir: Some(dir.clone()),
+        ..Default::default()
+    });
     let mut client = HttpClient::new(server.http_addr());
     client.get("/cgi-bin/adl?id=7&ms=0").unwrap();
     let files = std::fs::read_dir(&dir).unwrap().count();
@@ -203,13 +241,19 @@ fn cluster(n: usize, caching: bool) -> Vec<SwalaServer> {
         .collect();
     let addrs: Vec<Option<std::net::SocketAddr>> =
         bounds.iter().map(|b| Some(b.cache_addr())).collect();
-    bounds.into_iter().map(|b| b.start(addrs.clone()).unwrap()).collect()
+    bounds
+        .into_iter()
+        .map(|b| b.start(addrs.clone()).unwrap())
+        .collect()
 }
 
 fn wait_until(cond: impl Fn() -> bool, what: &str) {
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !cond() {
-        assert!(std::time::Instant::now() < deadline, "timeout waiting for {what}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timeout waiting for {what}"
+        );
         std::thread::sleep(Duration::from_millis(10));
     }
 }
@@ -231,12 +275,23 @@ fn cooperative_remote_hit() {
     // Node 1 serves the same request by fetching from node 0.
     let remote = c1.get("/cgi-bin/adl?id=100&ms=0").unwrap();
     assert_eq!(cache_tag(&remote), cache_header::REMOTE_HIT);
-    assert_eq!(remote.body, first.body, "remote fetch returns identical bytes");
+    assert_eq!(
+        remote.body, first.body,
+        "remote fetch returns identical bytes"
+    );
 
     assert_eq!(servers[1].cache_stats().remote_hits, 1);
     // The owner recorded the peer's fetch in its metadata (§4.1).
     let key = swala_cache::CacheKey::new("/cgi-bin/adl?id=100&ms=0");
-    assert_eq!(servers[0].manager().directory().get(NodeId(0), &key).unwrap().hits, 1);
+    assert_eq!(
+        servers[0]
+            .manager()
+            .directory()
+            .get(NodeId(0), &key)
+            .unwrap()
+            .hits,
+        1
+    );
     for s in servers {
         s.shutdown();
     }
@@ -289,15 +344,22 @@ fn delete_broadcast_prevents_false_hits() {
     servers[0].manager().remove_local(&key).unwrap();
     // Simulate the server's broadcast of that deletion.
     let link = swala_proto::PeerLink::new(NodeId(0), NodeId(1), servers[1].cache_addr());
-    link.send(&swala_proto::Message::DeleteNotice { owner: NodeId(0), key: key.clone() })
-        .unwrap();
+    link.send(&swala_proto::Message::DeleteNotice {
+        owner: NodeId(0),
+        key: key.clone(),
+    })
+    .unwrap();
     wait_until(
         || servers[1].manager().directory().len(NodeId(0)) == 0,
         "delete notice at node 1",
     );
 
     let resp = c1.get("/cgi-bin/adl?id=300&ms=0").unwrap();
-    assert_eq!(cache_tag(&resp), cache_header::MISS, "clean miss, not a false hit");
+    assert_eq!(
+        cache_tag(&resp),
+        cache_header::MISS,
+        "clean miss, not a false hit"
+    );
     assert_eq!(servers[1].cache_stats().false_hits, 0);
     for s in servers {
         s.shutdown();
@@ -322,7 +384,10 @@ fn no_cache_cluster_never_shares() {
 
 #[test]
 fn concurrent_clients_on_one_node() {
-    let server = single(ServerOptions { policy: PolicyKind::GreedyDualSize, ..Default::default() });
+    let server = single(ServerOptions {
+        policy: PolicyKind::GreedyDualSize,
+        ..Default::default()
+    });
     let addr = server.http_addr();
     let mut handles = Vec::new();
     for t in 0..8 {

@@ -3,8 +3,9 @@
 use std::time::{Duration, SystemTime, UNIX_EPOCH};
 
 const DAY_NAMES: [&str; 7] = ["Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"];
-const MONTH_NAMES: [&str; 12] =
-    ["Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"];
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
 
 /// Calendar date/time in UTC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,13 +190,13 @@ mod tests {
     fn parse_rejects_malformed() {
         for bad in [
             "",
-            "Sun, 06 Nov 1994 08:49:37 PST",          // not GMT
-            "Sunday, 06-Nov-94 08:49:37 GMT",          // RFC 850 form
-            "Sun Nov  6 08:49:37 1994",                // asctime form
-            "Sun, 06 Xxx 1994 08:49:37 GMT",           // bad month
-            "Sun, 40 Nov 1994 08:49:37 GMT",           // bad day
-            "Sun, 06 Nov 1994 25:49:37 GMT",           // bad hour
-            "Sun, 06 Nov 1969 08:49:37 GMT",           // pre-epoch
+            "Sun, 06 Nov 1994 08:49:37 PST",  // not GMT
+            "Sunday, 06-Nov-94 08:49:37 GMT", // RFC 850 form
+            "Sun Nov  6 08:49:37 1994",       // asctime form
+            "Sun, 06 Xxx 1994 08:49:37 GMT",  // bad month
+            "Sun, 40 Nov 1994 08:49:37 GMT",  // bad day
+            "Sun, 06 Nov 1994 25:49:37 GMT",  // bad hour
+            "Sun, 06 Nov 1969 08:49:37 GMT",  // pre-epoch
         ] {
             assert_eq!(parse_rfc1123(bad), None, "{bad:?}");
         }

@@ -65,7 +65,11 @@ impl fmt::Display for HttpError {
             HttpError::BadTarget(t) => write!(f, "malformed request target: {t:?}"),
             HttpError::TooLarge(what) => write!(f, "{what} exceeds configured limit"),
             HttpError::ConnectionClosed { clean } => {
-                write!(f, "connection closed ({})", if *clean { "idle" } else { "mid-request" })
+                write!(
+                    f,
+                    "connection closed ({})",
+                    if *clean { "idle" } else { "mid-request" }
+                )
             }
             HttpError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
         }
@@ -121,8 +125,13 @@ mod tests {
             HttpError::TooLarge("body").response_status(),
             Some(StatusCode::PAYLOAD_TOO_LARGE)
         );
-        assert_eq!(HttpError::ConnectionClosed { clean: true }.response_status(), None);
-        assert!(HttpError::Io(io::Error::other("x")).response_status().is_none());
+        assert_eq!(
+            HttpError::ConnectionClosed { clean: true }.response_status(),
+            None
+        );
+        assert!(HttpError::Io(io::Error::other("x"))
+            .response_status()
+            .is_none());
     }
 
     #[test]

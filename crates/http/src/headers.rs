@@ -28,7 +28,9 @@ pub struct HeaderMap {
 impl HeaderMap {
     /// Create an empty map.
     pub fn new() -> Self {
-        HeaderMap { entries: Vec::new() }
+        HeaderMap {
+            entries: Vec::new(),
+        }
     }
 
     /// Number of header lines.
@@ -43,13 +45,19 @@ impl HeaderMap {
 
     /// Append a header, preserving any existing ones with the same name.
     pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
-        self.entries.push(Header { name: name.into(), value: value.into() });
+        self.entries.push(Header {
+            name: name.into(),
+            value: value.into(),
+        });
     }
 
     /// Set a header, replacing every existing occurrence of the name.
     pub fn set(&mut self, name: &str, value: impl Into<String>) {
         self.entries.retain(|h| !h.name.eq_ignore_ascii_case(name));
-        self.entries.push(Header { name: name.to_string(), value: value.into() });
+        self.entries.push(Header {
+            name: name.to_string(),
+            value: value.into(),
+        });
     }
 
     /// First value for `name`, case-insensitively.
@@ -92,7 +100,11 @@ impl HeaderMap {
     pub fn content_length(&self) -> Result<Option<usize>, String> {
         match self.get("Content-Length") {
             None => Ok(None),
-            Some(v) => v.trim().parse::<usize>().map(Some).map_err(|_| v.to_string()),
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| v.to_string()),
         }
     }
 
@@ -130,7 +142,10 @@ pub fn parse_header_line(line: &str) -> Option<Header> {
     if name.is_empty() || !name.bytes().all(is_token_byte) {
         return None;
     }
-    Some(Header { name: name.to_string(), value: value.trim().to_string() })
+    Some(Header {
+        name: name.to_string(),
+        value: value.trim().to_string(),
+    })
 }
 
 /// RFC 1945 token characters: printable ASCII minus separators.

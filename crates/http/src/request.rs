@@ -70,7 +70,11 @@ impl Request {
 /// Read one line terminated by `\n`, tolerating a preceding `\r`.
 ///
 /// Returns the line without the terminator. `limit` bounds the bytes read.
-fn read_line<R: BufRead>(reader: &mut R, limit: usize, what: &'static str) -> Result<Option<String>> {
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    what: &'static str,
+) -> Result<Option<String>> {
     let mut buf = Vec::with_capacity(64);
     loop {
         let available = reader.fill_buf()?;
@@ -134,7 +138,9 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request> {
         .next()
         .ok_or_else(|| HttpError::BadRequestLine(line.clone()))?
         .parse()?;
-    let raw_target = parts.next().ok_or_else(|| HttpError::BadRequestLine(line.clone()))?;
+    let raw_target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequestLine(line.clone()))?;
     let version: Version = match parts.next() {
         Some(v) => v.parse()?,
         // HTTP/0.9 simple requests carried no version; treat as 1.0.
@@ -172,11 +178,16 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request> {
     }
     let mut body = vec![0u8; body_len];
     if body_len > 0 {
-
         reader.read_exact(&mut body)?;
     }
 
-    Ok(Request { method, target, version, headers, body })
+    Ok(Request {
+        method,
+        target,
+        version,
+        headers,
+        body,
+    })
 }
 
 #[cfg(test)]
@@ -252,7 +263,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_method_and_extra_tokens() {
-        assert!(matches!(parse(b"BREW / HTTP/1.0\r\n\r\n"), Err(HttpError::BadMethod(_))));
+        assert!(matches!(
+            parse(b"BREW / HTTP/1.0\r\n\r\n"),
+            Err(HttpError::BadMethod(_))
+        ));
         assert!(matches!(
             parse(b"GET / HTTP/1.0 extra\r\n\r\n"),
             Err(HttpError::BadRequestLine(_))

@@ -41,7 +41,8 @@ impl Response {
 
     /// Set the `Connection` header according to the keep-alive decision.
     pub fn set_keep_alive(&mut self, keep: bool) {
-        self.headers.set("Connection", if keep { "keep-alive" } else { "close" });
+        self.headers
+            .set("Connection", if keep { "keep-alive" } else { "close" });
     }
 
     /// Server identification header.
@@ -81,7 +82,8 @@ impl Response {
     /// Serialize to a byte vector (body included).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(256 + self.body.len());
-        self.write_to(&mut v, true).expect("writing to Vec cannot fail");
+        self.write_to(&mut v, true)
+            .expect("writing to Vec cannot fail");
         v
     }
 
@@ -116,7 +118,10 @@ impl Response {
             headers.append(h.name, h.value);
         }
         let len = if expect_body {
-            headers.content_length().map_err(HttpError::BadContentLength)?.unwrap_or(0)
+            headers
+                .content_length()
+                .map_err(HttpError::BadContentLength)?
+                .unwrap_or(0)
         } else {
             0
         };
@@ -124,7 +129,12 @@ impl Response {
         if len > 0 {
             reader.read_exact(&mut body)?;
         }
-        Ok(Response { version, status: StatusCode(code), headers, body })
+        Ok(Response {
+            version,
+            status: StatusCode(code),
+            headers,
+            body,
+        })
     }
 }
 

@@ -40,8 +40,8 @@ impl RequestTarget {
             Some(i) => (&origin[..i], Some(origin[i + 1..].to_string())),
             None => (origin, None),
         };
-        let decoded = decode_percent(path_part)
-            .ok_or_else(|| HttpError::BadTarget(raw.to_string()))?;
+        let decoded =
+            decode_percent(path_part).ok_or_else(|| HttpError::BadTarget(raw.to_string()))?;
         if decoded.bytes().any(|b| b == 0) {
             return Err(HttpError::BadTarget(raw.to_string()));
         }
@@ -65,7 +65,9 @@ impl RequestTarget {
     /// `=`-split, `+` means space, `%XX` decoding. Undecodable components
     /// are preserved raw rather than dropped (CGI programs see them as-is).
     pub fn query_pairs(&self) -> Vec<(String, String)> {
-        let Some(q) = &self.query else { return Vec::new() };
+        let Some(q) = &self.query else {
+            return Vec::new();
+        };
         q.split('&')
             .filter(|s| !s.is_empty())
             .map(|pair| {
@@ -97,7 +99,9 @@ impl fmt::Display for RequestTarget {
 
 /// If `raw` is absolute-form, return the part starting at the path.
 fn strip_scheme_authority(raw: &str) -> Option<&str> {
-    let rest = raw.strip_prefix("http://").or_else(|| raw.strip_prefix("https://"))?;
+    let rest = raw
+        .strip_prefix("http://")
+        .or_else(|| raw.strip_prefix("https://"))?;
     match rest.find('/') {
         Some(i) => Some(&rest[i..]),
         // `http://host` with no path means `/`.
@@ -246,7 +250,10 @@ mod tests {
         let t = RequestTarget::parse("http://host.example/cgi?a=1").unwrap();
         assert_eq!(t.path, "/cgi");
         assert_eq!(t.query.as_deref(), Some("a=1"));
-        assert_eq!(RequestTarget::parse("http://host.example").unwrap().path, "/");
+        assert_eq!(
+            RequestTarget::parse("http://host.example").unwrap().path,
+            "/"
+        );
     }
 
     #[test]
@@ -274,10 +281,19 @@ mod tests {
 
     #[test]
     fn extension() {
-        assert_eq!(RequestTarget::parse("/a/b.html").unwrap().extension(), Some("html"));
-        assert_eq!(RequestTarget::parse("/a/b.tar.gz").unwrap().extension(), Some("gz"));
+        assert_eq!(
+            RequestTarget::parse("/a/b.html").unwrap().extension(),
+            Some("html")
+        );
+        assert_eq!(
+            RequestTarget::parse("/a/b.tar.gz").unwrap().extension(),
+            Some("gz")
+        );
         assert_eq!(RequestTarget::parse("/a/noext").unwrap().extension(), None);
-        assert_eq!(RequestTarget::parse("/a/.hidden").unwrap().extension(), None);
+        assert_eq!(
+            RequestTarget::parse("/a/.hidden").unwrap().extension(),
+            None
+        );
         assert_eq!(RequestTarget::parse("/a/dot.").unwrap().extension(), None);
     }
 

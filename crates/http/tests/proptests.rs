@@ -12,7 +12,9 @@ fn segment() -> impl Strategy<Value = String> {
     // segments from the round-trip identity property.
     proptest::string::string_regex("[A-Za-z0-9_.~-]{1,12}")
         .unwrap()
-        .prop_filter("dot segments normalize away", |s| !s.chars().all(|c| c == '.'))
+        .prop_filter("dot segments normalize away", |s| {
+            !s.chars().all(|c| c == '.')
+        })
 }
 
 fn simple_path() -> impl Strategy<Value = String> {
@@ -21,14 +23,13 @@ fn simple_path() -> impl Strategy<Value = String> {
 
 fn query() -> impl Strategy<Value = Option<String>> {
     proptest::option::of(
-        proptest::collection::vec(("[a-z]{1,6}", "[A-Za-z0-9]{0,8}"), 1..4)
-            .prop_map(|pairs| {
-                pairs
-                    .into_iter()
-                    .map(|(k, v)| format!("{k}={v}"))
-                    .collect::<Vec<_>>()
-                    .join("&")
-            }),
+        proptest::collection::vec(("[a-z]{1,6}", "[A-Za-z0-9]{0,8}"), 1..4).prop_map(|pairs| {
+            pairs
+                .into_iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join("&")
+        }),
     )
 }
 

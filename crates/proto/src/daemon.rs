@@ -79,25 +79,27 @@ impl CacheDaemons {
             let manager = Arc::clone(&manager);
             let broadcaster = Arc::clone(&broadcaster);
             let shutdown = Arc::clone(&shutdown);
-            handles.push(std::thread::Builder::new().name("swala-cache-accept".into()).spawn(
-                move || {
-                    for conn in listener.incoming() {
-                        if shutdown.load(Ordering::Acquire) {
-                            break;
+            handles.push(
+                std::thread::Builder::new()
+                    .name("swala-cache-accept".into())
+                    .spawn(move || {
+                        for conn in listener.incoming() {
+                            if shutdown.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let Ok(stream) = conn else { continue };
+                            let manager = Arc::clone(&manager);
+                            let broadcaster = Arc::clone(&broadcaster);
+                            let shutdown = Arc::clone(&shutdown);
+                            // Per-connection handler thread, as the paper does.
+                            let _ = std::thread::Builder::new()
+                                .name("swala-cache-conn".into())
+                                .spawn(move || {
+                                    handle_connection(stream, &manager, &broadcaster, &shutdown)
+                                });
                         }
-                        let Ok(stream) = conn else { continue };
-                        let manager = Arc::clone(&manager);
-                        let broadcaster = Arc::clone(&broadcaster);
-                        let shutdown = Arc::clone(&shutdown);
-                        // Per-connection handler thread, as the paper does.
-                        let _ = std::thread::Builder::new()
-                            .name("swala-cache-conn".into())
-                            .spawn(move || {
-                                handle_connection(stream, &manager, &broadcaster, &shutdown)
-                            });
-                    }
-                },
-            )?);
+                    })?,
+            );
         }
 
         // Purge thread.
@@ -106,31 +108,37 @@ impl CacheDaemons {
             let broadcaster = Arc::clone(&broadcaster);
             let shutdown = Arc::clone(&shutdown);
             let interval = purge_interval;
-            handles.push(std::thread::Builder::new().name("swala-cache-purge".into()).spawn(
-                move || {
-                    let tick = Duration::from_millis(25).min(interval);
-                    let mut elapsed = Duration::ZERO;
-                    while !shutdown.load(Ordering::Acquire) {
-                        std::thread::sleep(tick);
-                        elapsed += tick;
-                        if elapsed < interval {
-                            continue;
+            handles.push(
+                std::thread::Builder::new()
+                    .name("swala-cache-purge".into())
+                    .spawn(move || {
+                        let tick = Duration::from_millis(25).min(interval);
+                        let mut elapsed = Duration::ZERO;
+                        while !shutdown.load(Ordering::Acquire) {
+                            std::thread::sleep(tick);
+                            elapsed += tick;
+                            if elapsed < interval {
+                                continue;
+                            }
+                            elapsed = Duration::ZERO;
+                            for dead in manager.purge_expired() {
+                                let owner = dead.owner;
+                                broadcaster.broadcast(&Message::DeleteNotice {
+                                    owner,
+                                    key: dead.key,
+                                });
+                                CacheStats::bump(&manager.stats().broadcasts_sent);
+                            }
                         }
-                        elapsed = Duration::ZERO;
-                        for dead in manager.purge_expired() {
-                            let owner = dead.owner;
-                            broadcaster.broadcast(&Message::DeleteNotice {
-                                owner,
-                                key: dead.key,
-                            });
-                            CacheStats::bump(&manager.stats().broadcasts_sent);
-                        }
-                    }
-                },
-            )?);
+                    })?,
+            );
         }
 
-        Ok(CacheDaemons { addr, shutdown, handles })
+        Ok(CacheDaemons {
+            addr,
+            shutdown,
+            handles,
+        })
     }
 
     /// The listener's actual address (for peers' broadcaster config).
@@ -184,16 +192,34 @@ fn handle_connection(
             }
             Err(_) => return,
         };
-        let Ok(msg) = Message::decode(&frame) else { return };
+        let Ok(msg) = Message::decode(&frame) else {
+            return;
+        };
         match msg {
-            Message::Hello { .. } => {}
-            Message::InsertNotice { meta } => manager.apply_remote_insert(meta),
-            Message::DeleteNotice { owner, key } => manager.apply_remote_delete(owner, &key),
+            Message::Hello { .. }
+            | Message::InsertNotice { .. }
+            | Message::DeleteNotice { .. }
+            | Message::Invalidate { .. } => {
+                apply_notice(msg, manager, broadcaster);
+            }
+            Message::Batch(msgs) => {
+                // Coalesced notices from a peer's writer thread: fan the
+                // sub-messages out. Only fire-and-forget notices may be
+                // batched; a reply-requiring sub-message is a protocol
+                // violation and drops the connection.
+                for sub in msgs {
+                    if !is_notice(&sub) {
+                        return;
+                    }
+                    apply_notice(sub, manager, broadcaster);
+                }
+            }
             Message::FetchRequest { key } => {
                 let reply = match manager.fetch_local_body(&key) {
-                    Some((meta, body)) => {
-                        Message::FetchHit { content_type: meta.content_type, body }
-                    }
+                    Some((meta, body)) => Message::FetchHit {
+                        content_type: meta.content_type,
+                        body,
+                    },
                     None => Message::FetchMiss,
                 };
                 if write_frame(&mut stream, &reply.encode()).is_err() {
@@ -214,16 +240,6 @@ fn handle_connection(
                     return;
                 }
             }
-            Message::Invalidate { key } => {
-                // Application-driven invalidation: drop the owned entry
-                // and tell the cluster. Invalidating an absent key is a
-                // no-op (the application may race a purge).
-                if let Some(dead) = manager.remove_local(&key) {
-                    broadcaster
-                        .broadcast(&Message::DeleteNotice { owner: dead.owner, key: dead.key });
-                    CacheStats::bump(&manager.stats().broadcasts_sent);
-                }
-            }
             // Replies arriving inbound are protocol violations; drop the
             // connection rather than guessing.
             Message::FetchHit { .. }
@@ -234,18 +250,54 @@ fn handle_connection(
     }
 }
 
+/// Whether `msg` is a fire-and-forget notice (legal inside a `Batch`).
+fn is_notice(msg: &Message) -> bool {
+    matches!(
+        msg,
+        Message::Hello { .. }
+            | Message::InsertNotice { .. }
+            | Message::DeleteNotice { .. }
+            | Message::Invalidate { .. }
+    )
+}
+
+/// Apply one fire-and-forget notice to the local node.
+fn apply_notice(msg: Message, manager: &CacheManager, broadcaster: &Broadcaster) {
+    match msg {
+        Message::Hello { .. } => {}
+        Message::InsertNotice { meta } => manager.apply_remote_insert(meta),
+        Message::DeleteNotice { owner, key } => manager.apply_remote_delete(owner, &key),
+        Message::Invalidate { key } => {
+            // Application-driven invalidation: drop the owned entry and
+            // tell the cluster. Invalidating an absent key is a no-op
+            // (the application may race a purge).
+            if let Some(dead) = manager.remove_local(&key) {
+                broadcaster.broadcast(&Message::DeleteNotice {
+                    owner: dead.owner,
+                    key: dead.key,
+                });
+                CacheStats::bump(&manager.stats().broadcasts_sent);
+            }
+        }
+        _ => unreachable!("caller checked is_notice"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fetch::{fetch_remote, FetchOutcome};
     use std::time::Instant;
-    use swala_cache::{
-        CacheKey, CacheManagerConfig, CacheRules, LookupResult, MemStore, NodeId,
-    };
+    use swala_cache::{CacheKey, CacheManagerConfig, CacheRules, LookupResult, MemStore, NodeId};
 
     fn start_node(rules: CacheRules, purge_ms: u64) -> (Arc<CacheManager>, CacheDaemons) {
         let manager = Arc::new(CacheManager::new(
-            CacheManagerConfig { num_nodes: 2, local: NodeId(0), rules, ..Default::default() },
+            CacheManagerConfig {
+                num_nodes: 2,
+                local: NodeId(0),
+                rules,
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         ));
         let daemons = CacheDaemons::start(
@@ -264,7 +316,13 @@ mod tests {
         match manager.lookup(key, key.as_str()) {
             LookupResult::Miss { decision, .. } => {
                 manager
-                    .complete_execution(key, body, "text/html", Duration::from_millis(100), &decision)
+                    .complete_execution(
+                        key,
+                        body,
+                        "text/html",
+                        Duration::from_millis(100),
+                        &decision,
+                    )
                     .unwrap();
             }
             other => panic!("{other:?}"),
@@ -280,12 +338,19 @@ mod tests {
         let out = fetch_remote(daemons.addr(), &key, Duration::from_secs(1));
         assert_eq!(
             out,
-            FetchOutcome::Hit { content_type: "text/html".into(), body: b"the-cached-result".to_vec() }
+            FetchOutcome::Hit {
+                content_type: "text/html".into(),
+                body: b"the-cached-result".to_vec()
+            }
         );
         // Owner recorded the remote hit in its metadata (§4.1).
         assert_eq!(manager.directory().get(NodeId(0), &key).unwrap().hits, 1);
 
-        let gone = fetch_remote(daemons.addr(), &CacheKey::new("/nope"), Duration::from_secs(1));
+        let gone = fetch_remote(
+            daemons.addr(),
+            &CacheKey::new("/nope"),
+            Duration::from_secs(1),
+        );
         assert_eq!(gone, FetchOutcome::Gone);
         daemons.shutdown();
     }
@@ -300,8 +365,52 @@ mod tests {
         link.send(&Message::InsertNotice { meta }).unwrap();
         wait_until(|| manager.directory().len(NodeId(1)) == 1);
 
-        link.send(&Message::DeleteNotice { owner: NodeId(1), key }).unwrap();
+        link.send(&Message::DeleteNotice {
+            owner: NodeId(1),
+            key,
+        })
+        .unwrap();
         wait_until(|| manager.directory().len(NodeId(1)) == 0);
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn batched_notices_fan_out() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let k1 = CacheKey::new("/cgi-bin/b?x=1");
+        let k2 = CacheKey::new("/cgi-bin/b?x=2");
+        let batch = Message::Batch(vec![
+            Message::Hello { node: NodeId(1) },
+            Message::InsertNotice {
+                meta: swala_cache::EntryMeta::new(k1.clone(), NodeId(1), 8, "t", 1000, None, 1),
+            },
+            Message::InsertNotice {
+                meta: swala_cache::EntryMeta::new(k2, NodeId(1), 8, "t", 1000, None, 2),
+            },
+            Message::DeleteNotice {
+                owner: NodeId(1),
+                key: k1,
+            },
+        ]);
+        let mut s = TcpStream::connect(daemons.addr()).unwrap();
+        write_frame(&mut s, &batch.encode()).unwrap();
+        wait_until(|| manager.directory().len(NodeId(1)) == 1);
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn reply_requiring_message_in_batch_drops_connection() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let mut s = TcpStream::connect(daemons.addr()).unwrap();
+        write_frame(&mut s, &Message::Batch(vec![Message::Ping]).encode()).unwrap();
+        // The daemon closes this connection without replying; the node
+        // itself stays up.
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        assert!(matches!(read_frame(&mut s), Ok(None) | Err(_)));
+        let key = CacheKey::new("/cgi-bin/still-up");
+        insert(&manager, &key, b"yes");
+        let out = fetch_remote(daemons.addr(), &key, Duration::from_secs(1));
+        assert!(matches!(out, FetchOutcome::Hit { .. }));
         daemons.shutdown();
     }
 
@@ -345,14 +454,22 @@ mod tests {
 
         let rules = CacheRules::parse("cache * ttl=1\n").unwrap();
         let manager = Arc::new(CacheManager::new(
-            CacheManagerConfig { num_nodes: 2, local: NodeId(0), rules, ..Default::default() },
+            CacheManagerConfig {
+                num_nodes: 2,
+                local: NodeId(0),
+                rules,
+                ..Default::default()
+            },
             Box::new(MemStore::new()),
         ));
         let broadcaster = Arc::new(Broadcaster::new(NodeId(0), [(NodeId(1), peer_addr)]));
         let daemons = CacheDaemons::start(
             Arc::clone(&manager),
             broadcaster,
-            DaemonConfig { purge_interval: Duration::from_millis(50), ..Default::default() },
+            DaemonConfig {
+                purge_interval: Duration::from_millis(50),
+                ..Default::default()
+            },
         )
         .unwrap();
 
@@ -376,7 +493,11 @@ mod tests {
         let _idle = TcpStream::connect(daemons.addr()).unwrap();
         let start = Instant::now();
         daemons.shutdown();
-        assert!(start.elapsed() < Duration::from_secs(2), "{:?}", start.elapsed());
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "{:?}",
+            start.elapsed()
+        );
     }
 
     #[test]
@@ -425,12 +546,14 @@ mod tests {
             },
             Box::new(MemStore::new()),
         ));
-        let broadcaster =
-            Arc::new(Broadcaster::new(NodeId(0), [(NodeId(1), peer_addr)]));
+        let broadcaster = Arc::new(Broadcaster::new(NodeId(0), [(NodeId(1), peer_addr)]));
         let daemons = CacheDaemons::start(
             Arc::clone(&manager),
             broadcaster,
-            DaemonConfig { purge_interval: Duration::from_secs(60), ..Default::default() },
+            DaemonConfig {
+                purge_interval: Duration::from_secs(60),
+                ..Default::default()
+            },
         )
         .unwrap();
 

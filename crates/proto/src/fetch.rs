@@ -44,7 +44,7 @@ fn try_fetch(
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    write_frame(&mut stream, &Message::FetchRequest { key: key.clone() }.encode())?;
+    write_frame(&mut stream, &Message::encode_fetch_request(key))?;
     let frame = read_frame(&mut stream)?.ok_or(ProtoError::Truncated("fetch reply"))?;
     match Message::decode(&frame)? {
         Message::FetchHit { content_type, body } => Ok(FetchOutcome::Hit { content_type, body }),
@@ -86,7 +86,7 @@ pub fn request_invalidate(
     let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(timeout))?;
-    write_frame(&mut stream, &Message::Invalidate { key: key.clone() }.encode())
+    write_frame(&mut stream, &Message::encode_invalidate(key))
 }
 
 #[cfg(test)]
@@ -123,7 +123,10 @@ mod tests {
         let out = fetch_remote(addr, &CacheKey::new("/cgi-bin/x?1"), Duration::from_secs(1));
         assert_eq!(
             out,
-            FetchOutcome::Hit { content_type: "text/html".into(), body: b"cached-body".to_vec() }
+            FetchOutcome::Hit {
+                content_type: "text/html".into(),
+                body: b"cached-body".to_vec()
+            }
         );
         h.join().unwrap();
     }
@@ -131,7 +134,11 @@ mod tests {
     #[test]
     fn fetch_gone_is_false_hit() {
         let (addr, h) = fetch_server(|_| Message::FetchMiss);
-        let out = fetch_remote(addr, &CacheKey::new("/cgi-bin/deleted"), Duration::from_secs(1));
+        let out = fetch_remote(
+            addr,
+            &CacheKey::new("/cgi-bin/deleted"),
+            Duration::from_secs(1),
+        );
         assert_eq!(out, FetchOutcome::Gone);
         h.join().unwrap();
     }
@@ -173,7 +180,11 @@ mod tests {
             assert_eq!(key.as_str(), "/cgi-bin/echo?k=v");
             Message::FetchMiss
         });
-        fetch_remote(addr, &CacheKey::new("/cgi-bin/echo?k=v"), Duration::from_secs(1));
+        fetch_remote(
+            addr,
+            &CacheKey::new("/cgi-bin/echo?k=v"),
+            Duration::from_secs(1),
+        );
         h.join().unwrap();
     }
 }

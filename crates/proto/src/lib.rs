@@ -20,8 +20,9 @@
 //! * [`wire`] — length-prefixed binary framing and primitive codecs;
 //! * [`message`] — the message set (hello, insert/delete notices, fetch
 //!   request/reply, directory sync, ping);
-//! * [`peers`] — persistent outgoing notice links with reconnection, and
-//!   the cluster [`peers::Broadcaster`];
+//! * [`peers`] — the asynchronous broadcast pipeline: per-peer writer
+//!   threads fed by bounded drop-oldest queues, notice batching, and the
+//!   cluster [`peers::Broadcaster`];
 //! * [`fetch`] — the client side of a remote cache fetch;
 //! * [`daemon`] — the listener + purge daemons, bound to a
 //!   [`swala_cache::CacheManager`].
@@ -35,5 +36,5 @@ pub mod wire;
 pub use daemon::{CacheDaemons, DaemonConfig};
 pub use fetch::{fetch_remote, request_invalidate, request_sync, FetchOutcome};
 pub use message::Message;
-pub use peers::{Broadcaster, PeerLink};
+pub use peers::{BroadcastConfig, Broadcaster, Connector, LinkStats, PeerLink};
 pub use wire::{read_frame, write_frame, ProtoError};

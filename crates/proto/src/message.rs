@@ -18,34 +18,57 @@ const TAG_SYNC_REPLY: u8 = 0x08;
 const TAG_PING: u8 = 0x09;
 const TAG_PONG: u8 = 0x0a;
 const TAG_INVALIDATE: u8 = 0x0b;
+const TAG_BATCH: u8 = 0x0c;
 
 /// Everything Swala nodes say to each other.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// First message on a notice link: identifies the sender.
-    Hello { node: NodeId },
+    Hello {
+        node: NodeId,
+    },
     /// "I just cached this" — apply to the sender's table (§4.2:
     /// broadcast on every insert, applied asynchronously).
-    InsertNotice { meta: EntryMeta },
+    InsertNotice {
+        meta: EntryMeta,
+    },
     /// "I dropped this" (eviction, expiry or explicit invalidation).
-    DeleteNotice { owner: NodeId, key: CacheKey },
+    DeleteNotice {
+        owner: NodeId,
+        key: CacheKey,
+    },
     /// "Send me the body you advertise for this key."
-    FetchRequest { key: CacheKey },
+    FetchRequest {
+        key: CacheKey,
+    },
     /// Fetch succeeded.
-    FetchHit { content_type: String, body: Vec<u8> },
+    FetchHit {
+        content_type: String,
+        body: Vec<u8>,
+    },
     /// Fetch found nothing — the requester experienced a false hit.
     FetchMiss,
     /// "Send me your whole local table" (join-time directory sync).
     SyncRequest,
     /// Full local table of `node`.
-    SyncReply { node: NodeId, entries: Vec<EntryMeta> },
+    SyncReply {
+        node: NodeId,
+        entries: Vec<EntryMeta>,
+    },
     /// Liveness probe.
     Ping,
     Pong,
     /// "Drop this entry if you own it" — application-driven
     /// invalidation (§4.2's planned stronger consistency, after \[12\]).
     /// The owner removes the entry and broadcasts the deletion.
-    Invalidate { key: CacheKey },
+    Invalidate {
+        key: CacheKey,
+    },
+    /// Several notices coalesced into one frame by a peer link's writer
+    /// thread. Sub-messages are length-prefixed; nesting a `Batch` inside
+    /// a `Batch` is a protocol violation, as is batching any message that
+    /// requires a reply (fetch/sync/ping).
+    Batch(Vec<Message>),
 }
 
 impl Message {
@@ -91,6 +114,15 @@ impl Message {
                 buf.put_u8(TAG_INVALIDATE);
                 put_string(&mut buf, key.as_str());
             }
+            Message::Batch(msgs) => {
+                buf.put_u8(TAG_BATCH);
+                // Encoding is total; the *decoder* rejects nesting, so a
+                // hand-built nested batch cannot crash a receiver.
+                buf.put_u32(msgs.len() as u32);
+                for m in msgs {
+                    put_bytes(&mut buf, &m.encode());
+                }
+            }
         }
         buf.to_vec()
     }
@@ -100,13 +132,19 @@ impl Message {
         let mut r = payload;
         let tag = get_u8(&mut r)?;
         let msg = match tag {
-            TAG_HELLO => Message::Hello { node: NodeId(get_u16(&mut r)?) },
-            TAG_INSERT => Message::InsertNotice { meta: decode_meta(&mut r)? },
+            TAG_HELLO => Message::Hello {
+                node: NodeId(get_u16(&mut r)?),
+            },
+            TAG_INSERT => Message::InsertNotice {
+                meta: decode_meta(&mut r)?,
+            },
             TAG_DELETE => Message::DeleteNotice {
                 owner: NodeId(get_u16(&mut r)?),
                 key: CacheKey::new(get_string(&mut r)?),
             },
-            TAG_FETCH_REQ => Message::FetchRequest { key: CacheKey::new(get_string(&mut r)?) },
+            TAG_FETCH_REQ => Message::FetchRequest {
+                key: CacheKey::new(get_string(&mut r)?),
+            },
             TAG_FETCH_HIT => Message::FetchHit {
                 content_type: get_string(&mut r)?,
                 body: get_bytes(&mut r)?,
@@ -124,11 +162,56 @@ impl Message {
             }
             TAG_PING => Message::Ping,
             TAG_PONG => Message::Pong,
-            TAG_INVALIDATE => Message::Invalidate { key: CacheKey::new(get_string(&mut r)?) },
+            TAG_INVALIDATE => Message::Invalidate {
+                key: CacheKey::new(get_string(&mut r)?),
+            },
+            TAG_BATCH => {
+                let n = get_u32(&mut r)? as usize;
+                let mut msgs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let sub = get_bytes(&mut r)?;
+                    if sub.first() == Some(&TAG_BATCH) {
+                        return Err(ProtoError::NestedBatch);
+                    }
+                    msgs.push(Message::decode(&sub)?);
+                }
+                Message::Batch(msgs)
+            }
             t => return Err(ProtoError::UnknownTag(t)),
         };
         Ok(msg)
     }
+
+    /// Encode a `FetchRequest` without cloning the key.
+    pub fn encode_fetch_request(key: &CacheKey) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(16 + key.as_str().len());
+        buf.put_u8(TAG_FETCH_REQ);
+        put_string(&mut buf, key.as_str());
+        buf.to_vec()
+    }
+
+    /// Encode an `Invalidate` without cloning the key.
+    pub fn encode_invalidate(key: &CacheKey) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(16 + key.as_str().len());
+        buf.put_u8(TAG_INVALIDATE);
+        put_string(&mut buf, key.as_str());
+        buf.to_vec()
+    }
+}
+
+/// Assemble already-encoded message payloads into one `Batch` frame
+/// payload, byte-identical to `Message::Batch(msgs).encode()`. The writer
+/// threads use this so a broadcast is encoded exactly once, not once per
+/// link per flush.
+pub fn encode_batch<T: AsRef<[u8]>>(parts: &[T]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| p.as_ref().len() + 4).sum();
+    let mut buf = BytesMut::with_capacity(5 + total);
+    buf.put_u8(TAG_BATCH);
+    buf.put_u32(parts.len() as u32);
+    for p in parts {
+        put_bytes(&mut buf, p.as_ref());
+    }
+    buf.to_vec()
 }
 
 fn encode_meta(buf: &mut BytesMut, m: &EntryMeta) {
@@ -204,16 +287,31 @@ mod tests {
     fn all_variants_roundtrip() {
         let messages = vec![
             Message::Hello { node: NodeId(7) },
-            Message::InsertNotice { meta: sample_meta() },
-            Message::DeleteNotice { owner: NodeId(1), key: CacheKey::new("/cgi-bin/x?q=1") },
-            Message::FetchRequest { key: CacheKey::new("/cgi-bin/y") },
-            Message::FetchHit { content_type: "text/html".into(), body: b"payload".to_vec() },
+            Message::InsertNotice {
+                meta: sample_meta(),
+            },
+            Message::DeleteNotice {
+                owner: NodeId(1),
+                key: CacheKey::new("/cgi-bin/x?q=1"),
+            },
+            Message::FetchRequest {
+                key: CacheKey::new("/cgi-bin/y"),
+            },
+            Message::FetchHit {
+                content_type: "text/html".into(),
+                body: b"payload".to_vec(),
+            },
             Message::FetchMiss,
             Message::SyncRequest,
-            Message::SyncReply { node: NodeId(2), entries: vec![sample_meta(), sample_meta()] },
+            Message::SyncReply {
+                node: NodeId(2),
+                entries: vec![sample_meta(), sample_meta()],
+            },
             Message::Ping,
             Message::Pong,
-            Message::Invalidate { key: CacheKey::new("/cgi-bin/stale?x=1") },
+            Message::Invalidate {
+                key: CacheKey::new("/cgi-bin/stale?x=1"),
+            },
         ];
         for msg in messages {
             let decoded = Message::decode(&msg.encode()).unwrap();
@@ -234,13 +332,19 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert!(matches!(Message::decode(&[0x7f]), Err(ProtoError::UnknownTag(0x7f))));
+        assert!(matches!(
+            Message::decode(&[0x7f]),
+            Err(ProtoError::UnknownTag(0x7f))
+        ));
         assert!(Message::decode(&[]).is_err());
     }
 
     #[test]
     fn truncated_payload_rejected() {
-        let full = Message::InsertNotice { meta: sample_meta() }.encode();
+        let full = Message::InsertNotice {
+            meta: sample_meta(),
+        }
+        .encode();
         for cut in [1, 5, full.len() / 2, full.len() - 1] {
             assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut}");
         }
@@ -248,14 +352,81 @@ mod tests {
 
     #[test]
     fn empty_sync_reply() {
-        let msg = Message::SyncReply { node: NodeId(0), entries: vec![] };
+        let msg = Message::SyncReply {
+            node: NodeId(0),
+            entries: vec![],
+        };
         assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn batch_roundtrips_and_matches_preencoded_form() {
+        let msgs = vec![
+            Message::InsertNotice {
+                meta: sample_meta(),
+            },
+            Message::DeleteNotice {
+                owner: NodeId(1),
+                key: CacheKey::new("/cgi-bin/x?q=1"),
+            },
+            Message::Hello { node: NodeId(4) },
+        ];
+        let batch = Message::Batch(msgs.clone());
+        assert_eq!(Message::decode(&batch.encode()).unwrap(), batch);
+        // The writer-thread fast path produces identical bytes.
+        let parts: Vec<Vec<u8>> = msgs.iter().map(Message::encode).collect();
+        assert_eq!(super::encode_batch(&parts), batch.encode());
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let b = Message::Batch(vec![]);
+        assert_eq!(Message::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        let nested = super::encode_batch(&[Message::Batch(vec![Message::Ping]).encode()]);
+        assert!(matches!(
+            Message::decode(&nested),
+            Err(ProtoError::NestedBatch)
+        ));
+    }
+
+    #[test]
+    fn truncated_batch_rejected() {
+        let full = Message::Batch(vec![
+            Message::InsertNotice {
+                meta: sample_meta(),
+            },
+            Message::Ping,
+        ])
+        .encode();
+        for cut in [1, 4, 6, full.len() / 2, full.len() - 1] {
+            assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn borrowed_encoders_match_owned_encoding() {
+        let key = CacheKey::new("/cgi-bin/fetch?me=1");
+        assert_eq!(
+            Message::encode_fetch_request(&key),
+            Message::FetchRequest { key: key.clone() }.encode()
+        );
+        assert_eq!(
+            Message::encode_invalidate(&key),
+            Message::Invalidate { key }.encode()
+        );
     }
 
     #[test]
     fn large_body_fetch_hit() {
         let body = vec![0xabu8; 1 << 20];
-        let msg = Message::FetchHit { content_type: "application/octet-stream".into(), body };
+        let msg = Message::FetchHit {
+            content_type: "application/octet-stream".into(),
+            body,
+        };
         let decoded = Message::decode(&msg.encode()).unwrap();
         assert_eq!(decoded, msg);
     }

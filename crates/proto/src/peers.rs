@@ -1,122 +1,440 @@
 //! Outgoing peer links and the cluster broadcaster.
 //!
-//! Each node keeps one persistent TCP connection per peer for directory
-//! notices. Sends are asynchronous with respect to the protocol — a node
-//! never waits for acknowledgements (§4.2: "updates are done
-//! asynchronously among the nodes without any global locks") — but each
-//! link serializes its own writes so frames cannot interleave.
+//! §4.2: "updates are done asynchronously among the nodes without any
+//! global locks" — a node never waits for its notices to be delivered.
+//! This module takes that literally: each peer gets a dedicated **writer
+//! thread** fed by a bounded queue, and [`Broadcaster::broadcast`] is a
+//! non-blocking enqueue of one shared pre-encoded buffer. The request
+//! path therefore pays O(peers) pointer pushes per broadcast — never a
+//! connect, a syscall, or a retransmit — regardless of how many peers
+//! are slow, dead, or blackholed.
 //!
-//! A dead link is reconnected lazily on the next send; if the peer stays
-//! unreachable the notice is dropped, which the weak-consistency protocol
-//! tolerates by design (the worst case is a false miss or false hit).
+//! Writer threads coalesce whatever has queued since their last write
+//! into a single [`Message::Batch`] frame (up to `batch_max`
+//! sub-messages, optionally waiting `batch_window` for stragglers), so a
+//! node under load amortizes framing and syscalls across many notices.
+//!
+//! Backpressure is **drop-oldest**: when a queue is full the oldest
+//! notice is discarded and counted in the link's `dropped` counter. The
+//! weak-consistency protocol tolerates lost notices by design — the
+//! worst case is a false miss or false hit — so shedding load beats
+//! blocking the request path. Reconnection happens on the writer thread
+//! with exponential backoff, off the request path entirely.
 
-use crate::message::Message;
-use crate::wire::write_frame;
-use parking_lot::Mutex;
+use crate::message::{encode_batch, Message};
+use crate::wire::{write_frame, ProtoError, MAX_FRAME};
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use swala_cache::NodeId;
 
-/// Persistent notice link to one peer.
-pub struct PeerLink {
-    /// Peer's cache-protocol listener address.
+/// How a writer thread opens a TCP connection. Injectable so tests can
+/// simulate blackholed peers (connects that hang, then fail) without
+/// depending on unroutable addresses.
+pub type Connector = Arc<dyn Fn(SocketAddr, Duration) -> io::Result<TcpStream> + Send + Sync>;
+
+/// Tuning for the asynchronous broadcast pipeline.
+#[derive(Clone)]
+pub struct BroadcastConfig {
+    /// Bounded queue depth per link; overflow drops the oldest notice.
+    pub queue_depth: usize,
+    /// Max sub-messages coalesced into one `Batch` frame.
+    pub batch_max: usize,
+    /// How long a writer lingers for more notices after the first one is
+    /// available. Zero (the default) coalesces opportunistically: only
+    /// what queued while the previous write was in flight.
+    pub batch_window: Duration,
+    /// TCP connect timeout for (re)connection attempts.
+    pub connect_timeout: Duration,
+    /// Connection factory (tests inject failures/delays here).
+    pub connector: Connector,
+}
+
+impl Default for BroadcastConfig {
+    fn default() -> Self {
+        BroadcastConfig {
+            queue_depth: 1024,
+            batch_max: 64,
+            batch_window: Duration::ZERO,
+            connect_timeout: Duration::from_millis(500),
+            connector: Arc::new(|addr, timeout| TcpStream::connect_timeout(&addr, timeout)),
+        }
+    }
+}
+
+impl std::fmt::Debug for BroadcastConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BroadcastConfig")
+            .field("queue_depth", &self.queue_depth)
+            .field("batch_max", &self.batch_max)
+            .field("batch_window", &self.batch_window)
+            .field("connect_timeout", &self.connect_timeout)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Observable state of one link, for the admin page and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkStats {
+    pub peer: NodeId,
+    pub addr: SocketAddr,
+    /// Notices written to the socket.
+    pub sent: u64,
+    /// Notices dropped: queue overflow, failed delivery, or shutdown.
+    pub dropped: u64,
+    /// Notices currently queued.
+    pub queued: usize,
+    /// Whether the writer currently holds a live connection.
+    pub connected: bool,
+}
+
+struct Queue {
+    buf: VecDeque<Arc<[u8]>>,
+    /// Writer has taken a batch it has not finished delivering.
+    in_flight: bool,
+    shutting_down: bool,
+}
+
+struct LinkShared {
     addr: SocketAddr,
-    /// Peer node id (informational).
     peer: NodeId,
-    /// Our node id, announced in the `Hello`.
     local: NodeId,
-    stream: Mutex<Option<TcpStream>>,
-    /// Notices successfully written.
+    cfg: BroadcastConfig,
+    queue: Mutex<Queue>,
+    /// Signaled on enqueue and shutdown; writer waits here.
+    ready: Condvar,
+    /// Signaled when the pipeline quiesces; `flush` waits here.
+    idle: Condvar,
     sent: AtomicU64,
-    /// Notices dropped because the peer was unreachable.
     dropped: AtomicU64,
-    connect_timeout: Duration,
+    connected: AtomicBool,
+}
+
+/// Persistent notice link to one peer, serviced by its own writer thread.
+pub struct PeerLink {
+    shared: Arc<LinkShared>,
+    writer: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl PeerLink {
-    /// Create an unconnected link (connection happens on first send).
+    /// Create a link with default tuning (connection happens on the
+    /// writer thread, on first delivery).
     pub fn new(local: NodeId, peer: NodeId, addr: SocketAddr) -> Self {
-        PeerLink {
+        Self::with_config(local, peer, addr, BroadcastConfig::default())
+    }
+
+    /// Create a link with explicit tuning.
+    pub fn with_config(
+        local: NodeId,
+        peer: NodeId,
+        addr: SocketAddr,
+        cfg: BroadcastConfig,
+    ) -> Self {
+        let shared = Arc::new(LinkShared {
             addr,
             peer,
             local,
-            stream: Mutex::new(None),
+            cfg,
+            queue: Mutex::new(Queue {
+                buf: VecDeque::new(),
+                in_flight: false,
+                shutting_down: false,
+            }),
+            ready: Condvar::new(),
+            idle: Condvar::new(),
             sent: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
-            connect_timeout: Duration::from_millis(500),
+            connected: AtomicBool::new(false),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("swala-notice-writer".into())
+                .spawn(move || writer_loop(&shared))
+                .expect("spawn notice writer")
+        };
+        PeerLink {
+            shared,
+            writer: Mutex::new(Some(writer)),
         }
     }
 
     /// Peer node id.
     pub fn peer(&self) -> NodeId {
-        self.peer
+        self.shared.peer
+    }
+
+    /// Peer address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
     }
 
     /// Notices written / dropped so far.
     pub fn counters(&self) -> (u64, u64) {
-        (self.sent.load(Ordering::Relaxed), self.dropped.load(Ordering::Relaxed))
+        (
+            self.shared.sent.load(Ordering::Relaxed),
+            self.shared.dropped.load(Ordering::Relaxed),
+        )
     }
 
-    /// Send a notice, (re)connecting if necessary.
-    ///
-    /// Returns `Ok(())` on a successful write; on failure the link is torn
-    /// down (next send reconnects) and the error is surfaced so callers
-    /// can count drops, but broadcast semantics treat it as best-effort.
+    /// Snapshot of this link's observable state.
+    pub fn stats(&self) -> LinkStats {
+        let queued = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .len();
+        LinkStats {
+            peer: self.shared.peer,
+            addr: self.shared.addr,
+            sent: self.shared.sent.load(Ordering::Relaxed),
+            dropped: self.shared.dropped.load(Ordering::Relaxed),
+            queued,
+            connected: self.shared.connected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Queue a notice for delivery. Returns immediately: `Ok` means the
+    /// notice was accepted (enqueued), not that it was delivered —
+    /// delivery is asynchronous and best-effort. `Err` only after
+    /// shutdown.
     pub fn send(&self, msg: &Message) -> io::Result<()> {
-        let mut guard = self.stream.lock();
-        if guard.is_none() {
-            match self.connect() {
-                Ok(s) => *guard = Some(s),
-                Err(e) => {
-                    self.dropped.fetch_add(1, Ordering::Relaxed);
-                    return Err(e);
-                }
-            }
-        }
-        let stream = guard.as_mut().expect("just connected");
-        match write_frame(stream, &msg.encode()) {
-            Ok(()) => {
-                self.sent.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(e) => {
-                // One reconnect-and-retry: the common failure is a peer
-                // restart having closed the old connection.
-                *guard = None;
-                match self.connect() {
-                    Ok(mut s) => match write_frame(&mut s, &msg.encode()) {
-                        Ok(()) => {
-                            *guard = Some(s);
-                            self.sent.fetch_add(1, Ordering::Relaxed);
-                            Ok(())
-                        }
-                        Err(e2) => {
-                            self.dropped.fetch_add(1, Ordering::Relaxed);
-                            Err(to_io(e2))
-                        }
-                    },
-                    Err(_) => {
-                        self.dropped.fetch_add(1, Ordering::Relaxed);
-                        Err(to_io(e))
-                    }
-                }
-            }
+        if self.enqueue_frame(msg.encode().into()) {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer link shut down",
+            ))
         }
     }
 
-    fn connect(&self) -> io::Result<TcpStream> {
-        let mut stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
-        stream.set_nodelay(true)?;
-        write_frame(&mut stream, &Message::Hello { node: self.local }.encode()).map_err(to_io)?;
-        Ok(stream)
+    /// Queue a pre-encoded frame payload (the broadcast fast path: one
+    /// encode shared across every link). Drop-oldest on overflow.
+    pub fn enqueue_frame(&self, frame: Arc<[u8]>) -> bool {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.shutting_down {
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if q.buf.len() >= self.shared.cfg.queue_depth {
+            q.buf.pop_front();
+            self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        q.buf.push_back(frame);
+        drop(q);
+        self.shared.ready.notify_one();
+        true
+    }
+
+    /// Wait until every queued notice has been handed to the socket (or
+    /// dropped). `false` on timeout.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        while !q.buf.is_empty() || q.in_flight {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .idle
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+        true
+    }
+
+    /// Signal shutdown, drain what can still be delivered, and join the
+    /// writer thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.signal_shutdown();
+        self.join_writer();
+    }
+
+    fn signal_shutdown(&self) {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.shutting_down = true;
+        drop(q);
+        self.shared.ready.notify_all();
+    }
+
+    fn join_writer(&self) {
+        let handle = self.writer.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
     }
 }
 
-fn to_io(e: crate::wire::ProtoError) -> io::Error {
+impl Drop for PeerLink {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Writer thread: wait for notices, coalesce, deliver; reconnect with
+/// backoff on failure. On shutdown, drain the queue to a live peer; one
+/// failed delivery during shutdown abandons the rest (bounded effort).
+fn writer_loop(shared: &LinkShared) {
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = Duration::from_millis(25);
+    loop {
+        let Some(batch) = next_batch(shared) else {
+            return; // shutdown with an empty queue
+        };
+        match deliver(shared, &mut stream, &batch) {
+            Ok(()) => {
+                shared.sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                backoff = Duration::from_millis(25);
+                finish_batch(shared);
+            }
+            Err(_) => {
+                shared
+                    .dropped
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                stream = None;
+                shared.connected.store(false, Ordering::Relaxed);
+                finish_batch(shared);
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                if q.shutting_down {
+                    // The peer is gone and we are shutting down: count
+                    // the rest as dropped rather than timing out per
+                    // batch (bounded-effort drain).
+                    shared
+                        .dropped
+                        .fetch_add(q.buf.len() as u64, Ordering::Relaxed);
+                    q.buf.clear();
+                    drop(q);
+                    shared.idle.notify_all();
+                    return;
+                }
+                // Back off before the next connect attempt; wake early on
+                // shutdown so drains stay prompt.
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, backoff)
+                    .unwrap_or_else(|e| e.into_inner());
+                drop(guard);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
+}
+
+/// Block until notices are queued (or shutdown with nothing left), then
+/// take up to `batch_max`, optionally lingering `batch_window` first.
+fn next_batch(shared: &LinkShared) -> Option<Vec<Arc<[u8]>>> {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if !q.buf.is_empty() {
+            break;
+        }
+        if q.shutting_down {
+            return None;
+        }
+        q = shared.ready.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+    let window = shared.cfg.batch_window;
+    if !window.is_zero() && !q.shutting_down && q.buf.len() < shared.cfg.batch_max {
+        let deadline = Instant::now() + window;
+        while !q.shutting_down && q.buf.len() < shared.cfg.batch_max {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = shared
+                .ready
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+    let n = q.buf.len().min(shared.cfg.batch_max);
+    let batch: Vec<Arc<[u8]>> = q.buf.drain(..n).collect();
+    q.in_flight = true;
+    Some(batch)
+}
+
+fn finish_batch(shared: &LinkShared) {
+    let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+    q.in_flight = false;
+    if q.buf.is_empty() {
+        drop(q);
+        shared.idle.notify_all();
+    }
+}
+
+/// Write one batch, (re)connecting as needed. A single message goes out
+/// as its own frame; several are coalesced into `Batch` frames (split if
+/// a combined payload would exceed the frame limit). On a write error
+/// the writer reconnects once and retries the whole batch — notices are
+/// idempotent, so a duplicate after a partial delivery is harmless.
+fn deliver(
+    shared: &LinkShared,
+    stream: &mut Option<TcpStream>,
+    batch: &[Arc<[u8]>],
+) -> io::Result<()> {
+    if stream.is_none() {
+        *stream = Some(connect(shared)?);
+        shared.connected.store(true, Ordering::Relaxed);
+    }
+    let s = stream.as_mut().expect("just connected");
+    match write_batch(s, batch) {
+        Ok(()) => Ok(()),
+        Err(_) => {
+            // The common failure is a peer restart having closed the old
+            // connection: reconnect once and retry.
+            shared.connected.store(false, Ordering::Relaxed);
+            let mut s = connect(shared)?;
+            write_batch(&mut s, batch).map_err(to_io)?;
+            *stream = Some(s);
+            shared.connected.store(true, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+}
+
+fn write_batch<W: io::Write>(out: &mut W, batch: &[Arc<[u8]>]) -> Result<(), ProtoError> {
+    // Split so no coalesced frame exceeds the limit (notices are tiny,
+    // so in practice this is one frame per call).
+    let budget = MAX_FRAME / 2;
+    let mut start = 0;
+    while start < batch.len() {
+        let mut end = start;
+        let mut size = 0usize;
+        while end < batch.len() && (end == start || size + batch[end].len() + 4 <= budget) {
+            size += batch[end].len() + 4;
+            end += 1;
+        }
+        if end - start == 1 {
+            write_frame(out, &batch[start])?;
+        } else {
+            write_frame(out, &encode_batch(&batch[start..end]))?;
+        }
+        start = end;
+    }
+    Ok(())
+}
+
+fn connect(shared: &LinkShared) -> io::Result<TcpStream> {
+    let mut stream = (shared.cfg.connector)(shared.addr, shared.cfg.connect_timeout)?;
+    stream.set_nodelay(true)?;
+    write_frame(&mut stream, &Message::Hello { node: shared.local }.encode()).map_err(to_io)?;
+    Ok(stream)
+}
+
+fn to_io(e: ProtoError) -> io::Error {
     match e {
-        crate::wire::ProtoError::Io(e) => e,
+        ProtoError::Io(e) => e,
         other => io::Error::other(other.to_string()),
     }
 }
@@ -127,10 +445,23 @@ pub struct Broadcaster {
 }
 
 impl Broadcaster {
-    /// Build links from `local` to every `(peer, addr)` pair.
+    /// Build links from `local` to every `(peer, addr)` pair with default
+    /// tuning.
     pub fn new(local: NodeId, peers: impl IntoIterator<Item = (NodeId, SocketAddr)>) -> Self {
+        Self::with_config(local, peers, BroadcastConfig::default())
+    }
+
+    /// Build links with explicit tuning.
+    pub fn with_config(
+        local: NodeId,
+        peers: impl IntoIterator<Item = (NodeId, SocketAddr)>,
+        cfg: BroadcastConfig,
+    ) -> Self {
         Broadcaster {
-            links: peers.into_iter().map(|(peer, addr)| PeerLink::new(local, peer, addr)).collect(),
+            links: peers
+                .into_iter()
+                .map(|(peer, addr)| PeerLink::with_config(local, peer, addr, cfg.clone()))
+                .collect(),
         }
     }
 
@@ -144,12 +475,22 @@ impl Broadcaster {
         self.links.len()
     }
 
-    /// Send `msg` to every peer; returns how many sends succeeded.
+    /// Queue `msg` to every peer; returns how many links accepted it.
     ///
-    /// Failures are logged in the per-link drop counters; the caller does
-    /// not block on or retry them (asynchronous weak consistency).
+    /// The message is encoded exactly once; every link queues the same
+    /// shared buffer. This never blocks on the network — delivery,
+    /// reconnection and failure handling all happen on the writer
+    /// threads, and drops are recorded in the per-link counters
+    /// (asynchronous weak consistency, §4.2).
     pub fn broadcast(&self, msg: &Message) -> usize {
-        self.links.iter().filter(|l| l.send(msg).is_ok()).count()
+        if self.links.is_empty() {
+            return 0;
+        }
+        let frame: Arc<[u8]> = msg.encode().into();
+        self.links
+            .iter()
+            .filter(|l| l.enqueue_frame(Arc::clone(&frame)))
+            .count()
     }
 
     /// Aggregate (sent, dropped) counters across links.
@@ -158,6 +499,42 @@ impl Broadcaster {
             let (ls, ld) = l.counters();
             (s + ls, d + ld)
         })
+    }
+
+    /// Per-link observable state, for the admin page.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links.iter().map(PeerLink::stats).collect()
+    }
+
+    /// Wait until every link's queue has quiesced. `false` on timeout.
+    pub fn flush(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        self.links.iter().all(|l| {
+            let now = Instant::now();
+            l.flush(deadline.saturating_duration_since(now))
+        })
+    }
+
+    /// Drain queued notices to live peers, then stop and join every
+    /// writer thread. Links drain concurrently (shutdown is signaled to
+    /// all links before any join).
+    pub fn shutdown(&self) {
+        for l in &self.links {
+            l.signal_shutdown();
+        }
+        for l in &self.links {
+            l.join_writer();
+        }
+    }
+}
+
+impl Drop for Broadcaster {
+    fn drop(&mut self) {
+        // Signal everything first so links drain in parallel; each
+        // PeerLink's own Drop then joins its writer.
+        for l in &self.links {
+            l.signal_shutdown();
+        }
     }
 }
 
@@ -168,21 +545,39 @@ mod tests {
     use std::net::TcpListener;
 
     /// Accept `n` connections, collecting every message until each peer
-    /// disconnects; returns all messages received.
-    fn collecting_listener(n: usize) -> (SocketAddr, std::thread::JoinHandle<Vec<Message>>) {
+    /// disconnects; returns all messages received (batches flattened,
+    /// with a count of batch frames seen).
+    fn collecting_listener(
+        n: usize,
+    ) -> (SocketAddr, std::thread::JoinHandle<(Vec<Message>, usize)>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let handle = std::thread::spawn(move || {
             let mut all = Vec::new();
+            let mut batches = 0;
             for _ in 0..n {
                 let (mut s, _) = listener.accept().unwrap();
                 while let Ok(Some(frame)) = read_frame(&mut s) {
-                    all.push(Message::decode(&frame).unwrap());
+                    match Message::decode(&frame).unwrap() {
+                        Message::Batch(msgs) => {
+                            batches += 1;
+                            all.extend(msgs);
+                        }
+                        m => all.push(m),
+                    }
                 }
             }
-            all
+            (all, batches)
         });
         (addr, handle)
+    }
+
+    fn wait_until(what: &str, cond: impl Fn() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !cond() {
+            assert!(Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]
@@ -191,21 +586,100 @@ mod tests {
         let link = PeerLink::new(NodeId(0), NodeId(1), addr);
         link.send(&Message::Ping).unwrap();
         link.send(&Message::Pong).unwrap();
+        assert!(link.flush(Duration::from_secs(5)));
         assert_eq!(link.counters(), (2, 0));
-        drop(link); // closes the stream, unblocking the listener
-        let msgs = handle.join().unwrap();
-        assert_eq!(
-            msgs,
-            vec![Message::Hello { node: NodeId(0) }, Message::Ping, Message::Pong]
-        );
+        drop(link); // joins the writer, closing the stream
+        let (msgs, _) = handle.join().unwrap();
+        assert_eq!(msgs[0], Message::Hello { node: NodeId(0) });
+        assert_eq!(&msgs[1..], &[Message::Ping, Message::Pong]);
     }
 
     #[test]
-    fn unreachable_peer_counts_drops() {
-        // Port 1 on localhost: connection refused immediately.
+    fn unreachable_peer_counts_drops_off_the_send_path() {
+        // Port 1 on localhost: connection refused immediately. The send
+        // itself still succeeds — it is an enqueue — and the failure is
+        // recorded asynchronously by the writer.
         let link = PeerLink::new(NodeId(0), NodeId(1), "127.0.0.1:1".parse().unwrap());
-        assert!(link.send(&Message::Ping).is_err());
-        assert_eq!(link.counters(), (0, 1));
+        link.send(&Message::Ping).unwrap();
+        wait_until("drop counted", || link.counters() == (0, 1));
+    }
+
+    #[test]
+    fn send_returns_before_any_connect_attempt() {
+        // Blackholed peer: connects hang for the full timeout, then fail.
+        let attempts = Arc::new(AtomicU64::new(0));
+        let cfg = BroadcastConfig {
+            connect_timeout: Duration::from_millis(300),
+            connector: {
+                let attempts = Arc::clone(&attempts);
+                Arc::new(move |_addr, timeout| {
+                    attempts.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(timeout);
+                    Err(io::Error::new(io::ErrorKind::TimedOut, "blackhole"))
+                })
+            },
+            ..Default::default()
+        };
+        let link = PeerLink::with_config(NodeId(0), NodeId(1), "127.0.0.1:1".parse().unwrap(), cfg);
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            link.send(&Message::Ping).unwrap();
+        }
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "100 sends took {elapsed:?} against a blackholed peer"
+        );
+        wait_until("blackhole probed", || attempts.load(Ordering::SeqCst) >= 1);
+        link.shutdown();
+        let (sent, dropped) = link.counters();
+        assert_eq!(sent, 0);
+        assert_eq!(dropped, 100);
+    }
+
+    #[test]
+    fn queue_overflow_drops_oldest() {
+        // Writer can never deliver (refused instantly), so the queue
+        // fills; keep the depth tiny to force overflow deterministically.
+        let cfg = BroadcastConfig {
+            queue_depth: 4,
+            connect_timeout: Duration::from_millis(10),
+            // Stalls long enough for every send below to land while the
+            // writer is stuck connecting; never succeeds.
+            connector: Arc::new(|_addr, _t| {
+                std::thread::sleep(Duration::from_secs(1));
+                Err(io::Error::new(io::ErrorKind::TimedOut, "never"))
+            }),
+            ..Default::default()
+        };
+        let link = PeerLink::with_config(NodeId(0), NodeId(1), "127.0.0.1:1".parse().unwrap(), cfg);
+        for _ in 0..20 {
+            link.send(&Message::Ping).unwrap();
+        }
+        let stats = link.stats();
+        assert!(stats.queued <= 4 + 1, "queued {}", stats.queued);
+        assert!(stats.dropped >= 20 - 4 - 1, "dropped {}", stats.dropped);
+    }
+
+    #[test]
+    fn writer_coalesces_into_batch_frames() {
+        let (addr, handle) = collecting_listener(1);
+        let cfg = BroadcastConfig {
+            batch_window: Duration::from_millis(100),
+            ..Default::default()
+        };
+        let link = PeerLink::with_config(NodeId(0), NodeId(1), addr, cfg);
+        for i in 0..10u16 {
+            link.send(&Message::Hello { node: NodeId(i) }).unwrap();
+        }
+        assert!(link.flush(Duration::from_secs(5)));
+        assert_eq!(link.counters().0, 10);
+        drop(link);
+        let (msgs, batches) = handle.join().unwrap();
+        // Connection hello + 10 notices, coalesced into at least one
+        // real batch frame (the window gathers all ten).
+        assert_eq!(msgs.len(), 11);
+        assert!(batches >= 1, "no batch frames seen");
     }
 
     #[test]
@@ -215,68 +689,112 @@ mod tests {
         let link = PeerLink::new(NodeId(0), NodeId(1), addr);
 
         // First connection: accept, read hello+ping, then drop (restart).
-        let t = std::thread::spawn(move || {
-            {
+        let reconnected = Arc::new(AtomicBool::new(false));
+        let t = {
+            let reconnected = Arc::clone(&reconnected);
+            std::thread::spawn(move || {
+                {
+                    let (mut s, _) = listener.accept().unwrap();
+                    let _ = read_frame(&mut s).unwrap(); // hello
+                    let _ = read_frame(&mut s).unwrap(); // ping
+                                                         // connection dropped here
+                }
+                // "Restarted" peer accepts again and reads everything.
                 let (mut s, _) = listener.accept().unwrap();
-                let _ = read_frame(&mut s).unwrap(); // hello
-                let _ = read_frame(&mut s).unwrap(); // ping
-                // connection dropped here
-            }
-            // "Restarted" peer accepts again and reads everything.
-            let (mut s, _) = listener.accept().unwrap();
-            let mut msgs = Vec::new();
-            while let Ok(Some(f)) = read_frame(&mut s) {
-                msgs.push(Message::decode(&f).unwrap());
-            }
-            msgs
-        });
+                reconnected.store(true, Ordering::SeqCst);
+                let mut msgs = Vec::new();
+                while let Ok(Some(f)) = read_frame(&mut s) {
+                    match Message::decode(&f).unwrap() {
+                        Message::Batch(inner) => msgs.extend(inner),
+                        m => msgs.push(m),
+                    }
+                }
+                msgs
+            })
+        };
 
         link.send(&Message::Ping).unwrap();
-        // Give the listener a moment to drop the first connection; the
-        // next send detects the dead stream (possibly after one buffered
-        // success) and reconnects.
+        assert!(link.flush(Duration::from_secs(5)));
+        // Keep sending until a write actually fails over to the restarted
+        // peer (buffered writes to the half-closed socket can succeed
+        // until the RST comes back).
         std::thread::sleep(Duration::from_millis(50));
-        let mut delivered_after_restart = false;
-        for _ in 0..20 {
-            if link.send(&Message::Pong).is_ok() {
-                delivered_after_restart = true;
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        assert!(delivered_after_restart);
+        wait_until("reconnect to restarted peer", || {
+            link.send(&Message::Pong).unwrap();
+            link.flush(Duration::from_secs(1));
+            reconnected.load(Ordering::SeqCst)
+        });
         drop(link);
         let msgs = t.join().unwrap();
-        assert!(msgs.contains(&Message::Hello { node: NodeId(0) }), "re-hello on reconnect");
+        assert!(
+            msgs.contains(&Message::Hello { node: NodeId(0) }),
+            "re-hello on reconnect"
+        );
     }
 
     #[test]
-    fn broadcaster_fans_out() {
+    fn broadcaster_fans_out_one_encode() {
         let (addr_a, ha) = collecting_listener(1);
         let (addr_b, hb) = collecting_listener(1);
         let b = Broadcaster::new(NodeId(0), [(NodeId(1), addr_a), (NodeId(2), addr_b)]);
         assert_eq!(b.peer_count(), 2);
         assert_eq!(b.broadcast(&Message::Ping), 2);
+        assert!(b.flush(Duration::from_secs(5)));
         assert_eq!(b.counters().0, 2);
         drop(b);
         for h in [ha, hb] {
-            let msgs = h.join().unwrap();
+            let (msgs, _) = h.join().unwrap();
             assert_eq!(msgs.len(), 2); // hello + ping
             assert_eq!(msgs[1], Message::Ping);
         }
     }
 
     #[test]
-    fn broadcast_partial_failure() {
+    fn broadcast_partial_failure_counts_drops() {
         let (addr_ok, h) = collecting_listener(1);
         let b = Broadcaster::new(
             NodeId(0),
-            [(NodeId(1), addr_ok), (NodeId(2), "127.0.0.1:1".parse().unwrap())],
+            [
+                (NodeId(1), addr_ok),
+                (NodeId(2), "127.0.0.1:1".parse().unwrap()),
+            ],
         );
-        assert_eq!(b.broadcast(&Message::Ping), 1);
-        let (sent, dropped) = b.counters();
-        assert_eq!((sent, dropped), (1, 1));
+        // Both links accept the enqueue; the dead peer's failure shows up
+        // asynchronously in the counters.
+        assert_eq!(b.broadcast(&Message::Ping), 2);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while b.counters() != (1, 1) {
+            assert!(Instant::now() < deadline, "counters {:?}", b.counters());
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = b.link_stats();
+        assert_eq!((stats[0].sent, stats[0].dropped), (1, 0));
+        assert_eq!((stats[1].sent, stats[1].dropped), (0, 1));
         drop(b);
         h.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_notices_to_live_peers() {
+        let (addr, handle) = collecting_listener(1);
+        let b = Broadcaster::new(NodeId(0), [(NodeId(1), addr)]);
+        for i in 0..50u16 {
+            b.broadcast(&Message::Hello { node: NodeId(i) });
+        }
+        // No flush: shutdown itself must deliver everything queued.
+        b.shutdown();
+        assert_eq!(b.counters(), (50, 0));
+        drop(b);
+        let (msgs, _) = handle.join().unwrap();
+        assert_eq!(msgs.len(), 51, "connection hello + 50 notices");
+    }
+
+    #[test]
+    fn sends_after_shutdown_fail() {
+        let link = PeerLink::new(NodeId(0), NodeId(1), "127.0.0.1:1".parse().unwrap());
+        link.shutdown();
+        assert!(link.send(&Message::Ping).is_err());
+        link.shutdown(); // idempotent
     }
 
     #[test]
@@ -284,5 +802,7 @@ mod tests {
         let b = Broadcaster::solo();
         assert_eq!(b.peer_count(), 0);
         assert_eq!(b.broadcast(&Message::Ping), 0);
+        assert!(b.flush(Duration::from_millis(10)));
+        b.shutdown();
     }
 }

@@ -45,21 +45,58 @@ fn message_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
         (0u16..64).prop_map(|n| Message::Hello { node: NodeId(n) }),
         meta_strategy().prop_map(|meta| Message::InsertNotice { meta }),
-        (0u16..64, key_strategy())
-            .prop_map(|(n, key)| Message::DeleteNotice { owner: NodeId(n), key }),
+        (0u16..64, key_strategy()).prop_map(|(n, key)| Message::DeleteNotice {
+            owner: NodeId(n),
+            key
+        }),
         key_strategy().prop_map(|key| Message::FetchRequest { key }),
-        ("[a-z/]{1,16}", proptest::collection::vec(any::<u8>(), 0..2048))
+        (
+            "[a-z/]{1,16}",
+            proptest::collection::vec(any::<u8>(), 0..2048)
+        )
             .prop_map(|(content_type, body)| Message::FetchHit { content_type, body }),
         Just(Message::FetchMiss),
         Just(Message::SyncRequest),
-        (0u16..64, proptest::collection::vec(meta_strategy(), 0..8))
-            .prop_map(|(n, entries)| Message::SyncReply { node: NodeId(n), entries }),
+        (0u16..64, proptest::collection::vec(meta_strategy(), 0..8)).prop_map(|(n, entries)| {
+            Message::SyncReply {
+                node: NodeId(n),
+                entries,
+            }
+        }),
         Just(Message::Ping),
         Just(Message::Pong),
     ]
 }
 
 proptest! {
+    #[test]
+    fn batch_roundtrip(msgs in proptest::collection::vec(message_strategy(), 0..12)) {
+        let batch = Message::Batch(msgs);
+        let decoded = Message::decode(&batch.encode()).unwrap();
+        prop_assert_eq!(decoded, batch);
+    }
+
+    #[test]
+    fn truncated_batch_rejected_never_panics(
+        msgs in proptest::collection::vec(message_strategy(), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let full = Message::Batch(msgs).encode();
+        // Cut strictly inside the payload: every truncation must error,
+        // none may panic.
+        let cut = 1 + ((full.len() - 2) as f64 * cut_frac) as usize;
+        prop_assert!(Message::decode(&full[..cut]).is_err());
+    }
+
+    #[test]
+    fn nested_batch_always_rejected(msgs in proptest::collection::vec(message_strategy(), 0..4)) {
+        let nested = Message::Batch(vec![Message::Batch(msgs)]);
+        prop_assert!(matches!(
+            Message::decode(&nested.encode()),
+            Err(swala_proto::ProtoError::NestedBatch)
+        ));
+    }
+
     #[test]
     fn message_roundtrip(msg in message_strategy()) {
         let decoded = Message::decode(&msg.encode()).unwrap();

@@ -154,8 +154,10 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
 
         // Evict to capacity, broadcasting deletions.
         while node.cache.len() > cfg.capacity {
-            let victim_key =
-                node.policy.choose_victim(node.cache.values()).expect("cache is non-empty");
+            let victim_key = node
+                .policy
+                .choose_victim(node.cache.values())
+                .expect("cache is non-empty");
             let victim = node.cache.remove(&victim_key).expect("victim exists");
             node.policy.on_evict(&victim);
             result.evictions += 1;
@@ -179,12 +181,19 @@ mod tests {
     use swala_workload::{section53_trace, Trace, TraceRequest};
 
     fn tiny_trace(ids: &[u64]) -> Trace {
-        Trace::new(ids.iter().map(|&id| TraceRequest::dynamic(id, 1_000_000, 10)).collect())
+        Trace::new(
+            ids.iter()
+                .map(|&id| TraceRequest::dynamic(id, 1_000_000, 10))
+                .collect(),
+        )
     }
 
     #[test]
     fn single_node_behaves_like_a_plain_cache() {
-        let cfg = SimConfig { nodes: 1, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 1,
+            ..Default::default()
+        };
         let r = simulate(&cfg, &tiny_trace(&[1, 2, 1, 1, 3, 2]));
         assert_eq!(r.requests, 6);
         assert_eq!(r.misses, 3);
@@ -198,7 +207,10 @@ mod tests {
     #[test]
     fn cooperative_round_robin_turns_repeats_into_remote_hits() {
         // Round-robin over 2 nodes: ids 1,1 land on different nodes.
-        let cfg = SimConfig { nodes: 2, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 2,
+            ..Default::default()
+        };
         let r = simulate(&cfg, &tiny_trace(&[1, 1]));
         assert_eq!(r.misses, 1);
         assert_eq!(r.remote_hits, 1);
@@ -207,7 +219,11 @@ mod tests {
 
     #[test]
     fn standalone_round_robin_misses_cross_node_repeats() {
-        let cfg = SimConfig { nodes: 2, cooperative: false, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 2,
+            cooperative: false,
+            ..Default::default()
+        };
         let r = simulate(&cfg, &tiny_trace(&[1, 1, 1]));
         // Request 0 → node 0 (miss), request 1 → node 1 (miss),
         // request 2 → node 0 (local hit).
@@ -220,14 +236,22 @@ mod tests {
     fn broadcast_delay_produces_false_misses() {
         // With delay 3, the second access to id=1 (next request) cannot
         // see node 0's insert yet.
-        let cfg = SimConfig { nodes: 2, broadcast_delay: 3, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 2,
+            broadcast_delay: 3,
+            ..Default::default()
+        };
         let r = simulate(&cfg, &tiny_trace(&[1, 1]));
         assert_eq!(r.misses, 2);
         assert_eq!(r.false_misses, 1);
         assert_eq!(r.remote_hits, 0);
 
         // Zero delay: no false miss.
-        let cfg0 = SimConfig { nodes: 2, broadcast_delay: 0, ..Default::default() };
+        let cfg0 = SimConfig {
+            nodes: 2,
+            broadcast_delay: 0,
+            ..Default::default()
+        };
         let r0 = simulate(&cfg0, &tiny_trace(&[1, 1]));
         assert_eq!(r0.false_misses, 0);
         assert_eq!(r0.remote_hits, 1);
@@ -248,7 +272,10 @@ mod tests {
         // t0: id1 → node0 (insert). t1: id2 → node1. t2: id3 → node0
         // (evicts id1, delete notice visible from t3).
         // To make the delete arrive *late*, use delay for the window:
-        let cfg_delayed = SimConfig { broadcast_delay: 2, ..cfg };
+        let cfg_delayed = SimConfig {
+            broadcast_delay: 2,
+            ..cfg
+        };
         // t3: id1 → node1: node1's view has id1@node0 (insert notice from
         // t0 arrives at t3 with delay 2), but node0 evicted it at t2.
         let r = simulate(&cfg_delayed, &tiny_trace(&[1, 2, 3, 1]));
@@ -260,7 +287,12 @@ mod tests {
 
     #[test]
     fn capacity_is_respected_per_node() {
-        let cfg = SimConfig { nodes: 2, capacity: 5, cooperative: false, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 2,
+            capacity: 5,
+            cooperative: false,
+            ..Default::default()
+        };
         let ids: Vec<u64> = (0..100).collect();
         let r = simulate(&cfg, &tiny_trace(&ids));
         // 100 unique ids, 50 per node, capacity 5 → 45 evictions each.
@@ -277,7 +309,11 @@ mod tests {
         // (paper Table 5: 97.5–99.4 %; the simulator's idealized network
         // gives exactly 100 %).
         for nodes in [1, 2, 4, 8] {
-            let cfg = SimConfig { nodes, capacity: 2000, ..Default::default() };
+            let cfg = SimConfig {
+                nodes,
+                capacity: 2000,
+                ..Default::default()
+            };
             let r = simulate(&cfg, &trace);
             assert_eq!(r.hits(), upper, "coop {nodes} nodes");
         }
@@ -286,8 +322,12 @@ mod tests {
         // nodes, 23.8 % at 8 — monotone decline).
         let mut prev = u64::MAX;
         for nodes in [1, 2, 4, 8] {
-            let cfg =
-                SimConfig { nodes, capacity: 2000, cooperative: false, ..Default::default() };
+            let cfg = SimConfig {
+                nodes,
+                capacity: 2000,
+                cooperative: false,
+                ..Default::default()
+            };
             let r = simulate(&cfg, &trace);
             assert!(r.hits() <= prev, "standalone hits must not grow with nodes");
             prev = r.hits();
@@ -296,11 +336,19 @@ mod tests {
             }
         }
         let eight = simulate(
-            &SimConfig { nodes: 8, capacity: 2000, cooperative: false, ..Default::default() },
+            &SimConfig {
+                nodes: 8,
+                capacity: 2000,
+                cooperative: false,
+                ..Default::default()
+            },
             &trace,
         );
         let pct = eight.pct_of_upper_bound(upper);
-        assert!(pct < 50.0, "8-node stand-alone at {pct}% of upper bound; paper ~24%");
+        assert!(
+            pct < 50.0,
+            "8-node stand-alone at {pct}% of upper bound; paper ~24%"
+        );
     }
 
     #[test]
@@ -309,11 +357,20 @@ mod tests {
         let upper = trace.upper_bound_hits() as u64;
         for nodes in [2, 4, 8] {
             let coop = simulate(
-                &SimConfig { nodes, capacity: 20, ..Default::default() },
+                &SimConfig {
+                    nodes,
+                    capacity: 20,
+                    ..Default::default()
+                },
                 &trace,
             );
             let alone = simulate(
-                &SimConfig { nodes, capacity: 20, cooperative: false, ..Default::default() },
+                &SimConfig {
+                    nodes,
+                    capacity: 20,
+                    cooperative: false,
+                    ..Default::default()
+                },
                 &trace,
             );
             assert!(
@@ -334,7 +391,12 @@ mod tests {
     fn policies_all_run_and_respect_capacity() {
         let trace = section53_trace(9, 10);
         for policy in PolicyKind::ALL {
-            let cfg = SimConfig { nodes: 4, capacity: 20, policy, ..Default::default() };
+            let cfg = SimConfig {
+                nodes: 4,
+                capacity: 20,
+                policy,
+                ..Default::default()
+            };
             let r = simulate(&cfg, &trace);
             assert_eq!(r.requests, 1600, "{policy}");
             assert!(r.hits() + r.misses == 1600, "{policy}");
@@ -357,7 +419,11 @@ mod tests {
     #[test]
     fn saved_plus_paid_equals_total_dynamic_cost() {
         let trace = section53_trace(11, 10);
-        let cfg = SimConfig { nodes: 4, capacity: 2000, ..Default::default() };
+        let cfg = SimConfig {
+            nodes: 4,
+            capacity: 2000,
+            ..Default::default()
+        };
         let r = simulate(&cfg, &trace);
         let (_, total) = trace.dynamic_stats();
         assert_eq!(r.exec_micros + r.saved_micros, total);

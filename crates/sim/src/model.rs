@@ -92,7 +92,11 @@ mod tests {
 
     #[test]
     fn pct_of_upper_bound() {
-        let r = SimResult { local_hits: 30, remote_hits: 20, ..Default::default() };
+        let r = SimResult {
+            local_hits: 30,
+            remote_hits: 20,
+            ..Default::default()
+        };
         assert_eq!(r.hits(), 50);
         assert!((r.pct_of_upper_bound(100) - 50.0).abs() < 1e-12);
         assert_eq!(r.pct_of_upper_bound(0), 0.0);

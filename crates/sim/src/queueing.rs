@@ -21,8 +21,8 @@
 //! * miss → queues FCFS for node `n`'s CPU, holds it for the request's
 //!   service time, then completes (and the result is cached at `n`).
 
-use std::collections::{BinaryHeap, HashMap};
 use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use swala_cache::{CacheKey, EntryMeta, NodeId, Policy, PolicyKind};
 use swala_workload::Trace;
 
@@ -135,9 +135,7 @@ pub fn simulate_queueing(cfg: &QueueConfig, trace: &Trace) -> QueueResult {
             node.policy.on_hit(entry);
             result.hits += 1;
             now + cfg.local_hit_micros
-        } else if cfg.cooperative
-            && nodes.iter().any(|n| n.cache.contains_key(&key))
-        {
+        } else if cfg.cooperative && nodes.iter().any(|n| n.cache.contains_key(&key)) {
             // Remote hit: refresh the owner's recency, pay the fetch.
             let owner = nodes
                 .iter()
@@ -168,8 +166,10 @@ pub fn simulate_queueing(cfg: &QueueConfig, trace: &Trace) -> QueueResult {
             node.policy.on_insert(&mut meta);
             node.cache.insert(key, meta);
             while node.cache.len() > cfg.capacity {
-                let victim =
-                    node.policy.choose_victim(node.cache.values()).expect("non-empty");
+                let victim = node
+                    .policy
+                    .choose_victim(node.cache.values())
+                    .expect("non-empty");
                 if let Some(v) = node.cache.remove(&victim) {
                     node.policy.on_evict(&v);
                 }
@@ -200,7 +200,9 @@ mod tests {
 
     fn uniform_trace(n: usize, unique: usize, micros: u64) -> Trace {
         Trace::new(
-            (0..n).map(|i| TraceRequest::dynamic((i % unique) as u64, micros, 1)).collect(),
+            (0..n)
+                .map(|i| TraceRequest::dynamic((i % unique) as u64, micros, 1))
+                .collect(),
         )
     }
 
@@ -208,7 +210,11 @@ mod tests {
     fn single_client_single_node_no_repeats_is_pure_service_time() {
         let trace = uniform_trace(10, 10, 1_000_000);
         let r = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 1, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 1,
+                ..Default::default()
+            },
             &trace,
         );
         assert_eq!(r.requests, 10);
@@ -221,11 +227,19 @@ mod tests {
     fn queueing_delay_grows_with_concurrency() {
         let trace = uniform_trace(64, 64, 1_000_000);
         let solo = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 1, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 1,
+                ..Default::default()
+            },
             &trace,
         );
         let crowded = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 16, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 16,
+                ..Default::default()
+            },
             &trace,
         );
         // 16 clients share one CPU: mean response ≈ 16× the service time.
@@ -238,11 +252,19 @@ mod tests {
     fn more_nodes_cut_response_time_nearly_linearly() {
         let trace = uniform_trace(256, 256, 1_000_000);
         let one = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 16, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 16,
+                ..Default::default()
+            },
             &trace,
         );
         let eight = simulate_queueing(
-            &QueueConfig { nodes: 8, clients: 16, ..Default::default() },
+            &QueueConfig {
+                nodes: 8,
+                clients: 16,
+                ..Default::default()
+            },
             &trace,
         );
         let speedup = one.mean_response_micros / eight.mean_response_micros;
@@ -254,11 +276,22 @@ mod tests {
         let trace = synthesize_adl_trace(&AdlTraceConfig::scaled_to(1000));
         for nodes in [1usize, 4, 8] {
             let coop = simulate_queueing(
-                &QueueConfig { nodes, clients: 16, cooperative: true, ..Default::default() },
+                &QueueConfig {
+                    nodes,
+                    clients: 16,
+                    cooperative: true,
+                    ..Default::default()
+                },
                 &trace,
             );
             let nocache = simulate_queueing(
-                &QueueConfig { nodes, clients: 16, capacity: 1, cooperative: false, ..Default::default() },
+                &QueueConfig {
+                    nodes,
+                    clients: 16,
+                    capacity: 1,
+                    cooperative: false,
+                    ..Default::default()
+                },
                 &trace,
             );
             assert!(
@@ -281,40 +314,67 @@ mod tests {
         }
         let trace = Trace::new(reqs);
         let r = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 2, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 2,
+                ..Default::default()
+            },
             &trace,
         );
         assert_eq!(r.hits, 8);
         // Mean is dominated by the single 10s request spread over 10
         // requests, not by hits queueing behind it.
-        assert!(r.mean_response_micros < 1_200_000.0, "{}", r.mean_response_micros);
+        assert!(
+            r.mean_response_micros < 1_200_000.0,
+            "{}",
+            r.mean_response_micros
+        );
     }
 
     #[test]
     fn percentiles_are_ordered_and_meaningful() {
         let trace = uniform_trace(64, 64, 1_000_000);
         let r = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 16, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 16,
+                ..Default::default()
+            },
             &trace,
         );
         assert!(r.p50_response_micros <= r.p95_response_micros);
         assert!(r.p95_response_micros as f64 >= r.mean_response_micros * 0.5);
         // With 16 clients on one CPU the p95 queueing delay is large.
-        assert!(r.p95_response_micros >= 10_000_000, "{}", r.p95_response_micros);
+        assert!(
+            r.p95_response_micros >= 10_000_000,
+            "{}",
+            r.p95_response_micros
+        );
     }
 
     #[test]
     fn deterministic() {
         let trace = synthesize_adl_trace(&AdlTraceConfig::scaled_to(500));
-        let cfg = QueueConfig { nodes: 4, clients: 8, ..Default::default() };
-        assert_eq!(simulate_queueing(&cfg, &trace), simulate_queueing(&cfg, &trace));
+        let cfg = QueueConfig {
+            nodes: 4,
+            clients: 8,
+            ..Default::default()
+        };
+        assert_eq!(
+            simulate_queueing(&cfg, &trace),
+            simulate_queueing(&cfg, &trace)
+        );
     }
 
     #[test]
     fn throughput_accounting() {
         let trace = uniform_trace(10, 10, 1_000_000);
         let r = simulate_queueing(
-            &QueueConfig { nodes: 1, clients: 1, ..Default::default() },
+            &QueueConfig {
+                nodes: 1,
+                clients: 1,
+                ..Default::default()
+            },
             &trace,
         );
         assert!((r.throughput_per_sec() - 1.0).abs() < 1e-9);

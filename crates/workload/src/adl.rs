@@ -136,7 +136,10 @@ pub fn synthesize_adl_trace(cfg: &AdlTraceConfig) -> Trace {
         .collect();
     for i in 0..n_files {
         let slot = i % file_slots;
-        requests.push(TraceRequest::file(&format!("/files/f{slot}.html"), file_times[slot]));
+        requests.push(TraceRequest::file(
+            &format!("/files/f{slot}.html"),
+            file_times[slot],
+        ));
     }
 
     // Interleave deterministically (Fisher–Yates under the seeded RNG).
@@ -169,28 +172,46 @@ mod tests {
         assert!((cgi_frac - 0.413).abs() < 0.01, "cgi fraction {cgi_frac}");
 
         let cgi_mean = cgi_micros as f64 / n_cgi as f64 / 1e6;
-        assert!((1.3..=1.9).contains(&cgi_mean), "cgi mean {cgi_mean}s vs paper 1.6s");
+        assert!(
+            (1.3..=1.9).contains(&cgi_mean),
+            "cgi mean {cgi_mean}s vs paper 1.6s"
+        );
 
         let total_secs = trace.total_service_micros() as f64 / 1e6;
-        assert!((40_000.0..=55_000.0).contains(&total_secs), "total {total_secs}s vs paper 46,156s");
+        assert!(
+            (40_000.0..=55_000.0).contains(&total_secs),
+            "total {total_secs}s vs paper 46,156s"
+        );
 
         let cgi_share = cgi_micros as f64 / trace.total_service_micros() as f64;
-        assert!(cgi_share > 0.95, "CGI share of time {cgi_share} vs paper 0.97");
+        assert!(
+            cgi_share > 0.95,
+            "CGI share of time {cgi_share} vs paper 0.97"
+        );
     }
 
     #[test]
     fn file_fetches_are_cheap() {
         let trace = synthesize_adl_trace(&AdlTraceConfig::default());
-        let files: Vec<_> =
-            trace.requests.iter().filter(|r| r.kind == RequestKind::Static).collect();
+        let files: Vec<_> = trace
+            .requests
+            .iter()
+            .filter(|r| r.kind == RequestKind::Static)
+            .collect();
         let mean =
             files.iter().map(|r| r.service_micros).sum::<u64>() as f64 / files.len() as f64 / 1e6;
-        assert!((0.02..=0.04).contains(&mean), "file mean {mean}s vs paper 0.03s");
+        assert!(
+            (0.02..=0.04).contains(&mean),
+            "file mean {mean}s vs paper 0.03s"
+        );
     }
 
     #[test]
     fn deterministic_under_seed() {
-        let cfg = AdlTraceConfig { total_requests: 2000, ..Default::default() };
+        let cfg = AdlTraceConfig {
+            total_requests: 2000,
+            ..Default::default()
+        };
         let a = synthesize_adl_trace(&cfg);
         let b = synthesize_adl_trace(&cfg);
         assert_eq!(a.requests, b.requests);
@@ -201,7 +222,10 @@ mod tests {
     #[test]
     fn repeats_exist_and_are_consistent() {
         let trace = synthesize_adl_trace(&AdlTraceConfig::default());
-        assert!(trace.upper_bound_hits() > 2000, "hot set should produce thousands of repeats");
+        assert!(
+            trace.upper_bound_hits() > 2000,
+            "hot set should produce thousands of repeats"
+        );
         // Same target ⇒ same service time (cachability premise).
         let mut times = std::collections::HashMap::new();
         for r in &trace.requests {
@@ -230,14 +254,12 @@ mod tests {
             ..Default::default()
         };
         let trace = synthesize_adl_trace(&cfg);
-        for r in trace.requests.iter().filter(|r| r.kind == RequestKind::Dynamic) {
-            let ms: u64 = r
-                .target
-                .split("ms=")
-                .nth(1)
-                .unwrap()
-                .parse()
-                .unwrap();
+        for r in trace
+            .requests
+            .iter()
+            .filter(|r| r.kind == RequestKind::Dynamic)
+        {
+            let ms: u64 = r.target.split("ms=").nth(1).unwrap().parse().unwrap();
             let expected = (r.service_micros as f64 / 1e6 * 10.0).round() as u64;
             assert_eq!(ms, expected, "{}", r.target);
         }

@@ -71,7 +71,11 @@ pub fn analyze_thresholds(trace: &Trace, thresholds_secs: &[f64]) -> Vec<Thresho
                 total_repeats,
                 unique_repeats,
                 saved_secs,
-                saved_pct: if total_secs > 0.0 { 100.0 * saved_secs / total_secs } else { 0.0 },
+                saved_pct: if total_secs > 0.0 {
+                    100.0 * saved_secs / total_secs
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -129,7 +133,10 @@ mod tests {
 
     #[test]
     fn monotonicity_in_threshold() {
-        let trace = synthesize_adl_trace(&AdlTraceConfig { total_requests: 5000, ..Default::default() });
+        let trace = synthesize_adl_trace(&AdlTraceConfig {
+            total_requests: 5000,
+            ..Default::default()
+        });
         let rows = analyze_thresholds(&trace, &[0.5, 1.0, 2.0, 4.0]);
         for pair in rows.windows(2) {
             assert!(pair[1].long_requests <= pair[0].long_requests);

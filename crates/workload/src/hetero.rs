@@ -78,12 +78,18 @@ mod tests {
     fn deterministic_and_sized() {
         let t = heterogeneous_trace(&HeteroConfig::default());
         assert_eq!(t.len(), 6000);
-        assert_eq!(t.requests, heterogeneous_trace(&HeteroConfig::default()).requests);
+        assert_eq!(
+            t.requests,
+            heterogeneous_trace(&HeteroConfig::default()).requests
+        );
     }
 
     #[test]
     fn per_entity_cost_is_stable() {
-        let t = heterogeneous_trace(&HeteroConfig { requests: 2000, ..Default::default() });
+        let t = heterogeneous_trace(&HeteroConfig {
+            requests: 2000,
+            ..Default::default()
+        });
         let mut costs = std::collections::HashMap::new();
         for r in &t.requests {
             if let Some(prev) = costs.insert(&r.target, r.service_micros) {
@@ -95,8 +101,16 @@ mod tests {
     #[test]
     fn cost_distribution_is_bimodal() {
         let t = heterogeneous_trace(&HeteroConfig::default());
-        let expensive = t.requests.iter().filter(|r| r.service_micros >= 2_000_000).count();
-        let cheap = t.requests.iter().filter(|r| r.service_micros < 500_000).count();
+        let expensive = t
+            .requests
+            .iter()
+            .filter(|r| r.service_micros >= 2_000_000)
+            .count();
+        let cheap = t
+            .requests
+            .iter()
+            .filter(|r| r.service_micros < 500_000)
+            .count();
         assert!(expensive > 100, "{expensive}");
         assert!(cheap > 100, "{cheap}");
     }

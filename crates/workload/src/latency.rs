@@ -26,7 +26,9 @@ impl LatencyRecorder {
     }
 
     pub fn with_capacity(n: usize) -> Self {
-        LatencyRecorder { micros: Vec::with_capacity(n) }
+        LatencyRecorder {
+            micros: Vec::with_capacity(n),
+        }
     }
 
     /// Record one latency sample.

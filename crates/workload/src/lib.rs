@@ -18,8 +18,8 @@
 //! * [`latency`] — latency recording/aggregation.
 
 pub mod adl;
-pub mod hetero;
 pub mod analysis;
+pub mod hetero;
 pub mod latency;
 pub mod logfile;
 pub mod section53;
@@ -28,8 +28,8 @@ pub mod webstone;
 pub mod zipf;
 
 pub use adl::{synthesize_adl_trace, AdlTraceConfig};
-pub use hetero::{heterogeneous_trace, HeteroConfig};
 pub use analysis::{analyze_thresholds, ThresholdRow};
+pub use hetero::{heterogeneous_trace, HeteroConfig};
 pub use latency::{LatencyRecorder, LatencySummary};
 pub use logfile::{filter_for_replay, parse_clf, replay_and_time, ClfRecord};
 pub use section53::{section53_trace, SECTION53_TOTAL, SECTION53_UNIQUE};

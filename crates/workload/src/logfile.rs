@@ -60,7 +60,13 @@ pub fn parse_clf_line(line: &str) -> Option<ClfRecord> {
         "-" => 0,
         b => b.parse().ok()?,
     };
-    Some(ClfRecord { host, method, target, status, bytes })
+    Some(ClfRecord {
+        host,
+        method,
+        target,
+        status,
+        bytes,
+    })
 }
 
 /// The paper's filter: successful GETs only (HEAD and POST are dropped,
@@ -163,9 +169,16 @@ complete garbage line
         use std::sync::Arc;
         use swala::{ProgramRegistry, ServerOptions, SimulatedProgram, SwalaServer, WorkKind};
         let mut registry = ProgramRegistry::new();
-        registry.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+        registry.register(Arc::new(SimulatedProgram::trace_driven(
+            "adl",
+            WorkKind::Sleep,
+        )));
         let server = SwalaServer::start_single(
-            ServerOptions { pool_size: 2, caching_enabled: false, ..Default::default() },
+            ServerOptions {
+                pool_size: 2,
+                caching_enabled: false,
+                ..Default::default()
+            },
             registry,
         )
         .unwrap();

@@ -52,7 +52,8 @@ pub fn section53_trace(seed: u64, live_ms: u64) -> Trace {
         let total_left = (remaining_unique + remaining_repeat) as f64;
         let choose_repeat = !stack.is_empty()
             && remaining_repeat > 0
-            && (remaining_unique == 0 || rng.random::<f64>() < remaining_repeat as f64 / total_left);
+            && (remaining_unique == 0
+                || rng.random::<f64>() < remaining_repeat as f64 / total_left);
         let id = if choose_repeat {
             remaining_repeat -= 1;
             let pos = if rng.random::<f64>() < NEAR_P {
@@ -93,8 +94,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(section53_trace(5, 10).requests, section53_trace(5, 10).requests);
-        assert_ne!(section53_trace(5, 10).requests, section53_trace(6, 10).requests);
+        assert_eq!(
+            section53_trace(5, 10).requests,
+            section53_trace(5, 10).requests
+        );
+        assert_ne!(
+            section53_trace(5, 10).requests,
+            section53_trace(6, 10).requests
+        );
     }
 
     #[test]

@@ -36,7 +36,11 @@ impl TraceRequest {
 
     /// A static file request.
     pub fn file(path: &str, service_micros: u64) -> TraceRequest {
-        TraceRequest { target: path.to_string(), kind: RequestKind::Static, service_micros }
+        TraceRequest {
+            target: path.to_string(),
+            kind: RequestKind::Static,
+            service_micros,
+        }
     }
 }
 

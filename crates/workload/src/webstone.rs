@@ -38,11 +38,31 @@ pub struct FileMix;
 impl FileMix {
     /// The five file classes with the paper's exact weights.
     pub const CLASSES: [FileClass; 5] = [
-        FileClass { path: "/ws500.txt", size: 500, weight_permille: 350 },
-        FileClass { path: "/ws5k.txt", size: 5 * 1024, weight_permille: 500 },
-        FileClass { path: "/ws50k.txt", size: 50 * 1024, weight_permille: 140 },
-        FileClass { path: "/ws500k.txt", size: 500 * 1024, weight_permille: 9 },
-        FileClass { path: "/ws1m.txt", size: 1024 * 1024, weight_permille: 1 },
+        FileClass {
+            path: "/ws500.txt",
+            size: 500,
+            weight_permille: 350,
+        },
+        FileClass {
+            path: "/ws5k.txt",
+            size: 5 * 1024,
+            weight_permille: 500,
+        },
+        FileClass {
+            path: "/ws50k.txt",
+            size: 50 * 1024,
+            weight_permille: 140,
+        },
+        FileClass {
+            path: "/ws500k.txt",
+            size: 500 * 1024,
+            weight_permille: 9,
+        },
+        FileClass {
+            path: "/ws1m.txt",
+            size: 1024 * 1024,
+            weight_permille: 1,
+        },
     ];
 
     /// Sample a path according to the mix.
@@ -207,7 +227,12 @@ fn finish(recorder: LatencyRecorder, errors: usize, started: Instant) -> LoadRep
         max: Duration::ZERO,
         total: Duration::ZERO,
     });
-    LoadReport { latency, errors, elapsed: started.elapsed(), completed }
+    LoadReport {
+        latency,
+        errors,
+        elapsed: started.elapsed(),
+        completed,
+    }
 }
 
 #[cfg(test)]
@@ -253,29 +278,33 @@ mod tests {
 
     #[test]
     fn load_generator_against_live_server() {
-        use swala::{ProgramRegistry, ServerOptions, SimulatedProgram, SwalaServer, WorkKind};
         use std::sync::Arc;
+        use swala::{ProgramRegistry, ServerOptions, SimulatedProgram, SwalaServer, WorkKind};
         let mut registry = ProgramRegistry::new();
-        registry.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Spin)));
+        registry.register(Arc::new(SimulatedProgram::trace_driven(
+            "adl",
+            WorkKind::Spin,
+        )));
         let server = SwalaServer::start_single(
-            ServerOptions { pool_size: 4, ..Default::default() },
+            ServerOptions {
+                pool_size: 4,
+                ..Default::default()
+            },
             registry,
         )
         .unwrap();
 
-        let report = LoadGenerator::new(4).run_sampler(
-            &[server.http_addr()],
-            10,
-            9,
-            |rng| format!("/cgi-bin/adl?id={}&ms=0", rng.random_range(0..5)),
-        );
+        let report = LoadGenerator::new(4).run_sampler(&[server.http_addr()], 10, 9, |rng| {
+            format!("/cgi-bin/adl?id={}&ms=0", rng.random_range(0..5))
+        });
         assert_eq!(report.completed, 40);
         assert_eq!(report.errors, 0);
         assert!(report.latency.mean > Duration::ZERO);
         assert!(report.throughput() > 0.0);
 
-        let targets: Vec<String> =
-            (0..30).map(|i| format!("/cgi-bin/adl?id={}&ms=0", i % 3)).collect();
+        let targets: Vec<String> = (0..30)
+            .map(|i| format!("/cgi-bin/adl?id={}&ms=0", i % 3))
+            .collect();
         let replay = LoadGenerator::new(3).replay_shared(&[server.http_addr()], &targets);
         assert_eq!(replay.completed + replay.errors, 30);
         assert_eq!(replay.errors, 0);
@@ -284,12 +313,10 @@ mod tests {
 
     #[test]
     fn errors_counted_for_dead_server() {
-        let report = LoadGenerator::new(2).run_sampler(
-            &["127.0.0.1:1".parse().unwrap()],
-            3,
-            1,
-            |_| "/x".to_string(),
-        );
+        let report =
+            LoadGenerator::new(2).run_sampler(&["127.0.0.1:1".parse().unwrap()], 3, 1, |_| {
+                "/x".to_string()
+            });
         assert_eq!(report.completed, 0);
         assert_eq!(report.errors, 6);
     }

@@ -16,7 +16,10 @@ impl Zipf {
     /// Build for `n ≥ 1` ranks with exponent `s ≥ 0` (s = 0 is uniform).
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n >= 1, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
@@ -90,7 +93,11 @@ mod tests {
         }
         // Rank 0 should dominate; empirical frequency within 10% of pmf.
         let f0 = counts[0] as f64 / n as f64;
-        assert!((f0 - z.pmf(0)).abs() / z.pmf(0) < 0.1, "f0={f0}, pmf={}", z.pmf(0));
+        assert!(
+            (f0 - z.pmf(0)).abs() / z.pmf(0) < 0.1,
+            "f0={f0}, pmf={}",
+            z.pmf(0)
+        );
         assert!(counts[0] > counts[10]);
         assert!(counts[10] > counts[49]);
     }
@@ -98,10 +105,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let z = Zipf::new(20, 0.8);
-        let a: Vec<usize> =
-            (0..100).scan(StdRng::seed_from_u64(42), |rng, _| Some(z.sample(rng))).collect();
-        let b: Vec<usize> =
-            (0..100).scan(StdRng::seed_from_u64(42), |rng, _| Some(z.sample(rng))).collect();
+        let a: Vec<usize> = (0..100)
+            .scan(StdRng::seed_from_u64(42), |rng, _| Some(z.sample(rng)))
+            .collect();
+        let b: Vec<usize> = (0..100)
+            .scan(StdRng::seed_from_u64(42), |rng, _| Some(z.sample(rng)))
+            .collect();
         assert_eq!(a, b);
     }
 

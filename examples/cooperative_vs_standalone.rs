@@ -71,7 +71,10 @@ fn main() {
         NODES,
         CAPACITY
     );
-    println!("{:<14} {:>10} {:>10} {:>8}", "mode", "live hits", "sim hits", "% UB");
+    println!(
+        "{:<14} {:>10} {:>10} {:>8}",
+        "mode", "live hits", "sim hits", "% UB"
+    );
     for cooperative in [false, true] {
         let live = live_hits(cooperative, &targets);
         let sim = simulate(
@@ -86,7 +89,11 @@ fn main() {
         .hits();
         println!(
             "{:<14} {:>10} {:>10} {:>7.1}%",
-            if cooperative { "cooperative" } else { "stand-alone" },
+            if cooperative {
+                "cooperative"
+            } else {
+                "stand-alone"
+            },
             live,
             sim,
             100.0 * live as f64 / upper as f64

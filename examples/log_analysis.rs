@@ -24,7 +24,10 @@ use swala_workload::{
 
 fn registry() -> ProgramRegistry {
     let mut r = ProgramRegistry::new();
-    r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+    r.register(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Sleep,
+    )));
     r
 }
 
@@ -40,16 +43,27 @@ fn main() -> std::io::Result<()> {
     });
     {
         let server = SwalaServer::start_single(
-            ServerOptions { access_log: Some(log_path.clone()), pool_size: 4, ..Default::default() },
+            ServerOptions {
+                access_log: Some(log_path.clone()),
+                pool_size: 4,
+                ..Default::default()
+            },
             registry(),
         )?;
         let mut client = HttpClient::new(server.http_addr());
         let mut served = 0;
-        for r in history.requests.iter().filter(|r| r.kind == RequestKind::Dynamic) {
+        for r in history
+            .requests
+            .iter()
+            .filter(|r| r.kind == RequestKind::Dynamic)
+        {
             client.get(&r.target).expect("history request");
             served += 1;
         }
-        println!("phase 1: served {served} dynamic requests; access log at {}", log_path.display());
+        println!(
+            "phase 1: served {served} dynamic requests; access log at {}",
+            log_path.display()
+        );
         server.shutdown();
     }
 
@@ -57,10 +71,18 @@ fn main() -> std::io::Result<()> {
     let text = std::fs::read_to_string(&log_path)?;
     let records = parse_clf(&text);
     let targets = filter_for_replay(&records);
-    println!("phase 2: parsed {} log records, {} eligible for replay", records.len(), targets.len());
+    println!(
+        "phase 2: parsed {} log records, {} eligible for replay",
+        records.len(),
+        targets.len()
+    );
 
     let replay_server = SwalaServer::start_single(
-        ServerOptions { caching_enabled: false, pool_size: 4, ..Default::default() },
+        ServerOptions {
+            caching_enabled: false,
+            pool_size: 4,
+            ..Default::default()
+        },
         registry(),
     )?;
     let (trace, failures) = replay_and_time(replay_server.http_addr(), &targets);

@@ -31,7 +31,12 @@ fn main() {
     );
     for policy in PolicyKind::ALL {
         let r = simulate(
-            &SimConfig { nodes: 4, capacity: 60, policy, ..Default::default() },
+            &SimConfig {
+                nodes: 4,
+                capacity: 60,
+                policy,
+                ..Default::default()
+            },
             &trace,
         );
         println!(

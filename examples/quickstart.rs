@@ -14,7 +14,10 @@ fn main() -> std::io::Result<()> {
     //    read their cost from the query string (`ms=`), so one program
     //    models any CGI of the Alexandria Digital Library variety.
     let mut registry = ProgramRegistry::new();
-    registry.register(Arc::new(SimulatedProgram::trace_driven("search", WorkKind::Spin)));
+    registry.register(Arc::new(SimulatedProgram::trace_driven(
+        "search",
+        WorkKind::Spin,
+    )));
 
     // 2. Start a single node on an ephemeral port.
     let server = SwalaServer::start_single(ServerOptions::default(), registry)?;
@@ -53,7 +56,9 @@ fn main() -> std::io::Result<()> {
     assert!(hit_time < Duration::from_millis(80));
 
     server.shutdown();
-    println!("ok: cache hit was {:.0}x faster than execution",
-        miss_time.as_secs_f64() / hit_time.as_secs_f64().max(1e-9));
+    println!(
+        "ok: cache hit was {:.0}x faster than execution",
+        miss_time.as_secs_f64() / hit_time.as_secs_f64().max(1e-9)
+    );
     Ok(())
 }

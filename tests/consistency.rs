@@ -102,7 +102,10 @@ fn concurrent_same_key_burst_counts_false_misses_not_errors() {
     });
     let stats = cluster.node(0).cache_stats();
     assert_eq!(stats.lookups, 6);
-    assert!(stats.false_misses >= 1, "concurrent identical requests overlap");
+    assert!(
+        stats.false_misses >= 1,
+        "concurrent identical requests overlap"
+    );
     assert_eq!(stats.hits() + stats.misses, 6);
     // Afterwards the result is cached exactly once.
     assert_eq!(cluster.node(0).manager().directory().len(NodeId(0)), 1);

@@ -39,7 +39,11 @@ fn adl_replay_accounting_balances() {
     assert_eq!(hits + misses, lookups, "each lookup is a hit or a miss");
 
     // Work conservation: executions = misses + false-hit fallbacks.
-    let execs: u64 = cluster.nodes().iter().map(|s| s.request_stats().executions).sum();
+    let execs: u64 = cluster
+        .nodes()
+        .iter()
+        .map(|s| s.request_stats().executions)
+        .sum();
     let false_hits = cluster.total_cache_stat(|s| s.false_hits);
     assert_eq!(execs, misses + false_hits);
 
@@ -72,18 +76,34 @@ fn mixed_static_and_dynamic_traffic() {
     assert_eq!(report.errors, 0, "mixed workload must fully succeed");
     assert_eq!(report.completed, 120);
 
-    let statics: u64 = cluster.nodes().iter().map(|s| s.request_stats().static_files).sum();
-    let dynamics: u64 = cluster.nodes().iter().map(|s| s.request_stats().dynamic).sum();
+    let statics: u64 = cluster
+        .nodes()
+        .iter()
+        .map(|s| s.request_stats().static_files)
+        .sum();
+    let dynamics: u64 = cluster
+        .nodes()
+        .iter()
+        .map(|s| s.request_stats().dynamic)
+        .sum();
     assert_eq!(statics + dynamics, 120);
     assert!(statics > 0 && dynamics > 0);
     // Static files never enter the result cache (§4.1). With 2 nodes the
     // same id may be cached at both (false-miss duplicates are legal), so
     // the bound is per-node: 10 distinct CGI ids per node.
     let inserts = cluster.total_cache_stat(|s| s.inserts);
-    assert!(inserts <= 20, "only CGI ids may be cached, saw {inserts} inserts");
+    assert!(
+        inserts <= 20,
+        "only CGI ids may be cached, saw {inserts} inserts"
+    );
     for n in 0..2u16 {
         assert!(
-            cluster.node(n as usize).manager().directory().len(swala_cache::NodeId(n)) <= 10,
+            cluster
+                .node(n as usize)
+                .manager()
+                .directory()
+                .len(swala_cache::NodeId(n))
+                <= 10,
             "node {n} cached a non-CGI entry"
         );
     }
@@ -126,13 +146,19 @@ fn baselines_and_swala_serve_identical_content() {
 
     let registry = || {
         let mut r = ProgramRegistry::new();
-        r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+        r.register(Arc::new(SimulatedProgram::trace_driven(
+            "adl",
+            WorkKind::Sleep,
+        )));
         r
     };
     let httpd = ForkingServer::start(None, registry()).unwrap();
     let enterprise = ThreadedServer::start(None, registry(), 4).unwrap();
     let swala_server = swala::SwalaServer::start_single(
-        swala::ServerOptions { pool_size: 4, ..Default::default() },
+        swala::ServerOptions {
+            pool_size: 4,
+            ..Default::default()
+        },
         registry(),
     )
     .unwrap();

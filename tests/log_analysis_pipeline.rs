@@ -14,14 +14,16 @@ use swala_workload::{analyze_thresholds, filter_for_replay, parse_clf, replay_an
 
 fn registry() -> ProgramRegistry {
     let mut r = ProgramRegistry::new();
-    r.register(Arc::new(SimulatedProgram::trace_driven("adl", WorkKind::Sleep)));
+    r.register(Arc::new(SimulatedProgram::trace_driven(
+        "adl",
+        WorkKind::Sleep,
+    )));
     r
 }
 
 #[test]
 fn section3_methodology_end_to_end() {
-    let log_path =
-        std::env::temp_dir().join(format!("swala-pipeline-{}.log", std::process::id()));
+    let log_path = std::env::temp_dir().join(format!("swala-pipeline-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&log_path);
     let docroot = std::env::temp_dir().join(format!("swala-pipeline-root-{}", std::process::id()));
     std::fs::create_dir_all(&docroot).unwrap();
@@ -47,17 +49,17 @@ fn section3_methodology_end_to_end() {
             client.get("/cgi-bin/adl?id=hot&ms=30").unwrap();
         }
         for i in 0..5 {
-            client.get(&format!("/cgi-bin/adl?id=cold{i}&ms=2")).unwrap();
+            client
+                .get(&format!("/cgi-bin/adl?id=cold{i}&ms=2"))
+                .unwrap();
         }
         for _ in 0..6 {
             client.get("/page.html").unwrap();
         }
         client.get("/definitely-missing.html").unwrap(); // 404 → filtered
-        let mut post = swala_http::Request::new(
-            swala_http::Method::Post,
-            "/cgi-bin/adl?id=hot&ms=30",
-        )
-        .unwrap();
+        let mut post =
+            swala_http::Request::new(swala_http::Method::Post, "/cgi-bin/adl?id=hot&ms=30")
+                .unwrap();
         client.request(&post.clone()).unwrap(); // POST → filtered
         post.headers.set("Connection", "close");
         server.shutdown();

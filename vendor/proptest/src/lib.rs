@@ -1,0 +1,787 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_filter` /
+//! `boxed`, `any::<T>()`, `Just`, range strategies, tuple strategies,
+//! string strategies from a small regex subset (`[class]{m,n}` and
+//! `\PC{m,n}`), `collection::vec`, `option::of`, `prop_oneof!`, and the
+//! `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed and there is **no shrinking** — a failing
+//! case reports its inputs as generated. That keeps the dependency
+//! closure empty while preserving the tests' semantics: random
+//! exploration of the input space with reproducible failures.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Subset of proptest's config: how many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default is 256; 64 keeps the single-core CI box
+            // responsive while still exploring the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case (carried by `prop_assert!` and friends).
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+pub use test_runner::ProptestConfig;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Derive a per-test deterministic seed (no shrinking, so reproducible
+/// failures depend on stable seeding).
+pub fn seed_for(test_name: &str) -> u64 {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A generator of values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            f,
+        }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe view of a strategy, for [`BoxedStrategy`] / `prop_oneof!`.
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// `strategy.prop_map(f)`.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `strategy.prop_filter(reason, f)`.
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 consecutive values: {}",
+            self.whence
+        );
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Debug + Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.random_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+    )*}
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random_range(0u8..=1) == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only; NaN breaks the equality-based properties.
+        rng.random_range(-1.0e12..1.0e12)
+    }
+}
+
+/// Strategy for `any::<T>()`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---- ranges as strategies ----
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*}
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// ---- tuples of strategies ----
+
+macro_rules! tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8
+);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9
+);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9,
+    K / 10
+);
+tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9,
+    K / 10,
+    L / 11
+);
+
+// ---- string strategies from a regex subset ----
+
+/// One repeatable unit of the supported regex subset.
+#[derive(Debug, Clone)]
+struct RegexUnit {
+    /// The characters this unit can produce.
+    alphabet: Vec<char>,
+    /// Inclusive repetition bounds.
+    min: usize,
+    max: usize,
+}
+
+/// Parsed pattern: a sequence of units.
+#[derive(Debug, Clone)]
+pub struct StringStrategy {
+    units: Vec<RegexUnit>,
+}
+
+/// Errors from [`string::string_regex`].
+#[derive(Debug, Clone)]
+pub struct StringParseError(pub String);
+
+fn parse_class(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<Vec<char>, StringParseError> {
+    let mut alphabet = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .ok_or_else(|| StringParseError("unterminated character class".into()))?;
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    alphabet.push(p);
+                }
+                if alphabet.is_empty() {
+                    return Err(StringParseError("empty character class".into()));
+                }
+                return Ok(alphabet);
+            }
+            '-' => {
+                match (pending.take(), chars.peek().copied()) {
+                    // `a-z` range form (unless `-` is last before `]`).
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        if lo > hi {
+                            return Err(StringParseError(format!("bad range {lo}-{hi}")));
+                        }
+                        alphabet.extend(lo..=hi);
+                    }
+                    // Literal `-`.
+                    (prev, _) => {
+                        if let Some(p) = prev {
+                            alphabet.push(p);
+                        }
+                        alphabet.push('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.take() {
+                    alphabet.push(p);
+                }
+                let esc = chars
+                    .next()
+                    .ok_or_else(|| StringParseError("dangling escape".into()))?;
+                pending = Some(esc);
+            }
+            other => {
+                if let Some(p) = pending.take() {
+                    alphabet.push(p);
+                }
+                pending = Some(other);
+            }
+        }
+    }
+}
+
+fn parse_repeat(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+) -> Result<(usize, usize), StringParseError> {
+    if chars.peek() != Some(&'{') {
+        return Ok((1, 1));
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse::<usize>()
+                        .map_err(|_| StringParseError(format!("bad bound {lo:?}")))?,
+                    hi.parse::<usize>()
+                        .map_err(|_| StringParseError(format!("bad bound {hi:?}")))?,
+                ),
+                None => {
+                    let n = spec
+                        .parse::<usize>()
+                        .map_err(|_| StringParseError(format!("bad count {spec:?}")))?;
+                    (n, n)
+                }
+            };
+            if lo > hi {
+                return Err(StringParseError(format!("bad repetition {{{spec}}}")));
+            }
+            return Ok((lo, hi));
+        }
+        spec.push(c);
+    }
+    Err(StringParseError("unterminated repetition".into()))
+}
+
+fn parse_pattern(pattern: &str) -> Result<StringStrategy, StringParseError> {
+    let mut chars = pattern.chars().peekable();
+    let mut units = Vec::new();
+    while let Some(c) = chars.next() {
+        let alphabet = match c {
+            '[' => parse_class(&mut chars)?,
+            '\\' => match (chars.next(), chars.next()) {
+                // `\PC`: any printable character (ASCII subset here).
+                (Some('P'), Some('C')) => (0x20u8..=0x7e).map(|b| b as char).collect(),
+                (a, b) => return Err(StringParseError(format!("unsupported escape \\{a:?}{b:?}"))),
+            },
+            lit => vec![lit],
+        };
+        let (min, max) = parse_repeat(&mut chars)?;
+        units.push(RegexUnit { alphabet, min, max });
+    }
+    Ok(StringStrategy { units })
+}
+
+impl Strategy for StringStrategy {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for unit in &self.units {
+            let n = rng.random_range(unit.min..=unit.max);
+            for _ in 0..n {
+                out.push(unit.alphabet[rng.random_range(0..unit.alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// String literals are strategies: the pattern syntax subset above.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self)
+            .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {}", e.0))
+            .generate(rng)
+    }
+}
+
+pub mod string {
+    pub use super::{StringParseError, StringStrategy};
+
+    /// Compile `pattern` into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<StringStrategy, StringParseError> {
+        super::parse_pattern(pattern)
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Size bounds for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    /// `vec(element_strategy, size_range)`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.min..self.size.max_excl);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// `of(strategy)`: `None` a quarter of the time.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.random_range(0u8..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Weighted union of type-erased strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u64,
+}
+
+pub fn union<V: Debug>(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    let total = arms.iter().map(|(w, _)| *w as u64).sum::<u64>();
+    assert!(total > 0, "prop_oneof! weights sum to zero");
+    Union { arms, total }
+}
+
+impl<V: Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.random_range(0..self.total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                return arm.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weight walk exhausted")
+    }
+}
+
+/// Choose among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u32..10, s in "[a-z]{1,4}") { prop_assert!(x < 10); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::Strategy as _;
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng: $crate::TestRng = rand::SeedableRng::seed_from_u64(
+                    $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+                );
+                for __case in 0..__cfg.cases {
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let __outcome: ::std::result::Result<
+                        ::std::result::Result<(), $crate::test_runner::TestCaseError>,
+                        ::std::boxed::Box<dyn ::std::any::Any + Send>,
+                    > = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    }));
+                    match __outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "property {} failed at case {}: {}\n  inputs: {}",
+                            stringify!($name), __case, e, __inputs
+                        ),
+                        Err(panic) => {
+                            eprintln!(
+                                "property {} panicked at case {}\n  inputs: {}",
+                                stringify!($name), __case, __inputs
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use rand;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z0-9/?&=._-]{1,64}", &mut rng);
+            assert!((1..=64).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "/?&=._-".contains(c)));
+            let p = crate::Strategy::generate(&"\\PC{0,8}", &mut rng);
+            assert!(p.chars().count() <= 8);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn class_with_plus_minus_literal() {
+        let mut rng: crate::TestRng = rand::SeedableRng::seed_from_u64(2);
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = crate::Strategy::generate(&"[a-z/+-]{1,24}", &mut rng);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || "/+-".contains(c)),
+                "{s:?}"
+            );
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash, "literal '-' must be generatable");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            x in 0u16..64,
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            o in crate::option::of(any::<u64>()),
+            tag in prop_oneof![1 => Just("a"), 2 => Just("b")],
+        ) {
+            prop_assert!(x < 64);
+            prop_assert!(v.len() < 16);
+            prop_assert_eq!(o.is_none() || o.is_some(), true);
+            prop_assert_ne!(tag, "c");
+        }
+    }
+}

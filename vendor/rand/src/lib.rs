@@ -1,0 +1,243 @@
+//! Offline stand-in for the `rand` crate (0.9 API surface).
+//!
+//! Implements the subset the workspace uses: `Rng::{random,
+//! random_range}` over integer/float ranges, `SeedableRng::seed_from_u64`
+//! and `rngs::StdRng`. The generator is xoshiro256++ seeded through
+//! SplitMix64 — not cryptographic, but high-quality and deterministic,
+//! which is all the workloads and simulators here need.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator trait (object-safe part).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every
+/// [`RngCore`] as in the real crate.
+pub trait Rng: RngCore {
+    /// Uniform sample of the whole domain of `T` (`f64` is in `[0, 1)`).
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform sample within `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: IntoUniformRange<T>,
+    {
+        let (low, high_incl) = range.bounds();
+        T::sample_in(self, low, high_incl)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::from_rng(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types `Rng::random` can produce.
+pub trait Standard: Sized {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*}
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types `Rng::random_range` can sample.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: Self, high_incl: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: $t, high_incl: $t) -> $t {
+                assert!(low <= high_incl, "empty range");
+                let span = (high_incl as i128 - low as i128) as u128 + 1;
+                // Multiply-shift bounded sampling; the tiny modulo bias of
+                // plain `% span` is irrelevant for workloads but easy to
+                // avoid with 128-bit arithmetic.
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*}
+}
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in<R: RngCore + ?Sized>(rng: &mut R, low: f64, high_incl: f64) -> f64 {
+        assert!(low <= high_incl, "empty range");
+        low + f64::from_rng(rng) * (high_incl - low)
+    }
+}
+
+/// Range forms accepted by `random_range`, normalized to inclusive
+/// bounds.
+pub trait IntoUniformRange<T> {
+    fn bounds(self) -> (T, T);
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl IntoUniformRange<$t> for Range<$t> {
+            fn bounds(self) -> ($t, $t) {
+                assert!(self.start < self.end, "empty range");
+                (self.start, self.end - 1)
+            }
+        }
+        impl IntoUniformRange<$t> for RangeInclusive<$t> {
+            fn bounds(self) -> ($t, $t) {
+                (*self.start(), *self.end())
+            }
+        }
+    )*}
+}
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl IntoUniformRange<f64> for Range<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (self.start, self.end)
+    }
+}
+
+impl IntoUniformRange<f64> for RangeInclusive<f64> {
+    fn bounds(self) -> (f64, f64) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Deterministic seeding, as in the real crate.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ generator (stand-in for rand's `StdRng`; the real one
+    /// is ChaCha12 — callers here only rely on determinism per seed).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the standard way to seed xoshiro.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let w: u64 = rng.random_range(0..=4);
+            assert!(w <= 4);
+            let f: f64 = rng.random_range(0.0..2.0);
+            assert!((0.0..2.0).contains(&f));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn full_u8_range_reachable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 256];
+        for _ in 0..20_000 {
+            seen[rng.random_range(0u8..=255) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
