@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod broadcast;
+pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod table1;
@@ -28,6 +29,7 @@ pub const ALL_IDS: &[&str] = &[
     "falsemiss",
     "locking",
     "broadcast",
+    "faults",
 ];
 
 /// Run one experiment by id.
@@ -47,6 +49,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "falsemiss" => ablations::run_false_consistency(),
         "locking" => ablations::run_locking(),
         "broadcast" => broadcast::run(),
+        "faults" => faults::run(),
         _ => return None,
     })
 }

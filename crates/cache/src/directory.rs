@@ -199,6 +199,19 @@ impl CacheDirectory {
         out
     }
 
+    /// Drop every entry in `node`'s table, returning what was removed.
+    ///
+    /// Directory repair: when `node` is declared dead (quarantined, or a
+    /// `NodeDown` broadcast arrived) its replica table is stale by
+    /// definition — keeping it only produces false hits against a corpse.
+    /// Refusing to clear the *local* table is the caller's job
+    /// ([`crate::CacheManager::evict_node`]); this primitive clears any
+    /// table.
+    pub fn clear_node(&self, node: NodeId) -> Vec<EntryMeta> {
+        let mut t = self.tables[node.index()].write();
+        t.drain().map(|(_, m)| m).collect()
+    }
+
     /// Snapshot of `node`'s table (for directory sync and inspection).
     pub fn snapshot(&self, node: NodeId) -> Vec<EntryMeta> {
         self.tables[node.index()].read().values().cloned().collect()
@@ -361,6 +374,30 @@ mod tests {
             d2.classify(&CacheKey::new("/s1")),
             Classification::Remote(_)
         ));
+    }
+
+    #[test]
+    fn clear_node_empties_one_table_only() {
+        let d = CacheDirectory::new(3, NodeId(0));
+        d.insert(NodeId(0), meta("/mine", NodeId(0), 1));
+        d.insert(NodeId(1), meta("/theirs-a", NodeId(1), 2));
+        d.insert(NodeId(1), meta("/theirs-b", NodeId(1), 3));
+        d.insert(NodeId(2), meta("/other", NodeId(2), 4));
+
+        let dropped = d.clear_node(NodeId(1));
+        assert_eq!(dropped.len(), 2);
+        assert!(dropped.iter().all(|m| m.owner == NodeId(1)));
+        assert_eq!(d.len(NodeId(1)), 0);
+        // The other tables are untouched.
+        assert_eq!(d.len(NodeId(0)), 1);
+        assert_eq!(d.len(NodeId(2)), 1);
+        // Entries from the dead node no longer classify as Remote.
+        assert_eq!(
+            d.classify(&CacheKey::new("/theirs-a")),
+            Classification::NotCached
+        );
+        // Clearing an empty table is a no-op.
+        assert!(d.clear_node(NodeId(1)).is_empty());
     }
 
     #[test]

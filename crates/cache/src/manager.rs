@@ -294,6 +294,21 @@ impl CacheManager {
         self.directory.insert(meta.owner, meta);
     }
 
+    /// Directory repair: forget everything `node` advertises.
+    ///
+    /// Called when `node` is quarantined locally or a peer's `NodeDown`
+    /// broadcast arrives. Clearing our *own* table on somebody's say-so
+    /// would discard live cache, so the local node is a no-op. Returns
+    /// how many entries were evicted.
+    pub fn evict_node(&self, node: NodeId) -> usize {
+        if node == self.local || node.index() >= self.directory.num_nodes() {
+            return 0;
+        }
+        let dropped = self.directory.clear_node(node);
+        CacheStats::add(&self.stats.node_evictions, dropped.len() as u64);
+        dropped.len()
+    }
+
     /// Apply a peer's delete notice.
     pub fn apply_remote_delete(&self, owner: NodeId, key: &CacheKey) {
         CacheStats::bump(&self.stats.updates_applied);
@@ -619,6 +634,30 @@ mod tests {
         ));
         m.abort_execution(&k);
         assert_eq!(m.stats().snapshot().updates_applied, 2);
+    }
+
+    #[test]
+    fn evict_node_clears_remote_table_only() {
+        let m = manager(10);
+        let ka = key("/cgi-bin/dead?a");
+        let kb = key("/cgi-bin/dead?b");
+        m.apply_remote_insert(EntryMeta::new(ka.clone(), NodeId(2), 4, "t", 1000, None, 1));
+        m.apply_remote_insert(EntryMeta::new(kb, NodeId(2), 4, "t", 1000, None, 2));
+        let mine = key("/cgi-bin/alive");
+        run_and_insert(&m, &mine, b"x");
+
+        assert_eq!(m.evict_node(NodeId(2)), 2);
+        assert_eq!(m.stats().snapshot().node_evictions, 2);
+        assert!(matches!(
+            m.lookup(&ka, ka.as_str()),
+            LookupResult::Miss { .. }
+        ));
+        m.abort_execution(&ka);
+        // Local cache survives; self- and out-of-range evictions no-op.
+        assert_eq!(m.directory().len(NodeId(0)), 1);
+        assert_eq!(m.evict_node(NodeId(0)), 0);
+        assert_eq!(m.evict_node(NodeId(7)), 0);
+        assert_eq!(m.directory().len(NodeId(0)), 1);
     }
 
     #[test]

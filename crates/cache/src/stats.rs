@@ -40,6 +40,9 @@ pub struct CacheStats {
     pub broadcasts_sent: AtomicU64,
     /// Insert/delete notices applied from peers.
     pub updates_applied: AtomicU64,
+    /// Directory entries evicted because their owner was declared dead
+    /// (quarantine repair or a peer's `NodeDown` broadcast).
+    pub node_evictions: AtomicU64,
 }
 
 /// Plain-value snapshot of [`CacheStats`].
@@ -58,6 +61,7 @@ pub struct StatsSnapshot {
     pub expirations: u64,
     pub broadcasts_sent: u64,
     pub updates_applied: u64,
+    pub node_evictions: u64,
 }
 
 impl StatsSnapshot {
@@ -107,6 +111,7 @@ impl CacheStats {
             expirations: self.expirations.load(Ordering::Relaxed),
             broadcasts_sent: self.broadcasts_sent.load(Ordering::Relaxed),
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            node_evictions: self.node_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -117,7 +122,7 @@ impl fmt::Display for StatsSnapshot {
             f,
             "lookups={} hits={} (local={} remote={}) misses={} false_miss={} false_hit={} \
              uncacheable={} inserts={} discards={} evictions={} expirations={} bcast={} applied={} \
-             hit_ratio={:.3}",
+             node_evict={} hit_ratio={:.3}",
             self.lookups,
             self.hits(),
             self.local_hits,
@@ -132,6 +137,7 @@ impl fmt::Display for StatsSnapshot {
             self.expirations,
             self.broadcasts_sent,
             self.updates_applied,
+            self.node_evictions,
             self.hit_ratio(),
         )
     }

@@ -8,6 +8,7 @@ use std::time::{Duration, Instant};
 use swala::{BoundSwala, ServerOptions, SwalaServer};
 use swala_cache::{CacheRules, NodeId, PolicyKind};
 use swala_cgi::{CpuGate, GatedProgram, ProgramRegistry, SimulatedProgram, WorkKind};
+use swala_proto::FaultInjector;
 
 /// Configuration for a whole cluster (uniform across nodes, as in the
 /// paper's experiments — "the CPU power is roughly equivalent on all
@@ -40,6 +41,17 @@ pub struct ClusterConfig {
     /// [`CpuGate`] with this many slots, restoring the paper's
     /// one-CPU-per-node resource model on any host (see swala-cgi::gate).
     pub cores_per_node: Option<usize>,
+    /// Shared fault injector threaded into every node's transport seams
+    /// (chaos tests); `None` = fault-free cluster.
+    pub faults: Option<Arc<FaultInjector>>,
+    /// Remote-fetch attempts per request (1 = no retry).
+    pub fetch_retries: u32,
+    /// Base backoff between fetch retries.
+    pub fetch_backoff: Duration,
+    /// Consecutive fetch failures before a peer is quarantined.
+    pub quarantine_after: u32,
+    /// How often a quarantined peer is probed by live traffic.
+    pub probe_interval: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -56,6 +68,11 @@ impl Default for ClusterConfig {
             cache_dir_base: None,
             work: WorkKind::Sleep,
             cores_per_node: None,
+            faults: None,
+            fetch_retries: 3,
+            fetch_backoff: Duration::from_millis(25),
+            quarantine_after: 3,
+            probe_interval: Duration::from_secs(5),
         }
     }
 }
@@ -114,6 +131,11 @@ impl SwalaCluster {
                         .as_ref()
                         .map(|base| base.join(format!("node{i}"))),
                     server_name: format!("Swala/0.1 (node {i}/{})", cfg.nodes),
+                    faults: cfg.faults.clone(),
+                    fetch_retries: cfg.fetch_retries,
+                    fetch_backoff: cfg.fetch_backoff,
+                    quarantine_after: cfg.quarantine_after,
+                    probe_interval: cfg.probe_interval,
                     ..Default::default()
                 };
                 BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))
@@ -181,6 +203,36 @@ impl SwalaCluster {
                 return false;
             }
             std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Wait until the cluster's notice traffic has settled: every node's
+    /// broadcast queues are flushed and all directories agree on the
+    /// cluster-wide entry count across two consecutive polls. Unlike
+    /// [`wait_for_directory_convergence`](Self::wait_for_directory_convergence)
+    /// this needs no expected count, so replay harnesses can call it
+    /// between requests without tracking insertions themselves. Returns
+    /// whether the cluster settled within `timeout`.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut last_agreed: Option<usize> = None;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let flushed = self.servers.iter().all(|s| s.flush_broadcasts(remaining));
+            let counts: Vec<usize> = self
+                .servers
+                .iter()
+                .map(|s| s.manager().directory().total_len())
+                .collect();
+            let agreed = flushed && counts.windows(2).all(|w| w[0] == w[1]);
+            if agreed && last_agreed == Some(counts[0]) {
+                return true;
+            }
+            last_agreed = if agreed { Some(counts[0]) } else { None };
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
         }
     }
 

@@ -51,6 +51,20 @@ fn status_page(ctx: &NodeContext) -> Response {
             dir.len(id),
         ));
     }
+    let mut health = String::new();
+    for h in ctx.health.snapshot() {
+        health.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            h.peer,
+            h.state.as_str(),
+            h.consecutive_failures,
+            h.total_failures,
+            h.total_quarantines,
+        ));
+    }
+    if health.is_empty() {
+        health.push_str("<tr><td colspan=5>no peer traffic yet</td></tr>\n");
+    }
     let (bcast_sent, bcast_dropped) = ctx.broadcaster.counters();
     let mut links = String::new();
     for l in ctx.broadcaster.link_stats() {
@@ -71,6 +85,10 @@ fn status_page(ctx: &NodeContext) -> Response {
          <h2>Cache</h2><pre>{cache}</pre>\
          <h2>Directory (entries per node table)</h2>\
          <table border=1>{tables}</table>\
+         <h2>Peer health</h2>\
+         <table border=1>\
+         <tr><th>peer</th><th>state</th><th>streak</th><th>failures</th>\
+         <th>quarantines</th></tr>{health}</table>\
          <h2>Broadcast links ({bcast_sent} sent, {bcast_dropped} dropped)</h2>\
          <table border=1>\
          <tr><th>peer</th><th>addr</th><th>queued</th><th>sent</th>\

@@ -3,8 +3,10 @@
 use crate::monitor::MonitorRule;
 use std::net::SocketAddr;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 use swala_cache::{CacheRules, NodeId, PolicyKind};
+use swala_proto::FaultInjector;
 
 /// Everything needed to run one Swala node.
 #[derive(Debug, Clone)]
@@ -56,6 +58,22 @@ pub struct ServerOptions {
     /// How long a writer lingers for more notices before flushing a
     /// batch. Zero = opportunistic coalescing only.
     pub broadcast_window: Duration,
+    /// Total remote-fetch attempts per request (1 = no retries).
+    pub fetch_retries: u32,
+    /// Backoff before the second fetch attempt; doubles per retry, with
+    /// deterministic jitter.
+    pub fetch_backoff: Duration,
+    /// Consecutive fetch failures before a peer is marked suspect.
+    pub suspect_after: u32,
+    /// Consecutive fetch failures before a peer is quarantined (its
+    /// directory entries are evicted and a `NodeDown` is broadcast).
+    pub quarantine_after: u32,
+    /// Rest period before a quarantined peer gets one probe fetch.
+    pub probe_interval: Duration,
+    /// Fault injector shared by the node's transports. `None` (always,
+    /// outside chaos tests — there is no config-file syntax for it) means
+    /// clean production transports.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 impl Default for ServerOptions {
@@ -83,6 +101,12 @@ impl Default for ServerOptions {
             broadcast_queue: 1024,
             broadcast_batch: 64,
             broadcast_window: Duration::ZERO,
+            fetch_retries: 3,
+            fetch_backoff: Duration::from_millis(25),
+            suspect_after: 1,
+            quarantine_after: 3,
+            probe_interval: Duration::from_secs(5),
+            faults: None,
         }
     }
 }
@@ -199,6 +223,35 @@ impl ServerOptions {
                         rest.parse().map_err(|_| err("bad broadcast_window_ms"))?,
                     )
                 }
+                "fetch_retries" => {
+                    opts.fetch_retries = rest.parse().map_err(|_| err("bad fetch_retries"))?;
+                    if opts.fetch_retries == 0 {
+                        return Err(err("fetch_retries must be positive"));
+                    }
+                }
+                "fetch_backoff_ms" => {
+                    opts.fetch_backoff = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad fetch_backoff_ms"))?,
+                    )
+                }
+                "suspect_after" => {
+                    opts.suspect_after = rest.parse().map_err(|_| err("bad suspect_after"))?;
+                    if opts.suspect_after == 0 {
+                        return Err(err("suspect_after must be positive"));
+                    }
+                }
+                "quarantine_after" => {
+                    opts.quarantine_after =
+                        rest.parse().map_err(|_| err("bad quarantine_after"))?;
+                    if opts.quarantine_after == 0 {
+                        return Err(err("quarantine_after must be positive"));
+                    }
+                }
+                "probe_interval_ms" => {
+                    opts.probe_interval = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad probe_interval_ms"))?,
+                    )
+                }
                 // Cacheability rules pass through to the rules parser.
                 "cache" | "nocache" => {
                     rule_lines.push_str(line);
@@ -313,6 +366,33 @@ broadcast_window_ms 5
             .unwrap_err()
             .contains("positive"));
         assert!(ServerOptions::parse("broadcast_window_ms x")
+            .unwrap_err()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn failure_model_keywords() {
+        let o = ServerOptions::parse(
+            "fetch_retries 5
+fetch_backoff_ms 10
+suspect_after 2
+quarantine_after 4
+probe_interval_ms 750
+",
+        )
+        .unwrap();
+        assert_eq!(o.fetch_retries, 5);
+        assert_eq!(o.fetch_backoff, Duration::from_millis(10));
+        assert_eq!(o.suspect_after, 2);
+        assert_eq!(o.quarantine_after, 4);
+        assert_eq!(o.probe_interval, Duration::from_millis(750));
+        assert!(ServerOptions::parse("fetch_retries 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ServerOptions::parse("quarantine_after 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ServerOptions::parse("suspect_after none")
             .unwrap_err()
             .contains("bad"));
     }

@@ -16,7 +16,10 @@ use swala_cache::{
 };
 use swala_cgi::{CgiOutput, CgiRequest, Program, ProgramRegistry};
 use swala_http::{Method, Request, Response, StatusCode};
-use swala_proto::{fetch_remote, Broadcaster, FetchOutcome, Message};
+use swala_proto::{
+    fetch_remote_retry, Broadcaster, Dialer, FetchOutcome, HealthTracker, Message, PeerState,
+    RetryPolicy,
+};
 
 /// Value of the diagnostic `X-Swala-Cache` response header.
 pub mod cache_header {
@@ -27,6 +30,7 @@ pub mod cache_header {
     pub const REMOTE_HIT: &str = "remote-hit";
     pub const FALSE_HIT: &str = "false-hit-fallback";
     pub const REMOTE_DOWN: &str = "remote-unreachable-fallback";
+    pub const QUARANTINED: &str = "quarantined-peer-fallback";
     pub const DISABLED: &str = "disabled";
 }
 
@@ -48,6 +52,13 @@ pub struct NodeContext {
     pub http_port: u16,
     /// Common-Log-Format access log, when configured.
     pub access_log: Option<crate::accesslog::AccessLog>,
+    /// How remote fetch/sync sessions are opened (chaos tests inject
+    /// faults here; production uses the plain TCP dialer).
+    pub dialer: Dialer,
+    /// Bounded retry-with-backoff for remote fetches.
+    pub retry_policy: RetryPolicy,
+    /// Per-peer quarantine tracking, fed by fetch outcomes.
+    pub health: Arc<HealthTracker>,
 }
 
 impl NodeContext {
@@ -159,8 +170,36 @@ fn handle_remote_hit(
             cache_header::REMOTE_DOWN,
         );
     };
-    match fetch_remote(addr, &key, ctx.fetch_timeout) {
+    // Quarantine gate: a peer declared dead is skipped without touching
+    // the network (no connect-timeout tax), except when its probe window
+    // has elapsed — then this very fetch doubles as the probe.
+    if !ctx.health.should_attempt(meta.owner) {
+        RequestStats::bump(&ctx.stats.quarantine_skips);
+        ctx.manager.begin_fallback_execution(&key);
+        let decision = fallback_decision(ctx, &key);
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::QUARANTINED,
+        );
+    }
+    let (outcome, attempts) = fetch_remote_retry(
+        &ctx.dialer,
+        meta.owner,
+        addr,
+        &key,
+        ctx.fetch_timeout,
+        &ctx.retry_policy,
+    );
+    if attempts > 1 {
+        RequestStats::add(&ctx.stats.fetch_retries, (attempts - 1) as u64);
+    }
+    match outcome {
         FetchOutcome::Hit { content_type, body } => {
+            ctx.health.record_success(meta.owner);
             RequestStats::bump(&ctx.stats.served_remote_cache);
             let mut resp = Response::ok(&content_type, body);
             resp.headers
@@ -168,7 +207,18 @@ fn handle_remote_hit(
             resp
         }
         FetchOutcome::Gone => {
+            // A reply — even "gone" — proves the peer is alive.
+            ctx.health.record_success(meta.owner);
             ctx.manager.note_false_hit(meta.owner, &key);
+            // Directory repair: the owner no longer has this entry, so
+            // every other replica pointing at it is stale too. Broadcast
+            // the deletion on the owner's behalf (it may have restarted
+            // with no memory of its old advertisements).
+            ctx.broadcaster.broadcast(&Message::DeleteNotice {
+                owner: meta.owner,
+                key: key.clone(),
+            });
+            CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             ctx.manager.begin_fallback_execution(&key);
             let decision = fallback_decision(ctx, &key);
             execute_and_cache(
@@ -181,9 +231,18 @@ fn handle_remote_hit(
             )
         }
         FetchOutcome::Unreachable(_) => {
-            // Peer down ≠ entry gone: keep the directory entry (the purge
-            // or a delete notice will reap it) but satisfy this client by
-            // executing locally.
+            // Peer down ≠ entry gone: the directory entry survives a
+            // transient failure. But on the transition into quarantine
+            // (consecutive-failure threshold crossed) the peer is treated
+            // as dead: evict everything it advertises and broadcast
+            // `NodeDown` so the whole cluster stops taking false hits on
+            // a corpse.
+            if ctx.health.record_failure(meta.owner) == Some(PeerState::Quarantined) {
+                ctx.manager.evict_node(meta.owner);
+                ctx.broadcaster
+                    .broadcast(&Message::NodeDown { node: meta.owner });
+                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            }
             ctx.manager.begin_fallback_execution(&key);
             let decision = fallback_decision(ctx, &key);
             execute_and_cache(

@@ -11,7 +11,10 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use swala_cache::{CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store};
 use swala_cgi::ProgramRegistry;
-use swala_proto::{BroadcastConfig, Broadcaster, CacheDaemons};
+use swala_proto::{
+    default_dialer, BroadcastConfig, Broadcaster, CacheDaemons, HealthConfig, HealthSnapshot,
+    HealthTracker, RetryPolicy,
+};
 
 /// A node whose listeners are bound but whose daemons and pool have not
 /// started — the point at which ephemeral port numbers become known, so a
@@ -92,23 +95,34 @@ impl BoundSwala {
             .filter(|(i, _)| *i != options.node.index())
             .filter_map(|(i, a)| a.map(|a| (NodeId(i as u16), a)))
             .collect();
+        let mut broadcast_config = BroadcastConfig {
+            queue_depth: options.broadcast_queue,
+            batch_max: options.broadcast_batch,
+            batch_window: options.broadcast_window,
+            ..BroadcastConfig::default()
+        };
+        if let Some(faults) = &options.faults {
+            broadcast_config.connector = faults.connector(options.node);
+        }
         let broadcaster = Arc::new(Broadcaster::with_config(
             options.node,
             peers,
-            BroadcastConfig {
-                queue_depth: options.broadcast_queue,
-                batch_max: options.broadcast_batch,
-                batch_window: options.broadcast_window,
-                ..BroadcastConfig::default()
-            },
+            broadcast_config,
         ));
 
-        let daemons = CacheDaemons::start_with_listener(
+        let accept_filter = options.faults.as_ref().map(|f| f.acceptor(options.node));
+        let daemons = CacheDaemons::start_with_listener_filtered(
             cache_listener,
             Arc::clone(&manager),
             Arc::clone(&broadcaster),
             options.purge_interval,
+            accept_filter,
         )?;
+
+        let dialer = match &options.faults {
+            Some(f) => f.dialer(options.node),
+            None => default_dialer(),
+        };
 
         // Late-join directory sync: pull every reachable peer's table so
         // this node starts with a warm directory instead of learning the
@@ -119,8 +133,12 @@ impl BoundSwala {
                     continue;
                 }
                 let Some(addr) = addr else { continue };
-                if let Ok((peer, entries)) = swala_proto::request_sync(*addr, options.fetch_timeout)
-                {
+                if let Ok((peer, entries)) = swala_proto::request_sync_via(
+                    &dialer,
+                    NodeId(i as u16),
+                    *addr,
+                    options.fetch_timeout,
+                ) {
                     manager.directory().load_snapshot(peer, entries);
                 }
             }
@@ -155,6 +173,19 @@ impl BoundSwala {
             stats: RequestStats::new(),
             http_port: http_addr.port(),
             access_log,
+            dialer,
+            retry_policy: RetryPolicy {
+                max_attempts: options.fetch_retries,
+                base_backoff: options.fetch_backoff,
+                // Distinct per node so simultaneous retries against one
+                // struggling peer don't arrive in lockstep.
+                jitter_seed: options.node.0 as u64,
+            },
+            health: Arc::new(HealthTracker::new(HealthConfig {
+                suspect_after: options.suspect_after,
+                quarantine_after: options.quarantine_after,
+                probe_interval: options.probe_interval,
+            })),
         });
 
         let pool = RequestPool::start(http_listener, Arc::clone(&ctx), options.pool_size)?;
@@ -222,6 +253,17 @@ impl SwalaServer {
     /// HTTP-level statistics.
     pub fn request_stats(&self) -> RequestStatsSnapshot {
         self.ctx.stats.snapshot()
+    }
+
+    /// Per-peer health states (quarantine tracking).
+    pub fn peer_health(&self) -> Vec<HealthSnapshot> {
+        self.ctx.health.snapshot()
+    }
+
+    /// Block until queued broadcast notices have been written to every
+    /// reachable peer (or the timeout passes). Test/quiesce helper.
+    pub fn flush_broadcasts(&self, timeout: std::time::Duration) -> bool {
+        self.ctx.broadcaster.flush(timeout)
     }
 
     /// Cache-level statistics.

@@ -27,6 +27,12 @@ pub struct RequestStats {
     pub bytes_sent: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Remote-fetch retry attempts beyond the first (transport failures
+    /// that were retried with backoff).
+    pub fetch_retries: AtomicU64,
+    /// Remote hits skipped without touching the network because the
+    /// owning peer was quarantined.
+    pub quarantine_skips: AtomicU64,
 }
 
 /// Plain-value snapshot of [`RequestStats`].
@@ -42,6 +48,8 @@ pub struct RequestStatsSnapshot {
     pub server_errors: u64,
     pub bytes_sent: u64,
     pub connections: u64,
+    pub fetch_retries: u64,
+    pub quarantine_skips: u64,
 }
 
 impl RequestStats {
@@ -69,6 +77,8 @@ impl RequestStats {
             server_errors: self.server_errors.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            fetch_retries: self.fetch_retries.load(Ordering::Relaxed),
+            quarantine_skips: self.quarantine_skips.load(Ordering::Relaxed),
         }
     }
 }
@@ -78,7 +88,7 @@ impl fmt::Display for RequestStatsSnapshot {
         write!(
             f,
             "requests={} static={} dynamic={} exec={} cache(local={},remote={}) \
-             errors(4xx={},5xx={}) bytes={} conns={}",
+             errors(4xx={},5xx={}) bytes={} conns={} retries={} qskips={}",
             self.requests,
             self.static_files,
             self.dynamic,
@@ -89,6 +99,8 @@ impl fmt::Display for RequestStatsSnapshot {
             self.server_errors,
             self.bytes_sent,
             self.connections,
+            self.fetch_retries,
+            self.quarantine_skips,
         )
     }
 }
@@ -122,6 +134,8 @@ mod tests {
             "errors(",
             "bytes=",
             "conns=",
+            "retries=",
+            "qskips=",
         ] {
             assert!(text.contains(field), "missing {field} in {text}");
         }

@@ -10,6 +10,7 @@
 //! * a **purge thread** that "wakes up every few seconds and deletes
 //!   expired cache entries", broadcasting a delete notice for each.
 
+use crate::faults::{AcceptFilter, FaultAction};
 use crate::message::Message;
 use crate::peers::Broadcaster;
 use crate::wire::{read_frame, write_frame};
@@ -70,6 +71,20 @@ impl CacheDaemons {
         broadcaster: Arc<Broadcaster>,
         purge_interval: Duration,
     ) -> io::Result<CacheDaemons> {
+        Self::start_with_listener_filtered(listener, manager, broadcaster, purge_interval, None)
+    }
+
+    /// [`start_with_listener`](Self::start_with_listener) with an
+    /// inbound fault hook: the filter is consulted once per accepted
+    /// connection, before any frame is read, so chaos tests can make a
+    /// node unreachable without killing its process.
+    pub fn start_with_listener_filtered(
+        listener: TcpListener,
+        manager: Arc<CacheManager>,
+        broadcaster: Arc<Broadcaster>,
+        purge_interval: Duration,
+        accept_filter: Option<AcceptFilter>,
+    ) -> io::Result<CacheDaemons> {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
@@ -88,6 +103,7 @@ impl CacheDaemons {
                                 break;
                             }
                             let Ok(stream) = conn else { continue };
+                            let fault = accept_filter.as_ref().and_then(|f| f());
                             let manager = Arc::clone(&manager);
                             let broadcaster = Arc::clone(&broadcaster);
                             let shutdown = Arc::clone(&shutdown);
@@ -95,6 +111,24 @@ impl CacheDaemons {
                             let _ = std::thread::Builder::new()
                                 .name("swala-cache-conn".into())
                                 .spawn(move || {
+                                    match fault {
+                                        // Connection closed before a single
+                                        // frame is served — to the dialer this
+                                        // is a peer that accepts then dies.
+                                        Some(FaultAction::Drop)
+                                        | Some(FaultAction::Reset)
+                                        | Some(FaultAction::Truncate(_)) => return,
+                                        // Held open but never serviced: the
+                                        // dialer's read times out.
+                                        Some(FaultAction::BlackHole) => {
+                                            while !shutdown.load(Ordering::Acquire) {
+                                                std::thread::sleep(Duration::from_millis(25));
+                                            }
+                                            return;
+                                        }
+                                        Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+                                        None => {}
+                                    }
                                     handle_connection(stream, &manager, &broadcaster, &shutdown)
                                 });
                         }
@@ -199,7 +233,8 @@ fn handle_connection(
             Message::Hello { .. }
             | Message::InsertNotice { .. }
             | Message::DeleteNotice { .. }
-            | Message::Invalidate { .. } => {
+            | Message::Invalidate { .. }
+            | Message::NodeDown { .. } => {
                 apply_notice(msg, manager, broadcaster);
             }
             Message::Batch(msgs) => {
@@ -258,6 +293,7 @@ fn is_notice(msg: &Message) -> bool {
             | Message::InsertNotice { .. }
             | Message::DeleteNotice { .. }
             | Message::Invalidate { .. }
+            | Message::NodeDown { .. }
     )
 }
 
@@ -267,6 +303,13 @@ fn apply_notice(msg: Message, manager: &CacheManager, broadcaster: &Broadcaster)
         Message::Hello { .. } => {}
         Message::InsertNotice { meta } => manager.apply_remote_insert(meta),
         Message::DeleteNotice { owner, key } => manager.apply_remote_delete(owner, &key),
+        Message::NodeDown { node } => {
+            // Directory repair: a peer declared `node` dead. Forget its
+            // entries so this node stops routing false hits at a corpse.
+            // Not re-broadcast — every node hears the origin's broadcast
+            // directly, and echoing would cause notice storms.
+            manager.evict_node(node);
+        }
         Message::Invalidate { key } => {
             // Application-driven invalidation: drop the owned entry and
             // tell the cluster. Invalidating an absent key is a no-op

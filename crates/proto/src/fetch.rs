@@ -6,11 +6,20 @@
 //! the §4.2 *false hit* — the caller falls back to executing the CGI
 //! locally, paying "only the added delay of a request/reply session
 //! between the two nodes".
+//!
+//! Transport failures are handled one level up: [`fetch_remote_retry`]
+//! wraps the single-shot fetch in a bounded retry loop with jittered
+//! exponential backoff, and every connection goes through a [`Dialer`]
+//! so the chaos harness (`faults`) can cut, delay or truncate the
+//! session deterministically.
 
 use crate::message::Message;
 use crate::wire::{read_frame, write_frame, ProtoError};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
+use swala_cache::NodeId;
 
 /// Result of a remote fetch attempt.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,24 +32,208 @@ pub enum FetchOutcome {
     Unreachable(String),
 }
 
-/// Fetch `key` from the peer at `addr`.
+/// Stream-level fault applied to a [`FaultStream`]'s reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamFault {
+    /// Pass-through (the production configuration).
+    None,
+    /// Deliver at most this many reply bytes, then EOF — the peer died
+    /// mid-write and the frame arrives cut short.
+    TruncateReads(usize),
+    /// Every read fails with `ConnectionReset` — an RST landed after the
+    /// session was established.
+    ResetReads,
+}
+
+/// A `TcpStream` with an optional injected read fault. The production
+/// dialer always wraps with [`StreamFault::None`]; the type exists so a
+/// single [`Dialer`] signature covers both clean and chaos transports.
+#[derive(Debug)]
+pub struct FaultStream {
+    inner: TcpStream,
+    fault: StreamFault,
+    delivered: usize,
+}
+
+impl FaultStream {
+    /// Connect and wrap in one step.
+    pub fn connect(addr: SocketAddr, timeout: Duration, fault: StreamFault) -> io::Result<Self> {
+        Ok(Self::wrap(
+            TcpStream::connect_timeout(&addr, timeout)?,
+            fault,
+        ))
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn wrap(inner: TcpStream, fault: StreamFault) -> Self {
+        FaultStream {
+            inner,
+            fault,
+            delivered: 0,
+        }
+    }
+
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(t)
+    }
+
+    pub fn set_write_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.inner.set_write_timeout(t)
+    }
+
+    pub fn set_nodelay(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nodelay(on)
+    }
+}
+
+impl Read for FaultStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.fault {
+            StreamFault::None => self.inner.read(buf),
+            StreamFault::ResetReads => Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected: connection reset",
+            )),
+            StreamFault::TruncateReads(limit) => {
+                let remaining = limit.saturating_sub(self.delivered);
+                if remaining == 0 {
+                    return Ok(0); // injected EOF mid-frame
+                }
+                let cap = remaining.min(buf.len());
+                let n = self.inner.read(&mut buf[..cap])?;
+                self.delivered += n;
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl Write for FaultStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Opens the request/reply session to a peer. The peer's [`NodeId`] is
+/// passed so fault rules can match by destination.
+pub type Dialer =
+    Arc<dyn Fn(NodeId, SocketAddr, Duration) -> io::Result<FaultStream> + Send + Sync>;
+
+/// The production dialer: plain `TcpStream::connect_timeout`, no faults.
+pub fn default_dialer() -> Dialer {
+    Arc::new(|_peer, addr, timeout| FaultStream::connect(addr, timeout, StreamFault::None))
+}
+
+/// Bounded-retry policy for remote fetches. Backoff is exponential with
+/// deterministic jitter: the sleep before attempt `k` (1-based) is
+/// `base · 2^(k-1) · (1 + j)` where `j ∈ [0, 0.5)` is derived by hashing
+/// `(jitter_seed, attempt)` — no shared RNG state, so concurrent fetches
+/// can't perturb each other's schedules and chaos runs replay exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Seed for the jitter hash.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(25),
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries — PR 1 behaviour.
+    pub fn no_retry() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Sleep to take after failed attempt `attempt` (1-based).
+    pub fn backoff_after(&self, attempt: u32) -> Duration {
+        let base = self.base_backoff.as_micros() as u64;
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
+        // splitmix64 on (seed, attempt) → jitter fraction in [0, 0.5).
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(attempt as u64)
+            .wrapping_mul(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let jitter = exp / 2 * (z % 1024) / 1024;
+        Duration::from_micros(exp + jitter)
+    }
+}
+
+/// Fetch `key` from the peer at `addr`: single attempt over the default
+/// dialer. Kept for callers that manage retries themselves.
 pub fn fetch_remote(
     addr: SocketAddr,
     key: &swala_cache::CacheKey,
     timeout: Duration,
 ) -> FetchOutcome {
-    match try_fetch(addr, key, timeout) {
-        Ok(outcome) => outcome,
-        Err(e) => FetchOutcome::Unreachable(e.to_string()),
+    let (outcome, _) = fetch_remote_retry(
+        &default_dialer(),
+        NodeId(0),
+        addr,
+        key,
+        timeout,
+        &RetryPolicy::no_retry(),
+    );
+    outcome
+}
+
+/// Fetch `key` from peer `peer` at `addr` with bounded retries. Returns
+/// the final outcome and the number of attempts made. Only transport
+/// failures are retried: a `Gone` reply is a protocol-level answer (the
+/// §4.2 false hit) that no retry will change.
+pub fn fetch_remote_retry(
+    dialer: &Dialer,
+    peer: NodeId,
+    addr: SocketAddr,
+    key: &swala_cache::CacheKey,
+    timeout: Duration,
+    policy: &RetryPolicy,
+) -> (FetchOutcome, u32) {
+    let attempts = policy.max_attempts.max(1);
+    let mut last = FetchOutcome::Unreachable("no attempt made".into());
+    for attempt in 1..=attempts {
+        last = match try_fetch(dialer, peer, addr, key, timeout) {
+            Ok(outcome) => outcome,
+            Err(e) => FetchOutcome::Unreachable(e.to_string()),
+        };
+        if !matches!(last, FetchOutcome::Unreachable(_)) {
+            return (last, attempt);
+        }
+        if attempt < attempts {
+            std::thread::sleep(policy.backoff_after(attempt));
+        }
     }
+    (last, attempts)
 }
 
 fn try_fetch(
+    dialer: &Dialer,
+    peer: NodeId,
     addr: SocketAddr,
     key: &swala_cache::CacheKey,
     timeout: Duration,
 ) -> Result<FetchOutcome, ProtoError> {
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    let mut stream = dialer(peer, addr, timeout)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -61,7 +254,17 @@ pub fn request_sync(
     addr: SocketAddr,
     timeout: Duration,
 ) -> Result<(swala_cache::NodeId, Vec<swala_cache::EntryMeta>), ProtoError> {
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    request_sync_via(&default_dialer(), NodeId(0), addr, timeout)
+}
+
+/// [`request_sync`] through an explicit dialer, for fault injection.
+pub fn request_sync_via(
+    dialer: &Dialer,
+    peer: NodeId,
+    addr: SocketAddr,
+    timeout: Duration,
+) -> Result<(swala_cache::NodeId, Vec<swala_cache::EntryMeta>), ProtoError> {
+    let mut stream = dialer(peer, addr, timeout)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -185,6 +388,122 @@ mod tests {
             &CacheKey::new("/cgi-bin/echo?k=v"),
             Duration::from_secs(1),
         );
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn retry_recovers_after_transient_refusals() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = Arc::new(AtomicU32::new(0));
+        let (addr, h) = fetch_server(|_| Message::FetchMiss);
+        let calls2 = Arc::clone(&calls);
+        // First two dials fail at connect; the third goes through.
+        let dialer: Dialer = Arc::new(move |_peer, a, t| {
+            if calls2.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(io::Error::new(io::ErrorKind::ConnectionRefused, "flaky"))
+            } else {
+                FaultStream::connect(a, t, StreamFault::None)
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            jitter_seed: 9,
+        };
+        let (out, attempts) = fetch_remote_retry(
+            &dialer,
+            NodeId(1),
+            addr,
+            &CacheKey::new("/x"),
+            Duration::from_secs(1),
+            &policy,
+        );
+        assert_eq!(out, FetchOutcome::Gone);
+        assert_eq!(attempts, 3);
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_unreachable() {
+        let dialer: Dialer =
+            Arc::new(|_peer, _a, _t| Err(io::Error::new(io::ErrorKind::ConnectionRefused, "dead")));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            jitter_seed: 0,
+        };
+        let (out, attempts) = fetch_remote_retry(
+            &dialer,
+            NodeId(1),
+            "127.0.0.1:1".parse().unwrap(),
+            &CacheKey::new("/x"),
+            Duration::from_millis(100),
+            &policy,
+        );
+        assert!(matches!(out, FetchOutcome::Unreachable(_)));
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn gone_is_not_retried() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls2 = Arc::clone(&calls);
+        let (addr, h) = fetch_server(|_| Message::FetchMiss);
+        let dialer: Dialer = Arc::new(move |_peer, a, t| {
+            calls2.fetch_add(1, Ordering::SeqCst);
+            FaultStream::connect(a, t, StreamFault::None)
+        });
+        let (out, attempts) = fetch_remote_retry(
+            &dialer,
+            NodeId(1),
+            addr,
+            &CacheKey::new("/x"),
+            Duration::from_secs(1),
+            &RetryPolicy::default(),
+        );
+        assert_eq!(out, FetchOutcome::Gone);
+        assert_eq!(attempts, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(10),
+            jitter_seed: 42,
+        };
+        let b1 = p.backoff_after(1);
+        let b2 = p.backoff_after(2);
+        let b3 = p.backoff_after(3);
+        assert!(b1 >= Duration::from_millis(10) && b1 < Duration::from_millis(15));
+        assert!(b2 >= Duration::from_millis(20) && b2 < Duration::from_millis(30));
+        assert!(b3 >= Duration::from_millis(40) && b3 < Duration::from_millis(60));
+        // Same policy ⇒ same jitter, every time.
+        assert_eq!(p.backoff_after(2), b2);
+    }
+
+    #[test]
+    fn truncated_reply_maps_to_unreachable() {
+        let (addr, h) = fetch_server(|_| Message::FetchHit {
+            content_type: "text/html".into(),
+            body: vec![7u8; 4096],
+        });
+        // Deliver only 16 reply bytes: mid-frame EOF.
+        let dialer: Dialer =
+            Arc::new(|_peer, a, t| FaultStream::connect(a, t, StreamFault::TruncateReads(16)));
+        let (out, _) = fetch_remote_retry(
+            &dialer,
+            NodeId(1),
+            addr,
+            &CacheKey::new("/x"),
+            Duration::from_secs(1),
+            &RetryPolicy::no_retry(),
+        );
+        assert!(matches!(out, FetchOutcome::Unreachable(_)), "{out:?}");
         h.join().unwrap();
     }
 }

@@ -1,0 +1,314 @@
+//! Per-peer health tracking with consecutive-failure quarantine.
+//!
+//! The §4.2 protocol tolerates a dead peer — every fetch failure falls
+//! back to local CGI execution — but tolerating is not the same as
+//! adapting: as long as the directory still advertises a corpse, every
+//! request routed at it pays a full connect-timeout before falling back.
+//! The tracker turns repeated transport failures into an explicit state:
+//!
+//! ```text
+//! Healthy ──failure──▶ Suspect ──(more failures)──▶ Quarantined
+//!    ▲                    │                              │
+//!    │                 success                     probe interval
+//!    │                    ▼                              ▼
+//!    └────success──── Probing ◀──────(one trial fetch)───┘
+//! ```
+//!
+//! While `Quarantined`, [`should_attempt`](HealthTracker::should_attempt)
+//! answers `false` and the handler skips the peer without touching the
+//! network. Once per probe interval it answers `true` exactly once
+//! (state moves to `Probing`): that live fetch *is* the probe — success
+//! restores `Healthy`, failure re-quarantines. Recovery therefore rides
+//! on real traffic; no dedicated pinger thread is needed.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use swala_cache::NodeId;
+
+/// Health state of one peer, as seen from this node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerState {
+    /// No recent failures; fetches proceed normally.
+    Healthy,
+    /// Some consecutive failures, below the quarantine threshold.
+    Suspect,
+    /// Declared dead: skip fetches until the next probe window.
+    Quarantined,
+    /// One trial fetch is in flight; its result decides the next state.
+    Probing,
+}
+
+impl PeerState {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PeerState::Healthy => "healthy",
+            PeerState::Suspect => "suspect",
+            PeerState::Quarantined => "quarantined",
+            PeerState::Probing => "probing",
+        }
+    }
+}
+
+/// Thresholds for the quarantine state machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive failures before a peer turns `Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive failures before a peer is `Quarantined`.
+    pub quarantine_after: u32,
+    /// How long a quarantined peer rests before one probe is allowed.
+    pub probe_interval: Duration,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_after: 1,
+            quarantine_after: 3,
+            probe_interval: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PeerHealth {
+    state: PeerState,
+    consecutive_failures: u32,
+    quarantined_at: Option<Instant>,
+    total_failures: u64,
+    total_quarantines: u64,
+}
+
+impl PeerHealth {
+    fn new() -> Self {
+        PeerHealth {
+            state: PeerState::Healthy,
+            consecutive_failures: 0,
+            quarantined_at: None,
+            total_failures: 0,
+            total_quarantines: 0,
+        }
+    }
+}
+
+/// Point-in-time view of one peer's health, for `/swala-status`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    pub peer: NodeId,
+    pub state: PeerState,
+    pub consecutive_failures: u32,
+    pub total_failures: u64,
+    pub total_quarantines: u64,
+}
+
+/// Tracks the health of every peer this node fetches from.
+#[derive(Debug)]
+pub struct HealthTracker {
+    cfg: HealthConfig,
+    peers: Mutex<HashMap<u16, PeerHealth>>,
+}
+
+impl HealthTracker {
+    pub fn new(cfg: HealthConfig) -> Self {
+        HealthTracker {
+            cfg,
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// May this node fetch from `peer` right now? `Quarantined` peers
+    /// answer `false` except once per probe interval, when the state
+    /// advances to `Probing` and the caller's fetch doubles as the probe.
+    pub fn should_attempt(&self, peer: NodeId) -> bool {
+        let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let h = peers.entry(peer.0).or_insert_with(PeerHealth::new);
+        match h.state {
+            PeerState::Healthy | PeerState::Suspect | PeerState::Probing => true,
+            PeerState::Quarantined => {
+                let due = h
+                    .quarantined_at
+                    .map(|t| t.elapsed() >= self.cfg.probe_interval)
+                    .unwrap_or(true);
+                if due {
+                    h.state = PeerState::Probing;
+                }
+                due
+            }
+        }
+    }
+
+    /// Record a successful exchange with `peer` (a `Hit` *or* a `Gone`
+    /// reply — both prove the peer is alive and answering).
+    pub fn record_success(&self, peer: NodeId) {
+        let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let h = peers.entry(peer.0).or_insert_with(PeerHealth::new);
+        h.state = PeerState::Healthy;
+        h.consecutive_failures = 0;
+        h.quarantined_at = None;
+    }
+
+    /// Record a transport failure against `peer`. Returns
+    /// `Some(Quarantined)` exactly on the transition into quarantine, so
+    /// the caller can run directory repair once (not on every subsequent
+    /// skipped fetch).
+    pub fn record_failure(&self, peer: NodeId) -> Option<PeerState> {
+        let mut peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let h = peers.entry(peer.0).or_insert_with(PeerHealth::new);
+        h.consecutive_failures += 1;
+        h.total_failures += 1;
+        // A failed probe re-enters quarantine silently: directory repair
+        // already ran when the outage was first declared.
+        let was_quarantined = matches!(h.state, PeerState::Quarantined | PeerState::Probing);
+        if h.consecutive_failures >= self.cfg.quarantine_after || h.state == PeerState::Probing {
+            h.state = PeerState::Quarantined;
+            h.quarantined_at = Some(Instant::now());
+            if !was_quarantined {
+                h.total_quarantines += 1;
+                return Some(PeerState::Quarantined);
+            }
+        } else if h.consecutive_failures >= self.cfg.suspect_after {
+            h.state = PeerState::Suspect;
+        }
+        None
+    }
+
+    /// Current state of `peer` (peers never seen are `Healthy`).
+    pub fn state(&self, peer: NodeId) -> PeerState {
+        self.peers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&peer.0)
+            .map(|h| h.state)
+            .unwrap_or(PeerState::Healthy)
+    }
+
+    /// Snapshot of every tracked peer, sorted by node id.
+    pub fn snapshot(&self) -> Vec<HealthSnapshot> {
+        let peers = self.peers.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out: Vec<HealthSnapshot> = peers
+            .iter()
+            .map(|(id, h)| HealthSnapshot {
+                peer: NodeId(*id),
+                state: h.state,
+                consecutive_failures: h.consecutive_failures,
+                total_failures: h.total_failures,
+                total_quarantines: h.total_quarantines,
+            })
+            .collect();
+        out.sort_by_key(|s| s.peer.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> HealthTracker {
+        HealthTracker::new(HealthConfig {
+            suspect_after: 1,
+            quarantine_after: 3,
+            probe_interval: Duration::from_millis(30),
+        })
+    }
+
+    #[test]
+    fn healthy_to_suspect_to_quarantined() {
+        let t = tracker();
+        let p = NodeId(1);
+        assert_eq!(t.state(p), PeerState::Healthy);
+        assert_eq!(t.record_failure(p), None);
+        assert_eq!(t.state(p), PeerState::Suspect);
+        assert_eq!(t.record_failure(p), None);
+        assert_eq!(t.state(p), PeerState::Suspect);
+        // Third consecutive failure crosses the threshold — and the
+        // transition is reported exactly once.
+        assert_eq!(t.record_failure(p), Some(PeerState::Quarantined));
+        assert_eq!(t.state(p), PeerState::Quarantined);
+        assert_eq!(t.record_failure(p), None);
+    }
+
+    #[test]
+    fn quarantine_blocks_attempts_until_probe_window() {
+        let t = tracker();
+        let p = NodeId(1);
+        for _ in 0..3 {
+            t.record_failure(p);
+        }
+        assert!(!t.should_attempt(p));
+        assert!(!t.should_attempt(p));
+        std::thread::sleep(Duration::from_millis(40));
+        // Window elapsed: exactly one probe is let through.
+        assert!(t.should_attempt(p));
+        assert_eq!(t.state(p), PeerState::Probing);
+        assert!(t.should_attempt(p)); // probing still allows the caller through
+    }
+
+    #[test]
+    fn probe_success_restores_healthy() {
+        let t = tracker();
+        let p = NodeId(1);
+        for _ in 0..3 {
+            t.record_failure(p);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(t.should_attempt(p));
+        t.record_success(p);
+        assert_eq!(t.state(p), PeerState::Healthy);
+        assert!(t.should_attempt(p));
+    }
+
+    #[test]
+    fn probe_failure_requarantines_immediately() {
+        let t = tracker();
+        let p = NodeId(1);
+        for _ in 0..3 {
+            t.record_failure(p);
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(t.should_attempt(p));
+        assert_eq!(t.state(p), PeerState::Probing);
+        // A probing peer re-quarantines on one failure, but the
+        // transition is not re-reported (repair already ran).
+        assert_eq!(t.record_failure(p), None);
+        assert_eq!(t.state(p), PeerState::Quarantined);
+        assert!(!t.should_attempt(p));
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let t = tracker();
+        let p = NodeId(1);
+        t.record_failure(p);
+        t.record_failure(p);
+        t.record_success(p);
+        assert_eq!(t.state(p), PeerState::Healthy);
+        // Streak restarted: two more failures stay below the threshold.
+        t.record_failure(p);
+        assert_eq!(t.record_failure(p), None);
+        assert_eq!(t.state(p), PeerState::Suspect);
+    }
+
+    #[test]
+    fn snapshot_reports_all_peers_sorted() {
+        let t = tracker();
+        t.record_failure(NodeId(3));
+        for _ in 0..3 {
+            t.record_failure(NodeId(1));
+        }
+        t.record_success(NodeId(2));
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].peer, NodeId(1));
+        assert_eq!(snap[0].state, PeerState::Quarantined);
+        assert_eq!(snap[0].total_quarantines, 1);
+        assert_eq!(snap[1].state, PeerState::Healthy);
+        assert_eq!(snap[2].state, PeerState::Suspect);
+        assert_eq!(snap[2].consecutive_failures, 1);
+    }
+}

@@ -23,18 +23,29 @@
 //! * [`peers`] — the asynchronous broadcast pipeline: per-peer writer
 //!   threads fed by bounded drop-oldest queues, notice batching, and the
 //!   cluster [`peers::Broadcaster`];
-//! * [`fetch`] — the client side of a remote cache fetch;
+//! * [`fetch`] — the client side of a remote cache fetch, with bounded
+//!   retry and an injectable [`fetch::Dialer`];
 //! * [`daemon`] — the listener + purge daemons, bound to a
-//!   [`swala_cache::CacheManager`].
+//!   [`swala_cache::CacheManager`];
+//! * [`faults`] — deterministic fault injection across every transport
+//!   seam (chaos testing);
+//! * [`health`] — per-peer quarantine tracking driven by fetch outcomes.
 
 pub mod daemon;
+pub mod faults;
 pub mod fetch;
+pub mod health;
 pub mod message;
 pub mod peers;
 pub mod wire;
 
 pub use daemon::{CacheDaemons, DaemonConfig};
-pub use fetch::{fetch_remote, request_invalidate, request_sync, FetchOutcome};
+pub use faults::{AcceptFilter, FaultAction, FaultEvent, FaultInjector, FaultRule};
+pub use fetch::{
+    default_dialer, fetch_remote, fetch_remote_retry, request_invalidate, request_sync,
+    request_sync_via, Dialer, FaultStream, FetchOutcome, RetryPolicy, StreamFault,
+};
+pub use health::{HealthConfig, HealthSnapshot, HealthTracker, PeerState};
 pub use message::Message;
 pub use peers::{BroadcastConfig, Broadcaster, Connector, LinkStats, PeerLink};
 pub use wire::{read_frame, write_frame, ProtoError};

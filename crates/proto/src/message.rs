@@ -19,6 +19,7 @@ const TAG_PING: u8 = 0x09;
 const TAG_PONG: u8 = 0x0a;
 const TAG_INVALIDATE: u8 = 0x0b;
 const TAG_BATCH: u8 = 0x0c;
+const TAG_NODE_DOWN: u8 = 0x0d;
 
 /// Everything Swala nodes say to each other.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,15 @@ pub enum Message {
     /// The owner removes the entry and broadcasts the deletion.
     Invalidate {
         key: CacheKey,
+    },
+    /// "I have quarantined this node" — directory repair broadcast. The
+    /// sender declared `node` dead after consecutive fetch failures and
+    /// evicted its directory entries; receivers do the same so the whole
+    /// cluster stops taking false hits on a corpse. Fire-and-forget like
+    /// the other notices: a lost `NodeDown` costs extra false hits, never
+    /// correctness.
+    NodeDown {
+        node: NodeId,
     },
     /// Several notices coalesced into one frame by a peer link's writer
     /// thread. Sub-messages are length-prefixed; nesting a `Batch` inside
@@ -114,6 +124,10 @@ impl Message {
                 buf.put_u8(TAG_INVALIDATE);
                 put_string(&mut buf, key.as_str());
             }
+            Message::NodeDown { node } => {
+                buf.put_u8(TAG_NODE_DOWN);
+                buf.put_u16(node.0);
+            }
             Message::Batch(msgs) => {
                 buf.put_u8(TAG_BATCH);
                 // Encoding is total; the *decoder* rejects nesting, so a
@@ -164,6 +178,9 @@ impl Message {
             TAG_PONG => Message::Pong,
             TAG_INVALIDATE => Message::Invalidate {
                 key: CacheKey::new(get_string(&mut r)?),
+            },
+            TAG_NODE_DOWN => Message::NodeDown {
+                node: NodeId(get_u16(&mut r)?),
             },
             TAG_BATCH => {
                 let n = get_u32(&mut r)? as usize;
@@ -312,6 +329,7 @@ mod tests {
             Message::Invalidate {
                 key: CacheKey::new("/cgi-bin/stale?x=1"),
             },
+            Message::NodeDown { node: NodeId(9) },
         ];
         for msg in messages {
             let decoded = Message::decode(&msg.encode()).unwrap();

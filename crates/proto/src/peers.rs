@@ -32,10 +32,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use swala_cache::NodeId;
 
-/// How a writer thread opens a TCP connection. Injectable so tests can
-/// simulate blackholed peers (connects that hang, then fail) without
-/// depending on unroutable addresses.
-pub type Connector = Arc<dyn Fn(SocketAddr, Duration) -> io::Result<TcpStream> + Send + Sync>;
+/// How a writer thread opens a TCP connection. The target peer's
+/// [`NodeId`] is passed first so fault rules can match by destination.
+/// Injectable so tests can simulate blackholed peers (connects that
+/// hang, then fail) without depending on unroutable addresses.
+pub type Connector =
+    Arc<dyn Fn(NodeId, SocketAddr, Duration) -> io::Result<TcpStream> + Send + Sync>;
 
 /// Tuning for the asynchronous broadcast pipeline.
 #[derive(Clone)]
@@ -61,7 +63,7 @@ impl Default for BroadcastConfig {
             batch_max: 64,
             batch_window: Duration::ZERO,
             connect_timeout: Duration::from_millis(500),
-            connector: Arc::new(|addr, timeout| TcpStream::connect_timeout(&addr, timeout)),
+            connector: Arc::new(|_peer, addr, timeout| TcpStream::connect_timeout(&addr, timeout)),
         }
     }
 }
@@ -426,7 +428,7 @@ fn write_batch<W: io::Write>(out: &mut W, batch: &[Arc<[u8]>]) -> Result<(), Pro
 }
 
 fn connect(shared: &LinkShared) -> io::Result<TcpStream> {
-    let mut stream = (shared.cfg.connector)(shared.addr, shared.cfg.connect_timeout)?;
+    let mut stream = (shared.cfg.connector)(shared.peer, shared.addr, shared.cfg.connect_timeout)?;
     stream.set_nodelay(true)?;
     write_frame(&mut stream, &Message::Hello { node: shared.local }.encode()).map_err(to_io)?;
     Ok(stream)
@@ -612,7 +614,7 @@ mod tests {
             connect_timeout: Duration::from_millis(300),
             connector: {
                 let attempts = Arc::clone(&attempts);
-                Arc::new(move |_addr, timeout| {
+                Arc::new(move |_peer, _addr, timeout| {
                     attempts.fetch_add(1, Ordering::SeqCst);
                     std::thread::sleep(timeout);
                     Err(io::Error::new(io::ErrorKind::TimedOut, "blackhole"))
@@ -646,7 +648,7 @@ mod tests {
             connect_timeout: Duration::from_millis(10),
             // Stalls long enough for every send below to land while the
             // writer is stuck connecting; never succeeds.
-            connector: Arc::new(|_addr, _t| {
+            connector: Arc::new(|_peer, _addr, _t| {
                 std::thread::sleep(Duration::from_secs(1));
                 Err(io::Error::new(io::ErrorKind::TimedOut, "never"))
             }),

@@ -1,9 +1,17 @@
 //! Property tests for the wire protocol: encode/decode is a bijection on
-//! the message set, and the decoder never panics on arbitrary bytes.
+//! the message set, the decoder never panics on arbitrary bytes, and the
+//! fault seams (truncated replies, partial server writes) always map to
+//! clean `Unreachable` outcomes — never a panic, never a wrong body.
 
 use proptest::prelude::*;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Duration;
 use swala_cache::{CacheKey, EntryMeta, NodeId};
-use swala_proto::{read_frame, write_frame, Message};
+use swala_proto::{
+    fetch_remote_retry, read_frame, request_sync_via, write_frame, Dialer, FaultStream,
+    FetchOutcome, Message, RetryPolicy, StreamFault,
+};
 
 fn key_strategy() -> impl Strategy<Value = CacheKey> {
     "[a-z0-9/?&=._-]{1,64}".prop_map(|s| CacheKey::new(format!("/{s}")))
@@ -49,6 +57,7 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             owner: NodeId(n),
             key
         }),
+        (0u16..64).prop_map(|n| Message::NodeDown { node: NodeId(n) }),
         key_strategy().prop_map(|key| Message::FetchRequest { key }),
         (
             "[a-z/]{1,16}",
@@ -126,5 +135,121 @@ proptest! {
     fn frame_reader_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
         let mut r = &bytes[..];
         while let Ok(Some(_)) = read_frame(&mut r) {}
+    }
+}
+
+/// Serve one fetch session: read the request frame, write exactly
+/// `reply_bytes` to the socket, close.
+fn one_shot_raw_server(reply_bytes: Vec<u8>) -> (SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        use std::io::Write;
+        let (mut s, _) = listener.accept().unwrap();
+        let _ = read_frame(&mut s).unwrap();
+        let _ = s.write_all(&reply_bytes);
+    });
+    (addr, handle)
+}
+
+/// The complete wire image of a `FetchHit` reply frame.
+fn fetch_hit_frame(content_type: &str, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_frame(
+        &mut out,
+        &Message::FetchHit {
+            content_type: content_type.to_string(),
+            body: body.to_vec(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    out
+}
+
+// Socket-per-case properties: keep the case count low.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A reply truncated at any byte position by the fault dialer either
+    /// arrives whole (`Hit` with the exact body) or maps to
+    /// `Unreachable` — never a panic, never a corrupted `Hit`, and never
+    /// a spurious `Gone` (truncation must not be mistaken for the §4.2
+    /// false-hit protocol answer).
+    #[test]
+    fn truncated_fetch_reply_is_unreachable_or_exact_hit(
+        content_type in "[a-z/+-]{1,16}",
+        body in proptest::collection::vec(any::<u8>(), 0..1024),
+        cut_frac in 0.0f64..1.2,
+    ) {
+        let frame = fetch_hit_frame(&content_type, &body);
+        let cut = (frame.len() as f64 * cut_frac) as usize;
+        let (addr, h) = one_shot_raw_server(frame.clone());
+        let dialer: Dialer = Arc::new(move |_peer, a, t| {
+            FaultStream::connect(a, t, StreamFault::TruncateReads(cut))
+        });
+        let (out, attempts) = fetch_remote_retry(
+            &dialer,
+            NodeId(1),
+            addr,
+            &CacheKey::new("/cgi-bin/p?x=1"),
+            Duration::from_secs(2),
+            &RetryPolicy::no_retry(),
+        );
+        prop_assert_eq!(attempts, 1);
+        if cut >= frame.len() {
+            prop_assert_eq!(out, FetchOutcome::Hit { content_type, body });
+        } else {
+            prop_assert!(matches!(out, FetchOutcome::Unreachable(_)), "{:?}", out);
+        }
+        h.join().unwrap();
+    }
+
+    /// A server that writes only a strict prefix of its reply frame (it
+    /// crashed mid-write) always yields `Unreachable` on a clean dialer.
+    #[test]
+    fn partial_server_write_maps_to_unreachable(
+        body in proptest::collection::vec(any::<u8>(), 1..1024),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = fetch_hit_frame("text/html", &body);
+        // Strictly inside the frame: the final byte is never delivered.
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        let (addr, h) = one_shot_raw_server(frame[..cut].to_vec());
+        let dialer: Dialer =
+            Arc::new(|_peer, a, t| FaultStream::connect(a, t, StreamFault::None));
+        let (out, _) = fetch_remote_retry(
+            &dialer,
+            NodeId(1),
+            addr,
+            &CacheKey::new("/cgi-bin/p?x=2"),
+            Duration::from_secs(2),
+            &RetryPolicy::no_retry(),
+        );
+        prop_assert!(matches!(out, FetchOutcome::Unreachable(_)), "{:?}", out);
+        h.join().unwrap();
+    }
+
+    /// Directory-sync replies truncated at any byte error out cleanly;
+    /// the caller keeps its cold directory instead of panicking or
+    /// loading a half-parsed snapshot.
+    #[test]
+    fn truncated_sync_reply_errors_cleanly(
+        entries in proptest::collection::vec(meta_strategy(), 0..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut frame = Vec::new();
+        write_frame(
+            &mut frame,
+            &Message::SyncReply { node: NodeId(3), entries }.encode(),
+        )
+        .unwrap();
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        let (addr, h) = one_shot_raw_server(frame[..cut].to_vec());
+        let dialer: Dialer =
+            Arc::new(|_peer, a, t| FaultStream::connect(a, t, StreamFault::None));
+        let result = request_sync_via(&dialer, NodeId(3), addr, Duration::from_secs(2));
+        prop_assert!(result.is_err());
+        h.join().unwrap();
     }
 }
