@@ -1,0 +1,172 @@
+//! Hot-path latency: what a hit costs once the hit path is zero-copy.
+//!
+//! The paper's value proposition (Tables 4–6, Figure 3) is that serving
+//! a cached document is much cheaper than re-executing the CGI. This
+//! experiment measures the three ways a request can resolve on a live
+//! two-node cluster — warm local hit (memory tier, no disk, no copy),
+//! remote hit (pooled fetch connection, no TCP handshake), and miss
+//! (full CGI execution + store insert) — plus the no-cache baseline
+//! where every request executes. Alongside the latency distributions it
+//! checks the zero-copy machinery's own counters: warm hits must not
+//! read the store, and a burst of remote hits from one client must not
+//! open more connections than the pool allows.
+//!
+//! The distributions are appended to `BENCH_hitpath.json` (handwritten
+//! JSON, no serde in the tree) so later PRs have a trajectory to defend.
+
+use crate::report::{fmt_ms, TableReport};
+use crate::scale;
+use std::time::{Duration, Instant};
+use swala::HttpClient;
+use swala_cluster::{ClusterConfig, SwalaCluster};
+
+/// One scenario's latency distribution, in milliseconds.
+struct Dist {
+    mean: f64,
+    p50: f64,
+    p95: f64,
+}
+
+fn dist(mut samples: Vec<f64>) -> Dist {
+    assert!(!samples.is_empty());
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let pick = |q: f64| samples[((samples.len() - 1) as f64 * q).round() as usize];
+    Dist {
+        mean: samples.iter().sum::<f64>() / samples.len() as f64,
+        p50: pick(0.50),
+        p95: pick(0.95),
+    }
+}
+
+/// Time `n` requests produced by `target`, returning per-request ms.
+fn timed(client: &mut HttpClient, n: usize, mut target: impl FnMut(usize) -> String) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = target(i);
+            let t0 = Instant::now();
+            let resp = client.get(&t).expect("request");
+            assert!(resp.status.is_success(), "failed: {t}");
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+fn json_scenario(name: &str, d: &Dist) -> String {
+    format!(
+        "    \"{name}\": {{\"mean_ms\": {:.4}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}}}",
+        d.mean, d.p50, d.p95
+    )
+}
+
+pub fn run() -> TableReport {
+    let quick = scale::quick();
+    let samples = if quick { 60 } else { 300 };
+    let work_ms: u64 = if quick { 3 } else { 10 };
+
+    let base = std::env::temp_dir().join(format!("swala-hitpath-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        nodes: 2,
+        cache_dir_base: Some(base.clone()),
+        ..Default::default()
+    })
+    .expect("start cluster");
+
+    let target = format!("/cgi-bin/adl?id=1&ms={work_ms}");
+    let mut c0 = HttpClient::new(cluster.node(0).http_addr());
+    let mut c1 = HttpClient::new(cluster.node(1).http_addr());
+    c0.get(&target).expect("warm");
+    assert!(cluster.wait_for_directory_convergence(1, Duration::from_secs(10)));
+
+    // Warm local hits: the memory tier must serve every one of them
+    // without touching the disk store.
+    let reads_before = cluster.node(0).cache_stats().store_reads;
+    let local = dist(timed(&mut c0, samples, |_| target.clone()));
+    let stats0 = cluster.node(0).cache_stats();
+    assert!(
+        stats0.mem_hits >= samples as u64,
+        "warm hits must come from the memory tier: {stats0:?}"
+    );
+    let store_reads_during_hits = stats0.store_reads - reads_before;
+    assert_eq!(store_reads_during_hits, 0, "warm hits must not read disk");
+
+    // Remote hits: one client bursting through the fetch pool.
+    let remote = dist(timed(&mut c1, samples, |_| target.clone()));
+    let pool = cluster.node(1).fetch_pool_stats();
+    let pool_size = ClusterConfig::default().fetch_pool_size as u64;
+    assert!(
+        pool.connects_opened <= pool_size,
+        "one client must stay within the pool: {pool}"
+    );
+
+    // Misses: unique documents, full CGI execution + insert each.
+    let miss = dist(timed(&mut c0, samples, |i| {
+        format!("/cgi-bin/adl?id=m{i}&ms={work_ms}")
+    }));
+    cluster.shutdown();
+    let _ = std::fs::remove_dir_all(&base);
+
+    // No-cache baseline: the same document re-executes every time.
+    let nocache_cluster = SwalaCluster::start(&ClusterConfig {
+        nodes: 2,
+        caching: false,
+        ..Default::default()
+    })
+    .expect("start no-cache cluster");
+    let mut cn = HttpClient::new(nocache_cluster.node(0).http_addr());
+    cn.get(&target).expect("warm");
+    let nocache = dist(timed(&mut cn, samples, |_| target.clone()));
+    nocache_cluster.shutdown();
+
+    let json = format!(
+        "{{\n  \"experiment\": \"hitpath\",\n  \"quick\": {quick},\n  \
+         \"samples\": {samples},\n  \"work_ms\": {work_ms},\n  \"scenarios\": {{\n{},\n{},\n{},\n{}\n  }},\n  \
+         \"counters\": {{\"mem_hits\": {}, \"store_reads_during_hits\": {store_reads_during_hits}, \
+         \"pool_connects\": {}, \"pool_reuses\": {}}}\n}}\n",
+        json_scenario("local_hit", &local),
+        json_scenario("remote_hit", &remote),
+        json_scenario("miss", &miss),
+        json_scenario("nocache_execute", &nocache),
+        stats0.mem_hits,
+        pool.connects_opened,
+        pool.reuses,
+    );
+    std::fs::write("BENCH_hitpath.json", &json).expect("write BENCH_hitpath.json");
+
+    let mut report = TableReport::new(
+        "hitpath",
+        "Hot path: hit vs miss latency on a live two-node cluster",
+        &["scenario", "mean", "p50", "p95"],
+    );
+    for (name, d) in [
+        ("local hit (memory tier)", &local),
+        ("remote hit (pooled fetch)", &remote),
+        ("miss (execute + insert)", &miss),
+        ("no-cache (execute always)", &nocache),
+    ] {
+        report.row(vec![
+            name.into(),
+            format!("{} ms", fmt_ms(d.mean)),
+            format!("{} ms", fmt_ms(d.p50)),
+            format!("{} ms", fmt_ms(d.p95)),
+        ]);
+    }
+    assert!(
+        local.mean < miss.mean && remote.mean < miss.mean,
+        "hits must beat misses: local {} remote {} miss {}",
+        local.mean,
+        remote.mean,
+        miss.mean
+    );
+    report.note(format!(
+        "hit speedup over miss: local {:.1}x, remote {:.1}x (work_ms={work_ms})",
+        miss.mean / local.mean,
+        miss.mean / remote.mean,
+    ));
+    report.note(format!(
+        "zero-copy evidence: {} warm hits, 0 store reads; {} remote fetches over {} connections",
+        stats0.mem_hits, pool.reuses, pool.connects_opened,
+    ));
+    report.note("distributions written to BENCH_hitpath.json");
+    report
+}

@@ -5,6 +5,7 @@ pub mod broadcast;
 pub mod faults;
 pub mod fig3;
 pub mod fig4;
+pub mod hitpath;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -30,6 +31,7 @@ pub const ALL_IDS: &[&str] = &[
     "locking",
     "broadcast",
     "faults",
+    "hitpath",
 ];
 
 /// Run one experiment by id.
@@ -50,6 +52,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "locking" => ablations::run_locking(),
         "broadcast" => broadcast::run(),
         "faults" => faults::run(),
+        "hitpath" => hitpath::run(),
         _ => return None,
     })
 }

@@ -34,6 +34,7 @@ pub mod entry;
 pub mod key;
 pub mod locking;
 pub mod manager;
+pub mod memcache;
 pub mod node;
 pub mod policy;
 pub mod rules;
@@ -44,6 +45,7 @@ pub use directory::{CacheDirectory, Classification};
 pub use entry::EntryMeta;
 pub use key::CacheKey;
 pub use manager::{CacheManager, CacheManagerConfig, InsertOutcome, LookupResult};
+pub use memcache::MemCache;
 pub use node::NodeId;
 pub use policy::{Policy, PolicyKind};
 pub use rules::{CacheDecision, CacheRules, Rule};

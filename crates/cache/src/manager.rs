@@ -10,6 +10,7 @@
 use crate::directory::{CacheDirectory, Classification};
 use crate::entry::EntryMeta;
 use crate::key::CacheKey;
+use crate::memcache::MemCache;
 use crate::node::NodeId;
 use crate::policy::{Policy, PolicyKind};
 use crate::rules::{CacheDecision, CacheRules};
@@ -19,6 +20,7 @@ use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Construction parameters for a [`CacheManager`].
@@ -33,6 +35,9 @@ pub struct CacheManagerConfig {
     pub policy: PolicyKind,
     /// Cacheability rules.
     pub rules: CacheRules,
+    /// Byte budget for the in-memory body tier; 0 disables the tier
+    /// (every local hit then reads the body store).
+    pub mem_cache_bytes: usize,
 }
 
 impl Default for CacheManagerConfig {
@@ -43,6 +48,7 @@ impl Default for CacheManagerConfig {
             capacity: 2000,
             policy: PolicyKind::Lru,
             rules: CacheRules::allow_all(),
+            mem_cache_bytes: 64 * 1024 * 1024,
         }
     }
 }
@@ -60,8 +66,9 @@ pub enum LookupResult {
         decision: CacheDecision,
         first_in_flight: bool,
     },
-    /// Cached in the local store: here is the body.
-    LocalHit { meta: EntryMeta, body: Vec<u8> },
+    /// Cached locally: here is the body. Shared (`Arc`) so a warm hit
+    /// travels from the memory tier to the response without a copy.
+    LocalHit { meta: EntryMeta, body: Arc<[u8]> },
     /// Cached at a remote node: the caller must fetch over the wire.
     RemoteHit { meta: EntryMeta },
 }
@@ -84,6 +91,8 @@ pub struct CacheManager {
     capacity: usize,
     directory: CacheDirectory,
     store: Box<dyn Store>,
+    /// In-memory body tier over `store`; `None` when disabled.
+    mem: Option<MemCache>,
     policy: Mutex<Policy>,
     rules: CacheRules,
     stats: CacheStats,
@@ -101,6 +110,7 @@ impl CacheManager {
             capacity: cfg.capacity,
             directory: CacheDirectory::new(cfg.num_nodes, cfg.local),
             store,
+            mem: (cfg.mem_cache_bytes > 0).then(|| MemCache::new(cfg.mem_cache_bytes)),
             policy: Mutex::new(Policy::new(cfg.policy)),
             rules: cfg.rules,
             stats: CacheStats::new(),
@@ -142,6 +152,49 @@ impl CacheManager {
         self.seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// Bytes currently held by the in-memory body tier.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem.as_ref().map_or(0, |m| m.bytes())
+    }
+
+    /// Write-through to the memory tier and refresh the bytes gauge.
+    fn mem_insert(&self, key: &CacheKey, body: &Arc<[u8]>) {
+        if let Some(mem) = &self.mem {
+            mem.insert(key, Arc::clone(body));
+            self.stats
+                .mem_bytes
+                .store(mem.bytes() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Mirror a directory-visible removal into the memory tier.
+    fn mem_remove(&self, key: &CacheKey) {
+        if let Some(mem) = &self.mem {
+            mem.remove(key);
+            self.stats
+                .mem_bytes
+                .store(mem.bytes() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Read a local body: memory tier first, then the store (populating
+    /// the tier on the way back). `None` means the store read failed.
+    fn read_local_body(&self, key: &CacheKey) -> Option<Arc<[u8]>> {
+        if let Some(mem) = &self.mem {
+            if let Some(body) = mem.get(key) {
+                CacheStats::bump(&self.stats.mem_hits);
+                return Some(body);
+            }
+        }
+        CacheStats::bump(&self.stats.store_reads);
+        let body: Arc<[u8]> = self.store.get(key).ok()?.into();
+        if self.mem.is_some() {
+            CacheStats::bump(&self.stats.mem_misses);
+            self.mem_insert(key, &body);
+        }
+        Some(body)
+    }
+
     /// Figure 2, top half: classify a GET for `path_with_query`.
     ///
     /// For misses the key is marked in-flight; the caller *must* balance
@@ -155,8 +208,8 @@ impl CacheManager {
         }
         CacheStats::bump(&self.stats.lookups);
         match self.directory.classify(key) {
-            Classification::Local(meta) => match self.store.get(key) {
-                Ok(body) => {
+            Classification::Local(meta) => match self.read_local_body(key) {
+                Some(body) => {
                     let seq = self.next_seq();
                     self.directory
                         .record_hit(self.local, key, seq, &mut self.policy.lock());
@@ -166,8 +219,9 @@ impl CacheManager {
                 // Directory/store disagreement (e.g. file removed out from
                 // under us): self-heal by dropping the directory entry and
                 // treating it as a miss.
-                Err(_) => {
+                None => {
                     self.directory.remove(self.local, key);
+                    self.mem_remove(key);
                     self.note_miss(key, decision)
                 }
             },
@@ -228,6 +282,7 @@ impl CacheManager {
         // Self-describing write: the header carries everything needed to
         // rebuild the directory entry on a warm restart.
         self.store.put_described(key, &(&meta).into(), body)?;
+        self.mem_insert(key, &Arc::from(body));
         let mut policy = self.policy.lock();
         policy.on_insert(&mut meta);
         self.directory.insert(self.local, meta.clone());
@@ -237,6 +292,7 @@ impl CacheManager {
         drop(policy);
         for victim in &evicted {
             let _ = self.store.delete(&victim.key);
+            self.mem_remove(&victim.key);
             CacheStats::bump(&self.stats.evictions);
         }
         Ok(InsertOutcome::Inserted { meta, evicted })
@@ -255,17 +311,13 @@ impl CacheManager {
     /// On success the owner updates the entry's hit statistics (§4.1:
     /// "After a cache fetch, the cache manager on the node that owns the
     /// item updates meta-data statistics").
-    pub fn fetch_local_body(&self, key: &CacheKey) -> Option<(EntryMeta, Vec<u8>)> {
+    pub fn fetch_local_body(&self, key: &CacheKey) -> Option<(EntryMeta, Arc<[u8]>)> {
         let meta = self.directory.get(self.local, key)?;
-        match self.store.get(key) {
-            Ok(body) => {
-                let seq = self.next_seq();
-                self.directory
-                    .record_hit(self.local, key, seq, &mut self.policy.lock());
-                Some((meta, body))
-            }
-            Err(_) => None,
-        }
+        let body = self.read_local_body(key)?;
+        let seq = self.next_seq();
+        self.directory
+            .record_hit(self.local, key, seq, &mut self.policy.lock());
+        Some((meta, body))
     }
 
     /// A remote fetch came back empty: §4.2's false hit. The caller falls
@@ -313,6 +365,9 @@ impl CacheManager {
     pub fn apply_remote_delete(&self, owner: NodeId, key: &CacheKey) {
         CacheStats::bump(&self.stats.updates_applied);
         self.directory.remove(owner, key);
+        if owner == self.local {
+            self.mem_remove(key);
+        }
     }
 
     /// Explicitly remove a local entry (admin/invalidations). Returns the
@@ -320,6 +375,7 @@ impl CacheManager {
     pub fn remove_local(&self, key: &CacheKey) -> Option<EntryMeta> {
         let meta = self.directory.remove(self.local, key)?;
         let _ = self.store.delete(key);
+        self.mem_remove(key);
         Some(meta)
     }
 
@@ -330,6 +386,7 @@ impl CacheManager {
         let dead = self.directory.purge_expired();
         for m in &dead {
             let _ = self.store.delete(&m.key);
+            self.mem_remove(&m.key);
             CacheStats::bump(&self.stats.expirations);
         }
         dead
@@ -366,6 +423,7 @@ impl CacheManager {
         drop(policy);
         for victim in &evicted {
             let _ = self.store.delete(&victim.key);
+            self.mem_remove(&victim.key);
             CacheStats::bump(&self.stats.evictions);
         }
         restored - evicted.len()
@@ -385,6 +443,7 @@ mod tests {
                 capacity,
                 policy: PolicyKind::Lru,
                 rules: CacheRules::allow_all(),
+                ..Default::default()
             },
             Box::new(MemStore::new()),
         )
@@ -417,7 +476,7 @@ mod tests {
         }
         match m.lookup(&k, k.as_str()) {
             LookupResult::LocalHit { body, meta } => {
-                assert_eq!(body, b"body-a");
+                assert_eq!(&body[..], b"body-a");
                 assert_eq!(meta.key, k);
             }
             other => panic!("expected hit, got {other:?}"),
@@ -611,7 +670,7 @@ mod tests {
         let k = key("/cgi-bin/owned");
         run_and_insert(&m, &k, b"served-to-peer");
         let (meta, body) = m.fetch_local_body(&k).unwrap();
-        assert_eq!(body, b"served-to-peer");
+        assert_eq!(&body[..], b"served-to-peer");
         assert_eq!(meta.key, k);
         assert_eq!(m.directory().get(NodeId(0), &k).unwrap().hits, 1);
         // Unknown key: None (peer sees a false hit).
@@ -698,6 +757,72 @@ mod tests {
         let meta = m.remove_local(&k).unwrap();
         assert_eq!(meta.key, k);
         assert!(m.remove_local(&k).is_none());
+    }
+
+    #[test]
+    fn warm_hit_serves_from_memory_without_store_reads() {
+        let m = manager(10);
+        let k = key("/cgi-bin/hot");
+        run_and_insert(&m, &k, b"hot-body");
+        // First hit: write-through already populated the tier, so even
+        // the first lookup is memory-served.
+        let first = match m.lookup(&k, k.as_str()) {
+            LookupResult::LocalHit { body, .. } => body,
+            other => panic!("{other:?}"),
+        };
+        let reads_after_first = m.stats().snapshot().store_reads;
+        let second = match m.lookup(&k, k.as_str()) {
+            LookupResult::LocalHit { body, .. } => body,
+            other => panic!("{other:?}"),
+        };
+        let s = m.stats().snapshot();
+        assert_eq!(s.store_reads, reads_after_first, "warm hit read the store");
+        assert_eq!(s.mem_hits, 2);
+        assert_eq!(s.mem_misses, 0);
+        assert_eq!(s.mem_bytes, 8);
+        // Both hits share the tier's single allocation — zero copies.
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn disabled_mem_tier_reads_store_every_hit() {
+        let m = CacheManager::new(
+            CacheManagerConfig {
+                mem_cache_bytes: 0,
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        );
+        let k = key("/cgi-bin/cold");
+        run_and_insert(&m, &k, b"cold");
+        for _ in 0..2 {
+            assert!(matches!(
+                m.lookup(&k, k.as_str()),
+                LookupResult::LocalHit { .. }
+            ));
+        }
+        let s = m.stats().snapshot();
+        assert_eq!(s.store_reads, 2);
+        assert_eq!(s.mem_hits, 0);
+        assert_eq!(s.mem_misses, 0);
+        assert_eq!(s.mem_bytes, 0);
+    }
+
+    #[test]
+    fn mem_tier_stays_coherent_with_removals() {
+        let m = manager(10);
+        let k = key("/cgi-bin/gone");
+        run_and_insert(&m, &k, b"stale?");
+        assert_eq!(m.mem_bytes(), 6);
+        // Explicit removal drops the body from the tier too: a later
+        // re-insert must not resurrect the old bytes.
+        m.remove_local(&k);
+        assert_eq!(m.mem_bytes(), 0);
+        run_and_insert(&m, &k, b"fresh");
+        match m.lookup(&k, k.as_str()) {
+            LookupResult::LocalHit { body, .. } => assert_eq!(&body[..], b"fresh"),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

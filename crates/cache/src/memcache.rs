@@ -1,0 +1,211 @@
+//! Bounded in-memory body tier layered over the [`Store`](crate::store::Store).
+//!
+//! The paper stores every cached body as a file and leans on the OS page
+//! cache to make repeat fetches cheap. That still costs an `open` +
+//! `read` + allocation per hit. This tier keeps the hottest bodies in
+//! memory as `Arc<[u8]>` so a warm local hit performs **zero syscalls
+//! and zero copies**: the response holds a clone of the `Arc`, not a
+//! duplicate buffer.
+//!
+//! The tier is strictly a read accelerator — the disk store stays the
+//! source of truth. Writes go through ([`MemCache::insert`] happens on
+//! the same path as `Store::put_described`), and every directory-visible
+//! removal (delete, eviction, expiry, self-heal) is mirrored here by the
+//! `CacheManager`. A lookup consults the directory before this tier, so
+//! a body can never be served after its directory entry is gone.
+//!
+//! Eviction is LRU over a *byte* budget (the directory's entry-count
+//! capacity is about metadata; body bytes are what memory pressure is
+//! made of). Bodies larger than the whole budget are simply not admitted
+//! — they stay disk-only rather than wiping the tier.
+
+use crate::key::CacheKey;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A bounded-bytes LRU map of cache bodies.
+pub struct MemCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    /// Body plus its current recency stamp (key into `recency`).
+    entries: HashMap<CacheKey, (Arc<[u8]>, u64)>,
+    /// Recency order: lowest stamp = least recently used.
+    recency: BTreeMap<u64, CacheKey>,
+    /// Sum of body lengths currently held.
+    bytes: usize,
+    /// Monotonic stamp source.
+    tick: u64,
+}
+
+impl MemCache {
+    /// A tier holding at most `budget` body bytes.
+    pub fn new(budget: usize) -> MemCache {
+        MemCache {
+            budget,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                recency: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Fetch a body, marking it most recently used.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<[u8]>> {
+        let mut inner = self.inner.lock();
+        let tick = inner.tick + 1;
+        inner.tick = tick;
+        let (body, stamp) = inner.entries.get_mut(key)?;
+        let body = Arc::clone(body);
+        let old = std::mem::replace(stamp, tick);
+        inner.recency.remove(&old);
+        inner.recency.insert(tick, key.clone());
+        Some(body)
+    }
+
+    /// Insert (or replace) a body, evicting least-recently-used entries
+    /// until the budget holds. Oversized bodies are not admitted.
+    pub fn insert(&self, key: &CacheKey, body: Arc<[u8]>) {
+        if body.len() > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some((old_body, old_stamp)) = inner.entries.remove(key) {
+            inner.bytes -= old_body.len();
+            inner.recency.remove(&old_stamp);
+        }
+        while inner.bytes + body.len() > self.budget {
+            let Some((&oldest, _)) = inner.recency.iter().next() else {
+                break;
+            };
+            let victim = inner.recency.remove(&oldest).expect("stamp just seen");
+            let (victim_body, _) = inner
+                .entries
+                .remove(&victim)
+                .expect("recency and entries agree");
+            inner.bytes -= victim_body.len();
+        }
+        let tick = inner.tick + 1;
+        inner.tick = tick;
+        inner.bytes += body.len();
+        inner.entries.insert(key.clone(), (body, tick));
+        inner.recency.insert(tick, key.clone());
+    }
+
+    /// Drop a body (entry deleted/evicted/expired in the directory).
+    pub fn remove(&self, key: &CacheKey) {
+        let mut inner = self.inner.lock();
+        if let Some((body, stamp)) = inner.entries.remove(key) {
+            inner.bytes -= body.len();
+            inner.recency.remove(&stamp);
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().bytes
+    }
+
+    /// Number of bodies currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> CacheKey {
+        CacheKey::new(s)
+    }
+
+    fn body(s: &str) -> Arc<[u8]> {
+        Arc::from(s.as_bytes())
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let m = MemCache::new(100);
+        let k = key("/a");
+        assert!(m.get(&k).is_none());
+        m.insert(&k, body("hello"));
+        assert_eq!(m.bytes(), 5);
+        assert_eq!(&m.get(&k).unwrap()[..], b"hello");
+        m.remove(&k);
+        assert!(m.get(&k).is_none());
+        assert_eq!(m.bytes(), 0);
+        // Removing again is harmless.
+        m.remove(&k);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn get_returns_same_allocation() {
+        let m = MemCache::new(100);
+        let k = key("/a");
+        let b = body("shared");
+        m.insert(&k, Arc::clone(&b));
+        assert!(Arc::ptr_eq(&m.get(&k).unwrap(), &b));
+    }
+
+    #[test]
+    fn evicts_lru_to_budget() {
+        let m = MemCache::new(10);
+        m.insert(&key("/a"), body("aaaa")); // 4
+        m.insert(&key("/b"), body("bbbb")); // 8
+                                            // Touch /a so /b becomes the LRU victim.
+        m.get(&key("/a"));
+        m.insert(&key("/c"), body("cccc")); // would be 12 → evict /b
+        assert!(m.get(&key("/b")).is_none());
+        assert!(m.get(&key("/a")).is_some());
+        assert!(m.get(&key("/c")).is_some());
+        assert_eq!(m.bytes(), 8);
+    }
+
+    #[test]
+    fn replace_updates_bytes() {
+        let m = MemCache::new(10);
+        let k = key("/a");
+        m.insert(&k, body("aaaa"));
+        m.insert(&k, body("bb"));
+        assert_eq!(m.bytes(), 2);
+        assert_eq!(m.len(), 1);
+        assert_eq!(&m.get(&k).unwrap()[..], b"bb");
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_admitted() {
+        let m = MemCache::new(4);
+        m.insert(&key("/small"), body("ok"));
+        m.insert(&key("/big"), body("too large for tier"));
+        assert!(m.get(&key("/big")).is_none());
+        // The resident small entry survives the rejected insert.
+        assert!(m.get(&key("/small")).is_some());
+        assert_eq!(m.bytes(), 2);
+    }
+
+    #[test]
+    fn bytes_never_exceed_budget() {
+        let m = MemCache::new(32);
+        for i in 0..100 {
+            m.insert(&key(&format!("/k{i}")), body(&"x".repeat(1 + i % 9)));
+            assert!(m.bytes() <= 32, "bytes {} over budget", m.bytes());
+        }
+    }
+}

@@ -43,6 +43,15 @@ pub struct CacheStats {
     /// Directory entries evicted because their owner was declared dead
     /// (quarantine repair or a peer's `NodeDown` broadcast).
     pub node_evictions: AtomicU64,
+    /// Local hits served from the in-memory body tier (zero disk I/O).
+    pub mem_hits: AtomicU64,
+    /// Local hits that had to read the body store (tier enabled but cold).
+    pub mem_misses: AtomicU64,
+    /// Gauge: bytes currently held by the in-memory body tier.
+    pub mem_bytes: AtomicU64,
+    /// Body-store read attempts (`Store::get` calls) — flat across warm
+    /// memory-tier hits, which is how tests prove the zero-I/O claim.
+    pub store_reads: AtomicU64,
 }
 
 /// Plain-value snapshot of [`CacheStats`].
@@ -62,6 +71,10 @@ pub struct StatsSnapshot {
     pub broadcasts_sent: u64,
     pub updates_applied: u64,
     pub node_evictions: u64,
+    pub mem_hits: u64,
+    pub mem_misses: u64,
+    pub mem_bytes: u64,
+    pub store_reads: u64,
 }
 
 impl StatsSnapshot {
@@ -112,6 +125,10 @@ impl CacheStats {
             broadcasts_sent: self.broadcasts_sent.load(Ordering::Relaxed),
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             node_evictions: self.node_evictions.load(Ordering::Relaxed),
+            mem_hits: self.mem_hits.load(Ordering::Relaxed),
+            mem_misses: self.mem_misses.load(Ordering::Relaxed),
+            mem_bytes: self.mem_bytes.load(Ordering::Relaxed),
+            store_reads: self.store_reads.load(Ordering::Relaxed),
         }
     }
 }
@@ -122,7 +139,7 @@ impl fmt::Display for StatsSnapshot {
             f,
             "lookups={} hits={} (local={} remote={}) misses={} false_miss={} false_hit={} \
              uncacheable={} inserts={} discards={} evictions={} expirations={} bcast={} applied={} \
-             node_evict={} hit_ratio={:.3}",
+             node_evict={} mem_hits={} mem_miss={} mem_bytes={} store_reads={} hit_ratio={:.3}",
             self.lookups,
             self.hits(),
             self.local_hits,
@@ -138,6 +155,10 @@ impl fmt::Display for StatsSnapshot {
             self.broadcasts_sent,
             self.updates_applied,
             self.node_evictions,
+            self.mem_hits,
+            self.mem_misses,
+            self.mem_bytes,
+            self.store_reads,
             self.hit_ratio(),
         )
     }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::fs;
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Magic bytes + version for the disk-entry header.
 const MAGIC: &[u8; 4] = b"SWC1";
@@ -117,10 +117,13 @@ impl From<&EntryMeta> for HeaderMeta {
 /// place, so a concurrent reader never observes a torn body.
 pub struct DiskStore {
     root: PathBuf,
-    /// Write serial for temp-name uniqueness within the process; also
-    /// serialises the exists/rename/remove windows that keep `count`
-    /// consistent with the directory contents.
-    serial: Mutex<u64>,
+    /// Temp-name serial. Atomic, so concurrent inserts write their temp
+    /// files fully in parallel instead of serialising on a lock.
+    serial: AtomicU64,
+    /// Serialises only the exists/rename/remove windows that keep
+    /// `count` consistent with the directory contents — a few
+    /// metadata syscalls, not the body write.
+    count_lock: Mutex<()>,
     /// Entry count, maintained on every mutation so `len()` is O(1)
     /// instead of a directory scan per call.
     count: AtomicUsize,
@@ -136,7 +139,8 @@ impl DiskStore {
         let count = Self::scan_count(&root);
         Ok(DiskStore {
             root,
-            serial: Mutex::new(0),
+            serial: AtomicU64::new(0),
+            count_lock: Mutex::new(()),
             count: AtomicUsize::new(count),
         })
     }
@@ -223,11 +227,7 @@ impl DiskStore {
 impl Store for DiskStore {
     fn put_described(&self, key: &CacheKey, meta: &HeaderMeta, body: &[u8]) -> io::Result<()> {
         let final_path = self.path_for(key);
-        let serial = {
-            let mut s = self.serial.lock();
-            *s += 1;
-            *s
-        };
+        let serial = self.serial.fetch_add(1, Ordering::Relaxed) + 1;
         let tmp = self
             .root
             .join(format!(".tmp-{}-{serial}", std::process::id()));
@@ -237,9 +237,9 @@ impl Store for DiskStore {
             f.write_all(body)?;
             f.flush()?;
         }
-        // Hold the serial lock across exists+rename so a racing put of
+        // Hold the count lock across exists+rename so a racing put of
         // the same key cannot double-increment the count.
-        let _guard = self.serial.lock();
+        let _guard = self.count_lock.lock();
         let existed = final_path.exists();
         fs::rename(&tmp, &final_path)?;
         if !existed {
@@ -259,7 +259,7 @@ impl Store for DiskStore {
     }
 
     fn delete(&self, key: &CacheKey) -> io::Result<()> {
-        let _guard = self.serial.lock();
+        let _guard = self.count_lock.lock();
         match fs::remove_file(self.path_for(key)) {
             Ok(()) => {
                 self.count.fetch_sub(1, Ordering::Relaxed);

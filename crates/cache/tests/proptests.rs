@@ -6,10 +6,11 @@
 //! * rules parsing accepts what it printed.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 use swala_cache::{
-    CacheKey, CacheManager, CacheManagerConfig, CacheRules, InsertOutcome, LookupResult, MemStore,
-    NodeId, PolicyKind,
+    CacheKey, CacheManager, CacheManagerConfig, CacheRules, DiskStore, InsertOutcome, LookupResult,
+    MemStore, NodeId, PolicyKind, Store,
 };
 
 fn policy_strategy() -> impl Strategy<Value = PolicyKind> {
@@ -29,6 +30,7 @@ enum Op {
     Request { id: u8, cost_ms: u16, size: u16 },
     RemoveLocal { id: u8 },
     Purge,
+    EvictNode,
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
@@ -37,6 +39,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
             .prop_map(|(id, cost_ms, size)| Op::Request { id, cost_ms, size }),
         1 => any::<u8>().prop_map(|id| Op::RemoveLocal { id }),
         1 => Just(Op::Purge),
+        1 => Just(Op::EvictNode),
     ]
 }
 
@@ -60,6 +63,7 @@ proptest! {
                 capacity,
                 policy,
                 rules: CacheRules::allow_all(),
+                mem_cache_bytes: 1 << 20,
             },
             Box::new(MemStore::new()),
         );
@@ -93,6 +97,8 @@ proptest! {
                 }
                 Op::RemoveLocal { id } => { m.remove_local(&key_for(id)); }
                 Op::Purge => { m.purge_expired(); }
+                // Single node: out-of-range eviction must be a no-op.
+                Op::EvictNode => { m.evict_node(NodeId(1)); }
             }
             prop_assert!(m.directory().len(NodeId(0)) <= capacity,
                 "directory over capacity: {} > {}", m.directory().len(NodeId(0)), capacity);
@@ -111,6 +117,7 @@ proptest! {
                 capacity: 8,
                 policy,
                 rules: CacheRules::allow_all(),
+                mem_cache_bytes: 1 << 20,
             },
             Box::new(MemStore::new()),
         );
@@ -152,11 +159,72 @@ proptest! {
                         Duration::from_millis(10), &decision).unwrap();
                 }
                 LookupResult::LocalHit { body, .. } => {
-                    prop_assert_eq!(body, body_of(id));
+                    prop_assert_eq!(&body[..], &body_of(id)[..]);
                 }
                 other => prop_assert!(false, "unexpected {other:?}"),
             }
         }
+    }
+
+    /// Satellite invariant for the in-memory body tier: after any
+    /// interleaving of insert / delete / evict / `evict_node`, every
+    /// body the manager serves (memory tier or not) byte-equals what an
+    /// independent reader sees on disk, and the tier never holds more
+    /// than its byte budget.
+    #[test]
+    fn mem_tier_coherent_with_disk_store(
+        budget in 256usize..4096,
+        ops in proptest::collection::vec(op_strategy(), 1..80),
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let root = std::env::temp_dir().join(format!(
+            "swala-proptest-mem-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let m = CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 2,
+                local: NodeId(0),
+                capacity: 6,
+                policy: PolicyKind::Lru,
+                rules: CacheRules::allow_all(),
+                mem_cache_bytes: budget,
+            },
+            Box::new(DiskStore::open(&root).unwrap()),
+        );
+        // Second handle on the same directory: reads the actual files,
+        // bypassing the manager's memory tier entirely.
+        let disk_view = DiskStore::open(&root).unwrap();
+        for op in ops {
+            match op {
+                Op::Request { id, cost_ms, size } => {
+                    let k = key_for(id);
+                    match m.lookup(&k, k.as_str()) {
+                        LookupResult::Miss { decision, .. } => {
+                            let body = vec![id; (size as usize % 512) + 1];
+                            m.complete_execution(&k, &body, "t",
+                                Duration::from_millis(cost_ms as u64), &decision).unwrap();
+                        }
+                        LookupResult::LocalHit { .. } => {}
+                        other => prop_assert!(false, "unexpected {other:?}"),
+                    }
+                }
+                Op::RemoveLocal { id } => { m.remove_local(&key_for(id)); }
+                Op::Purge => { m.purge_expired(); }
+                Op::EvictNode => { m.evict_node(NodeId(1)); }
+            }
+            prop_assert!(m.mem_bytes() <= budget,
+                "tier holds {} bytes over budget {}", m.mem_bytes(), budget);
+            for meta in m.local_snapshot() {
+                let (_, served) = m.fetch_local_body(&meta.key).unwrap();
+                let on_disk = disk_view.get(&meta.key).unwrap();
+                prop_assert_eq!(&served[..], &on_disk[..],
+                    "tier and disk disagree for {}", meta.key);
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -52,6 +52,10 @@ pub struct ClusterConfig {
     pub quarantine_after: u32,
     /// How often a quarantined peer is probed by live traffic.
     pub probe_interval: Duration,
+    /// Per-node byte budget for the in-memory body tier; 0 disables it.
+    pub mem_cache_bytes: usize,
+    /// Warm fetch connections kept per peer; 0 dials on every fetch.
+    pub fetch_pool_size: usize,
 }
 
 impl Default for ClusterConfig {
@@ -73,6 +77,8 @@ impl Default for ClusterConfig {
             fetch_backoff: Duration::from_millis(25),
             quarantine_after: 3,
             probe_interval: Duration::from_secs(5),
+            mem_cache_bytes: ServerOptions::default().mem_cache_bytes,
+            fetch_pool_size: ServerOptions::default().fetch_pool_size,
         }
     }
 }
@@ -136,6 +142,8 @@ impl SwalaCluster {
                     fetch_backoff: cfg.fetch_backoff,
                     quarantine_after: cfg.quarantine_after,
                     probe_interval: cfg.probe_interval,
+                    mem_cache_bytes: cfg.mem_cache_bytes,
+                    fetch_pool_size: cfg.fetch_pool_size,
                     ..Default::default()
                 };
                 BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))

@@ -99,7 +99,7 @@ mod tests {
         let mut req = Request::new(Method::Post, "/cgi-bin/x").unwrap();
         req.version = swala_http::Version::Http11;
         let mut resp = Response::error(StatusCode::NOT_FOUND);
-        resp.body = b"nf".to_vec();
+        resp.body = b"nf".to_vec().into();
         let line = format_clf("h:1", &req, &resp, UNIX_EPOCH);
         assert!(
             line.contains("\"POST /cgi-bin/x HTTP/1.1\" 404 2"),

@@ -78,11 +78,13 @@ fn status_page(ctx: &NodeContext) -> Response {
             if l.connected { "yes" } else { "no" },
         ));
     }
+    let pool = ctx.fetch_pool.stats();
     let body = format!(
         "<html><head><title>Swala status — {node}</title></head><body>\
          <h1>Swala node {node}</h1>\
          <h2>HTTP</h2><pre>{http}</pre>\
          <h2>Cache</h2><pre>{cache}</pre>\
+         <h2>Fetch pool</h2><pre>{pool}</pre>\
          <h2>Directory (entries per node table)</h2>\
          <table border=1>{tables}</table>\
          <h2>Peer health</h2>\

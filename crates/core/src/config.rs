@@ -70,6 +70,12 @@ pub struct ServerOptions {
     pub quarantine_after: u32,
     /// Rest period before a quarantined peer gets one probe fetch.
     pub probe_interval: Duration,
+    /// Byte budget for the in-memory body tier over the store; 0
+    /// disables it (every local hit reads the store).
+    pub mem_cache_bytes: usize,
+    /// Max idle fetch connections kept warm per peer; 0 disables
+    /// pooling (every remote fetch dials).
+    pub fetch_pool_size: usize,
     /// Fault injector shared by the node's transports. `None` (always,
     /// outside chaos tests — there is no config-file syntax for it) means
     /// clean production transports.
@@ -106,6 +112,8 @@ impl Default for ServerOptions {
             suspect_after: 1,
             quarantine_after: 3,
             probe_interval: Duration::from_secs(5),
+            mem_cache_bytes: 64 * 1024 * 1024,
+            fetch_pool_size: swala_proto::DEFAULT_POOL_SIZE,
             faults: None,
         }
     }
@@ -252,6 +260,14 @@ impl ServerOptions {
                         rest.parse().map_err(|_| err("bad probe_interval_ms"))?,
                     )
                 }
+                // 0 is legal for both hot-path knobs: it turns the
+                // optimization off rather than breaking the server.
+                "mem_cache_bytes" => {
+                    opts.mem_cache_bytes = rest.parse().map_err(|_| err("bad mem_cache_bytes"))?;
+                }
+                "fetch_pool_size" => {
+                    opts.fetch_pool_size = rest.parse().map_err(|_| err("bad fetch_pool_size"))?;
+                }
                 // Cacheability rules pass through to the rules parser.
                 "cache" | "nocache" => {
                     rule_lines.push_str(line);
@@ -393,6 +409,28 @@ probe_interval_ms 750
             .unwrap_err()
             .contains("positive"));
         assert!(ServerOptions::parse("suspect_after none")
+            .unwrap_err()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn hot_path_keywords() {
+        let o = ServerOptions::parse(
+            "mem_cache_bytes 1048576
+fetch_pool_size 8
+",
+        )
+        .unwrap();
+        assert_eq!(o.mem_cache_bytes, 1_048_576);
+        assert_eq!(o.fetch_pool_size, 8);
+        // Zero disables each optimization; both remain valid configs.
+        let off = ServerOptions::parse("mem_cache_bytes 0\nfetch_pool_size 0\n").unwrap();
+        assert_eq!(off.mem_cache_bytes, 0);
+        assert_eq!(off.fetch_pool_size, 0);
+        assert!(ServerOptions::parse("mem_cache_bytes lots")
+            .unwrap_err()
+            .contains("bad"));
+        assert!(ServerOptions::parse("fetch_pool_size many")
             .unwrap_err()
             .contains("bad"));
     }

@@ -17,8 +17,7 @@ use swala_cache::{
 use swala_cgi::{CgiOutput, CgiRequest, Program, ProgramRegistry};
 use swala_http::{Method, Request, Response, StatusCode};
 use swala_proto::{
-    fetch_remote_retry, Broadcaster, Dialer, FetchOutcome, HealthTracker, Message, PeerState,
-    RetryPolicy,
+    Broadcaster, Dialer, FetchOutcome, FetchPool, HealthTracker, Message, PeerState, RetryPolicy,
 };
 
 /// Value of the diagnostic `X-Swala-Cache` response header.
@@ -55,6 +54,8 @@ pub struct NodeContext {
     /// How remote fetch/sync sessions are opened (chaos tests inject
     /// faults here; production uses the plain TCP dialer).
     pub dialer: Dialer,
+    /// Warm per-peer fetch connections (dials through `dialer`).
+    pub fetch_pool: Arc<FetchPool>,
     /// Bounded retry-with-backoff for remote fetches.
     pub retry_policy: RetryPolicy,
     /// Per-peer quarantine tracking, fed by fetch outcomes.
@@ -72,7 +73,8 @@ pub fn handle_request(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Re
     RequestStats::bump(&ctx.stats.requests);
     let mut resp = route(ctx, req, remote_addr);
     resp.set_server(&ctx.server_name);
-    resp.headers.set("Date", swala_http::date::http_date_now());
+    resp.headers
+        .set("Date", swala_http::date::http_date_cached());
     if resp.status.is_client_error() {
         RequestStats::bump(&ctx.stats.client_errors);
     } else if resp.status.is_server_error() {
@@ -186,14 +188,9 @@ fn handle_remote_hit(
             cache_header::QUARANTINED,
         );
     }
-    let (outcome, attempts) = fetch_remote_retry(
-        &ctx.dialer,
-        meta.owner,
-        addr,
-        &key,
-        ctx.fetch_timeout,
-        &ctx.retry_policy,
-    );
+    let (outcome, attempts) =
+        ctx.fetch_pool
+            .fetch(meta.owner, addr, &key, ctx.fetch_timeout, &ctx.retry_policy);
     if attempts > 1 {
         RequestStats::add(&ctx.stats.fetch_retries, (attempts - 1) as u64);
     }
@@ -239,6 +236,8 @@ fn handle_remote_hit(
             // a corpse.
             if ctx.health.record_failure(meta.owner) == Some(PeerState::Quarantined) {
                 ctx.manager.evict_node(meta.owner);
+                // Its parked connections are dead weight now.
+                ctx.fetch_pool.purge_peer(meta.owner);
                 ctx.broadcaster
                     .broadcast(&Message::NodeDown { node: meta.owner });
                 CacheStats::bump(&ctx.manager.stats().broadcasts_sent);

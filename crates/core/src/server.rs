@@ -12,8 +12,8 @@ use std::sync::Arc;
 use swala_cache::{CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store};
 use swala_cgi::ProgramRegistry;
 use swala_proto::{
-    default_dialer, BroadcastConfig, Broadcaster, CacheDaemons, HealthConfig, HealthSnapshot,
-    HealthTracker, RetryPolicy,
+    default_dialer, BroadcastConfig, Broadcaster, CacheDaemons, FetchPool, FetchPoolStats,
+    HealthConfig, HealthSnapshot, HealthTracker, RetryPolicy,
 };
 
 /// A node whose listeners are bound but whose daemons and pool have not
@@ -79,6 +79,7 @@ impl BoundSwala {
                 capacity: options.capacity,
                 policy: options.policy,
                 rules: options.rules.clone(),
+                mem_cache_bytes: options.mem_cache_bytes,
             },
             store,
         ));
@@ -173,6 +174,7 @@ impl BoundSwala {
             stats: RequestStats::new(),
             http_port: http_addr.port(),
             access_log,
+            fetch_pool: Arc::new(FetchPool::new(dialer.clone(), options.fetch_pool_size)),
             dialer,
             retry_policy: RetryPolicy {
                 max_attempts: options.fetch_retries,
@@ -269,6 +271,11 @@ impl SwalaServer {
     /// Cache-level statistics.
     pub fn cache_stats(&self) -> swala_cache::stats::StatsSnapshot {
         self.manager.stats().snapshot()
+    }
+
+    /// Counters of the persistent fetch-connection pool.
+    pub fn fetch_pool_stats(&self) -> FetchPoolStats {
+        self.ctx.fetch_pool.stats()
     }
 
     /// The source monitor, when configured.

@@ -65,7 +65,7 @@ fn status_page_reports_stats() {
 
     let page = client.get("/swala-status").unwrap();
     assert_eq!(page.status, StatusCode::OK);
-    let html = String::from_utf8(page.body).unwrap();
+    let html = String::from_utf8(page.body.into_vec()).unwrap();
     assert!(html.contains("Swala node node0"), "{html}");
     assert!(html.contains("hits=1"), "cache hit visible: {html}");
     assert!(html.contains("this node"));
@@ -82,7 +82,7 @@ fn status_page_reports_per_link_broadcast_counters() {
     });
 
     let page = c0.get("/swala-status").unwrap();
-    let html = String::from_utf8(page.body).unwrap();
+    let html = String::from_utf8(page.body.into_vec()).unwrap();
     assert!(html.contains("Broadcast links"), "{html}");
     // One row for the single peer, with the insert notice counted sent
     // and nothing dropped.
@@ -112,7 +112,7 @@ fn invalidate_local_entry_over_http() {
         .get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D5%26ms%3D1")
         .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    assert!(String::from_utf8(resp.body)
+    assert!(String::from_utf8(resp.body.into_vec())
         .unwrap()
         .contains("invalidated local entry"));
     assert_eq!(server.manager().directory().len(NodeId(0)), 0);
@@ -139,7 +139,7 @@ fn invalidate_forwards_to_remote_owner() {
         .get("/swala-admin/invalidate?key=%2Fcgi-bin%2Fadl%3Fid%3D9%26ms%3D1")
         .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    assert!(String::from_utf8(resp.body)
+    assert!(String::from_utf8(resp.body.into_vec())
         .unwrap()
         .contains("forwarded to owner node0"));
     wait_until("owner dropped entry", || {
@@ -170,7 +170,7 @@ fn invalidate_requires_key_param_and_handles_absent_keys() {
         .get("/swala-admin/invalidate?key=%2Fnothing")
         .unwrap();
     assert_eq!(resp.status, StatusCode::OK);
-    assert!(String::from_utf8(resp.body)
+    assert!(String::from_utf8(resp.body.into_vec())
         .unwrap()
         .contains("no cached entry"));
     // Unknown admin path.

@@ -37,6 +37,7 @@ fn warm_restart_recovers_cached_results() {
                     .get(&format!("/cgi-bin/adl?id={i}&ms=1"))
                     .unwrap()
                     .body
+                    .into_vec()
             })
             .collect();
         assert_eq!(server.manager().directory().len(NodeId(0)), 3);

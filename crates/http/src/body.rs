@@ -1,0 +1,214 @@
+//! Response bodies that can be served without copying.
+//!
+//! The hit path of the Swala cache keeps bodies in memory as
+//! `Arc<[u8]>` (see `swala-cache`'s memory tier). Representing the
+//! response body as an enum over owned and shared bytes lets a cached
+//! body travel from the memory tier to the socket without a single
+//! copy: the response holds a reference count, not a duplicate buffer.
+//! Dynamic (freshly executed) and parsed (client-side) bodies stay
+//! plain `Vec<u8>`s — no reference-counting tax where nothing is
+//! shared.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An HTTP response body: either owned bytes or a shared, reference
+/// counted buffer (zero-copy cache serving).
+#[derive(Clone)]
+pub enum Body {
+    /// Exclusively owned bytes (executed results, parsed responses).
+    Owned(Vec<u8>),
+    /// A shared buffer, typically a cache entry's in-memory body.
+    Shared(Arc<[u8]>),
+}
+
+impl Body {
+    /// The empty body.
+    pub fn empty() -> Body {
+        Body::Owned(Vec::new())
+    }
+
+    /// The body bytes, whichever representation holds them.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Drop the contents, leaving an empty owned body.
+    pub fn clear(&mut self) {
+        *self = Body::empty();
+    }
+
+    /// Convert into owned bytes (copies only when shared with others).
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a.to_vec(),
+        }
+    }
+
+    /// The shared buffer, when this body is zero-copy. Tests use this to
+    /// prove pointer identity between cache tier and response.
+    pub fn as_shared(&self) -> Option<&Arc<[u8]>> {
+        match self {
+            Body::Shared(a) => Some(a),
+            Body::Owned(_) => None,
+        }
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl Deref for Body {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Body {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Body::Owned(v) => write!(f, "Body::Owned({} bytes)", v.len()),
+            Body::Shared(a) => write!(f, "Body::Shared({} bytes)", a.len()),
+        }
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body::Owned(v)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body::Owned(s.into_bytes())
+    }
+}
+
+impl From<&str> for Body {
+    fn from(s: &str) -> Body {
+        Body::Owned(s.as_bytes().to_vec())
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(b: &[u8]) -> Body {
+        Body::Owned(b.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Body {
+    fn from(b: &[u8; N]) -> Body {
+        Body::Owned(b.to_vec())
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(a: Arc<[u8]>) -> Body {
+        Body::Shared(a)
+    }
+}
+
+impl From<Body> for Vec<u8> {
+    fn from(b: Body) -> Vec<u8> {
+        b.into_vec()
+    }
+}
+
+impl PartialEq for Body {
+    fn eq(&self, other: &Body) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Body {}
+
+impl PartialEq<[u8]> for Body {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Body {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Body {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Body> for Vec<u8> {
+    fn eq(&self, other: &Body) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Body {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Body {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_and_shared_compare_by_bytes() {
+        let owned = Body::from(b"hello".to_vec());
+        let shared = Body::from(Arc::<[u8]>::from(b"hello".as_slice()));
+        assert_eq!(owned, shared);
+        assert_eq!(owned, b"hello");
+        assert_eq!(shared, *b"hello");
+        assert_eq!(owned, b"hello".to_vec());
+        assert_ne!(owned, Body::from("other"));
+    }
+
+    #[test]
+    fn shared_body_keeps_pointer_identity() {
+        let buf: Arc<[u8]> = Arc::from(b"cached".as_slice());
+        let body = Body::from(Arc::clone(&buf));
+        assert!(Arc::ptr_eq(body.as_shared().unwrap(), &buf));
+        // Cloning the body bumps the refcount instead of copying bytes.
+        let clone = body.clone();
+        assert!(Arc::ptr_eq(clone.as_shared().unwrap(), &buf));
+        assert!(Body::from(b"owned".to_vec()).as_shared().is_none());
+    }
+
+    #[test]
+    fn clear_and_into_vec() {
+        let mut b = Body::from("payload");
+        assert_eq!(b.len(), 7);
+        b.clear();
+        assert!(b.is_empty());
+        let shared = Body::from(Arc::<[u8]>::from(b"xy".as_slice()));
+        assert_eq!(shared.into_vec(), b"xy".to_vec());
+        let v: Vec<u8> = Body::from("abc").into();
+        assert_eq!(v, b"abc");
+    }
+}

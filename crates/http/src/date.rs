@@ -71,6 +71,30 @@ pub fn http_date_now() -> String {
     UtcDateTime::from_system_time(SystemTime::now()).to_rfc1123()
 }
 
+/// [`http_date_now`] with a per-second cache.
+///
+/// Every response carries a `Date:` header, but the RFC 1123 string
+/// only changes once per second — so format once per tick and hand out
+/// clones, instead of one calendar conversion + format per request on
+/// the hot path.
+pub fn http_date_cached() -> String {
+    use std::sync::Mutex;
+    static CACHE: Mutex<Option<(u64, String)>> = Mutex::new(None);
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or(Duration::ZERO)
+        .as_secs();
+    let mut cached = CACHE.lock().unwrap_or_else(|p| p.into_inner());
+    match &*cached {
+        Some((at, text)) if *at == secs => text.clone(),
+        _ => {
+            let text = UtcDateTime::from_unix_seconds(secs as i64).to_rfc1123();
+            *cached = Some((secs, text.clone()));
+            text
+        }
+    }
+}
+
 /// Parse an RFC 1123 date (`Sun, 06 Nov 1994 08:49:37 GMT`) to Unix
 /// seconds. Returns `None` for anything else — including the obsolete
 /// RFC 850 and asctime formats, which the Swala workloads never produce.

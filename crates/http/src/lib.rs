@@ -24,6 +24,7 @@
 //! pre-dates widespread HTTP/1.1 deployment and every Swala response is
 //! either a file or a completed CGI result with a known length.
 
+pub mod body;
 pub mod date;
 pub mod error;
 pub mod headers;
@@ -35,6 +36,7 @@ pub mod status;
 pub mod uri;
 pub mod version;
 
+pub use body::Body;
 pub use error::{HttpError, Result};
 pub use headers::HeaderMap;
 pub use method::Method;

@@ -1,10 +1,11 @@
 //! HTTP response construction, serialization and (client-side) parsing.
 
+use crate::body::Body;
 use crate::error::{HttpError, Result};
 use crate::headers::{parse_header_line, HeaderMap};
 use crate::status::StatusCode;
 use crate::version::Version;
-use std::io::{BufRead, Write};
+use std::io::{self, BufRead, IoSlice, Write};
 
 /// An HTTP response.
 #[derive(Debug, Clone)]
@@ -12,12 +13,12 @@ pub struct Response {
     pub version: Version,
     pub status: StatusCode,
     pub headers: HeaderMap,
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
     /// A `200 OK` response with the given content type and body.
-    pub fn ok(content_type: &str, body: impl Into<Vec<u8>>) -> Response {
+    pub fn ok(content_type: &str, body: impl Into<Body>) -> Response {
         let mut r = Response {
             version: Version::Http10,
             status: StatusCode::OK,
@@ -34,7 +35,7 @@ impl Response {
             "<html><head><title>{status}</title></head>\
              <body><h1>{status}</h1><p>Swala server.</p></body></html>\n"
         );
-        let mut r = Response::ok("text/html", body.into_bytes());
+        let mut r = Response::ok("text/html", body);
         r.status = status;
         r
     }
@@ -51,6 +52,10 @@ impl Response {
     }
 
     /// Write this response to `out`, framing the body with `Content-Length`.
+    ///
+    /// Header and body go out through one vectored write, so a shared
+    /// (cached) body reaches the socket without ever being copied into a
+    /// response-sized buffer — the zero-copy half of the cache hit path.
     ///
     /// When `include_body` is false (HEAD requests) the headers still
     /// advertise the full length but no body bytes are sent.
@@ -71,10 +76,8 @@ impl Response {
         }
         head.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
         head.extend_from_slice(b"\r\n");
-        out.write_all(&head)?;
-        if include_body {
-            out.write_all(&self.body)?;
-        }
+        let body: &[u8] = if include_body { &self.body } else { &[] };
+        write_all_vectored(out, &head, body)?;
         out.flush()?;
         Ok(())
     }
@@ -133,9 +136,37 @@ impl Response {
             version,
             status: StatusCode(code),
             headers,
-            body,
+            body: body.into(),
         })
     }
+}
+
+/// Write `head` then `body` as one logical stream, preferring a single
+/// vectored write. Partial writes are resumed without re-sending bytes;
+/// the body buffer is never copied.
+fn write_all_vectored<W: Write>(out: &mut W, head: &[u8], body: &[u8]) -> Result<()> {
+    let mut head_off = 0usize;
+    let mut body_off = 0usize;
+    while head_off < head.len() || body_off < body.len() {
+        let n = if head_off < head.len() && !body.is_empty() {
+            let slices = [IoSlice::new(&head[head_off..]), IoSlice::new(body)];
+            out.write_vectored(&slices)?
+        } else if head_off < head.len() {
+            out.write(&head[head_off..])?
+        } else {
+            out.write(&body[body_off..])?
+        };
+        if n == 0 {
+            return Err(HttpError::Io(io::Error::new(
+                io::ErrorKind::WriteZero,
+                "failed to write response",
+            )));
+        }
+        let head_take = n.min(head.len() - head_off);
+        head_off += head_take;
+        body_off += n - head_take;
+    }
+    Ok(())
 }
 
 fn read_line<R: BufRead>(reader: &mut R) -> Result<String> {
@@ -194,7 +225,7 @@ mod tests {
     fn error_pages_contain_status() {
         let r = Response::error(StatusCode::NOT_FOUND);
         assert_eq!(r.status, StatusCode::NOT_FOUND);
-        let body = String::from_utf8(r.body.clone()).unwrap();
+        let body = String::from_utf8(r.body.to_vec()).unwrap();
         assert!(body.contains("404 Not Found"));
     }
 
@@ -213,6 +244,50 @@ mod tests {
         let parsed = Response::read_from(&mut BufReader::new(&r.to_bytes()[..])).unwrap();
         assert!(parsed.body.is_empty());
         assert_eq!(parsed.status.as_u16(), 204);
+    }
+
+    #[test]
+    fn shared_body_serves_identical_bytes() {
+        use std::sync::Arc;
+        let buf: Arc<[u8]> = Arc::from(b"zero-copy-body".as_slice());
+        let r = Response::ok("text/plain", Body::from(Arc::clone(&buf)));
+        // The response holds the same allocation, not a copy.
+        assert!(Arc::ptr_eq(r.body.as_shared().unwrap(), &buf));
+        let parsed = Response::read_from(&mut BufReader::new(&r.to_bytes()[..])).unwrap();
+        assert_eq!(parsed.body, b"zero-copy-body");
+    }
+
+    /// A writer that accepts one byte per call, exercising the partial
+    /// write resumption of the vectored path.
+    struct TrickleWriter(Vec<u8>);
+    impl std::io::Write for TrickleWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if buf.is_empty() {
+                return Ok(0);
+            }
+            self.0.push(buf[0]);
+            Ok(1)
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+            for b in bufs {
+                if !b.is_empty() {
+                    return self.write(b);
+                }
+            }
+            Ok(0)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_writes_are_resumed() {
+        let r = Response::ok("text/plain", "slow but complete");
+        let mut w = TrickleWriter(Vec::new());
+        r.write_to(&mut w, true).unwrap();
+        let parsed = Response::read_from(&mut BufReader::new(&w.0[..])).unwrap();
+        assert_eq!(parsed.body, b"slow but complete");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::faults::{AcceptFilter, FaultAction};
 use crate::message::Message;
 use crate::peers::Broadcaster;
-use crate::wire::{read_frame, write_frame};
+use crate::wire::{read_frame, write_frame, write_frame_split};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -250,14 +250,18 @@ fn handle_connection(
                 }
             }
             Message::FetchRequest { key } => {
-                let reply = match manager.fetch_local_body(&key) {
-                    Some((meta, body)) => Message::FetchHit {
-                        content_type: meta.content_type,
-                        body,
-                    },
-                    None => Message::FetchMiss,
+                // Zero-copy reply: the body `Arc` from the cache tier is
+                // written directly after a small encoded prefix, never
+                // copied into a reply buffer.
+                let written = match manager.fetch_local_body(&key) {
+                    Some((meta, body)) => {
+                        let prefix =
+                            Message::encode_fetch_hit_prefix(&meta.content_type, body.len());
+                        write_frame_split(&mut stream, &prefix, &body)
+                    }
+                    None => write_frame(&mut stream, &Message::FetchMiss.encode()),
                 };
-                if write_frame(&mut stream, &reply.encode()).is_err() {
+                if written.is_err() {
                     return;
                 }
             }

@@ -25,6 +25,8 @@
 //!   cluster [`peers::Broadcaster`];
 //! * [`fetch`] — the client side of a remote cache fetch, with bounded
 //!   retry and an injectable [`fetch::Dialer`];
+//! * [`pool`] — persistent per-peer fetch connections, so a remote hit
+//!   reuses a warm session instead of paying a TCP handshake;
 //! * [`daemon`] — the listener + purge daemons, bound to a
 //!   [`swala_cache::CacheManager`];
 //! * [`faults`] — deterministic fault injection across every transport
@@ -37,6 +39,7 @@ pub mod fetch;
 pub mod health;
 pub mod message;
 pub mod peers;
+pub mod pool;
 pub mod wire;
 
 pub use daemon::{CacheDaemons, DaemonConfig};
@@ -48,4 +51,5 @@ pub use fetch::{
 pub use health::{HealthConfig, HealthSnapshot, HealthTracker, PeerState};
 pub use message::Message;
 pub use peers::{BroadcastConfig, Broadcaster, Connector, LinkStats, PeerLink};
-pub use wire::{read_frame, write_frame, ProtoError};
+pub use pool::{FetchPool, FetchPoolStats, DEFAULT_POOL_SIZE};
+pub use wire::{read_frame, write_frame, write_frame_split, ProtoError};

@@ -214,6 +214,21 @@ impl Message {
         put_string(&mut buf, key.as_str());
         buf.to_vec()
     }
+
+    /// Encode everything of a `FetchHit` *except* the body bytes.
+    ///
+    /// `prefix ++ body` is byte-identical to
+    /// `Message::FetchHit { content_type, body }.encode()`, so the daemon
+    /// can send a cached body with
+    /// [`write_frame_split`](crate::wire::write_frame_split) instead of
+    /// copying it into a reply buffer; the decoder is unchanged.
+    pub fn encode_fetch_hit_prefix(content_type: &str, body_len: usize) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(16 + content_type.len());
+        buf.put_u8(TAG_FETCH_HIT);
+        put_string(&mut buf, content_type);
+        buf.put_u32(body_len as u32);
+        buf.to_vec()
+    }
 }
 
 /// Assemble already-encoded message payloads into one `Batch` frame
@@ -435,6 +450,19 @@ mod tests {
         assert_eq!(
             Message::encode_invalidate(&key),
             Message::Invalidate { key }.encode()
+        );
+        // The split fetch-hit prefix concatenated with the body must be
+        // byte-identical to the owned encoding (decoder stays unchanged).
+        let body = b"cached-result-bytes".to_vec();
+        let mut split = Message::encode_fetch_hit_prefix("text/html", body.len());
+        split.extend_from_slice(&body);
+        assert_eq!(
+            split,
+            Message::FetchHit {
+                content_type: "text/html".into(),
+                body,
+            }
+            .encode()
         );
     }
 

@@ -77,6 +77,42 @@ pub fn write_frame<W: Write>(out: &mut W, payload: &[u8]) -> Result<(), ProtoErr
     Ok(())
 }
 
+/// Write one frame whose payload is `prefix` followed by `body`,
+/// without concatenating them first.
+///
+/// This is the zero-copy half of the cache-daemon fetch reply: the
+/// `FetchHit` tag + content-type + body-length prefix is a few dozen
+/// bytes, while `body` is the cached entry (an `Arc<[u8]>` from the
+/// memory tier). Small frames still coalesce into one buffer — a copy
+/// of a small body is cheaper than a second syscall — but a large body
+/// goes straight from the cache allocation to the socket.
+pub fn write_frame_split<W: Write>(
+    out: &mut W,
+    prefix: &[u8],
+    body: &[u8],
+) -> Result<(), ProtoError> {
+    let len = prefix.len() + body.len();
+    if len > MAX_FRAME {
+        return Err(ProtoError::FrameTooLarge(len));
+    }
+    let head = (len as u32).to_be_bytes();
+    if len <= COALESCE_LIMIT {
+        let mut buf = Vec::with_capacity(4 + len);
+        buf.extend_from_slice(&head);
+        buf.extend_from_slice(prefix);
+        buf.extend_from_slice(body);
+        out.write_all(&buf)?;
+    } else {
+        let mut small = Vec::with_capacity(4 + prefix.len());
+        small.extend_from_slice(&head);
+        small.extend_from_slice(prefix);
+        out.write_all(&small)?;
+        out.write_all(body)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
 /// Read one frame. `Ok(None)` on clean EOF at a frame boundary.
 pub fn read_frame<R: Read>(input: &mut R) -> Result<Option<Vec<u8>>, ProtoError> {
     let mut head = [0u8; 4];
@@ -185,6 +221,34 @@ mod tests {
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
         assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xff; 1000]);
         assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn split_frame_equals_concatenated_frame() {
+        // Below and above COALESCE_LIMIT the wire bytes must be
+        // identical to a normal write of prefix ++ body.
+        for body_len in [10usize, 100_000] {
+            let prefix = b"\x05some-prefix".to_vec();
+            let body = vec![0xabu8; body_len];
+            let mut split = Vec::new();
+            write_frame_split(&mut split, &prefix, &body).unwrap();
+            let mut joined = Vec::new();
+            let mut payload = prefix.clone();
+            payload.extend_from_slice(&body);
+            write_frame(&mut joined, &payload).unwrap();
+            assert_eq!(split, joined, "body_len={body_len}");
+            let mut r = &split[..];
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn split_frame_respects_max_frame() {
+        let body = vec![0u8; MAX_FRAME];
+        assert!(matches!(
+            write_frame_split(&mut Vec::new(), b"p", &body),
+            Err(ProtoError::FrameTooLarge(_))
+        ));
     }
 
     #[test]

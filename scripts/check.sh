@@ -9,6 +9,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> hot-path smoke (tables hitpath)"
+SWALA_BENCH_QUICK=1 target/release/tables hitpath
+python3 -m json.tool BENCH_hitpath.json > /dev/null
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -81,7 +81,10 @@ fn dead_peer_causes_zero_failures_and_attempts_stop() {
         .map(|i| format!("/cgi-bin/adl?id=9{i}&ms=0"))
         .collect();
     let mut c1 = HttpClient::new(cluster.node(1).http_addr());
-    let bodies: Vec<Vec<u8>> = targets.iter().map(|t| c1.get(t).unwrap().body).collect();
+    let bodies: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| c1.get(t).unwrap().body.into_vec())
+        .collect();
     assert!(cluster.wait_for_directory_convergence(6, Duration::from_secs(10)));
     settle(&cluster);
 
@@ -406,6 +409,10 @@ fn same_seed_same_schedule_same_trace() {
         let cluster = SwalaCluster::start(&ClusterConfig {
             fetch_retries: 1,
             quarantine_after: 100,
+            // The trace under test is made of dial-time fault decisions;
+            // pooled connections would skip most dials, so every fetch
+            // must open a fresh one.
+            fetch_pool_size: 0,
             ..chaos_config(2, &inj)
         })
         .unwrap();
@@ -441,4 +448,99 @@ fn same_seed_same_schedule_same_trace() {
     let second = run(seed);
     assert_eq!(first, second, "seed {seed} did not replay identically");
     assert!(!first.is_empty(), "probabilistic rule never fired");
+}
+
+/// A pooled fetch connection that dies mid-reply is replaced within the
+/// same attempt: every request is still a complete remote hit — never a
+/// torn body, never a client-visible error — and the recovery shows up
+/// as `stale_drops` in the pool counters while the peer stays healthy.
+#[test]
+fn pooled_connection_truncated_mid_reply_recovers_in_place() {
+    let inj = FaultInjector::seeded(chaos_seed());
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        fetch_retries: 1, // recovery must come from the pool, not retry
+        ..chaos_config(2, &inj)
+    })
+    .unwrap();
+    let target = "/cgi-bin/adl?id=60&ms=0";
+    let mut c1 = HttpClient::new(cluster.node(1).http_addr());
+    let warm_body = c1.get(target).unwrap().body.into_vec();
+    assert!(cluster.wait_for_directory_convergence(1, Duration::from_secs(10)));
+    settle(&cluster);
+
+    // Every 0→1 connection delivers ~2 replies worth of bytes, then
+    // EOFs mid-frame — so warm connections keep dying under the burst.
+    inj.add_rule(FaultRule::between(
+        NodeId(0),
+        NodeId(1),
+        FaultAction::Truncate(2500),
+    ));
+    let mut c0 = HttpClient::new(cluster.node(0).http_addr());
+    for i in 0..8 {
+        let r = c0.get(target).unwrap();
+        assert_eq!(cache_tag(&r), "remote-hit", "request {i}");
+        assert_eq!(r.body, warm_body[..], "torn body on request {i}");
+    }
+
+    let pool = cluster.node(0).fetch_pool_stats();
+    assert!(pool.stale_drops >= 2, "mid-reply EOFs surfaced: {pool}");
+    assert!(pool.reuses >= 2, "healthy stretches reused: {pool}");
+    assert_eq!(cluster.node(0).request_stats().server_errors, 0);
+    // In-place reconnects are invisible to the health tracker.
+    let h = cluster.node(0).peer_health();
+    assert!(h.is_empty() || h[0].state == PeerState::Healthy);
+    cluster.shutdown();
+}
+
+/// Pool-mediated fetch failures still drive quarantine: when every new
+/// connection resets mid-session, the failure streak quarantines the
+/// peer, its directory entries are evicted and its parked connections
+/// are purged — with zero client-visible errors throughout.
+#[test]
+fn resetting_connections_through_pool_still_quarantine_the_peer() {
+    let inj = FaultInjector::seeded(chaos_seed());
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        fetch_retries: 1,
+        quarantine_after: 2,
+        ..chaos_config(2, &inj)
+    })
+    .unwrap();
+    let targets: Vec<String> = (0..4)
+        .map(|i| format!("/cgi-bin/adl?id=5{i}&ms=0"))
+        .collect();
+    let mut c1 = HttpClient::new(cluster.node(1).http_addr());
+    let bodies: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| c1.get(t).unwrap().body.into_vec())
+        .collect();
+    assert!(cluster.wait_for_directory_convergence(4, Duration::from_secs(10)));
+    settle(&cluster);
+
+    // Node 0 never built a warm connection, and from now on every new
+    // one RSTs as soon as it is read.
+    inj.add_rule(FaultRule::between(NodeId(0), NodeId(1), FaultAction::Reset));
+    let mut c0 = HttpClient::new(cluster.node(0).http_addr());
+    let mut tags = Vec::new();
+    for (t, body) in targets.iter().zip(&bodies) {
+        let r = c0.get(t).unwrap();
+        assert!(r.status.is_success(), "request failed: {t}");
+        assert_eq!(&r.body, body, "fallback body wrong for {t}");
+        tags.push(cache_tag(&r));
+    }
+    assert_eq!(
+        tags,
+        [
+            "remote-unreachable-fallback",
+            "remote-unreachable-fallback",
+            "miss",
+            "miss"
+        ]
+    );
+    let h = cluster.node(0).peer_health();
+    assert_eq!(h[0].state, PeerState::Quarantined);
+    assert_eq!(h[0].total_quarantines, 1);
+    let pool = cluster.node(0).fetch_pool_stats();
+    assert_eq!(pool.idle, 0, "no poisoned connection may stay parked");
+    assert_eq!(cluster.node(0).request_stats().server_errors, 0);
+    cluster.shutdown();
 }
