@@ -79,9 +79,15 @@ fn enqueue_cost(peer_addrs: Vec<SocketAddr>, rounds: u64) -> (f64, u64, u64) {
     (micros, sent, dropped)
 }
 
-/// Mean response time (ms) of `requests` unique cacheable requests against
-/// a node whose single peer is either a live node or a dead address.
-fn live_insert_mean(dead_peer: bool, requests: usize, ms: u64) -> f64 {
+/// Mean response time (ms) of `requests` unique cacheable requests
+/// against a node whose single peer is either a live node or a dead
+/// address, plus the node's own miss-outcome latency histogram (the
+/// server's view of the execute + insert + broadcast-enqueue path).
+fn live_insert_mean(
+    dead_peer: bool,
+    requests: usize,
+    ms: u64,
+) -> (f64, swala_obs::HistogramSnapshot) {
     fn registry() -> ProgramRegistry {
         let mut r = ProgramRegistry::new();
         r.register(std::sync::Arc::new(SimulatedProgram::trace_driven(
@@ -127,11 +133,12 @@ fn live_insert_mean(dead_peer: bool, requests: usize, ms: u64) -> f64 {
         total += t0.elapsed().as_secs_f64();
     }
     drop(client);
+    let miss_hist = node0.telemetry().outcome_snapshot(swala_obs::Outcome::Miss);
     node0.shutdown();
     for s in servers {
         s.shutdown();
     }
-    total / requests as f64 * 1e3
+    (total / requests as f64 * 1e3, miss_hist)
 }
 
 pub fn run() -> TableReport {
@@ -168,8 +175,8 @@ pub fn run() -> TableReport {
         dropped_dead.to_string(),
     ]);
 
-    let alive = live_insert_mean(false, requests, ms);
-    let dead = live_insert_mean(true, requests, ms);
+    let (alive, alive_hist) = live_insert_mean(false, requests, ms);
+    let (dead, dead_hist) = live_insert_mean(true, requests, ms);
     report.row(vec![
         "live insert, peer alive".into(),
         "1".into(),
@@ -190,6 +197,34 @@ pub fn run() -> TableReport {
         fmt_ms(dead),
         (dead - alive) / alive * 1e2,
     ));
+    report.note(format!(
+        "server-side miss histograms: alive p50/p99 {}/{} us ({} obs), dead p50/p99 {}/{} us ({} obs)",
+        alive_hist.p50(),
+        alive_hist.p99(),
+        alive_hist.count,
+        dead_hist.p50(),
+        dead_hist.p99(),
+        dead_hist.count,
+    ));
     report.note("caller cost is one encode + one bounded enqueue per link; connects, retries and timeouts happen on writer threads");
+    let hist_json = |h: &swala_obs::HistogramSnapshot| {
+        format!(
+            "{{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}}}",
+            h.count,
+            h.p50(),
+            h.p99(),
+            h.max
+        )
+    };
+    let json = format!(
+        "{{\n  \"experiment\": \"broadcast\",\n  \"quick\": {quick},\n  \
+         \"requests\": {requests},\n  \"work_ms\": {ms},\n  \"insert\": {{\n    \
+         \"peer_alive\": {{\"client_mean_ms\": {alive:.4}, \"miss_hist\": {}}},\n    \
+         \"peer_dead\": {{\"client_mean_ms\": {dead:.4}, \"miss_hist\": {}}}\n  }}\n}}\n",
+        hist_json(&alive_hist),
+        hist_json(&dead_hist),
+    );
+    std::fs::write("BENCH_broadcast.json", &json).expect("write BENCH_broadcast.json");
+    report.note("insert-path distributions written to BENCH_broadcast.json");
     report
 }

@@ -27,6 +27,9 @@ struct Outcome {
     retries: u64,
     quarantine_skips: u64,
     node_evictions: u64,
+    /// Cluster-merged server-side remote-hit histogram — the nodes' own
+    /// telemetry view of the same traffic the client timed.
+    remote_hist: swala_obs::HistogramSnapshot,
 }
 
 /// Warm one node with every target, then hammer the other three with a
@@ -87,6 +90,10 @@ fn drive(flapping: bool, requests: usize, num_targets: usize, seed: u64) -> Outc
         (r + st.fetch_retries, q + st.quarantine_skips)
     });
     let node_evictions = cluster.total_cache_stat(|s| s.node_evictions);
+    let mut remote_hist = swala_obs::HistogramSnapshot::empty();
+    for s in cluster.nodes() {
+        remote_hist.merge(&s.telemetry().outcome_snapshot(swala_obs::Outcome::Remote));
+    }
     cluster.shutdown();
     Outcome {
         hit_rate: hits as f64 / requests as f64,
@@ -96,6 +103,7 @@ fn drive(flapping: bool, requests: usize, num_targets: usize, seed: u64) -> Outc
         retries,
         quarantine_skips,
         node_evictions,
+        remote_hist,
     }
 }
 
@@ -119,7 +127,11 @@ pub fn run() -> TableReport {
             "evictions",
         ],
     );
-    for (label, flapping) in [("healthy", false), ("flapping owner", true)] {
+    let mut scenarios: Vec<(&str, Outcome)> = Vec::new();
+    for (label, key, flapping) in [
+        ("healthy", "healthy", false),
+        ("flapping owner", "flapping_owner", true),
+    ] {
         let o = drive(flapping, requests, num_targets, seed);
         report.row(vec![
             label.into(),
@@ -131,7 +143,43 @@ pub fn run() -> TableReport {
             o.quarantine_skips.to_string(),
             o.node_evictions.to_string(),
         ]);
+        report.note(format!(
+            "{label}: server-side remote-hit histogram (cluster-merged): \
+             {} obs, p50 {} us, p99 {} us, max {} us",
+            o.remote_hist.count,
+            o.remote_hist.p50(),
+            o.remote_hist.p99(),
+            o.remote_hist.max,
+        ));
+        scenarios.push((key, o));
     }
+    let scenario_json: Vec<String> = scenarios
+        .iter()
+        .map(|(key, o)| {
+            format!(
+                "    \"{key}\": {{\"hit_rate\": {:.4}, \"client_mean_ms\": {:.4}, \
+                 \"client_p99_ms\": {:.4}, \"fallbacks\": {}, \"retries\": {}, \
+                 \"remote_hist\": {{\"count\": {}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"max_us\": {}}}}}",
+                o.hit_rate,
+                o.mean_ms,
+                o.p99_ms,
+                o.fallbacks,
+                o.retries,
+                o.remote_hist.count,
+                o.remote_hist.p50(),
+                o.remote_hist.p99(),
+                o.remote_hist.max,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"faults\",\n  \"quick\": {quick},\n  \
+         \"requests\": {requests},\n  \"seed\": {seed},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        scenario_json.join(",\n"),
+    );
+    std::fs::write("BENCH_faults.json", &json).expect("write BENCH_faults.json");
+    report.note("client and server-side distributions written to BENCH_faults.json");
     report.note(format!(
         "seed {seed}: half of all connections toward the owning node dropped; probe interval 250 ms"
     ));

@@ -1,0 +1,146 @@
+//! Metrics-exposition gate: a live two-node cluster must publish a
+//! well-formed `/swala-metrics` page whose histograms agree with its
+//! counters.
+//!
+//! This is the telemetry layer's end-to-end self-check, run by
+//! `scripts/check.sh`:
+//!
+//! 1. drive a known traffic mix (misses, warm local hits, remote hits)
+//!    through a two-node pseudo-cluster;
+//! 2. scrape each node's `/swala-metrics` over plain HTTP;
+//! 3. fail on malformed exposition (the parser is strict) or on the
+//!    count twin breaking: summed `swala_request_duration_microseconds`
+//!    histogram counts over the HTTP-facing outcomes must equal
+//!    `swala_http_requests` minus the one scrape in flight. Owner-serve
+//!    spans are excluded — they are recorded by the cache daemon, not
+//!    the HTTP layer.
+
+use crate::report::TableReport;
+use std::time::{Duration, Instant};
+use swala::HttpClient;
+use swala_cluster::{ClusterConfig, SwalaCluster};
+use swala_obs::{parse_exposition, Outcome, Sample};
+
+const DURATION_COUNT: &str = "swala_request_duration_microseconds_count";
+
+/// Sum of the duration-histogram counts over HTTP-facing outcomes.
+fn http_facing_hist_total(samples: &[Sample]) -> f64 {
+    samples
+        .iter()
+        .filter(|s| {
+            s.name == DURATION_COUNT
+                && s.labels
+                    .iter()
+                    .any(|(k, v)| k == "outcome" && v != Outcome::OwnerServe.as_str())
+        })
+        .map(|s| s.value)
+        .sum()
+}
+
+fn counter(samples: &[Sample], name: &str) -> f64 {
+    samples
+        .iter()
+        .find(|s| s.name == name && s.labels.is_empty())
+        .unwrap_or_else(|| panic!("exposition lacks {name}"))
+        .value
+}
+
+/// Wait until every finished request's trace has landed in the node's
+/// histograms (finish happens just after the response bytes leave).
+fn quiesce_histograms(node: &swala::SwalaServer) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let requests = node.request_stats().requests;
+        let hist: u64 = Outcome::ALL
+            .iter()
+            .filter(|o| **o != Outcome::OwnerServe)
+            .map(|o| node.telemetry().outcome_snapshot(*o).count)
+            .sum();
+        if hist == requests {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "histograms never caught up: {hist} != {requests}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+pub fn run() -> TableReport {
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        nodes: 2,
+        ..Default::default()
+    })
+    .expect("start cluster");
+
+    // Known traffic mix. Node 0: 4 misses then 6 warm local hits.
+    let mut c0 = HttpClient::new(cluster.node(0).http_addr());
+    for i in 0..4 {
+        c0.get(&format!("/cgi-bin/adl?id=g{i}&ms=0")).expect("miss");
+    }
+    for _ in 0..6 {
+        c0.get("/cgi-bin/adl?id=g0&ms=0").expect("local hit");
+    }
+    // Node 1: 5 remote hits against node 0's entry, plus 2 own misses.
+    assert!(cluster.wait_for_directory_convergence(4, Duration::from_secs(10)));
+    let mut c1 = HttpClient::new(cluster.node(1).http_addr());
+    for _ in 0..5 {
+        let r = c1.get("/cgi-bin/adl?id=g1&ms=0").expect("remote hit");
+        assert_eq!(r.headers.get("X-Swala-Cache"), Some("remote-hit"));
+    }
+    for i in 0..2 {
+        c1.get(&format!("/cgi-bin/adl?id=n1-{i}&ms=0"))
+            .expect("miss");
+    }
+
+    let mut report = TableReport::new(
+        "metrics",
+        "Exposition gate: /swala-metrics parses and histograms match counters",
+        &[
+            "node",
+            "http requests",
+            "hist total",
+            "owner-serve",
+            "samples",
+        ],
+    );
+    for (n, client) in [(0usize, &mut c0), (1usize, &mut c1)] {
+        quiesce_histograms(cluster.node(n));
+        let resp = client.get("/swala-metrics").expect("scrape");
+        assert!(resp.status.is_success(), "scrape failed on node {n}");
+        let text = String::from_utf8(resp.body.to_vec()).expect("utf8 exposition");
+        let samples = parse_exposition(&text)
+            .unwrap_or_else(|e| panic!("malformed exposition on node {n}: {e}\n{text}"));
+
+        let requests = counter(&samples, "swala_http_requests");
+        let hist_total = http_facing_hist_total(&samples);
+        // The scrape request itself is counted in `requests` but its
+        // trace has not finished while the page renders.
+        assert_eq!(
+            hist_total,
+            requests - 1.0,
+            "node {n}: histogram count twin broke (requests {requests})\n{text}"
+        );
+        let owner_serve: f64 = samples
+            .iter()
+            .filter(|s| {
+                s.name == DURATION_COUNT
+                    && s.labels
+                        .iter()
+                        .any(|(k, v)| k == "outcome" && v == Outcome::OwnerServe.as_str())
+            })
+            .map(|s| s.value)
+            .sum();
+        report.row(vec![
+            format!("node{n}"),
+            format!("{requests}"),
+            format!("{hist_total}"),
+            format!("{owner_serve}"),
+            format!("{}", samples.len()),
+        ]);
+    }
+    cluster.shutdown();
+    report.note("count twin: non-owner-serve histogram totals == swala_http_requests - 1 (scrape in flight)");
+    report
+}

@@ -6,6 +6,7 @@ pub mod faults;
 pub mod fig3;
 pub mod fig4;
 pub mod hitpath;
+pub mod metrics;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -32,6 +33,7 @@ pub const ALL_IDS: &[&str] = &[
     "broadcast",
     "faults",
     "hitpath",
+    "metrics",
 ];
 
 /// Run one experiment by id.
@@ -53,6 +55,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "broadcast" => broadcast::run(),
         "faults" => faults::run(),
         "hitpath" => hitpath::run(),
+        "metrics" => metrics::run(),
         _ => return None,
     })
 }

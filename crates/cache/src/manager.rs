@@ -22,6 +22,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use swala_obs::{Gauge, Stage, Trace};
 
 /// Construction parameters for a [`CacheManager`].
 pub struct CacheManagerConfig {
@@ -68,9 +69,23 @@ pub enum LookupResult {
     },
     /// Cached locally: here is the body. Shared (`Arc`) so a warm hit
     /// travels from the memory tier to the response without a copy.
-    LocalHit { meta: EntryMeta, body: Arc<[u8]> },
+    LocalHit {
+        meta: EntryMeta,
+        body: Arc<[u8]>,
+        tier: BodyTier,
+    },
     /// Cached at a remote node: the caller must fetch over the wire.
     RemoteHit { meta: EntryMeta },
+}
+
+/// Which tier a local body was served from (telemetry's
+/// `local-mem` / `local-disk` outcome distinction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BodyTier {
+    /// Served from the in-memory body tier — zero syscalls.
+    Memory,
+    /// Read from the body store (tier disabled or cold).
+    Disk,
 }
 
 /// Result of committing an executed CGI result.
@@ -95,7 +110,7 @@ pub struct CacheManager {
     mem: Option<MemCache>,
     policy: Mutex<Policy>,
     rules: CacheRules,
-    stats: CacheStats,
+    stats: Arc<CacheStats>,
     /// Logical clock for recency bookkeeping.
     seq: AtomicU64,
     /// Keys currently being executed on this node (false-miss detection).
@@ -113,7 +128,7 @@ impl CacheManager {
             mem: (cfg.mem_cache_bytes > 0).then(|| MemCache::new(cfg.mem_cache_bytes)),
             policy: Mutex::new(Policy::new(cfg.policy)),
             rules: cfg.rules,
-            stats: CacheStats::new(),
+            stats: Arc::new(CacheStats::new()),
             seq: AtomicU64::new(0),
             in_flight: Mutex::new(HashSet::new()),
         }
@@ -132,6 +147,17 @@ impl CacheManager {
     /// Statistics counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Shared handle on the counters, for metrics-registry hookup.
+    pub fn stats_arc(&self) -> Arc<CacheStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Shared handle on the memory tier's resident-bytes gauge, when
+    /// the tier is enabled.
+    pub fn mem_bytes_gauge(&self) -> Option<Arc<Gauge>> {
+        self.mem.as_ref().map(|m| m.bytes_gauge())
     }
 
     /// Local capacity in entries.
@@ -157,13 +183,10 @@ impl CacheManager {
         self.mem.as_ref().map_or(0, |m| m.bytes())
     }
 
-    /// Write-through to the memory tier and refresh the bytes gauge.
+    /// Write-through to the memory tier (its bytes gauge tracks itself).
     fn mem_insert(&self, key: &CacheKey, body: &Arc<[u8]>) {
         if let Some(mem) = &self.mem {
             mem.insert(key, Arc::clone(body));
-            self.stats
-                .mem_bytes
-                .store(mem.bytes() as u64, Ordering::Relaxed);
         }
     }
 
@@ -171,28 +194,32 @@ impl CacheManager {
     fn mem_remove(&self, key: &CacheKey) {
         if let Some(mem) = &self.mem {
             mem.remove(key);
-            self.stats
-                .mem_bytes
-                .store(mem.bytes() as u64, Ordering::Relaxed);
         }
     }
 
     /// Read a local body: memory tier first, then the store (populating
     /// the tier on the way back). `None` means the store read failed.
-    fn read_local_body(&self, key: &CacheKey) -> Option<Arc<[u8]>> {
+    /// Records mem-tier / store-read spans on `trace`.
+    fn read_local_body(&self, key: &CacheKey, trace: &mut Trace) -> Option<(Arc<[u8]>, BodyTier)> {
         if let Some(mem) = &self.mem {
-            if let Some(body) = mem.get(key) {
+            let t0 = trace.start_span();
+            let cached = mem.get(key);
+            trace.end_span(Stage::MemTier, t0);
+            if let Some(body) = cached {
                 CacheStats::bump(&self.stats.mem_hits);
-                return Some(body);
+                return Some((body, BodyTier::Memory));
             }
         }
         CacheStats::bump(&self.stats.store_reads);
-        let body: Arc<[u8]> = self.store.get(key).ok()?.into();
+        let t0 = trace.start_span();
+        let read = self.store.get(key);
+        trace.end_span(Stage::StoreRead, t0);
+        let body: Arc<[u8]> = read.ok()?.into();
         if self.mem.is_some() {
             CacheStats::bump(&self.stats.mem_misses);
             self.mem_insert(key, &body);
         }
-        Some(body)
+        Some((body, BodyTier::Disk))
     }
 
     /// Figure 2, top half: classify a GET for `path_with_query`.
@@ -201,20 +228,31 @@ impl CacheManager {
     /// with [`complete_execution`](Self::complete_execution) or
     /// [`abort_execution`](Self::abort_execution).
     pub fn lookup(&self, key: &CacheKey, path: &str) -> LookupResult {
+        self.lookup_traced(key, path, &mut Trace::disabled())
+    }
+
+    /// [`lookup`](Self::lookup) with rules / dir-lookup / mem-tier /
+    /// store-read spans recorded on `trace` (no-ops when disabled).
+    pub fn lookup_traced(&self, key: &CacheKey, path: &str, trace: &mut Trace) -> LookupResult {
+        let t0 = trace.start_span();
         let decision = self.rules.decide(path);
+        trace.end_span(Stage::Rules, t0);
         if decision == CacheDecision::Uncacheable {
             CacheStats::bump(&self.stats.uncacheable);
             return LookupResult::Uncacheable;
         }
         CacheStats::bump(&self.stats.lookups);
-        match self.directory.classify(key) {
-            Classification::Local(meta) => match self.read_local_body(key) {
-                Some(body) => {
+        let t0 = trace.start_span();
+        let classification = self.directory.classify(key);
+        trace.end_span(Stage::DirLookup, t0);
+        match classification {
+            Classification::Local(meta) => match self.read_local_body(key, trace) {
+                Some((body, tier)) => {
                     let seq = self.next_seq();
                     self.directory
                         .record_hit(self.local, key, seq, &mut self.policy.lock());
                     CacheStats::bump(&self.stats.local_hits);
-                    LookupResult::LocalHit { meta, body }
+                    LookupResult::LocalHit { meta, body, tier }
                 }
                 // Directory/store disagreement (e.g. file removed out from
                 // under us): self-heal by dropping the directory entry and
@@ -312,8 +350,21 @@ impl CacheManager {
     /// "After a cache fetch, the cache manager on the node that owns the
     /// item updates meta-data statistics").
     pub fn fetch_local_body(&self, key: &CacheKey) -> Option<(EntryMeta, Arc<[u8]>)> {
-        let meta = self.directory.get(self.local, key)?;
-        let body = self.read_local_body(key)?;
+        self.fetch_local_body_traced(key, &mut Trace::disabled())
+    }
+
+    /// [`fetch_local_body`](Self::fetch_local_body) with dir-lookup and
+    /// tier spans recorded on `trace` (the owner side of a remote hit).
+    pub fn fetch_local_body_traced(
+        &self,
+        key: &CacheKey,
+        trace: &mut Trace,
+    ) -> Option<(EntryMeta, Arc<[u8]>)> {
+        let t0 = trace.start_span();
+        let meta = self.directory.get(self.local, key);
+        trace.end_span(Stage::DirLookup, t0);
+        let meta = meta?;
+        let (body, _tier) = self.read_local_body(key, trace)?;
         let seq = self.next_seq();
         self.directory
             .record_hit(self.local, key, seq, &mut self.policy.lock());
@@ -475,9 +526,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         match m.lookup(&k, k.as_str()) {
-            LookupResult::LocalHit { body, meta } => {
+            LookupResult::LocalHit { body, meta, tier } => {
                 assert_eq!(&body[..], b"body-a");
                 assert_eq!(meta.key, k);
+                assert_eq!(tier, BodyTier::Memory);
             }
             other => panic!("expected hit, got {other:?}"),
         }
@@ -779,7 +831,7 @@ mod tests {
         assert_eq!(s.store_reads, reads_after_first, "warm hit read the store");
         assert_eq!(s.mem_hits, 2);
         assert_eq!(s.mem_misses, 0);
-        assert_eq!(s.mem_bytes, 8);
+        assert_eq!(m.mem_bytes(), 8);
         // Both hits share the tier's single allocation — zero copies.
         assert!(Arc::ptr_eq(&first, &second));
     }
@@ -796,16 +848,17 @@ mod tests {
         let k = key("/cgi-bin/cold");
         run_and_insert(&m, &k, b"cold");
         for _ in 0..2 {
-            assert!(matches!(
-                m.lookup(&k, k.as_str()),
-                LookupResult::LocalHit { .. }
-            ));
+            match m.lookup(&k, k.as_str()) {
+                LookupResult::LocalHit { tier, .. } => assert_eq!(tier, BodyTier::Disk),
+                other => panic!("{other:?}"),
+            }
         }
         let s = m.stats().snapshot();
         assert_eq!(s.store_reads, 2);
         assert_eq!(s.mem_hits, 0);
         assert_eq!(s.mem_misses, 0);
-        assert_eq!(s.mem_bytes, 0);
+        assert_eq!(m.mem_bytes(), 0);
+        assert!(m.mem_bytes_gauge().is_none());
     }
 
     #[test]

@@ -23,10 +23,16 @@ use crate::key::CacheKey;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use swala_obs::Gauge;
 
 /// A bounded-bytes LRU map of cache bodies.
 pub struct MemCache {
     budget: usize,
+    /// Resident bytes — a shared [`Gauge`] rather than a plain field so
+    /// the metrics registry reads the live value and debug builds catch
+    /// any double-decrement. Only mutated under `inner`'s lock, so the
+    /// gauge is always consistent with `entries`.
+    bytes: Arc<Gauge>,
     inner: Mutex<Inner>,
 }
 
@@ -35,8 +41,6 @@ struct Inner {
     entries: HashMap<CacheKey, (Arc<[u8]>, u64)>,
     /// Recency order: lowest stamp = least recently used.
     recency: BTreeMap<u64, CacheKey>,
-    /// Sum of body lengths currently held.
-    bytes: usize,
     /// Monotonic stamp source.
     tick: u64,
 }
@@ -46,10 +50,10 @@ impl MemCache {
     pub fn new(budget: usize) -> MemCache {
         MemCache {
             budget,
+            bytes: Arc::new(Gauge::new()),
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 recency: BTreeMap::new(),
-                bytes: 0,
                 tick: 0,
             }),
         }
@@ -81,10 +85,10 @@ impl MemCache {
         }
         let mut inner = self.inner.lock();
         if let Some((old_body, old_stamp)) = inner.entries.remove(key) {
-            inner.bytes -= old_body.len();
+            self.bytes.sub(old_body.len() as u64);
             inner.recency.remove(&old_stamp);
         }
-        while inner.bytes + body.len() > self.budget {
+        while self.bytes.get() as usize + body.len() > self.budget {
             let Some((&oldest, _)) = inner.recency.iter().next() else {
                 break;
             };
@@ -93,11 +97,11 @@ impl MemCache {
                 .entries
                 .remove(&victim)
                 .expect("recency and entries agree");
-            inner.bytes -= victim_body.len();
+            self.bytes.sub(victim_body.len() as u64);
         }
         let tick = inner.tick + 1;
         inner.tick = tick;
-        inner.bytes += body.len();
+        self.bytes.add(body.len() as u64);
         inner.entries.insert(key.clone(), (body, tick));
         inner.recency.insert(tick, key.clone());
     }
@@ -106,14 +110,19 @@ impl MemCache {
     pub fn remove(&self, key: &CacheKey) {
         let mut inner = self.inner.lock();
         if let Some((body, stamp)) = inner.entries.remove(key) {
-            inner.bytes -= body.len();
+            self.bytes.sub(body.len() as u64);
             inner.recency.remove(&stamp);
         }
     }
 
-    /// Bytes currently held.
+    /// Bytes currently held (lock-free: reads the gauge).
     pub fn bytes(&self) -> usize {
-        self.inner.lock().bytes
+        self.bytes.get().max(0) as usize
+    }
+
+    /// Shared handle on the resident-bytes gauge, for registry hookup.
+    pub fn bytes_gauge(&self) -> Arc<Gauge> {
+        Arc::clone(&self.bytes)
     }
 
     /// Number of bodies currently held.

@@ -5,76 +5,58 @@
 //! re-executed although a usable cached copy exists or is being produced)
 //! and *false hits* (the directory pointed at a remote entry that turned
 //! out to be deleted).
+//!
+//! The struct, its snapshot, `snapshot()`, Display plumbing and the
+//! metrics-registry hookup are all generated from one field list by
+//! [`swala_obs::counters!`], so a new counter cannot be added here but
+//! forgotten downstream. Gauges (values that go down, like the memory
+//! tier's resident bytes) do **not** belong in this struct — they live
+//! in [`swala_obs::Gauge`]s owned by the component they measure.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Lock-free event counters, shared across request threads.
-#[derive(Debug, Default)]
-pub struct CacheStats {
-    /// Directory lookups for cacheable requests.
-    pub lookups: AtomicU64,
-    /// Hits served from the local store.
-    pub local_hits: AtomicU64,
-    /// Hits served by fetching from a remote node's store.
-    pub remote_hits: AtomicU64,
-    /// Cacheable requests that found no directory entry.
-    pub misses: AtomicU64,
-    /// Re-executions that a perfectly consistent system would have
-    /// avoided (§4.2's false misses).
-    pub false_misses: AtomicU64,
-    /// Remote fetches answered "gone" — §4.2's false hits; the request
-    /// falls back to local execution.
-    pub false_hits: AtomicU64,
-    /// Requests the rules classified uncacheable.
-    pub uncacheable: AtomicU64,
-    /// Successful cache insertions.
-    pub inserts: AtomicU64,
-    /// Results discarded (failed execution or under min-exec threshold).
-    pub discards: AtomicU64,
-    /// Entries evicted by the replacement policy.
-    pub evictions: AtomicU64,
-    /// Entries removed by TTL expiry.
-    pub expirations: AtomicU64,
-    /// Insert/delete notices sent to peers.
-    pub broadcasts_sent: AtomicU64,
-    /// Insert/delete notices applied from peers.
-    pub updates_applied: AtomicU64,
-    /// Directory entries evicted because their owner was declared dead
-    /// (quarantine repair or a peer's `NodeDown` broadcast).
-    pub node_evictions: AtomicU64,
-    /// Local hits served from the in-memory body tier (zero disk I/O).
-    pub mem_hits: AtomicU64,
-    /// Local hits that had to read the body store (tier enabled but cold).
-    pub mem_misses: AtomicU64,
-    /// Gauge: bytes currently held by the in-memory body tier.
-    pub mem_bytes: AtomicU64,
-    /// Body-store read attempts (`Store::get` calls) — flat across warm
-    /// memory-tier hits, which is how tests prove the zero-I/O claim.
-    pub store_reads: AtomicU64,
-}
-
-/// Plain-value snapshot of [`CacheStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StatsSnapshot {
-    pub lookups: u64,
-    pub local_hits: u64,
-    pub remote_hits: u64,
-    pub misses: u64,
-    pub false_misses: u64,
-    pub false_hits: u64,
-    pub uncacheable: u64,
-    pub inserts: u64,
-    pub discards: u64,
-    pub evictions: u64,
-    pub expirations: u64,
-    pub broadcasts_sent: u64,
-    pub updates_applied: u64,
-    pub node_evictions: u64,
-    pub mem_hits: u64,
-    pub mem_misses: u64,
-    pub mem_bytes: u64,
-    pub store_reads: u64,
+swala_obs::counters! {
+    /// Lock-free event counters, shared across request threads.
+    pub struct CacheStats => StatsSnapshot {
+        /// Directory lookups for cacheable requests.
+        lookups: "Directory lookups for cacheable requests",
+        /// Hits served from the local store.
+        local_hits: "Hits served from the local store",
+        /// Hits served by fetching from a remote node's store.
+        remote_hits: "Hits served by fetching from a remote node's store",
+        /// Cacheable requests that found no directory entry.
+        misses: "Cacheable requests that found no directory entry",
+        /// Re-executions that a perfectly consistent system would have
+        /// avoided (§4.2's false misses).
+        false_misses: "Re-executions a consistent system would have avoided (false misses)",
+        /// Remote fetches answered "gone" — §4.2's false hits; the request
+        /// falls back to local execution.
+        false_hits: "Remote fetches answered gone (false hits)",
+        /// Requests the rules classified uncacheable.
+        uncacheable: "Requests the rules classified uncacheable",
+        /// Successful cache insertions.
+        inserts: "Successful cache insertions",
+        /// Results discarded (failed execution or under min-exec threshold).
+        discards: "Results discarded (failed execution or under min-exec threshold)",
+        /// Entries evicted by the replacement policy.
+        evictions: "Entries evicted by the replacement policy",
+        /// Entries removed by TTL expiry.
+        expirations: "Entries removed by TTL expiry",
+        /// Insert/delete notices sent to peers.
+        broadcasts_sent: "Insert/delete notices sent to peers",
+        /// Insert/delete notices applied from peers.
+        updates_applied: "Insert/delete notices applied from peers",
+        /// Directory entries evicted because their owner was declared dead
+        /// (quarantine repair or a peer's `NodeDown` broadcast).
+        node_evictions: "Directory entries evicted because their owner was declared dead",
+        /// Local hits served from the in-memory body tier (zero disk I/O).
+        mem_hits: "Local hits served from the in-memory body tier",
+        /// Local hits that had to read the body store (tier enabled but cold).
+        mem_misses: "Local hits that had to read the body store",
+        /// Body-store read attempts (`Store::get` calls) — flat across warm
+        /// memory-tier hits, which is how tests prove the zero-I/O claim.
+        store_reads: "Body-store read attempts",
+    }
 }
 
 impl StatsSnapshot {
@@ -93,74 +75,10 @@ impl StatsSnapshot {
     }
 }
 
-impl CacheStats {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Increment helper (relaxed ordering: counters are advisory).
-    pub fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Add `n` to a counter.
-    pub fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Coherent-enough snapshot for reporting.
-    pub fn snapshot(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            lookups: self.lookups.load(Ordering::Relaxed),
-            local_hits: self.local_hits.load(Ordering::Relaxed),
-            remote_hits: self.remote_hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            false_misses: self.false_misses.load(Ordering::Relaxed),
-            false_hits: self.false_hits.load(Ordering::Relaxed),
-            uncacheable: self.uncacheable.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            discards: self.discards.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            expirations: self.expirations.load(Ordering::Relaxed),
-            broadcasts_sent: self.broadcasts_sent.load(Ordering::Relaxed),
-            updates_applied: self.updates_applied.load(Ordering::Relaxed),
-            node_evictions: self.node_evictions.load(Ordering::Relaxed),
-            mem_hits: self.mem_hits.load(Ordering::Relaxed),
-            mem_misses: self.mem_misses.load(Ordering::Relaxed),
-            mem_bytes: self.mem_bytes.load(Ordering::Relaxed),
-            store_reads: self.store_reads.load(Ordering::Relaxed),
-        }
-    }
-}
-
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "lookups={} hits={} (local={} remote={}) misses={} false_miss={} false_hit={} \
-             uncacheable={} inserts={} discards={} evictions={} expirations={} bcast={} applied={} \
-             node_evict={} mem_hits={} mem_miss={} mem_bytes={} store_reads={} hit_ratio={:.3}",
-            self.lookups,
-            self.hits(),
-            self.local_hits,
-            self.remote_hits,
-            self.misses,
-            self.false_misses,
-            self.false_hits,
-            self.uncacheable,
-            self.inserts,
-            self.discards,
-            self.evictions,
-            self.expirations,
-            self.broadcasts_sent,
-            self.updates_applied,
-            self.node_evictions,
-            self.mem_hits,
-            self.mem_misses,
-            self.mem_bytes,
-            self.store_reads,
-            self.hit_ratio(),
-        )
+        self.fmt_fields(f)?;
+        write!(f, " hits={} hit_ratio={:.3}", self.hits(), self.hit_ratio())
     }
 }
 
@@ -210,11 +128,33 @@ mod tests {
     }
 
     #[test]
-    fn display_mentions_key_fields() {
+    fn display_covers_every_field() {
         let s = CacheStats::new();
         CacheStats::bump(&s.false_misses);
         let text = s.snapshot().to_string();
-        assert!(text.contains("false_miss=1"));
+        // Macro-generated Display: every declared counter appears, plus
+        // the derived summary fields.
+        for field in CacheStats::FIELDS {
+            assert!(
+                text.contains(&format!("{field}=")),
+                "missing {field}: {text}"
+            );
+        }
+        assert!(text.contains("false_misses=1"));
         assert!(text.contains("hit_ratio="));
+    }
+
+    #[test]
+    fn registry_sees_live_counters() {
+        use std::sync::Arc;
+        let s = Arc::new(CacheStats::new());
+        let reg = swala_obs::MetricsRegistry::new();
+        s.register_into(&reg, "swala_cache");
+        CacheStats::add(&s.remote_hits, 7);
+        let text = reg.render();
+        assert!(text.contains("swala_cache_remote_hits 7\n"), "{text}");
+        for field in CacheStats::FIELDS {
+            assert!(text.contains(&format!("swala_cache_{field} ")), "{field}");
+        }
     }
 }

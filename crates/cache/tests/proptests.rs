@@ -88,7 +88,7 @@ proptest! {
                                 }
                             }
                         }
-                        LookupResult::LocalHit { body, meta } => {
+                        LookupResult::LocalHit { body, meta, .. } => {
                             prop_assert_eq!(body.len() as u64, meta.size);
                         }
                         LookupResult::RemoteHit { .. } => unreachable!("single node"),

@@ -56,6 +56,10 @@ pub struct ClusterConfig {
     pub mem_cache_bytes: usize,
     /// Warm fetch connections kept per peer; 0 dials on every fetch.
     pub fetch_pool_size: usize,
+    /// Telemetry (histograms + request tracing) on every node.
+    pub obs_enabled: bool,
+    /// Completed traces each node retains for `/swala-traces`.
+    pub trace_ring: usize,
 }
 
 impl Default for ClusterConfig {
@@ -79,6 +83,8 @@ impl Default for ClusterConfig {
             probe_interval: Duration::from_secs(5),
             mem_cache_bytes: ServerOptions::default().mem_cache_bytes,
             fetch_pool_size: ServerOptions::default().fetch_pool_size,
+            obs_enabled: ServerOptions::default().obs_enabled,
+            trace_ring: ServerOptions::default().trace_ring,
         }
     }
 }
@@ -144,6 +150,8 @@ impl SwalaCluster {
                     probe_interval: cfg.probe_interval,
                     mem_cache_bytes: cfg.mem_cache_bytes,
                     fetch_pool_size: cfg.fetch_pool_size,
+                    obs_enabled: cfg.obs_enabled,
+                    trace_ring: cfg.trace_ring,
                     ..Default::default()
                 };
                 BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))

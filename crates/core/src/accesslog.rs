@@ -34,11 +34,39 @@ impl AccessLog {
 
     /// Append one request/response pair.
     pub fn log(&self, peer: &str, req: &Request, resp: &Response) {
-        let line = format_clf(peer, req, resp, std::time::SystemTime::now());
+        self.log_with(peer, req, resp, None);
+    }
+
+    /// Append one request/response pair, with an optional telemetry
+    /// suffix spliced in before the newline. The CLF prefix is
+    /// unchanged, so existing log parsers (which stop at status+bytes)
+    /// keep working.
+    pub fn log_with(&self, peer: &str, req: &Request, resp: &Response, suffix: Option<&str>) {
+        let mut line = format_clf(peer, req, resp, std::time::SystemTime::now());
+        if let Some(s) = suffix {
+            line.pop();
+            line.push(' ');
+            line.push_str(s);
+            line.push('\n');
+        }
         let mut file = self.file.lock();
         // Logging must never take the server down; drop the line on error.
         let _ = file.write_all(line.as_bytes());
     }
+}
+
+/// The telemetry suffix appended to a CLF line when tracing is on:
+/// outcome, owning node, trace id (hex, grep-able across nodes),
+/// per-stage micros and total.
+pub fn trace_suffix(s: &swala_obs::TraceSummary) -> String {
+    format!(
+        "out={} owner={} trace={:016x} total_us={} stages={}",
+        s.outcome.as_str(),
+        s.owner.map(|o| o.to_string()).unwrap_or_else(|| "-".into()),
+        s.id,
+        s.total_us,
+        if s.stages.is_empty() { "-" } else { &s.stages },
+    )
 }
 
 /// Render one CLF line (without writing it) — separated for testing.
@@ -120,6 +148,55 @@ mod tests {
         assert!(text.starts_with("1.2.3.4 - - ["));
         assert!(text.lines().nth(1).unwrap().starts_with("5.6.7.8"));
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn enriched_line_keeps_clf_prefix() {
+        use swala_obs::{Outcome, TraceSummary};
+        let path = std::env::temp_dir().join(format!("swala-clf-tr-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let log = AccessLog::open(&path).unwrap();
+        let (req, resp) = sample();
+        let summary = TraceSummary {
+            id: 0x0001_0000_0000_002a,
+            outcome: Outcome::LocalMem,
+            owner: None,
+            total_us: 123,
+            stages: "rules:1,mem-tier:2".to_string(),
+        };
+        log.log_with("9.9.9.9:1", &req, &resp, Some(&trace_suffix(&summary)));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let line = text.lines().next().unwrap();
+        // CLF prefix intact, suffix appended after status+bytes.
+        assert!(
+            line.contains("\" 200 2048 out=local-mem owner=- "),
+            "{line}"
+        );
+        assert!(
+            line.contains("trace=0001000000002a") || line.contains("trace=000100000000002a"),
+            "{line}"
+        );
+        assert!(
+            line.ends_with("total_us=123 stages=rules:1,mem-tier:2"),
+            "{line}"
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_suffix_formats_owner_and_empty_stages() {
+        use swala_obs::{Outcome, TraceSummary};
+        let s = TraceSummary {
+            id: 7,
+            outcome: Outcome::Remote,
+            owner: Some(2),
+            total_us: 9,
+            stages: String::new(),
+        };
+        assert_eq!(
+            trace_suffix(&s),
+            "out=remote owner=2 trace=0000000000000007 total_us=9 stages=-"
+        );
     }
 
     #[test]

@@ -1,9 +1,14 @@
 //! Administrative endpoints.
 //!
-//! Two reserved paths, in the spirit of 1998 server status screens:
+//! Reserved paths, in the spirit of 1998 server status screens:
 //!
 //! * `GET /swala-status` — an HTML page with the node's request and
-//!   cache statistics and the directory's view of the cluster;
+//!   cache statistics, per-outcome latency quantiles and the directory's
+//!   view of the cluster;
+//! * `GET /swala-metrics` — the machine-readable metrics registry in
+//!   Prometheus text exposition format (version 0.0.4);
+//! * `GET /swala-traces?n=K` — the most recent `K` completed request
+//!   traces from the bounded trace ring, as JSON (newest last);
 //! * `GET /swala-admin/invalidate?key=<target>` — application-driven
 //!   invalidation (§4.2's planned extension after Iyengar & Challenger
 //!   \[12\]): removes the entry wherever it lives. If this node owns it,
@@ -23,19 +28,50 @@ use swala_proto::{request_invalidate, Message};
 pub const ADMIN_PREFIX: &str = "/swala-admin/";
 /// The status page path.
 pub const STATUS_PATH: &str = "/swala-status";
+/// Prometheus text exposition of the metrics registry.
+pub const METRICS_PATH: &str = "/swala-metrics";
+/// JSON dump of recent completed traces.
+pub const TRACES_PATH: &str = "/swala-traces";
 
 /// True when `path` is handled by the admin module.
 pub fn is_admin_path(path: &str) -> bool {
-    path == STATUS_PATH || path.starts_with(ADMIN_PREFIX)
+    path == STATUS_PATH
+        || path == METRICS_PATH
+        || path == TRACES_PATH
+        || path.starts_with(ADMIN_PREFIX)
 }
 
 /// Dispatch an admin request.
 pub fn handle_admin(ctx: &NodeContext, req: &Request) -> Response {
     match req.target.path.as_str() {
         STATUS_PATH => status_page(ctx),
+        METRICS_PATH => metrics_page(ctx),
+        TRACES_PATH => traces_page(ctx, req),
         "/swala-admin/invalidate" => invalidate(ctx, req),
         _ => Response::error(StatusCode::NOT_FOUND),
     }
+}
+
+/// The whole registry in Prometheus text exposition format. Rendering
+/// reads live atomics; no locks are held across the scrape.
+fn metrics_page(ctx: &NodeContext) -> Response {
+    let body = ctx.telemetry.registry().render();
+    Response::ok("text/plain; version=0.0.4", body.into_bytes())
+}
+
+/// The last `n` completed traces (`?n=K`, default 32), oldest first.
+fn traces_page(ctx: &NodeContext, req: &Request) -> Response {
+    let n = req
+        .target
+        .query_pairs()
+        .into_iter()
+        .find(|(k, _)| k == "n")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(32);
+    Response::ok(
+        "application/json",
+        ctx.telemetry.traces_json(n).into_bytes(),
+    )
 }
 
 fn status_page(ctx: &NodeContext) -> Response {
@@ -79,12 +115,36 @@ fn status_page(ctx: &NodeContext) -> Response {
         ));
     }
     let pool = ctx.fetch_pool.stats();
+    let mut latency = String::new();
+    for outcome in swala_obs::Outcome::ALL {
+        let snap = ctx.telemetry.outcome_snapshot(outcome);
+        if snap.count == 0 {
+            continue;
+        }
+        latency.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            outcome.as_str(),
+            snap.count,
+            snap.p50(),
+            snap.p99(),
+            snap.max,
+        ));
+    }
+    if latency.is_empty() {
+        latency.push_str("<tr><td colspan=5>no completed requests yet</td></tr>\n");
+    }
     let body = format!(
         "<html><head><title>Swala status — {node}</title></head><body>\
          <h1>Swala node {node}</h1>\
          <h2>HTTP</h2><pre>{http}</pre>\
          <h2>Cache</h2><pre>{cache}</pre>\
          <h2>Fetch pool</h2><pre>{pool}</pre>\
+         <h2>Latency by outcome (&micro;s)</h2>\
+         <table border=1>\
+         <tr><th>outcome</th><th>count</th><th>p50</th><th>p99</th>\
+         <th>max</th></tr>{latency}</table>\
+         <p><a href=\"/swala-metrics\">metrics</a> &middot; \
+         <a href=\"/swala-traces\">traces</a></p>\
          <h2>Directory (entries per node table)</h2>\
          <table border=1>{tables}</table>\
          <h2>Peer health</h2>\

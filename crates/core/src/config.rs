@@ -80,6 +80,13 @@ pub struct ServerOptions {
     /// outside chaos tests — there is no config-file syntax for it) means
     /// clean production transports.
     pub faults: Option<Arc<FaultInjector>>,
+    /// Telemetry master switch: off = no tracing, no latency histograms
+    /// (counters stay scrapeable). The `obs off` baseline is what the
+    /// hitpath bench compares against to bound telemetry overhead.
+    pub obs_enabled: bool,
+    /// Completed traces kept in the in-memory ring (`/swala-traces`);
+    /// 0 keeps none.
+    pub trace_ring: usize,
 }
 
 impl Default for ServerOptions {
@@ -115,6 +122,8 @@ impl Default for ServerOptions {
             mem_cache_bytes: 64 * 1024 * 1024,
             fetch_pool_size: swala_proto::DEFAULT_POOL_SIZE,
             faults: None,
+            obs_enabled: true,
+            trace_ring: 256,
         }
     }
 }
@@ -267,6 +276,17 @@ impl ServerOptions {
                 }
                 "fetch_pool_size" => {
                     opts.fetch_pool_size = rest.parse().map_err(|_| err("bad fetch_pool_size"))?;
+                }
+                "obs" => {
+                    opts.obs_enabled = match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(err("obs must be on|off")),
+                    }
+                }
+                // 0 is legal: no traces retained, histograms still record.
+                "trace_ring" => {
+                    opts.trace_ring = rest.parse().map_err(|_| err("bad trace_ring"))?;
                 }
                 // Cacheability rules pass through to the rules parser.
                 "cache" | "nocache" => {
@@ -431,6 +451,36 @@ fetch_pool_size 8
             .unwrap_err()
             .contains("bad"));
         assert!(ServerOptions::parse("fetch_pool_size many")
+            .unwrap_err()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn telemetry_keywords() {
+        let o = ServerOptions::parse(
+            "obs off
+trace_ring 64
+",
+        )
+        .unwrap();
+        assert!(!o.obs_enabled);
+        assert_eq!(o.trace_ring, 64);
+        let d = ServerOptions::parse("").unwrap();
+        assert!(d.obs_enabled);
+        assert_eq!(d.trace_ring, 256);
+        assert_eq!(
+            ServerOptions::parse(
+                "trace_ring 0
+"
+            )
+            .unwrap()
+            .trace_ring,
+            0
+        );
+        assert!(ServerOptions::parse("obs maybe")
+            .unwrap_err()
+            .contains("on|off"));
+        assert!(ServerOptions::parse("trace_ring lots")
             .unwrap_err()
             .contains("bad"));
     }

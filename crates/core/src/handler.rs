@@ -16,6 +16,7 @@ use swala_cache::{
 };
 use swala_cgi::{CgiOutput, CgiRequest, Program, ProgramRegistry};
 use swala_http::{Method, Request, Response, StatusCode};
+use swala_obs::{Outcome, Stage, Telemetry, Trace};
 use swala_proto::{
     Broadcaster, Dialer, FetchOutcome, FetchPool, HealthTracker, Message, PeerState, RetryPolicy,
 };
@@ -46,7 +47,10 @@ pub struct NodeContext {
     /// Cache-protocol address of every node, indexed by `NodeId`.
     /// Filled in when the cluster is wired; `None` = unknown peer.
     pub cache_addrs: RwLock<Vec<Option<SocketAddr>>>,
-    pub stats: RequestStats,
+    pub stats: Arc<RequestStats>,
+    /// Metrics registry + trace ring shared by the request pool, the
+    /// cache daemons and the admin endpoints.
+    pub telemetry: Arc<Telemetry>,
     /// Port reported to CGI programs as `SERVER_PORT`.
     pub http_port: u16,
     /// Common-Log-Format access log, when configured.
@@ -68,10 +72,18 @@ impl NodeContext {
     }
 }
 
-/// Handle one parsed request, producing the response to write.
-pub fn handle_request(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
+/// Handle one parsed request, producing the response to write. Spans
+/// and the cache outcome land on `trace`; the connection loop finishes
+/// the trace after the response write (and writes the access-log line,
+/// which carries the trace summary).
+pub fn handle_request(
+    ctx: &NodeContext,
+    req: &Request,
+    remote_addr: &str,
+    trace: &mut Trace,
+) -> Response {
     RequestStats::bump(&ctx.stats.requests);
-    let mut resp = route(ctx, req, remote_addr);
+    let mut resp = route(ctx, req, remote_addr, trace);
     resp.set_server(&ctx.server_name);
     resp.headers
         .set("Date", swala_http::date::http_date_cached());
@@ -81,23 +93,22 @@ pub fn handle_request(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Re
         RequestStats::bump(&ctx.stats.server_errors);
     }
     RequestStats::add(&ctx.stats.bytes_sent, resp.body.len() as u64);
-    if let Some(log) = &ctx.access_log {
-        log.log(remote_addr, req, &resp);
-    }
     resp
 }
 
-fn route(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
+fn route(ctx: &NodeContext, req: &Request, remote_addr: &str, trace: &mut Trace) -> Response {
     let path = req.target.path.as_str();
     // Reserved administrative paths take precedence over programs/files.
     if crate::admin::is_admin_path(path) {
+        trace.set_outcome(Outcome::Other);
         return crate::admin::handle_admin(ctx, req);
     }
     if ctx.registry.is_dynamic(path) {
         RequestStats::bump(&ctx.stats.dynamic);
-        return handle_dynamic(ctx, req, remote_addr);
+        return handle_dynamic(ctx, req, remote_addr, trace);
     }
     RequestStats::bump(&ctx.stats.static_files);
+    trace.set_outcome(Outcome::Static);
     match &ctx.docroot {
         Some(root) => serve_file_conditional(root, path, req.headers.get("If-Modified-Since")),
         None => Response::error(StatusCode::NOT_FOUND),
@@ -105,7 +116,12 @@ fn route(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
 }
 
 /// The dynamic-request flow of Figure 2.
-fn handle_dynamic(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Response {
+fn handle_dynamic(
+    ctx: &NodeContext,
+    req: &Request,
+    remote_addr: &str,
+    trace: &mut Trace,
+) -> Response {
     let program = match ctx.registry.resolve(req.target.path.as_str()) {
         Some(Some(p)) => p,
         Some(None) => return Response::error(StatusCode::NOT_FOUND),
@@ -120,23 +136,31 @@ fn handle_dynamic(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Respon
         } else {
             cache_header::DISABLED
         };
-        return execute_plain(ctx, program.as_ref(), &cgi_req, tag);
+        return execute_plain(ctx, program.as_ref(), &cgi_req, tag, trace);
     }
 
     let key = CacheKey::new(req.target.cache_key_string());
-    match ctx.manager.lookup(&key, key.as_str()) {
-        LookupResult::Uncacheable => {
-            execute_plain(ctx, program.as_ref(), &cgi_req, cache_header::UNCACHEABLE)
-        }
-        LookupResult::LocalHit { meta, body } => {
+    match ctx.manager.lookup_traced(&key, key.as_str(), trace) {
+        LookupResult::Uncacheable => execute_plain(
+            ctx,
+            program.as_ref(),
+            &cgi_req,
+            cache_header::UNCACHEABLE,
+            trace,
+        ),
+        LookupResult::LocalHit { meta, body, tier } => {
             RequestStats::bump(&ctx.stats.served_local_cache);
+            trace.set_outcome(match tier {
+                swala_cache::BodyTier::Memory => Outcome::LocalMem,
+                swala_cache::BodyTier::Disk => Outcome::LocalDisk,
+            });
             let mut resp = Response::ok(&meta.content_type, body);
             resp.headers
                 .set(cache_header::NAME, cache_header::LOCAL_HIT);
             resp
         }
         LookupResult::RemoteHit { meta } => {
-            handle_remote_hit(ctx, program.as_ref(), &cgi_req, key, meta)
+            handle_remote_hit(ctx, program.as_ref(), &cgi_req, key, meta, trace)
         }
         LookupResult::Miss { decision, .. } => execute_and_cache(
             ctx,
@@ -145,6 +169,7 @@ fn handle_dynamic(ctx: &NodeContext, req: &Request, remote_addr: &str) -> Respon
             key,
             decision,
             cache_header::MISS,
+            trace,
         ),
     }
 }
@@ -158,7 +183,9 @@ fn handle_remote_hit(
     cgi_req: &CgiRequest,
     key: CacheKey,
     meta: swala_cache::EntryMeta,
+    trace: &mut Trace,
 ) -> Response {
+    trace.set_owner(meta.owner.0);
     let Some(addr) = ctx.peer_cache_addr(meta.owner) else {
         // Cluster wiring incomplete: behave like an unreachable peer.
         ctx.manager.begin_fallback_execution(&key);
@@ -170,6 +197,7 @@ fn handle_remote_hit(
             key,
             decision,
             cache_header::REMOTE_DOWN,
+            trace,
         );
     };
     // Quarantine gate: a peer declared dead is skipped without touching
@@ -186,18 +214,31 @@ fn handle_remote_hit(
             key,
             decision,
             cache_header::QUARANTINED,
+            trace,
         );
     }
-    let (outcome, attempts) =
-        ctx.fetch_pool
-            .fetch(meta.owner, addr, &key, ctx.fetch_timeout, &ctx.retry_policy);
+    // The trace id rides in the fetch request, so the owner records
+    // correlated spans under the same id.
+    let t0 = trace.start_span();
+    let (outcome, attempts) = ctx.fetch_pool.fetch(
+        meta.owner,
+        addr,
+        &key,
+        ctx.fetch_timeout,
+        &ctx.retry_policy,
+        trace.id(),
+    );
+    trace.end_span(Stage::RemoteFetch, t0);
     if attempts > 1 {
         RequestStats::add(&ctx.stats.fetch_retries, (attempts - 1) as u64);
+        trace.add_remote_attempts(attempts - 1);
     }
+    trace.add_remote_attempts(1);
     match outcome {
         FetchOutcome::Hit { content_type, body } => {
             ctx.health.record_success(meta.owner);
             RequestStats::bump(&ctx.stats.served_remote_cache);
+            trace.set_outcome(Outcome::Remote);
             let mut resp = Response::ok(&content_type, body);
             resp.headers
                 .set(cache_header::NAME, cache_header::REMOTE_HIT);
@@ -225,6 +266,7 @@ fn handle_remote_hit(
                 key,
                 decision,
                 cache_header::FALSE_HIT,
+                trace,
             )
         }
         FetchOutcome::Unreachable(_) => {
@@ -251,6 +293,7 @@ fn handle_remote_hit(
                 key,
                 decision,
                 cache_header::REMOTE_DOWN,
+                trace,
             )
         }
     }
@@ -268,9 +311,14 @@ fn execute_plain(
     program: &dyn Program,
     cgi_req: &CgiRequest,
     tag: &'static str,
+    trace: &mut Trace,
 ) -> Response {
     RequestStats::bump(&ctx.stats.executions);
-    match program.run(cgi_req) {
+    trace.set_outcome(Outcome::Uncacheable);
+    let t0 = trace.start_span();
+    let result = program.run(cgi_req);
+    trace.end_span(Stage::CgiExec, t0);
+    match result {
         Ok(out) => {
             let mut resp = output_to_response(out);
             resp.headers.set(cache_header::NAME, tag);
@@ -289,8 +337,10 @@ fn execute_and_cache(
     key: CacheKey,
     decision: CacheDecision,
     tag: &'static str,
+    trace: &mut Trace,
 ) -> Response {
     RequestStats::bump(&ctx.stats.executions);
+    trace.set_outcome(Outcome::Miss);
     let started = Instant::now();
     let out = match program.run(cgi_req) {
         Ok(out) => out,
@@ -300,6 +350,9 @@ fn execute_and_cache(
         }
     };
     let exec = started.elapsed();
+    // The execution timer doubles as the cgi-exec span — one Instant
+    // pair serves both the cache's cost metadata and the trace.
+    trace.record_span(Stage::CgiExec, started, started + exec);
 
     // Only 200s are cacheable; an error result is returned but not kept.
     if out.status != StatusCode::OK {
@@ -314,6 +367,7 @@ fn execute_and_cache(
         .complete_execution(&key, &out.body, &out.content_type, exec, &decision)
     {
         Ok(InsertOutcome::Inserted { meta, evicted }) => {
+            let t0 = trace.start_span();
             ctx.broadcaster.broadcast(&Message::InsertNotice { meta });
             CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             for victim in evicted {
@@ -323,6 +377,7 @@ fn execute_and_cache(
                 });
                 CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             }
+            trace.end_span(Stage::BroadcastEnqueue, t0);
         }
         Ok(InsertOutcome::Discarded) => {}
         Err(_) => {

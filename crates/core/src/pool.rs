@@ -18,8 +18,9 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use swala_http::{read_request, HttpError, Response};
+use swala_obs::Stage;
 
 /// A running accept pool.
 pub struct RequestPool {
@@ -120,10 +121,14 @@ fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: 
     let mut reader = BufReader::new(stream);
     loop {
         let mut idle = Duration::ZERO;
+        // Reset on every idle tick so the parse span measures the actual
+        // request bytes, not the keep-alive wait before them.
+        let mut attempt_start;
         let req = loop {
             if shutdown.load(Ordering::Acquire) {
                 return;
             }
+            attempt_start = Instant::now();
             match read_request(&mut reader) {
                 Ok(r) => break Ok(r),
                 Err(HttpError::Io(e))
@@ -157,16 +162,27 @@ fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: 
             }
         };
         let keep = req.keep_alive();
-        let mut resp = handle_request(ctx, &req, peer);
+        let parse_end = Instant::now();
+        let mut trace = ctx
+            .telemetry
+            .begin_trace(&req.target.cache_key_string(), attempt_start);
+        trace.record_span(Stage::Parse, attempt_start, parse_end);
+        let mut resp = handle_request(ctx, &req, peer, &mut trace);
         resp.version = req.version;
         resp.set_keep_alive(keep);
-        if resp
-            .write_to(&mut writer, response_body_allowed(req.method))
-            .is_err()
-        {
-            return;
+        let t0 = trace.start_span();
+        let written = resp.write_to(&mut writer, response_body_allowed(req.method));
+        trace.end_span(Stage::ResponseWrite, t0);
+        let summary = ctx.telemetry.finish(trace);
+        if let Some(log) = &ctx.access_log {
+            match &summary {
+                Some(s) => {
+                    log.log_with(peer, &req, &resp, Some(&crate::accesslog::trace_suffix(s)))
+                }
+                None => log.log(peer, &req, &resp),
+            }
         }
-        if !keep {
+        if written.is_err() || !keep {
             return;
         }
     }

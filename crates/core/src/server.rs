@@ -11,6 +11,7 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use swala_cache::{CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store};
 use swala_cgi::ProgramRegistry;
+use swala_obs::Telemetry;
 use swala_proto::{
     default_dialer, BroadcastConfig, Broadcaster, CacheDaemons, FetchPool, FetchPoolStats,
     HealthConfig, HealthSnapshot, HealthTracker, RetryPolicy,
@@ -111,13 +112,34 @@ impl BoundSwala {
             broadcast_config,
         ));
 
+        // One registry + trace ring per node. Disabled telemetry keeps a
+        // working (scrapeable) registry but never touches the clock on the
+        // request path.
+        let telemetry = if options.obs_enabled {
+            Telemetry::new(options.node.0, options.trace_ring)
+        } else {
+            Telemetry::disabled(options.node.0)
+        };
+        let stats = Arc::new(RequestStats::new());
+        stats.register_into(telemetry.registry(), "swala_http");
+        manager
+            .stats_arc()
+            .register_into(telemetry.registry(), "swala_cache");
+        if let Some(gauge) = manager.mem_bytes_gauge() {
+            telemetry.registry().register_gauge(
+                "swala_cache_mem_bytes",
+                "Bytes resident in the in-memory body tier",
+                gauge,
+            );
+        }
         let accept_filter = options.faults.as_ref().map(|f| f.acceptor(options.node));
-        let daemons = CacheDaemons::start_with_listener_filtered(
+        let daemons = CacheDaemons::start_with_listener_observed(
             cache_listener,
             Arc::clone(&manager),
             Arc::clone(&broadcaster),
             options.purge_interval,
             accept_filter,
+            Some(Arc::clone(&telemetry)),
         )?;
 
         let dialer = match &options.faults {
@@ -161,6 +183,43 @@ impl BoundSwala {
             None => None,
         };
 
+        let fetch_pool = Arc::new(FetchPool::new(dialer.clone(), options.fetch_pool_size));
+        {
+            // Fetch-pool and broadcaster internals expose their own
+            // atomics; closures adapt them into registry counters.
+            let reg = telemetry.registry();
+            let p = Arc::clone(&fetch_pool);
+            reg.register_counter(
+                "swala_fetch_connects_opened",
+                "Fetch-pool TCP connections opened",
+                move || p.stats().connects_opened,
+            );
+            let p = Arc::clone(&fetch_pool);
+            reg.register_counter(
+                "swala_fetch_reuses",
+                "Fetch-pool connection reuses",
+                move || p.stats().reuses,
+            );
+            let p = Arc::clone(&fetch_pool);
+            reg.register_counter(
+                "swala_fetch_stale_drops",
+                "Fetch-pool pooled connections dropped as stale",
+                move || p.stats().stale_drops,
+            );
+            let b = Arc::clone(&broadcaster);
+            reg.register_counter(
+                "swala_broadcast_enqueued",
+                "Cache notices enqueued for peers",
+                move || b.counters().0,
+            );
+            let b = Arc::clone(&broadcaster);
+            reg.register_counter(
+                "swala_broadcast_dropped",
+                "Cache notices dropped on full peer queues",
+                move || b.counters().1,
+            );
+        }
+
         let ctx = Arc::new(NodeContext {
             node: options.node,
             server_name: options.server_name.clone(),
@@ -171,10 +230,11 @@ impl BoundSwala {
             manager: Arc::clone(&manager),
             broadcaster: Arc::clone(&broadcaster),
             cache_addrs: RwLock::new(addrs),
-            stats: RequestStats::new(),
+            stats,
+            telemetry,
             http_port: http_addr.port(),
             access_log,
-            fetch_pool: Arc::new(FetchPool::new(dialer.clone(), options.fetch_pool_size)),
+            fetch_pool,
             dialer,
             retry_policy: RetryPolicy {
                 max_attempts: options.fetch_retries,
@@ -276,6 +336,11 @@ impl SwalaServer {
     /// Counters of the persistent fetch-connection pool.
     pub fn fetch_pool_stats(&self) -> FetchPoolStats {
         self.ctx.fetch_pool.stats()
+    }
+
+    /// The node's telemetry layer (metrics registry + trace ring).
+    pub fn telemetry(&self) -> &Arc<swala_obs::Telemetry> {
+        &self.ctx.telemetry
     }
 
     /// The source monitor, when configured.

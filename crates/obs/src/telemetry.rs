@@ -1,0 +1,285 @@
+//! The per-node telemetry bundle: one [`MetricsRegistry`], one bounded
+//! trace ring, a trace-id generator, and the per-outcome request
+//! latency histograms — everything a Swala node shares between its
+//! request pool, cache daemons and admin endpoints.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::registry::MetricsRegistry;
+use crate::trace::{CompletedTrace, Outcome, Trace};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bounded ring of completed traces, newest last.
+struct TraceRing {
+    capacity: usize,
+    traces: Mutex<VecDeque<CompletedTrace>>,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity,
+            traces: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+        }
+    }
+
+    fn push(&self, trace: CompletedTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut traces = self.traces.lock();
+        if traces.len() == self.capacity {
+            traces.pop_front();
+        }
+        traces.push_back(trace);
+    }
+
+    fn last(&self, n: usize) -> Vec<CompletedTrace> {
+        let traces = self.traces.lock();
+        traces.iter().rev().take(n).rev().cloned().collect()
+    }
+}
+
+/// Summary of a finished trace, for the enriched access-log line.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    pub id: u64,
+    pub outcome: Outcome,
+    pub owner: Option<u16>,
+    pub total_us: u64,
+    /// Preformatted `stage:micros,...` list.
+    pub stages: String,
+}
+
+/// Per-node telemetry: registry + trace ring + request histograms.
+pub struct Telemetry {
+    enabled: bool,
+    node: u16,
+    registry: MetricsRegistry,
+    ring: TraceRing,
+    next_trace: AtomicU64,
+    traces_dropped: Arc<AtomicU64>,
+    /// One histogram per [`Outcome`], indexed by position in `Outcome::ALL`.
+    request_hists: Vec<Arc<Histogram>>,
+}
+
+impl Telemetry {
+    /// A live telemetry bundle for `node`, keeping up to `trace_ring`
+    /// completed traces.
+    pub fn new(node: u16, trace_ring: usize) -> Arc<Telemetry> {
+        Arc::new(Telemetry::build(node, trace_ring, true))
+    }
+
+    /// A disabled bundle: traces are no-ops and histograms never record,
+    /// but the registry still works so counters stay scrapeable.
+    pub fn disabled(node: u16) -> Arc<Telemetry> {
+        Arc::new(Telemetry::build(node, 0, false))
+    }
+
+    fn build(node: u16, trace_ring: usize, enabled: bool) -> Telemetry {
+        let registry = MetricsRegistry::new();
+        let request_hists = Outcome::ALL
+            .iter()
+            .map(|o| {
+                registry.histogram_labeled(
+                    "swala_request_duration_microseconds",
+                    "End-to-end request latency by cache outcome",
+                    "outcome",
+                    o.as_str(),
+                )
+            })
+            .collect();
+        let traces_dropped = Arc::new(AtomicU64::new(0));
+        let dropped = Arc::clone(&traces_dropped);
+        registry.register_counter(
+            "swala_traces_dropped",
+            "Traces discarded before completion (connection died mid-request)",
+            move || dropped.load(Ordering::Relaxed),
+        );
+        Telemetry {
+            enabled,
+            node,
+            registry,
+            ring: TraceRing::new(trace_ring),
+            next_trace: AtomicU64::new(1),
+            traces_dropped,
+            request_hists,
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn node(&self) -> u16 {
+        self.node
+    }
+
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Mint a node-unique trace id: node in the top 16 bits, a per-node
+    /// counter below — unique across the cluster without coordination.
+    fn next_id(&self) -> u64 {
+        let seq = self.next_trace.fetch_add(1, Ordering::Relaxed) & 0x0000_FFFF_FFFF_FFFF;
+        ((self.node as u64) << 48) | seq
+    }
+
+    /// Begin a trace for a locally accepted request. `start` anchors
+    /// span offsets (pass the first-read instant so parse lands at 0).
+    pub fn begin_trace(&self, target: &str, start: Instant) -> Trace {
+        if !self.enabled {
+            return Trace::disabled();
+        }
+        Trace::active(self.next_id(), self.node, target, start)
+    }
+
+    /// Begin a trace that adopts a peer's id (owner side of a remote
+    /// fetch) so both nodes' dumps correlate on the same id.
+    pub fn begin_trace_with_id(&self, id: u64, target: &str) -> Trace {
+        if !self.enabled {
+            return Trace::disabled();
+        }
+        Trace::active(id, self.node, target, Instant::now())
+    }
+
+    /// Finish a trace: record its total into the per-outcome histogram,
+    /// park it in the ring, and return the access-log summary.
+    pub fn finish(&self, trace: Trace) -> Option<TraceSummary> {
+        let done = trace.finish()?;
+        let idx = Outcome::ALL
+            .iter()
+            .position(|o| *o == done.outcome)
+            .expect("outcome in ALL");
+        self.request_hists[idx].record(done.total_us);
+        let summary = TraceSummary {
+            id: done.id,
+            outcome: done.outcome,
+            owner: done.owner,
+            total_us: done.total_us,
+            stages: done.stage_summary(),
+        };
+        self.ring.push(done);
+        Some(summary)
+    }
+
+    /// Drop a trace without recording it (e.g. unparseable request).
+    pub fn discard(&self, trace: Trace) {
+        if trace.finish().is_some() {
+            self.traces_dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The last `n` completed traces, oldest first.
+    pub fn last_traces(&self, n: usize) -> Vec<CompletedTrace> {
+        self.ring.last(n)
+    }
+
+    /// The last `n` completed traces as a JSON array.
+    pub fn traces_json(&self, n: usize) -> String {
+        let traces = self.ring.last(n);
+        let mut out = String::from("[");
+        for (i, t) in traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// Snapshot of the request-latency histogram for one outcome.
+    pub fn outcome_snapshot(&self, outcome: Outcome) -> HistogramSnapshot {
+        let idx = Outcome::ALL
+            .iter()
+            .position(|o| *o == outcome)
+            .expect("outcome in ALL");
+        self.request_hists[idx].snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Stage;
+
+    #[test]
+    fn ids_are_node_scoped_and_unique() {
+        let t = Telemetry::new(3, 16);
+        let a = t.begin_trace("/a", Instant::now()).id().unwrap();
+        let b = t.begin_trace("/b", Instant::now()).id().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a >> 48, 3);
+        assert_eq!(b >> 48, 3);
+    }
+
+    #[test]
+    fn finish_lands_in_ring_and_histogram() {
+        let tel = Telemetry::new(0, 4);
+        for i in 0..6 {
+            let mut tr = tel.begin_trace(&format!("/t{i}"), Instant::now());
+            tr.set_outcome(Outcome::Miss);
+            let s = tr.start_span();
+            tr.end_span(Stage::CgiExec, s);
+            let summary = tel.finish(tr).unwrap();
+            assert_eq!(summary.outcome, Outcome::Miss);
+            assert!(summary.stages.starts_with("cgi-exec:"));
+        }
+        // Ring is bounded at 4, newest kept.
+        let last = tel.last_traces(10);
+        assert_eq!(last.len(), 4);
+        assert_eq!(last[3].target, "/t5");
+        assert_eq!(tel.last_traces(2).len(), 2);
+        assert_eq!(tel.outcome_snapshot(Outcome::Miss).count, 6);
+        assert_eq!(tel.outcome_snapshot(Outcome::Remote).count, 0);
+        let json = tel.traces_json(3);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"outcome\":\"miss\""));
+    }
+
+    #[test]
+    fn disabled_bundle_produces_no_traces() {
+        let tel = Telemetry::disabled(0);
+        assert!(!tel.enabled());
+        let tr = tel.begin_trace("/x", Instant::now());
+        assert!(!tr.is_enabled());
+        assert!(tel.finish(tr).is_none());
+        assert!(tel.last_traces(10).is_empty());
+        assert_eq!(tel.traces_json(10), "[]");
+        // The registry still renders (counters remain scrapeable).
+        assert!(tel
+            .registry()
+            .render()
+            .contains("swala_request_duration_microseconds"));
+    }
+
+    #[test]
+    fn adopted_ids_pass_through_verbatim() {
+        let tel = Telemetry::new(1, 4);
+        let mut tr = tel.begin_trace_with_id(0xdead_beef, "/k");
+        tr.set_outcome(Outcome::OwnerServe);
+        let summary = tel.finish(tr).unwrap();
+        assert_eq!(summary.id, 0xdead_beef);
+        assert_eq!(tel.last_traces(1)[0].id, 0xdead_beef);
+    }
+
+    #[test]
+    fn registry_exposition_is_parseable() {
+        let tel = Telemetry::new(0, 4);
+        let mut tr = tel.begin_trace("/x", Instant::now());
+        tr.set_outcome(Outcome::LocalMem);
+        tel.finish(tr);
+        let text = tel.registry().render();
+        let samples = crate::registry::parse_exposition(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "swala_request_duration_microseconds_count"
+                && s.labels == vec![("outcome".to_string(), "local-mem".to_string())]
+                && s.value == 1.0));
+    }
+}

@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use swala_cache::{CacheManager, CacheStats};
+use swala_obs::{Outcome, Stage, Telemetry, Trace};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -85,6 +86,30 @@ impl CacheDaemons {
         purge_interval: Duration,
         accept_filter: Option<AcceptFilter>,
     ) -> io::Result<CacheDaemons> {
+        Self::start_with_listener_observed(
+            listener,
+            manager,
+            broadcaster,
+            purge_interval,
+            accept_filter,
+            None,
+        )
+    }
+
+    /// [`start_with_listener_filtered`](Self::start_with_listener_filtered)
+    /// plus a telemetry handle. When a `FetchRequest` carries the
+    /// requester's trace id, the owner records its own spans (directory
+    /// lookup, tier probe, store read, reply write) under that same id
+    /// with outcome `owner-serve`, so a remote hit produces correlated
+    /// traces on both nodes.
+    pub fn start_with_listener_observed(
+        listener: TcpListener,
+        manager: Arc<CacheManager>,
+        broadcaster: Arc<Broadcaster>,
+        purge_interval: Duration,
+        accept_filter: Option<AcceptFilter>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> io::Result<CacheDaemons> {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
@@ -94,6 +119,7 @@ impl CacheDaemons {
             let manager = Arc::clone(&manager);
             let broadcaster = Arc::clone(&broadcaster);
             let shutdown = Arc::clone(&shutdown);
+            let telemetry = telemetry.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name("swala-cache-accept".into())
@@ -107,6 +133,7 @@ impl CacheDaemons {
                             let manager = Arc::clone(&manager);
                             let broadcaster = Arc::clone(&broadcaster);
                             let shutdown = Arc::clone(&shutdown);
+                            let telemetry = telemetry.clone();
                             // Per-connection handler thread, as the paper does.
                             let _ = std::thread::Builder::new()
                                 .name("swala-cache-conn".into())
@@ -129,7 +156,13 @@ impl CacheDaemons {
                                         Some(FaultAction::Delay(d)) => std::thread::sleep(d),
                                         None => {}
                                     }
-                                    handle_connection(stream, &manager, &broadcaster, &shutdown)
+                                    handle_connection(
+                                        stream,
+                                        &manager,
+                                        &broadcaster,
+                                        &shutdown,
+                                        telemetry.as_deref(),
+                                    )
                                 });
                         }
                     })?,
@@ -207,6 +240,7 @@ fn handle_connection(
     manager: &CacheManager,
     broadcaster: &Broadcaster,
     shutdown: &AtomicBool,
+    telemetry: Option<&Telemetry>,
 ) {
     // A finite read timeout lets the handler observe shutdown even when
     // the peer link is idle.
@@ -249,11 +283,20 @@ fn handle_connection(
                     apply_notice(sub, manager, broadcaster);
                 }
             }
-            Message::FetchRequest { key } => {
+            Message::FetchRequest { key, trace } => {
+                // Adopt the requester's trace id so both nodes' spans of
+                // one remote hit correlate; without telemetry (or an
+                // untraced request) the handle is inert.
+                let mut t = match (telemetry, trace) {
+                    (Some(tel), Some(id)) => tel.begin_trace_with_id(id, key.as_str()),
+                    _ => Trace::disabled(),
+                };
                 // Zero-copy reply: the body `Arc` from the cache tier is
                 // written directly after a small encoded prefix, never
                 // copied into a reply buffer.
-                let written = match manager.fetch_local_body(&key) {
+                let hit = manager.fetch_local_body_traced(&key, &mut t);
+                let t0 = t.start_span();
+                let written = match hit {
                     Some((meta, body)) => {
                         let prefix =
                             Message::encode_fetch_hit_prefix(&meta.content_type, body.len());
@@ -261,6 +304,11 @@ fn handle_connection(
                     }
                     None => write_frame(&mut stream, &Message::FetchMiss.encode()),
                 };
+                t.end_span(Stage::ResponseWrite, t0);
+                t.set_outcome(Outcome::OwnerServe);
+                if let Some(tel) = telemetry {
+                    tel.finish(t);
+                }
                 if written.is_err() {
                     return;
                 }

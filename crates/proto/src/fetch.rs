@@ -237,7 +237,7 @@ fn try_fetch(
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
-    write_frame(&mut stream, &Message::encode_fetch_request(key))?;
+    write_frame(&mut stream, &Message::encode_fetch_request(key, None))?;
     let frame = read_frame(&mut stream)?.ok_or(ProtoError::Truncated("fetch reply"))?;
     match Message::decode(&frame)? {
         Message::FetchHit { content_type, body } => Ok(FetchOutcome::Hit { content_type, body }),
@@ -308,7 +308,7 @@ mod tests {
             let (mut s, _) = listener.accept().unwrap();
             let frame = read_frame(&mut s).unwrap().unwrap();
             match Message::decode(&frame).unwrap() {
-                Message::FetchRequest { key } => {
+                Message::FetchRequest { key, .. } => {
                     write_frame(&mut s, &reply(&key).encode()).unwrap();
                 }
                 other => panic!("unexpected {other:?}"),

@@ -38,9 +38,14 @@ pub enum Message {
         owner: NodeId,
         key: CacheKey,
     },
-    /// "Send me the body you advertise for this key."
+    /// "Send me the body you advertise for this key." `trace` is the
+    /// requester's trace id, so the owner's spans correlate with the
+    /// requester's; `None` encodes byte-identically to the pre-telemetry
+    /// wire format, and a decoder ignores the absence, so mixed-version
+    /// clusters interoperate.
     FetchRequest {
         key: CacheKey,
+        trace: Option<u64>,
     },
     /// Fetch succeeded.
     FetchHit {
@@ -99,9 +104,13 @@ impl Message {
                 buf.put_u16(owner.0);
                 put_string(&mut buf, key.as_str());
             }
-            Message::FetchRequest { key } => {
+            Message::FetchRequest { key, trace } => {
                 buf.put_u8(TAG_FETCH_REQ);
                 put_string(&mut buf, key.as_str());
+                if let Some(id) = trace {
+                    buf.put_u8(1);
+                    buf.put_u64(*id);
+                }
             }
             Message::FetchHit { content_type, body } => {
                 buf.put_u8(TAG_FETCH_HIT);
@@ -156,9 +165,19 @@ impl Message {
                 owner: NodeId(get_u16(&mut r)?),
                 key: CacheKey::new(get_string(&mut r)?),
             },
-            TAG_FETCH_REQ => Message::FetchRequest {
-                key: CacheKey::new(get_string(&mut r)?),
-            },
+            TAG_FETCH_REQ => {
+                let key = CacheKey::new(get_string(&mut r)?);
+                // Optional trailer: old senders stop here.
+                let trace = if r.is_empty() {
+                    None
+                } else {
+                    match get_u8(&mut r)? {
+                        0 => None,
+                        _ => Some(get_u64(&mut r)?),
+                    }
+                };
+                Message::FetchRequest { key, trace }
+            }
             TAG_FETCH_HIT => Message::FetchHit {
                 content_type: get_string(&mut r)?,
                 body: get_bytes(&mut r)?,
@@ -200,10 +219,14 @@ impl Message {
     }
 
     /// Encode a `FetchRequest` without cloning the key.
-    pub fn encode_fetch_request(key: &CacheKey) -> Vec<u8> {
-        let mut buf = BytesMut::with_capacity(16 + key.as_str().len());
+    pub fn encode_fetch_request(key: &CacheKey, trace: Option<u64>) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32 + key.as_str().len());
         buf.put_u8(TAG_FETCH_REQ);
         put_string(&mut buf, key.as_str());
+        if let Some(id) = trace {
+            buf.put_u8(1);
+            buf.put_u64(id);
+        }
         buf.to_vec()
     }
 
@@ -328,6 +351,11 @@ mod tests {
             },
             Message::FetchRequest {
                 key: CacheKey::new("/cgi-bin/y"),
+                trace: None,
+            },
+            Message::FetchRequest {
+                key: CacheKey::new("/cgi-bin/y"),
+                trace: Some(0x0003_dead_beef_0042),
             },
             Message::FetchHit {
                 content_type: "text/html".into(),
@@ -441,12 +469,52 @@ mod tests {
     }
 
     #[test]
+    fn traceless_fetch_request_matches_pre_telemetry_bytes() {
+        // A `trace: None` request must encode exactly as the older
+        // protocol did (tag + length-prefixed key, nothing after), so an
+        // un-upgraded peer sees no trailing garbage.
+        let key = CacheKey::new("/cgi-bin/y?q=7");
+        let mut legacy = vec![TAG_FETCH_REQ];
+        legacy.extend_from_slice(&(key.as_str().len() as u32).to_be_bytes());
+        legacy.extend_from_slice(key.as_str().as_bytes());
+        assert_eq!(
+            Message::FetchRequest {
+                key: key.clone(),
+                trace: None
+            }
+            .encode(),
+            legacy
+        );
+        // And a legacy frame decodes with `trace: None`.
+        assert_eq!(
+            Message::decode(&legacy).unwrap(),
+            Message::FetchRequest { key, trace: None }
+        );
+    }
+
+    #[test]
+    fn traced_fetch_request_roundtrips_id() {
+        let key = CacheKey::new("/cgi-bin/t");
+        let msg = Message::FetchRequest {
+            key,
+            trace: Some(u64::MAX),
+        };
+        assert_eq!(Message::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
     fn borrowed_encoders_match_owned_encoding() {
         let key = CacheKey::new("/cgi-bin/fetch?me=1");
-        assert_eq!(
-            Message::encode_fetch_request(&key),
-            Message::FetchRequest { key: key.clone() }.encode()
-        );
+        for trace in [None, Some(17u64)] {
+            assert_eq!(
+                Message::encode_fetch_request(&key, trace),
+                Message::FetchRequest {
+                    key: key.clone(),
+                    trace
+                }
+                .encode()
+            );
+        }
         assert_eq!(
             Message::encode_invalidate(&key),
             Message::Invalidate { key }.encode()

@@ -89,6 +89,8 @@ impl FetchPool {
     /// [`fetch_remote_retry`](crate::fetch::fetch_remote_retry): only
     /// transport failures are retried, and the attempt count is returned
     /// for the caller's health accounting.
+    /// `trace` is the caller's trace id; when `Some`, it rides in the
+    /// `FetchRequest` so the owner's daemon records correlated spans.
     pub fn fetch(
         &self,
         peer: NodeId,
@@ -96,11 +98,12 @@ impl FetchPool {
         key: &swala_cache::CacheKey,
         timeout: Duration,
         policy: &RetryPolicy,
+        trace: Option<u64>,
     ) -> (FetchOutcome, u32) {
         let attempts = policy.max_attempts.max(1);
         let mut last = FetchOutcome::Unreachable("no attempt made".into());
         for attempt in 1..=attempts {
-            last = self.try_once(peer, addr, key, timeout);
+            last = self.try_once(peer, addr, key, timeout, trace);
             if !matches!(last, FetchOutcome::Unreachable(_)) {
                 return (last, attempt);
             }
@@ -119,10 +122,11 @@ impl FetchPool {
         addr: SocketAddr,
         key: &swala_cache::CacheKey,
         timeout: Duration,
+        trace: Option<u64>,
     ) -> FetchOutcome {
         if let Some(mut conn) = self.checkout(peer) {
             self.reuses.fetch_add(1, Ordering::Relaxed);
-            match fetch_on(&mut conn, key, timeout) {
+            match fetch_on(&mut conn, key, timeout, trace) {
                 Ok(outcome) => {
                     self.checkin(peer, conn);
                     return outcome;
@@ -142,7 +146,7 @@ impl FetchPool {
         if let Err(e) = conn.set_nodelay(true) {
             return FetchOutcome::Unreachable(e.to_string());
         }
-        match fetch_on(&mut conn, key, timeout) {
+        match fetch_on(&mut conn, key, timeout, trace) {
             Ok(outcome) => {
                 self.checkin(peer, conn);
                 outcome
@@ -188,10 +192,11 @@ fn fetch_on(
     conn: &mut FaultStream,
     key: &swala_cache::CacheKey,
     timeout: Duration,
+    trace: Option<u64>,
 ) -> Result<FetchOutcome, ProtoError> {
     conn.set_read_timeout(Some(timeout))?;
     conn.set_write_timeout(Some(timeout))?;
-    write_frame(conn, &Message::encode_fetch_request(key))?;
+    write_frame(conn, &Message::encode_fetch_request(key, trace))?;
     let frame = read_frame(conn)?.ok_or(ProtoError::Truncated("fetch reply"))?;
     match Message::decode(&frame)? {
         Message::FetchHit { content_type, body } => Ok(FetchOutcome::Hit { content_type, body }),
@@ -229,7 +234,7 @@ mod tests {
                 std::thread::spawn(move || {
                     while let Ok(Some(frame)) = read_frame(&mut s) {
                         match Message::decode(&frame) {
-                            Ok(Message::FetchRequest { key }) => {
+                            Ok(Message::FetchRequest { key, .. }) => {
                                 if write_frame(&mut s, &reply(&key).encode()).is_err() {
                                     return;
                                 }
@@ -261,6 +266,7 @@ mod tests {
                 &CacheKey::new(format!("/x?{i}")),
                 Duration::from_secs(1),
                 &RetryPolicy::no_retry(),
+                None,
             );
             assert!(matches!(out, FetchOutcome::Hit { .. }), "{out:?}");
             assert_eq!(attempts, 1);
@@ -289,6 +295,7 @@ mod tests {
                         &CacheKey::new(format!("/t{t}?{i}")),
                         Duration::from_secs(1),
                         &RetryPolicy::no_retry(),
+                        None,
                     );
                     assert!(matches!(out, FetchOutcome::Hit { .. }));
                 }
@@ -313,6 +320,7 @@ mod tests {
             &key,
             Duration::from_secs(1),
             &RetryPolicy::no_retry(),
+            None,
         );
         assert!(matches!(out, FetchOutcome::Hit { .. }));
         // Poison the parked connection: replace it with one whose reads
@@ -331,6 +339,7 @@ mod tests {
             &key,
             Duration::from_secs(1),
             &RetryPolicy::no_retry(),
+            None,
         );
         // Even with no retries budgeted, the stale drop + fresh dial
         // happen inside the single attempt and the fetch succeeds.
@@ -353,6 +362,7 @@ mod tests {
                 &CacheKey::new("/gone"),
                 Duration::from_secs(1),
                 &RetryPolicy::no_retry(),
+                None,
             );
             assert_eq!(out, FetchOutcome::Gone);
         }
@@ -371,6 +381,7 @@ mod tests {
             &CacheKey::new("/x"),
             Duration::from_secs(1),
             &RetryPolicy::no_retry(),
+            None,
         );
         assert_eq!(pool.stats().idle, 1);
         pool.purge_peer(NodeId(3));
@@ -382,6 +393,7 @@ mod tests {
             &CacheKey::new("/y"),
             Duration::from_secs(1),
             &RetryPolicy::no_retry(),
+            None,
         );
         assert_eq!(pool.stats().connects_opened, 2);
     }
@@ -400,6 +412,7 @@ mod tests {
             &CacheKey::new("/x"),
             Duration::from_millis(100),
             &policy,
+            None,
         );
         assert!(matches!(out, FetchOutcome::Unreachable(_)));
         assert_eq!(attempts, 2);
@@ -417,6 +430,7 @@ mod tests {
                 &CacheKey::new("/x"),
                 Duration::from_secs(1),
                 &RetryPolicy::no_retry(),
+                None,
             );
             assert!(matches!(out, FetchOutcome::Hit { .. }));
         }

@@ -58,7 +58,8 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             key
         }),
         (0u16..64).prop_map(|n| Message::NodeDown { node: NodeId(n) }),
-        key_strategy().prop_map(|key| Message::FetchRequest { key }),
+        (key_strategy(), proptest::option::of(any::<u64>()))
+            .prop_map(|(key, trace)| Message::FetchRequest { key, trace }),
         (
             "[a-z/]{1,16}",
             proptest::collection::vec(any::<u8>(), 0..2048)

@@ -13,6 +13,11 @@ echo "==> hot-path smoke (tables hitpath)"
 SWALA_BENCH_QUICK=1 target/release/tables hitpath
 python3 -m json.tool BENCH_hitpath.json > /dev/null
 
+echo "==> metrics-exposition gate (tables metrics)"
+# Two-node pseudo-cluster; fails on malformed /swala-metrics output or
+# on the histogram totals disagreeing with their counter twins.
+SWALA_BENCH_QUICK=1 target/release/tables metrics
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
