@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod broadcast;
+pub mod coalesce;
 pub mod faults;
 pub mod fig3;
 pub mod fig4;
@@ -33,6 +34,7 @@ pub const ALL_IDS: &[&str] = &[
     "broadcast",
     "faults",
     "hitpath",
+    "coalesce",
     "metrics",
 ];
 
@@ -55,6 +57,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "broadcast" => broadcast::run(),
         "faults" => faults::run(),
         "hitpath" => hitpath::run(),
+        "coalesce" => coalesce::run(),
         "metrics" => metrics::run(),
         _ => return None,
     })

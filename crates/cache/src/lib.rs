@@ -44,7 +44,10 @@ pub mod store;
 pub use directory::{CacheDirectory, Classification};
 pub use entry::EntryMeta;
 pub use key::CacheKey;
-pub use manager::{BodyTier, CacheManager, CacheManagerConfig, InsertOutcome, LookupResult};
+pub use manager::{
+    BodyTier, CacheManager, CacheManagerConfig, FallbackStart, FlightWaitOutcome, FlightWaiter,
+    InsertOutcome, LookupResult,
+};
 pub use memcache::MemCache;
 pub use node::NodeId;
 pub use policy::{Policy, PolicyKind};

@@ -17,11 +17,12 @@ use crate::rules::{CacheDecision, CacheRules};
 use crate::stats::CacheStats;
 use crate::store::Store;
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
+use std::time::{Duration, Instant};
 use swala_obs::{Gauge, Stage, Trace};
 
 /// Construction parameters for a [`CacheManager`].
@@ -39,6 +40,13 @@ pub struct CacheManagerConfig {
     /// Byte budget for the in-memory body tier; 0 disables the tier
     /// (every local hit then reads the body store).
     pub mem_cache_bytes: usize,
+    /// Single-flight coalescing: concurrent misses for one key wait for
+    /// the first executor instead of re-running the CGI. `false` keeps
+    /// the paper's re-run semantics (§4.2, false-miss scenario 1).
+    pub coalesce: bool,
+    /// Bound on how long a coalesced miss waits for the leader before
+    /// falling back to its own execution.
+    pub coalesce_wait: Duration,
 }
 
 impl Default for CacheManagerConfig {
@@ -50,6 +58,8 @@ impl Default for CacheManagerConfig {
             policy: PolicyKind::Lru,
             rules: CacheRules::allow_all(),
             mem_cache_bytes: 64 * 1024 * 1024,
+            coalesce: true,
+            coalesce_wait: Duration::from_secs(10),
         }
     }
 }
@@ -61,11 +71,18 @@ pub enum LookupResult {
     Uncacheable,
     /// Cacheable but absent: execute, then call
     /// [`CacheManager::complete_execution`]. `first_in_flight` is false
-    /// when an identical request is already executing on this node — the
-    /// paper's first false-miss scenario.
+    /// when an identical request is already executing on this node and
+    /// coalescing is off — the paper's first false-miss scenario.
     Miss {
         decision: CacheDecision,
         first_in_flight: bool,
+    },
+    /// An identical request is already executing here and coalescing is
+    /// on: call [`CacheManager::wait_flight`] to be served the leader's
+    /// body instead of re-running the CGI.
+    CoalesceWait {
+        decision: CacheDecision,
+        waiter: FlightWaiter,
     },
     /// Cached locally: here is the body. Shared (`Arc`) so a warm hit
     /// travels from the memory tier to the response without a copy.
@@ -86,6 +103,89 @@ pub enum BodyTier {
     Memory,
     /// Read from the body store (tier disabled or cold).
     Disk,
+}
+
+/// Shared record of one key's in-flight execution. The leader (first
+/// miss) executes; waiters block on the condvar until a result — or the
+/// last executor's failure — is published.
+#[derive(Debug)]
+struct Flight {
+    state: StdMutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum FlightState {
+    /// Executor(s) still running.
+    Running,
+    /// Finished. `Some` carries the body for waiters (published even when
+    /// the insert itself was threshold-discarded); `None` means every
+    /// executor failed and waiters must execute themselves.
+    Done(Option<(String, Arc<[u8]>)>),
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: StdMutex::new(FlightState::Running),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Non-poisoning lock (an executor panicking mid-publish must not
+    /// wedge waiters behind a poisoned mutex).
+    fn lock(&self) -> MutexGuard<'_, FlightState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Registry entry: the key's flight plus how many executors are working
+/// on it (1 leader, plus re-runners when coalescing is off and fallback
+/// executors). The entry — the paper's "in-flight marker" — stays alive
+/// until the last executor finishes, which is what fixes the marker
+/// clobbering between overlapping executions.
+struct FlightEntry {
+    flight: Arc<Flight>,
+    executors: usize,
+}
+
+impl FlightEntry {
+    fn new() -> FlightEntry {
+        FlightEntry {
+            flight: Arc::new(Flight::new()),
+            executors: 1,
+        }
+    }
+}
+
+/// A waiter's handle on another request's in-flight execution; redeem it
+/// with [`CacheManager::wait_flight`].
+#[derive(Debug)]
+pub struct FlightWaiter {
+    flight: Arc<Flight>,
+}
+
+/// How a coalesced wait resolved.
+#[derive(Debug)]
+pub enum FlightWaitOutcome {
+    /// The leader's body, shared zero-copy with every waiter.
+    Served {
+        content_type: String,
+        body: Arc<[u8]>,
+    },
+    /// Every executor failed: the caller must execute itself.
+    LeaderFailed,
+    /// The bounded wait elapsed: the caller must execute itself.
+    TimedOut,
+}
+
+/// What [`CacheManager::begin_fallback_execution`] decided.
+#[derive(Debug)]
+pub enum FallbackStart {
+    /// The caller is registered as an executor and should run the CGI.
+    Execute,
+    /// Someone else is already producing this key: wait instead.
+    Wait(FlightWaiter),
 }
 
 /// Result of committing an executed CGI result.
@@ -113,8 +213,13 @@ pub struct CacheManager {
     stats: Arc<CacheStats>,
     /// Logical clock for recency bookkeeping.
     seq: AtomicU64,
-    /// Keys currently being executed on this node (false-miss detection).
-    in_flight: Mutex<HashSet<CacheKey>>,
+    /// Keys currently being executed on this node: false-miss detection
+    /// and (when `coalesce` is on) the single-flight waiter registry.
+    flights: Mutex<HashMap<CacheKey, FlightEntry>>,
+    /// Single-flight coalescing on/off (off = paper-faithful re-runs).
+    coalesce: bool,
+    /// Bounded wait before a coalesced miss falls back to executing.
+    coalesce_wait: Duration,
 }
 
 impl CacheManager {
@@ -130,7 +235,9 @@ impl CacheManager {
             rules: cfg.rules,
             stats: Arc::new(CacheStats::new()),
             seq: AtomicU64::new(0),
-            in_flight: Mutex::new(HashSet::new()),
+            flights: Mutex::new(HashMap::new()),
+            coalesce: cfg.coalesce,
+            coalesce_wait: cfg.coalesce_wait,
         }
     }
 
@@ -273,15 +380,106 @@ impl CacheManager {
 
     fn note_miss(&self, key: &CacheKey, decision: CacheDecision) -> LookupResult {
         CacheStats::bump(&self.stats.misses);
-        let first = self.in_flight.lock().insert(key.clone());
-        if !first {
-            // Identical request already executing here: Swala re-runs it
-            // rather than waiting (§4.2, false-miss scenario 1).
-            CacheStats::bump(&self.stats.false_misses);
+        let mut flights = self.flights.lock();
+        match flights.entry(key.clone()) {
+            Entry::Occupied(mut occupied) => {
+                if self.coalesce {
+                    // Single-flight: park behind the in-flight execution
+                    // instead of re-running the CGI.
+                    let waiter = FlightWaiter {
+                        flight: Arc::clone(&occupied.get().flight),
+                    };
+                    drop(flights);
+                    CacheStats::bump(&self.stats.coalesce_waits);
+                    LookupResult::CoalesceWait { decision, waiter }
+                } else {
+                    // Identical request already executing here: Swala
+                    // re-runs it rather than waiting (§4.2, false-miss
+                    // scenario 1).
+                    occupied.get_mut().executors += 1;
+                    drop(flights);
+                    CacheStats::bump(&self.stats.false_misses);
+                    LookupResult::Miss {
+                        decision,
+                        first_in_flight: false,
+                    }
+                }
+            }
+            Entry::Vacant(vacant) => {
+                vacant.insert(FlightEntry::new());
+                drop(flights);
+                if self.coalesce {
+                    CacheStats::bump(&self.stats.coalesce_leads);
+                }
+                LookupResult::Miss {
+                    decision,
+                    first_in_flight: true,
+                }
+            }
         }
-        LookupResult::Miss {
-            decision,
-            first_in_flight: first,
+    }
+
+    /// Block until the key's leader publishes a result, fails, or the
+    /// bounded wait elapses. On `LeaderFailed`/`TimedOut` the caller must
+    /// register itself via
+    /// [`begin_forced_execution`](Self::begin_forced_execution) and run
+    /// the CGI — the deterministic fallback.
+    pub fn wait_flight(&self, waiter: FlightWaiter) -> FlightWaitOutcome {
+        let deadline = Instant::now() + self.coalesce_wait;
+        let mut state = waiter.flight.lock();
+        loop {
+            match &*state {
+                FlightState::Done(Some((content_type, body))) => {
+                    return FlightWaitOutcome::Served {
+                        content_type: content_type.clone(),
+                        body: Arc::clone(body),
+                    };
+                }
+                FlightState::Done(None) => {
+                    CacheStats::bump(&self.stats.coalesce_fallbacks);
+                    return FlightWaitOutcome::LeaderFailed;
+                }
+                FlightState::Running => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                CacheStats::bump(&self.stats.coalesce_timeouts);
+                CacheStats::bump(&self.stats.coalesce_fallbacks);
+                return FlightWaitOutcome::TimedOut;
+            }
+            state = waiter
+                .flight
+                .cv
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// One executor finished. Drops its refcount; the entry — the paper's
+    /// "in-flight marker" — survives until the *last* executor is done,
+    /// so overlapping executions no longer clobber each other. A success
+    /// (`Some`) is published to waiters immediately and never downgraded;
+    /// `None` wakes waiters only when no executor remains.
+    fn finish_flight(&self, key: &CacheKey, result: Option<(String, Arc<[u8]>)>) {
+        let mut flights = self.flights.lock();
+        let Some(entry) = flights.get_mut(key) else {
+            return;
+        };
+        entry.executors = entry.executors.saturating_sub(1);
+        let last = entry.executors == 0;
+        let flight = Arc::clone(&entry.flight);
+        if last {
+            flights.remove(key);
+        }
+        drop(flights);
+        let mut state = flight.lock();
+        if matches!(&*state, FlightState::Done(Some(_))) {
+            return;
+        }
+        if result.is_some() || last {
+            *state = FlightState::Done(result);
+            flight.cv.notify_all();
         }
     }
 
@@ -298,7 +496,11 @@ impl CacheManager {
         exec: Duration,
         decision: &CacheDecision,
     ) -> io::Result<InsertOutcome> {
-        self.in_flight.lock().remove(key);
+        // Publish the body to any coalesced waiters first — even when the
+        // insert below is threshold-discarded, the waiters' requests are
+        // answered by these bytes.
+        let shared: Arc<[u8]> = Arc::from(body);
+        self.finish_flight(key, Some((content_type.to_string(), Arc::clone(&shared))));
         if !decision.should_insert(exec) {
             CacheStats::bump(&self.stats.discards);
             return Ok(InsertOutcome::Discarded);
@@ -320,7 +522,7 @@ impl CacheManager {
         // Self-describing write: the header carries everything needed to
         // rebuild the directory entry on a warm restart.
         self.store.put_described(key, &(&meta).into(), body)?;
-        self.mem_insert(key, &Arc::from(body));
+        self.mem_insert(key, &shared);
         let mut policy = self.policy.lock();
         policy.on_insert(&mut meta);
         self.directory.insert(self.local, meta.clone());
@@ -336,11 +538,12 @@ impl CacheManager {
         Ok(InsertOutcome::Inserted { meta, evicted })
     }
 
-    /// The CGI failed (Figure 2's unhappy path): release the in-flight
-    /// marker without inserting anything.
+    /// The CGI failed (Figure 2's unhappy path): release this executor's
+    /// in-flight slot without inserting anything. Waiters are woken to
+    /// fall back only once no executor remains.
     pub fn abort_execution(&self, key: &CacheKey) {
-        self.in_flight.lock().remove(key);
-        CacheStats::bump(&self.stats.discards);
+        self.finish_flight(key, None);
+        CacheStats::bump(&self.stats.aborts);
     }
 
     /// Serve a peer's fetch of a locally owned entry.
@@ -380,9 +583,43 @@ impl CacheManager {
 
     /// Mark the start of the fallback execution after a false hit (the
     /// usual miss bookkeeping, minus the `misses` count which already
-    /// happened as a remote hit).
-    pub fn begin_fallback_execution(&self, key: &CacheKey) {
-        self.in_flight.lock().insert(key.clone());
+    /// happened as a remote hit). With coalescing on, a fallback that
+    /// finds the key already executing waits for it like any other miss.
+    pub fn begin_fallback_execution(&self, key: &CacheKey) -> FallbackStart {
+        let mut flights = self.flights.lock();
+        match flights.entry(key.clone()) {
+            Entry::Occupied(mut occupied) => {
+                if self.coalesce {
+                    let waiter = FlightWaiter {
+                        flight: Arc::clone(&occupied.get().flight),
+                    };
+                    drop(flights);
+                    CacheStats::bump(&self.stats.coalesce_waits);
+                    FallbackStart::Wait(waiter)
+                } else {
+                    occupied.get_mut().executors += 1;
+                    FallbackStart::Execute
+                }
+            }
+            Entry::Vacant(vacant) => {
+                vacant.insert(FlightEntry::new());
+                FallbackStart::Execute
+            }
+        }
+    }
+
+    /// Register the caller as an executor unconditionally — used after a
+    /// coalesced wait fails (leader failure or timeout) so the caller's
+    /// own execution is balanced by `complete_execution`/`abort_execution`
+    /// like any other.
+    pub fn begin_forced_execution(&self, key: &CacheKey) {
+        let mut flights = self.flights.lock();
+        match flights.entry(key.clone()) {
+            Entry::Occupied(mut occupied) => occupied.get_mut().executors += 1,
+            Entry::Vacant(vacant) => {
+                vacant.insert(FlightEntry::new());
+            }
+        }
     }
 
     /// Apply a peer's insert notice to its directory table.
@@ -391,7 +628,7 @@ impl CacheManager {
         CacheStats::bump(&self.stats.updates_applied);
         // If we are executing the same key right now, that execution is a
         // false miss (§4.2, scenario 2): the peer cached it first.
-        if self.in_flight.lock().contains(&meta.key) {
+        if self.flights.lock().contains_key(&meta.key) {
             CacheStats::bump(&self.stats.false_misses);
         }
         self.directory.insert(meta.owner, meta);
@@ -500,6 +737,22 @@ mod tests {
         )
     }
 
+    /// Paper-faithful manager: concurrent misses re-run (coalesce off).
+    fn manager_no_coalesce(capacity: usize) -> CacheManager {
+        CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 3,
+                local: NodeId(0),
+                capacity,
+                policy: PolicyKind::Lru,
+                rules: CacheRules::allow_all(),
+                coalesce: false,
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        )
+    }
+
     fn key(s: &str) -> CacheKey {
         CacheKey::new(s)
     }
@@ -585,7 +838,7 @@ mod tests {
 
     #[test]
     fn duplicate_in_flight_is_false_miss() {
-        let m = manager(10);
+        let m = manager_no_coalesce(10);
         let k = key("/cgi-bin/slow?x=1");
         let first = m.lookup(&k, k.as_str());
         assert!(matches!(
@@ -617,6 +870,163 @@ mod tests {
             m.lookup(&k, k.as_str()),
             LookupResult::LocalHit { .. }
         ));
+    }
+
+    #[test]
+    fn overlapping_executions_keep_marker_live_until_leader_completes() {
+        // Regression: with the old HashSet, the second executor's
+        // completion removed the first executor's in-flight marker, so a
+        // remote insert landing afterwards missed the scenario-2
+        // false-miss count.
+        let m = manager_no_coalesce(10);
+        let k = key("/cgi-bin/overlap?x=1");
+        let first = m.lookup(&k, k.as_str());
+        let second = m.lookup(&k, k.as_str());
+        let LookupResult::Miss { decision, .. } = second else {
+            panic!("{second:?}");
+        };
+        // Second executor finishes (and inserts) while the first is still
+        // running. The marker must survive it.
+        m.complete_execution(&k, b"r2", "t", Duration::from_millis(50), &decision)
+            .unwrap();
+        m.apply_remote_insert(EntryMeta::new(k.clone(), NodeId(1), 4, "t", 1000, None, 9));
+        assert_eq!(
+            m.stats().snapshot().false_misses,
+            2,
+            "first executor's marker was clobbered"
+        );
+        // First executor completes; marker is released only now.
+        let LookupResult::Miss { decision, .. } = first else {
+            panic!("{first:?}");
+        };
+        m.complete_execution(&k, b"r1", "t", Duration::from_millis(50), &decision)
+            .unwrap();
+        m.apply_remote_insert(EntryMeta::new(k.clone(), NodeId(2), 4, "t", 1000, None, 10));
+        assert_eq!(m.stats().snapshot().false_misses, 2, "marker leaked");
+    }
+
+    #[test]
+    fn coalesced_miss_waits_and_is_served_the_leader_body() {
+        let m = Arc::new(manager(10));
+        let k = key("/cgi-bin/burst?x=1");
+        let leader = m.lookup(&k, k.as_str());
+        let LookupResult::Miss {
+            decision,
+            first_in_flight: true,
+        } = leader
+        else {
+            panic!("{leader:?}");
+        };
+        let waiter = match m.lookup(&k, k.as_str()) {
+            LookupResult::CoalesceWait { waiter, .. } => waiter,
+            other => panic!("{other:?}"),
+        };
+        let handle = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.wait_flight(waiter))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        m.complete_execution(
+            &k,
+            b"leader-body",
+            "text/html",
+            Duration::from_millis(50),
+            &decision,
+        )
+        .unwrap();
+        match handle.join().unwrap() {
+            FlightWaitOutcome::Served { content_type, body } => {
+                assert_eq!(content_type, "text/html");
+                assert_eq!(&body[..], b"leader-body");
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = m.stats().snapshot();
+        assert_eq!(s.coalesce_leads, 1);
+        assert_eq!(s.coalesce_waits, 1);
+        assert_eq!(s.false_misses, 0, "coalesced wait is not a false miss");
+        assert_eq!(s.coalesce_fallbacks, 0);
+    }
+
+    #[test]
+    fn coalesced_wait_falls_back_when_leader_aborts() {
+        let m = Arc::new(manager(10));
+        let k = key("/cgi-bin/doomed?x=1");
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss {
+                first_in_flight: true,
+                ..
+            }
+        ));
+        let waiter = match m.lookup(&k, k.as_str()) {
+            LookupResult::CoalesceWait { waiter, .. } => waiter,
+            other => panic!("{other:?}"),
+        };
+        let handle = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.wait_flight(waiter))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        m.abort_execution(&k);
+        assert!(matches!(
+            handle.join().unwrap(),
+            FlightWaitOutcome::LeaderFailed
+        ));
+        let s = m.stats().snapshot();
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.coalesce_fallbacks, 1);
+        // The fallback executor registers and completes normally.
+        m.begin_forced_execution(&k);
+        let decision = CacheRules::allow_all().decide(k.as_str());
+        m.complete_execution(&k, b"fallback", "t", Duration::from_millis(50), &decision)
+            .unwrap();
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::LocalHit { .. }
+        ));
+    }
+
+    #[test]
+    fn coalesced_wait_times_out_deterministically() {
+        let m = CacheManager::new(
+            CacheManagerConfig {
+                coalesce_wait: Duration::from_millis(40),
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        );
+        let k = key("/cgi-bin/stuck");
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss { .. }
+        ));
+        let waiter = match m.lookup(&k, k.as_str()) {
+            LookupResult::CoalesceWait { waiter, .. } => waiter,
+            other => panic!("{other:?}"),
+        };
+        // Leader never finishes: the waiter must give up on its own.
+        assert!(matches!(m.wait_flight(waiter), FlightWaitOutcome::TimedOut));
+        let s = m.stats().snapshot();
+        assert_eq!(s.coalesce_timeouts, 1);
+        assert_eq!(s.coalesce_fallbacks, 1);
+    }
+
+    #[test]
+    fn fallback_after_false_hit_coalesces_too() {
+        let m = manager(10);
+        let k = key("/cgi-bin/fh?x=1");
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss { .. }
+        ));
+        // A false-hit fallback arriving while the miss executes waits for
+        // it instead of double-executing.
+        assert!(matches!(
+            m.begin_fallback_execution(&k),
+            FallbackStart::Wait(_)
+        ));
+        assert_eq!(m.stats().snapshot().coalesce_waits, 1);
     }
 
     #[test]
@@ -655,7 +1065,10 @@ mod tests {
         // Remote says gone: false hit, entry dropped, fallback executes.
         m.note_false_hit(NodeId(2), &k);
         assert_eq!(m.stats().snapshot().false_hits, 1);
-        m.begin_fallback_execution(&k);
+        assert!(matches!(
+            m.begin_fallback_execution(&k),
+            FallbackStart::Execute
+        ));
         let decision = CacheRules::allow_all().decide(k.as_str());
         m.complete_execution(
             &k,
@@ -673,7 +1086,7 @@ mod tests {
 
     #[test]
     fn remote_insert_during_execution_is_false_miss() {
-        let m = manager(10);
+        let m = manager_no_coalesce(10);
         let k = key("/cgi-bin/race?x=1");
         let decision = match m.lookup(&k, k.as_str()) {
             LookupResult::Miss {

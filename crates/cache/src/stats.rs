@@ -36,8 +36,19 @@ swala_obs::counters! {
         uncacheable: "Requests the rules classified uncacheable",
         /// Successful cache insertions.
         inserts: "Successful cache insertions",
-        /// Results discarded (failed execution or under min-exec threshold).
-        discards: "Results discarded (failed execution or under min-exec threshold)",
+        /// Results discarded because they ran under the min-exec threshold.
+        discards: "Results discarded under the min-exec threshold",
+        /// Executions abandoned because the CGI failed or returned non-200.
+        aborts: "Executions abandoned (CGI failure or non-200 result)",
+        /// Misses that became the single-flight leader for their key.
+        coalesce_leads: "Misses that became the single-flight leader for their key",
+        /// Misses parked behind an identical in-flight execution.
+        coalesce_waits: "Misses parked behind an identical in-flight execution",
+        /// Coalesced waits that gave up after the bounded wait elapsed.
+        coalesce_timeouts: "Coalesced waits that timed out",
+        /// Coalesced waits that fell back to executing (leader failed or
+        /// timed out).
+        coalesce_fallbacks: "Coalesced waits that fell back to executing",
         /// Entries evicted by the replacement policy.
         evictions: "Entries evicted by the replacement policy",
         /// Entries removed by TTL expiry.

@@ -64,6 +64,7 @@ proptest! {
                 policy,
                 rules: CacheRules::allow_all(),
                 mem_cache_bytes: 1 << 20,
+                ..Default::default()
             },
             Box::new(MemStore::new()),
         );
@@ -93,6 +94,9 @@ proptest! {
                         }
                         LookupResult::RemoteHit { .. } => unreachable!("single node"),
                         LookupResult::Uncacheable => unreachable!("allow_all"),
+                        // Sequential ops: every miss completes before the
+                        // next lookup, so no flight is ever in progress.
+                        LookupResult::CoalesceWait { .. } => unreachable!("sequential ops"),
                     }
                 }
                 Op::RemoveLocal { id } => { m.remove_local(&key_for(id)); }
@@ -118,6 +122,7 @@ proptest! {
                 policy,
                 rules: CacheRules::allow_all(),
                 mem_cache_bytes: 1 << 20,
+                ..Default::default()
             },
             Box::new(MemStore::new()),
         );
@@ -191,6 +196,7 @@ proptest! {
                 policy: PolicyKind::Lru,
                 rules: CacheRules::allow_all(),
                 mem_cache_bytes: budget,
+                ..Default::default()
             },
             Box::new(DiskStore::open(&root).unwrap()),
         );
@@ -225,6 +231,50 @@ proptest! {
             }
         }
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Single-flight invariant: whatever the burst width and body, every
+    /// coalesced waiter observes bytes identical to what the leader
+    /// inserted — the zero-copy fan-out never serves torn or stale data.
+    #[test]
+    fn coalesced_waiters_see_leader_bytes(
+        waiters in 1usize..8,
+        body in proptest::collection::vec(any::<u8>(), 1..2048),
+        content_type in "[a-z]{2,10}/[a-z]{2,10}",
+    ) {
+        use std::sync::Arc;
+        let m = Arc::new(CacheManager::new(
+            CacheManagerConfig::default(),
+            Box::new(MemStore::new()),
+        ));
+        let k = key_for(7);
+        let decision = match m.lookup(&k, k.as_str()) {
+            LookupResult::Miss { decision, first_in_flight: true } => decision,
+            other => { prop_assert!(false, "unexpected {other:?}"); unreachable!() }
+        };
+        let mut handles = Vec::new();
+        for _ in 0..waiters {
+            let waiter = match m.lookup(&k, k.as_str()) {
+                LookupResult::CoalesceWait { waiter, .. } => waiter,
+                other => { prop_assert!(false, "unexpected {other:?}"); unreachable!() }
+            };
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || m.wait_flight(waiter)));
+        }
+        m.complete_execution(&k, &body, &content_type,
+            Duration::from_millis(60), &decision).unwrap();
+        for h in handles {
+            match h.join().unwrap() {
+                swala_cache::FlightWaitOutcome::Served { content_type: ct, body: served } => {
+                    prop_assert_eq!(&served[..], &body[..]);
+                    prop_assert_eq!(ct, content_type.clone());
+                }
+                other => prop_assert!(false, "waiter not served: {other:?}"),
+            }
+        }
+        let snap = m.stats().snapshot();
+        prop_assert_eq!(snap.coalesce_waits, waiters as u64);
+        prop_assert_eq!(snap.coalesce_fallbacks, 0);
     }
 
     #[test]

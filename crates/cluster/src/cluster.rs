@@ -56,6 +56,11 @@ pub struct ClusterConfig {
     pub mem_cache_bytes: usize,
     /// Warm fetch connections kept per peer; 0 dials on every fetch.
     pub fetch_pool_size: usize,
+    /// Single-flight coalescing of identical concurrent misses and
+    /// remote fetches; off = paper-faithful re-runs.
+    pub coalesce: bool,
+    /// Bounded wait before a coalesced miss falls back to executing.
+    pub coalesce_wait: Duration,
     /// Telemetry (histograms + request tracing) on every node.
     pub obs_enabled: bool,
     /// Completed traces each node retains for `/swala-traces`.
@@ -83,6 +88,8 @@ impl Default for ClusterConfig {
             probe_interval: Duration::from_secs(5),
             mem_cache_bytes: ServerOptions::default().mem_cache_bytes,
             fetch_pool_size: ServerOptions::default().fetch_pool_size,
+            coalesce: ServerOptions::default().coalesce,
+            coalesce_wait: ServerOptions::default().coalesce_wait,
             obs_enabled: ServerOptions::default().obs_enabled,
             trace_ring: ServerOptions::default().trace_ring,
         }
@@ -150,6 +157,8 @@ impl SwalaCluster {
                     probe_interval: cfg.probe_interval,
                     mem_cache_bytes: cfg.mem_cache_bytes,
                     fetch_pool_size: cfg.fetch_pool_size,
+                    coalesce: cfg.coalesce,
+                    coalesce_wait: cfg.coalesce_wait,
                     obs_enabled: cfg.obs_enabled,
                     trace_ring: cfg.trace_ring,
                     ..Default::default()

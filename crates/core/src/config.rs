@@ -76,6 +76,14 @@ pub struct ServerOptions {
     /// Max idle fetch connections kept warm per peer; 0 disables
     /// pooling (every remote fetch dials).
     pub fetch_pool_size: usize,
+    /// Single-flight coalescing: concurrent identical misses wait for
+    /// the first execution (and concurrent identical remote fetches
+    /// share one owner fetch) instead of duplicating the work. Off
+    /// preserves the paper's re-run semantics for the §5 experiments.
+    pub coalesce: bool,
+    /// Bound on how long a coalesced miss waits for the leader before
+    /// falling back to its own execution.
+    pub coalesce_wait: Duration,
     /// Fault injector shared by the node's transports. `None` (always,
     /// outside chaos tests — there is no config-file syntax for it) means
     /// clean production transports.
@@ -121,6 +129,8 @@ impl Default for ServerOptions {
             probe_interval: Duration::from_secs(5),
             mem_cache_bytes: 64 * 1024 * 1024,
             fetch_pool_size: swala_proto::DEFAULT_POOL_SIZE,
+            coalesce: true,
+            coalesce_wait: Duration::from_secs(10),
             faults: None,
             obs_enabled: true,
             trace_ring: 256,
@@ -276,6 +286,21 @@ impl ServerOptions {
                 }
                 "fetch_pool_size" => {
                     opts.fetch_pool_size = rest.parse().map_err(|_| err("bad fetch_pool_size"))?;
+                }
+                "coalesce" => {
+                    opts.coalesce = match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(err("coalesce must be on|off")),
+                    }
+                }
+                "coalesce_wait_ms" => {
+                    opts.coalesce_wait = Duration::from_millis(
+                        rest.parse().map_err(|_| err("bad coalesce_wait_ms"))?,
+                    );
+                    if opts.coalesce_wait.is_zero() {
+                        return Err(err("coalesce_wait_ms must be positive"));
+                    }
                 }
                 "obs" => {
                     opts.obs_enabled = match rest {
@@ -451,6 +476,25 @@ fetch_pool_size 8
             .unwrap_err()
             .contains("bad"));
         assert!(ServerOptions::parse("fetch_pool_size many")
+            .unwrap_err()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn coalesce_keywords() {
+        let d = ServerOptions::parse("").unwrap();
+        assert!(d.coalesce, "single-flight defaults on");
+        assert_eq!(d.coalesce_wait, Duration::from_secs(10));
+        let o = ServerOptions::parse("coalesce off\ncoalesce_wait_ms 2500\n").unwrap();
+        assert!(!o.coalesce);
+        assert_eq!(o.coalesce_wait, Duration::from_millis(2500));
+        assert!(ServerOptions::parse("coalesce maybe")
+            .unwrap_err()
+            .contains("on|off"));
+        assert!(ServerOptions::parse("coalesce_wait_ms 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ServerOptions::parse("coalesce_wait_ms soon")
             .unwrap_err()
             .contains("bad"));
     }

@@ -12,7 +12,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use swala_cache::{
-    CacheDecision, CacheKey, CacheManager, CacheStats, InsertOutcome, LookupResult, NodeId,
+    CacheDecision, CacheKey, CacheManager, CacheStats, FallbackStart, FlightWaitOutcome,
+    FlightWaiter, InsertOutcome, LookupResult, NodeId,
 };
 use swala_cgi::{CgiOutput, CgiRequest, Program, ProgramRegistry};
 use swala_http::{Method, Request, Response, StatusCode};
@@ -31,6 +32,8 @@ pub mod cache_header {
     pub const FALSE_HIT: &str = "false-hit-fallback";
     pub const REMOTE_DOWN: &str = "remote-unreachable-fallback";
     pub const QUARANTINED: &str = "quarantined-peer-fallback";
+    pub const COALESCED: &str = "coalesced-hit";
+    pub const COALESCE_FALLBACK: &str = "coalesce-fallback";
     pub const DISABLED: &str = "disabled";
 }
 
@@ -171,6 +174,56 @@ fn handle_dynamic(
             cache_header::MISS,
             trace,
         ),
+        LookupResult::CoalesceWait { decision, waiter } => wait_and_serve(
+            ctx,
+            program.as_ref(),
+            &cgi_req,
+            key,
+            decision,
+            waiter,
+            trace,
+        ),
+    }
+}
+
+/// Single-flight wait: park behind the identical in-flight execution and
+/// serve its body. On leader failure or timeout, fall back to executing
+/// (registered first, so the fallback is itself coalesce-visible).
+fn wait_and_serve(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    key: CacheKey,
+    decision: CacheDecision,
+    waiter: FlightWaiter,
+    trace: &mut Trace,
+) -> Response {
+    let t0 = trace.start_span();
+    let outcome = ctx.manager.wait_flight(waiter);
+    trace.end_span(Stage::CoalesceWait, t0);
+    match outcome {
+        FlightWaitOutcome::Served { content_type, body } => {
+            RequestStats::bump(&ctx.stats.served_local_cache);
+            // Latency-faithful: a coalesced request still paid (most of)
+            // the miss latency, so it lands in the miss histogram.
+            trace.set_outcome(Outcome::Miss);
+            let mut resp = Response::ok(&content_type, body);
+            resp.headers
+                .set(cache_header::NAME, cache_header::COALESCED);
+            resp
+        }
+        FlightWaitOutcome::LeaderFailed | FlightWaitOutcome::TimedOut => {
+            ctx.manager.begin_forced_execution(&key);
+            execute_and_cache(
+                ctx,
+                program,
+                cgi_req,
+                key,
+                decision,
+                cache_header::COALESCE_FALLBACK,
+                trace,
+            )
+        }
     }
 }
 
@@ -188,34 +241,14 @@ fn handle_remote_hit(
     trace.set_owner(meta.owner.0);
     let Some(addr) = ctx.peer_cache_addr(meta.owner) else {
         // Cluster wiring incomplete: behave like an unreachable peer.
-        ctx.manager.begin_fallback_execution(&key);
-        let decision = fallback_decision(ctx, &key);
-        return execute_and_cache(
-            ctx,
-            program,
-            cgi_req,
-            key,
-            decision,
-            cache_header::REMOTE_DOWN,
-            trace,
-        );
+        return execute_fallback(ctx, program, cgi_req, key, cache_header::REMOTE_DOWN, trace);
     };
     // Quarantine gate: a peer declared dead is skipped without touching
     // the network (no connect-timeout tax), except when its probe window
     // has elapsed — then this very fetch doubles as the probe.
     if !ctx.health.should_attempt(meta.owner) {
         RequestStats::bump(&ctx.stats.quarantine_skips);
-        ctx.manager.begin_fallback_execution(&key);
-        let decision = fallback_decision(ctx, &key);
-        return execute_and_cache(
-            ctx,
-            program,
-            cgi_req,
-            key,
-            decision,
-            cache_header::QUARANTINED,
-            trace,
-        );
+        return execute_fallback(ctx, program, cgi_req, key, cache_header::QUARANTINED, trace);
     }
     // The trace id rides in the fetch request, so the owner records
     // correlated spans under the same id.
@@ -257,17 +290,7 @@ fn handle_remote_hit(
                 key: key.clone(),
             });
             CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
-            ctx.manager.begin_fallback_execution(&key);
-            let decision = fallback_decision(ctx, &key);
-            execute_and_cache(
-                ctx,
-                program,
-                cgi_req,
-                key,
-                decision,
-                cache_header::FALSE_HIT,
-                trace,
-            )
+            execute_fallback(ctx, program, cgi_req, key, cache_header::FALSE_HIT, trace)
         }
         FetchOutcome::Unreachable(_) => {
             // Peer down ≠ entry gone: the directory entry survives a
@@ -284,25 +307,34 @@ fn handle_remote_hit(
                     .broadcast(&Message::NodeDown { node: meta.owner });
                 CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             }
-            ctx.manager.begin_fallback_execution(&key);
-            let decision = fallback_decision(ctx, &key);
-            execute_and_cache(
-                ctx,
-                program,
-                cgi_req,
-                key,
-                decision,
-                cache_header::REMOTE_DOWN,
-                trace,
-            )
+            execute_fallback(ctx, program, cgi_req, key, cache_header::REMOTE_DOWN, trace)
         }
     }
 }
 
-fn fallback_decision(ctx: &NodeContext, key: &CacheKey) -> CacheDecision {
+/// Start a fallback execution (false hit, unreachable or quarantined
+/// peer) — unless an identical execution is already in flight and
+/// coalescing is on, in which case park behind it instead of
+/// double-executing.
+fn execute_fallback(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    key: CacheKey,
+    tag: &'static str,
+    trace: &mut Trace,
+) -> Response {
     // Re-derive the rules decision for the fallback execution path (the
     // original lookup returned RemoteHit, which carries no decision).
-    ctx.manager.lookup_decision(key.as_str())
+    let decision = ctx.manager.lookup_decision(key.as_str());
+    match ctx.manager.begin_fallback_execution(&key) {
+        FallbackStart::Execute => {
+            execute_and_cache(ctx, program, cgi_req, key, decision, tag, trace)
+        }
+        FallbackStart::Wait(waiter) => {
+            wait_and_serve(ctx, program, cgi_req, key, decision, waiter, trace)
+        }
+    }
 }
 
 /// Execute without any cache interaction.

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use swala_http::{read_request, HttpError, Response};
+use swala_http::{read_request, HttpError, Response, StatusCode};
 use swala_obs::Stage;
 
 /// A running accept pool.
@@ -120,35 +120,51 @@ fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: 
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // Keep-alive idle phase: wait for the request's *first* byte
+        // without consuming anything (peek), so a read timeout here can
+        // safely restart the wait. Pipelined bytes already buffered from
+        // the previous parse skip the wait entirely.
         let mut idle = Duration::ZERO;
-        // Reset on every idle tick so the parse span measures the actual
-        // request bytes, not the keep-alive wait before them.
-        let mut attempt_start;
-        let req = loop {
+        while reader.buffer().is_empty() {
             if shutdown.load(Ordering::Acquire) {
                 return;
             }
-            attempt_start = Instant::now();
-            match read_request(&mut reader) {
-                Ok(r) => break Ok(r),
-                Err(HttpError::Io(e))
+            match reader.get_ref().peek(&mut [0u8; 1]) {
+                Ok(0) => return, // client closed between requests
+                Ok(_) => break,
+                Err(e)
                     if e.kind() == std::io::ErrorKind::WouldBlock
                         || e.kind() == std::io::ErrorKind::TimedOut =>
                 {
-                    // Idle between requests (a timeout mid-request would
-                    // lose buffered bytes, but a client that stalls
-                    // mid-request is indistinguishable from a dead one).
                     idle += READ_TICK;
                     if idle >= KEEP_ALIVE_IDLE {
                         return;
                     }
                 }
-                Err(e) => break Err(e),
+                Err(_) => return, // reset
             }
-        };
+        }
+        // The request has begun: parse it in one pass. A mid-request
+        // timeout now means a stalled client, not idleness — restarting
+        // the parse would lose the bytes already consumed into the
+        // BufReader, so answer 408 and close instead.
+        let _ = reader.get_ref().set_read_timeout(Some(KEEP_ALIVE_IDLE));
+        let attempt_start = Instant::now();
+        let req = read_request(&mut reader);
+        let _ = reader.get_ref().set_read_timeout(Some(READ_TICK));
         let req = match req {
             Ok(r) => r,
             Err(HttpError::ConnectionClosed { .. }) => return,
+            Err(HttpError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let mut resp = Response::error(StatusCode::REQUEST_TIMEOUT);
+                resp.set_keep_alive(false);
+                resp.set_server(&ctx.server_name);
+                let _ = resp.write_to(&mut writer, true);
+                return;
+            }
             Err(HttpError::Io(_)) => return, // reset
             Err(e) => {
                 // Parse error: answer if possible, then close.

@@ -460,6 +460,48 @@ fn fragmented_request_bytes_parse_correctly() {
 }
 
 #[test]
+fn mid_request_stall_does_not_lose_parsed_bytes() {
+    // Regression: a client that sends the request line, stalls past the
+    // server's read tick, then sends the headers used to have its parse
+    // restarted from scratch — the buffered request line was lost and
+    // the headers were parsed as a request line. The idle timeout must
+    // only apply before the first byte of a request.
+    use std::io::{Read, Write};
+    let server = single(ServerOptions::default());
+    let mut s = std::net::TcpStream::connect(server.http_addr()).unwrap();
+    s.write_all(b"GET /cgi-bin/nullcgi HTTP/1.0\r\n").unwrap();
+    s.flush().unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    s.write_all(b"Host: slowpoke\r\n\r\n").unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_stall_past_idle_limit_gets_408() {
+    // A client that starts a request and then goes silent for longer
+    // than the keep-alive idle limit is answered 408 and disconnected —
+    // not silently dropped (that's for never-started requests), and not
+    // given a corrupted parse.
+    use std::io::{Read, Write};
+    let server = single(ServerOptions::default());
+    let mut s = std::net::TcpStream::connect(server.http_addr()).unwrap();
+    s.write_all(b"GET /cgi-bin/nullcgi HTTP/1.1\r\nHost: wed")
+        .unwrap();
+    s.flush().unwrap();
+    // No more bytes: the server must give up after KEEP_ALIVE_IDLE (5s).
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    // The request never parsed, so the response uses the default wire
+    // version (as the other pre-parse error replies do).
+    assert!(out.starts_with("HTTP/1.0 408"), "{out}");
+    assert!(out.contains("Request Timeout"), "{out}");
+    server.shutdown();
+}
+
+#[test]
 fn oversized_body_rejected_with_413() {
     use std::io::{Read, Write};
     let server = single(ServerOptions::default());

@@ -18,6 +18,7 @@ impl StatusCode {
     pub const BAD_REQUEST: StatusCode = StatusCode(400);
     pub const FORBIDDEN: StatusCode = StatusCode(403);
     pub const NOT_FOUND: StatusCode = StatusCode(404);
+    pub const REQUEST_TIMEOUT: StatusCode = StatusCode(408);
     pub const PAYLOAD_TOO_LARGE: StatusCode = StatusCode(413);
     pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
     pub const NOT_IMPLEMENTED: StatusCode = StatusCode(501);
@@ -55,6 +56,7 @@ impl StatusCode {
             400 => "Bad Request",
             403 => "Forbidden",
             404 => "Not Found",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             500 => "Internal Server Error",
             501 => "Not Implemented",

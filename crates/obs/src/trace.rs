@@ -31,6 +31,9 @@ pub enum Stage {
     StoreRead,
     /// Remote fetch from the owning node, including retries/backoff.
     RemoteFetch,
+    /// Blocked on another request's in-flight execution of the same key
+    /// (single-flight coalescing).
+    CoalesceWait,
     /// CGI program execution.
     CgiExec,
     /// Enqueueing cache notices onto the broadcast pipeline.
@@ -48,6 +51,7 @@ impl Stage {
             Stage::MemTier => "mem-tier",
             Stage::StoreRead => "store-read",
             Stage::RemoteFetch => "remote-fetch",
+            Stage::CoalesceWait => "coalesce-wait",
             Stage::CgiExec => "cgi-exec",
             Stage::BroadcastEnqueue => "broadcast-enqueue",
             Stage::ResponseWrite => "response-write",
@@ -381,6 +385,7 @@ mod tests {
             Stage::MemTier,
             Stage::StoreRead,
             Stage::RemoteFetch,
+            Stage::CoalesceWait,
             Stage::CgiExec,
             Stage::BroadcastEnqueue,
             Stage::ResponseWrite,

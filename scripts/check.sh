@@ -13,6 +13,12 @@ echo "==> hot-path smoke (tables hitpath)"
 SWALA_BENCH_QUICK=1 target/release/tables hitpath
 python3 -m json.tool BENCH_hitpath.json > /dev/null
 
+echo "==> coalescing smoke (tables coalesce)"
+# Flash-crowd burst both ways; the experiment's own asserts gate on
+# duplicate executions == 0 with coalescing on (and > 0 with it off).
+SWALA_BENCH_QUICK=1 target/release/tables coalesce
+python3 -m json.tool BENCH_coalesce.json > /dev/null
+
 echo "==> metrics-exposition gate (tables metrics)"
 # Two-node pseudo-cluster; fails on malformed /swala-metrics output or
 # on the histogram totals disagreeing with their counter twins.

@@ -492,6 +492,78 @@ fn pooled_connection_truncated_mid_reply_recovers_in_place() {
     cluster.shutdown();
 }
 
+/// A coalesced flash-crowd burst whose leader's remote fetch is
+/// fault-injected must never deadlock: the fetch-pool flight shares the
+/// `Unreachable` verdict with every fetch waiter, the first faller-back
+/// becomes the execution leader, and everyone else is served its body.
+/// Results arrive over a channel with a hard receive deadline, so a
+/// stuck waiter fails the test instead of hanging it.
+#[test]
+fn coalesced_burst_with_faulted_leader_fetch_never_deadlocks() {
+    let inj = FaultInjector::seeded(chaos_seed());
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        fetch_retries: 1,
+        quarantine_after: 100, // keep quarantine out of this scenario
+        ..chaos_config(2, &inj)
+    })
+    .unwrap();
+    let target = "/cgi-bin/adl?id=72&ms=150";
+    let mut c0 = HttpClient::new(cluster.node(0).http_addr());
+    let warm_body = c0.get(target).unwrap().body.into_vec();
+    assert!(cluster.wait_for_directory_convergence(1, Duration::from_secs(10)));
+    settle(&cluster);
+
+    // Every 1→0 fetch connection RSTs as soon as it is read, so the
+    // coalesced fetch leader's attempt fails and the whole burst must
+    // drain through the local-execution fallback.
+    inj.add_rule(FaultRule::between(NodeId(1), NodeId(0), FaultAction::Reset));
+
+    const BURST: usize = 8;
+    let addr = cluster.node(1).http_addr();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let workers: Vec<_> = (0..BURST)
+        .map(|i| {
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let mut c = HttpClient::new(addr);
+                let r = c.get(target).unwrap();
+                let tag = cache_tag(&r);
+                tx.send((i, r.status, r.body.into_vec(), tag)).unwrap();
+            })
+        })
+        .collect();
+    drop(tx);
+    for _ in 0..BURST {
+        let (i, status, body, tag) = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("coalesced waiter deadlocked under fault injection");
+        assert!(status.is_success(), "request {i} failed (tag {tag})");
+        assert_eq!(body, warm_body, "request {i} served a wrong body");
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let stats = cluster.node(1).cache_stats();
+    assert_eq!(cluster.node(1).request_stats().server_errors, 0);
+    assert!(
+        stats.coalesce_waits >= 1,
+        "burst never overlapped the fallback execution: {stats}"
+    );
+    assert_eq!(
+        stats.coalesce_fallbacks, 0,
+        "fallback leader finished; no waiter re-executed: {stats}"
+    );
+    // The faulted fetches were coalesced too: one flight leader per
+    // wave of concurrent fetch attempts, the rest shared its verdict.
+    let pool = cluster.node(1).fetch_pool_stats();
+    assert!(
+        pool.coalesce_leads >= 1,
+        "fetch flight never formed: {pool}"
+    );
+    cluster.shutdown();
+}
+
 /// Pool-mediated fetch failures still drive quarantine: when every new
 /// connection resets mid-session, the failure streak quarantines the
 /// peer, its directory entries are evicted and its parked connections

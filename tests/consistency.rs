@@ -82,11 +82,13 @@ fn false_hit_path_live_end_to_end() {
 
 #[test]
 fn concurrent_same_key_burst_counts_false_misses_not_errors() {
-    // Many clients request the same slow, uncached key at once: Swala
-    // re-executes rather than blocking (§4.2, false-miss scenario 1).
+    // Many clients request the same slow, uncached key at once: with
+    // coalescing off, Swala re-executes rather than blocking (§4.2,
+    // false-miss scenario 1) — the paper-faithful mode.
     let cluster = SwalaCluster::start(&ClusterConfig {
         nodes: 1,
         work: WorkKind::Sleep,
+        coalesce: false,
         ..Default::default()
     })
     .unwrap();
@@ -108,6 +110,44 @@ fn concurrent_same_key_burst_counts_false_misses_not_errors() {
     );
     assert_eq!(stats.hits() + stats.misses, 6);
     // Afterwards the result is cached exactly once.
+    assert_eq!(cluster.node(0).manager().directory().len(NodeId(0)), 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn coalesced_burst_executes_once_and_serves_everyone() {
+    // The same flash-crowd burst with single-flight coalescing on (the
+    // default): the CGI runs exactly once and every other request is
+    // served the leader's body.
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        nodes: 1,
+        work: WorkKind::Sleep,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = cluster.node(0).http_addr();
+    let bodies: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = HttpClient::new(addr);
+                    let r = c.get("/cgi-bin/adl?id=66&ms=150").unwrap();
+                    assert!(r.status.is_success());
+                    r.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for b in &bodies[1..] {
+        assert_eq!(b, &bodies[0], "coalesced bodies identical");
+    }
+    let stats = cluster.node(0).cache_stats();
+    assert_eq!(stats.lookups, 6);
+    assert_eq!(stats.false_misses, 0, "no §4.2 scenario-1 re-runs");
+    assert_eq!(stats.inserts, 1, "the CGI ran exactly once");
+    assert!(stats.coalesce_waits >= 1, "burst actually overlapped");
+    assert_eq!(stats.coalesce_fallbacks, 0);
     assert_eq!(cluster.node(0).manager().directory().len(NodeId(0)), 1);
     cluster.shutdown();
 }

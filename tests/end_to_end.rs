@@ -38,14 +38,20 @@ fn adl_replay_accounting_balances() {
     assert_eq!(lookups as usize, targets.len(), "every GET is one lookup");
     assert_eq!(hits + misses, lookups, "each lookup is a hit or a miss");
 
-    // Work conservation: executions = misses + false-hit fallbacks.
+    // Work conservation: every miss or false-hit fallback either runs
+    // the CGI itself or is served another request's single-flight
+    // execution. A coalesced wait that fails (leader failure/timeout)
+    // falls back to executing, so the served-from-flight count is
+    // exactly `coalesce_waits - coalesce_fallbacks`.
     let execs: u64 = cluster
         .nodes()
         .iter()
         .map(|s| s.request_stats().executions)
         .sum();
     let false_hits = cluster.total_cache_stat(|s| s.false_hits);
-    assert_eq!(execs, misses + false_hits);
+    let flight_served = cluster.total_cache_stat(|s| s.coalesce_waits)
+        - cluster.total_cache_stat(|s| s.coalesce_fallbacks);
+    assert_eq!(execs + flight_served, misses + false_hits);
 
     // Inserted entries are visible cluster-wide after convergence.
     let inserts = cluster.total_cache_stat(|s| s.inserts);
