@@ -65,6 +65,10 @@ pub struct ClusterConfig {
     pub obs_enabled: bool,
     /// Completed traces each node retains for `/swala-traces`.
     pub trace_ring: usize,
+    /// Connection engine on every node (threaded accept pool or the
+    /// readiness-polled event loop). Defaults to the process default,
+    /// which honors `SWALA_ENGINE`.
+    pub engine: swala::EngineKind,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +96,7 @@ impl Default for ClusterConfig {
             coalesce_wait: ServerOptions::default().coalesce_wait,
             obs_enabled: ServerOptions::default().obs_enabled,
             trace_ring: ServerOptions::default().trace_ring,
+            engine: ServerOptions::default().engine,
         }
     }
 }
@@ -161,6 +166,7 @@ impl SwalaCluster {
                     coalesce_wait: cfg.coalesce_wait,
                     obs_enabled: cfg.obs_enabled,
                     trace_ring: cfg.trace_ring,
+                    engine: cfg.engine,
                     ..Default::default()
                 };
                 BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))

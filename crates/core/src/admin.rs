@@ -115,6 +115,17 @@ fn status_page(ctx: &NodeContext) -> Response {
         ));
     }
     let pool = ctx.fetch_pool.stats();
+    let eng = &ctx.engine_stats;
+    let engine = format!(
+        "engine={} open_connections={} idle_connections={} \
+         worker_queue_depth={} conn_buffer_bytes={} eventloop_wakeups={}",
+        ctx.engine.as_str(),
+        eng.open_connections.get(),
+        eng.idle_connections.get(),
+        eng.worker_queue_depth.get(),
+        eng.conn_buffer_bytes.get(),
+        eng.wakeups(),
+    );
     let mut latency = String::new();
     for outcome in swala_obs::Outcome::ALL {
         let snap = ctx.telemetry.outcome_snapshot(outcome);
@@ -137,6 +148,7 @@ fn status_page(ctx: &NodeContext) -> Response {
         "<html><head><title>Swala status — {node}</title></head><body>\
          <h1>Swala node {node}</h1>\
          <h2>HTTP</h2><pre>{http}</pre>\
+         <h2>Engine</h2><pre>{engine}</pre>\
          <h2>Cache</h2><pre>{cache}</pre>\
          <h2>Fetch pool</h2><pre>{pool}</pre>\
          <h2>Latency by outcome (&micro;s)</h2>\

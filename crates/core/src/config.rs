@@ -8,6 +8,38 @@ use std::time::Duration;
 use swala_cache::{CacheRules, NodeId, PolicyKind};
 use swala_proto::FaultInjector;
 
+/// Which connection engine serves HTTP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The paper's §4.1 accept pool: one blocking thread per connection,
+    /// "from parsing to completion". The faithful default.
+    Threaded,
+    /// Readiness-polled event loop: one loop thread multiplexes every
+    /// connection; `pool_size` workers execute requests. Same observable
+    /// semantics, C10K-capable idle keep-alive.
+    Event,
+}
+
+impl EngineKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Threaded => "threaded",
+            EngineKind::Event => "event",
+        }
+    }
+}
+
+impl std::str::FromStr for EngineKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "threaded" => Ok(EngineKind::Threaded),
+            "event" => Ok(EngineKind::Event),
+            other => Err(format!("engine must be threaded|event, got {other:?}")),
+        }
+    }
+}
+
 /// Everything needed to run one Swala node.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -95,6 +127,11 @@ pub struct ServerOptions {
     /// Completed traces kept in the in-memory ring (`/swala-traces`);
     /// 0 keeps none.
     pub trace_ring: usize,
+    /// Connection engine (`engine threaded|event`). The `SWALA_ENGINE`
+    /// environment variable overrides the *default* only — explicit
+    /// config lines and programmatic settings win, so a test that pins an
+    /// engine is immune to a suite-wide env sweep.
+    pub engine: EngineKind,
 }
 
 impl Default for ServerOptions {
@@ -134,6 +171,10 @@ impl Default for ServerOptions {
             faults: None,
             obs_enabled: true,
             trace_ring: 256,
+            engine: match std::env::var("SWALA_ENGINE").as_deref() {
+                Ok("event") => EngineKind::Event,
+                _ => EngineKind::Threaded,
+            },
         }
     }
 }
@@ -312,6 +353,9 @@ impl ServerOptions {
                 // 0 is legal: no traces retained, histograms still record.
                 "trace_ring" => {
                     opts.trace_ring = rest.parse().map_err(|_| err("bad trace_ring"))?;
+                }
+                "engine" => {
+                    opts.engine = rest.parse().map_err(|e: String| err(&e))?;
                 }
                 // Cacheability rules pass through to the rules parser.
                 "cache" | "nocache" => {
@@ -527,6 +571,19 @@ trace_ring 64
         assert!(ServerOptions::parse("trace_ring lots")
             .unwrap_err()
             .contains("bad"));
+    }
+
+    #[test]
+    fn engine_keyword() {
+        // Note: the default depends on SWALA_ENGINE (env override of the
+        // default), so only explicit settings are asserted here.
+        let o = ServerOptions::parse("engine event\n").unwrap();
+        assert_eq!(o.engine, EngineKind::Event);
+        let o = ServerOptions::parse("engine threaded\n").unwrap();
+        assert_eq!(o.engine, EngineKind::Threaded);
+        assert!(ServerOptions::parse("engine coroutine")
+            .unwrap_err()
+            .contains("threaded|event"));
     }
 
     #[test]

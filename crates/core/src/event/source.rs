@@ -1,0 +1,206 @@
+//! The event-source seam: the loop in [`super`] is generic over
+//! `EventSource`, so production runs on the epoll shim while tests drive
+//! the identical loop from a deterministic scripted source.
+
+use super::epoll::{self, Epoll, EpollEvent, EventFd};
+use std::collections::VecDeque;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// What a connection currently wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interest {
+    /// Bytes to read (new request data, or a peer close).
+    Read,
+    /// Socket writable (response write previously hit `WouldBlock`).
+    Write,
+    /// Nothing — the request is executing on a worker; only errors and
+    /// hangups are reported.
+    None,
+}
+
+/// One readiness notification, in source-neutral terms.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Error or hangup: the connection is dead or dying.
+    pub closed: bool,
+}
+
+/// A cloneable handle that makes a blocked [`EventSource::wait`] return
+/// early. Safe to call from any thread; used by the worker pool when a
+/// response is ready and by `shutdown`.
+#[derive(Clone)]
+pub struct WakeupHandle(Arc<dyn Fn() + Send + Sync>);
+
+impl WakeupHandle {
+    pub fn new(f: impl Fn() + Send + Sync + 'static) -> WakeupHandle {
+        WakeupHandle(Arc::new(f))
+    }
+
+    pub fn wake(&self) {
+        (self.0)();
+    }
+}
+
+/// Readiness polling, abstracted just far enough that the engine's loop
+/// can be driven by a fake in tests. Registration is by raw fd with a
+/// caller-chosen token; `wait` reports tokens.
+pub trait EventSource: Send + 'static {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+    /// Block up to `timeout` for readiness, appending to `events`
+    /// (cleared first). A [`WakeupHandle::wake`] makes this return early
+    /// with whatever is ready.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()>;
+    fn wakeup_handle(&self) -> WakeupHandle;
+}
+
+/// Token reserved for the source's internal wakeup fd; never reported.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+/// The production source: the vendored epoll shim plus an eventfd waker.
+pub struct EpollSource {
+    epoll: Arc<Epoll>,
+    wake: Arc<EventFd>,
+    buf: Vec<EpollEvent>,
+}
+
+impl EpollSource {
+    pub fn new() -> io::Result<EpollSource> {
+        let epoll = Arc::new(Epoll::new()?);
+        let wake = Arc::new(EventFd::new()?);
+        epoll.add(wake.raw_fd(), epoll::EPOLLIN, WAKE_TOKEN)?;
+        Ok(EpollSource {
+            epoll,
+            wake,
+            buf: vec![EpollEvent { events: 0, data: 0 }; 1024],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        // EPOLLRDHUP on reads lets a held-open idle connection report the
+        // peer's close without a read() round trip.
+        match interest {
+            Interest::Read => epoll::EPOLLIN | epoll::EPOLLRDHUP,
+            Interest::Write => epoll::EPOLLOUT,
+            Interest::None => 0,
+        }
+    }
+}
+
+impl EventSource for EpollSource {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.epoll.add(fd, Self::mask(interest), token)
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.epoll.modify(fd, Self::mask(interest), token)
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.epoll.delete(fd)
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        let n = self.epoll.wait(&mut self.buf, timeout)?;
+        for ev in &self.buf[..n] {
+            // Copy out of the (packed) FFI struct before use.
+            let token = { ev.data };
+            let bits = { ev.events };
+            if token == WAKE_TOKEN {
+                self.wake.drain();
+                continue;
+            }
+            events.push(Event {
+                token,
+                readable: bits & (epoll::EPOLLIN | epoll::EPOLLRDHUP) != 0,
+                writable: bits & epoll::EPOLLOUT != 0,
+                closed: bits & (epoll::EPOLLERR | epoll::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+
+    fn wakeup_handle(&self) -> WakeupHandle {
+        let wake = Arc::clone(&self.wake);
+        WakeupHandle::new(move || wake.signal())
+    }
+}
+
+/// A deterministic scripted source for tests: readiness is whatever the
+/// test pushed, delivered in push order. Registrations are recorded so
+/// tests can assert interest transitions.
+#[derive(Default)]
+pub struct FakeSourceState {
+    queue: VecDeque<Event>,
+    /// (fd, token, interest) log of register/modify calls.
+    pub ops: Vec<(RawFd, u64, Interest)>,
+    woken: bool,
+}
+
+#[derive(Clone, Default)]
+pub struct FakeSource {
+    state: Arc<(Mutex<FakeSourceState>, Condvar)>,
+}
+
+impl FakeSource {
+    pub fn new() -> FakeSource {
+        FakeSource::default()
+    }
+
+    /// Make the next `wait` deliver `event`.
+    pub fn push(&self, event: Event) {
+        let (lock, cond) = &*self.state;
+        lock.lock().unwrap().queue.push_back(event);
+        cond.notify_all();
+    }
+
+    pub fn ops(&self) -> Vec<(RawFd, u64, Interest)> {
+        self.state.0.lock().unwrap().ops.clone()
+    }
+}
+
+impl EventSource for FakeSource {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.state.0.lock().unwrap().ops.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.state.0.lock().unwrap().ops.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn deregister(&mut self, _fd: RawFd) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
+        events.clear();
+        let (lock, cond) = &*self.state;
+        let mut st = lock.lock().unwrap();
+        if st.queue.is_empty() && !st.woken {
+            let (guard, _) = cond.wait_timeout(st, timeout).unwrap();
+            st = guard;
+        }
+        st.woken = false;
+        events.extend(st.queue.drain(..));
+        Ok(())
+    }
+
+    fn wakeup_handle(&self) -> WakeupHandle {
+        let state = Arc::clone(&self.state);
+        WakeupHandle::new(move || {
+            let (lock, cond) = &*state;
+            lock.lock().unwrap().woken = true;
+            cond.notify_all();
+        })
+    }
+}

@@ -67,6 +67,11 @@ pub struct NodeContext {
     pub retry_policy: RetryPolicy,
     /// Per-peer quarantine tracking, fed by fetch outcomes.
     pub health: Arc<HealthTracker>,
+    /// Connection-engine gauges (open/idle connections, worker queue),
+    /// bumped by whichever engine is serving.
+    pub engine_stats: Arc<crate::stats::EngineStats>,
+    /// Which engine this node runs (shown on `/swala-status`).
+    pub engine: crate::config::EngineKind,
 }
 
 impl NodeContext {

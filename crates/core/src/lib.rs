@@ -45,6 +45,7 @@ pub mod accesslog;
 pub mod admin;
 pub mod client;
 pub mod config;
+pub mod event;
 pub mod files;
 pub mod handler;
 pub mod monitor;
@@ -53,9 +54,10 @@ pub mod server;
 pub mod stats;
 
 pub use client::HttpClient;
-pub use config::ServerOptions;
+pub use config::{EngineKind, ServerOptions};
+pub use event::epoll::raise_nofile_limit;
 pub use server::{BoundSwala, SwalaServer};
-pub use stats::{RequestStats, RequestStatsSnapshot};
+pub use stats::{EngineStats, RequestStats, RequestStatsSnapshot};
 
 // Re-export the pieces examples and benches compose with.
 pub use swala_cache::{CacheKey, CacheRules, NodeId, PolicyKind};

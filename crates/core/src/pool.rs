@@ -70,7 +70,12 @@ impl RequestPool {
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        // One dummy connection per thread unblocks all accepts.
+        // One dummy self-connection per thread unblocks all accepts.
+        // Deliberate: the threads block *inside* `accept()` with no other
+        // wakeup channel, and std's TcpListener has no cancellation — a
+        // kernel-level wakeup would need nonblocking sockets and a
+        // readiness loop, which is exactly what the event engine is. It
+        // uses an eventfd instead (see `event::EventEngine::shutdown`).
         for _ in 0..self.handles.len() {
             let _ = TcpStream::connect(self.addr);
         }
@@ -102,14 +107,27 @@ fn request_thread(listener: &TcpListener, ctx: &NodeContext, shutdown: &AtomicBo
 }
 
 /// Idle keep-alive connections are dropped after this long, as 1998
-/// servers did, so they cannot pin a pool thread forever.
-const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
+/// servers did, so they cannot pin a pool thread forever. The event
+/// engine enforces the same limits from its deadline sweep.
+pub(crate) const KEEP_ALIVE_IDLE: Duration = Duration::from_secs(5);
 
-/// Granularity at which an idle pool thread re-checks the shutdown flag.
-const READ_TICK: Duration = Duration::from_millis(100);
+/// Granularity at which an idle pool thread re-checks the shutdown flag
+/// (and the event loop's wait tick / deadline-sweep period).
+pub(crate) const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Decrements a gauge when dropped, so early returns stay balanced.
+struct GaugeGuard<'a>(&'a swala_obs::Gauge);
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
 
 /// Serve one connection's keep-alive request loop.
 fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: &AtomicBool) {
+    ctx.engine_stats.open_connections.add(1);
+    let _open = GaugeGuard(&ctx.engine_stats.open_connections);
     let _ = stream.set_nodelay(true);
     // Short read timeouts let the thread poll the shutdown flag while the
     // connection idles between keep-alive requests.
@@ -125,23 +143,27 @@ fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: 
         // safely restart the wait. Pipelined bytes already buffered from
         // the previous parse skip the wait entirely.
         let mut idle = Duration::ZERO;
-        while reader.buffer().is_empty() {
-            if shutdown.load(Ordering::Acquire) {
-                return;
-            }
-            match reader.get_ref().peek(&mut [0u8; 1]) {
-                Ok(0) => return, // client closed between requests
-                Ok(_) => break,
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    idle += READ_TICK;
-                    if idle >= KEEP_ALIVE_IDLE {
-                        return;
-                    }
+        if reader.buffer().is_empty() {
+            ctx.engine_stats.idle_connections.add(1);
+            let _idle = GaugeGuard(&ctx.engine_stats.idle_connections);
+            while reader.buffer().is_empty() {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
                 }
-                Err(_) => return, // reset
+                match reader.get_ref().peek(&mut [0u8; 1]) {
+                    Ok(0) => return, // client closed between requests
+                    Ok(_) => break,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        idle += READ_TICK;
+                        if idle >= KEEP_ALIVE_IDLE {
+                            return;
+                        }
+                    }
+                    Err(_) => return, // reset
+                }
             }
         }
         // The request has begun: parse it in one pass. A mid-request

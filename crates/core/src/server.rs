@@ -1,10 +1,11 @@
 //! The Swala server: binds the pieces into one node.
 
-use crate::config::ServerOptions;
+use crate::config::{EngineKind, ServerOptions};
+use crate::event::EventEngine;
 use crate::handler::NodeContext;
 use crate::monitor::SourceMonitor;
 use crate::pool::RequestPool;
-use crate::stats::{RequestStats, RequestStatsSnapshot};
+use crate::stats::{EngineStats, RequestStats, RequestStatsSnapshot};
 use parking_lot::RwLock;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
@@ -124,6 +125,8 @@ impl BoundSwala {
         };
         let stats = Arc::new(RequestStats::new());
         stats.register_into(telemetry.registry(), "swala_http");
+        let engine_stats = EngineStats::new();
+        engine_stats.register_into(telemetry.registry());
         manager
             .stats_arc()
             .register_into(telemetry.registry(), "swala_cache");
@@ -270,19 +273,49 @@ impl BoundSwala {
                 quarantine_after: options.quarantine_after,
                 probe_interval: options.probe_interval,
             })),
+            engine_stats,
+            engine: options.engine,
         });
 
-        let pool = RequestPool::start(http_listener, Arc::clone(&ctx), options.pool_size)?;
+        let engine = match options.engine {
+            EngineKind::Threaded => HttpEngine::Threaded(RequestPool::start(
+                http_listener,
+                Arc::clone(&ctx),
+                options.pool_size,
+            )?),
+            EngineKind::Event => HttpEngine::Event(EventEngine::start(
+                http_listener,
+                Arc::clone(&ctx),
+                options.pool_size,
+            )?),
+        };
 
         Ok(SwalaServer {
             ctx,
             manager,
             daemons: Some(daemons),
-            pool: Some(pool),
+            engine: Some(engine),
             monitor,
             http_addr,
             cache_addr,
         })
+    }
+}
+
+/// The connection engine serving a node's HTTP listener.
+pub enum HttpEngine {
+    /// The paper's accept pool (one blocking thread per connection).
+    Threaded(RequestPool),
+    /// The readiness-polled event loop (`engine event`).
+    Event(EventEngine),
+}
+
+impl HttpEngine {
+    fn shutdown(self) {
+        match self {
+            HttpEngine::Threaded(pool) => pool.shutdown(),
+            HttpEngine::Event(engine) => engine.shutdown(),
+        }
     }
 }
 
@@ -291,7 +324,7 @@ pub struct SwalaServer {
     ctx: Arc<NodeContext>,
     manager: Arc<CacheManager>,
     daemons: Option<CacheDaemons>,
-    pool: Option<RequestPool>,
+    engine: Option<HttpEngine>,
     monitor: Option<SourceMonitor>,
     http_addr: SocketAddr,
     cache_addr: SocketAddr,
@@ -370,13 +403,23 @@ impl SwalaServer {
         self.monitor.as_ref()
     }
 
-    /// Stop the pool, the daemons and the monitor, then return. The
+    /// Gauges and counters of the serving connection engine.
+    pub fn engine_stats(&self) -> &Arc<EngineStats> {
+        &self.ctx.engine_stats
+    }
+
+    /// Which connection engine this node runs.
+    pub fn engine_kind(&self) -> EngineKind {
+        self.ctx.engine
+    }
+
+    /// Stop the engine, the daemons and the monitor, then return. The
     /// broadcaster is drained in between: once no new requests can enqueue
     /// notices, writer threads flush what is queued to live peers before
     /// the cache daemons stop listening.
     pub fn shutdown(mut self) {
-        if let Some(pool) = self.pool.take() {
-            pool.shutdown();
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
         }
         if let Some(monitor) = self.monitor.take() {
             monitor.shutdown();
@@ -390,8 +433,8 @@ impl SwalaServer {
 
 impl Drop for SwalaServer {
     fn drop(&mut self) {
-        if let Some(pool) = self.pool.take() {
-            pool.shutdown();
+        if let Some(engine) = self.engine.take() {
+            engine.shutdown();
         }
         drop(self.monitor.take());
         self.ctx.broadcaster.shutdown();

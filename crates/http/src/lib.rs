@@ -40,7 +40,7 @@ pub use body::Body;
 pub use error::{HttpError, Result};
 pub use headers::HeaderMap;
 pub use method::Method;
-pub use request::{read_request, Request};
+pub use request::{read_request, try_parse_request, ParseStatus, Request};
 pub use response::Response;
 pub use status::StatusCode;
 pub use uri::{decode_percent, RequestTarget};

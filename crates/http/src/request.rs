@@ -190,6 +190,44 @@ pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request> {
     })
 }
 
+/// Outcome of attempting to parse a request from a byte buffer that may
+/// not yet hold the complete request (nonblocking readers accumulate
+/// bytes and retry as more arrive).
+#[derive(Debug)]
+pub enum ParseStatus {
+    /// A full request was parsed; `consumed` bytes of the buffer belong
+    /// to it (the rest is pipelined data for the next request).
+    Complete { request: Request, consumed: usize },
+    /// The buffer ends mid-request: keep the bytes and read more.
+    Partial,
+    /// The bytes already received can never become a valid request.
+    Error(HttpError),
+}
+
+/// Try to parse one request from `buf` without consuming it.
+///
+/// This is the incremental twin of [`read_request`], built on the same
+/// parser so the two accept byte-for-byte the same wire format: an
+/// EOF-shaped failure against the in-memory buffer means the request is
+/// merely incomplete, while every other failure is a real parse error.
+pub fn try_parse_request(buf: &[u8]) -> ParseStatus {
+    let mut cursor = std::io::Cursor::new(buf);
+    match read_request(&mut cursor) {
+        Ok(request) => ParseStatus::Complete {
+            request,
+            consumed: cursor.position() as usize,
+        },
+        // read_line maps running out of buffer to ConnectionClosed; the
+        // body's read_exact surfaces it as UnexpectedEof. Both mean
+        // "incomplete", not "malformed".
+        Err(HttpError::ConnectionClosed { .. }) => ParseStatus::Partial,
+        Err(HttpError::Io(ref e)) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+            ParseStatus::Partial
+        }
+        Err(e) => ParseStatus::Error(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +379,58 @@ mod tests {
     fn multiple_spaces_in_request_line_tolerated() {
         let r = parse(b"GET  /x   HTTP/1.0\r\n\r\n").unwrap();
         assert_eq!(r.target.path, "/x");
+    }
+
+    #[test]
+    fn try_parse_grows_byte_by_byte() {
+        // Every prefix of a valid request is Partial; the full buffer is
+        // Complete and consumes exactly the request's bytes.
+        let wire = b"POST /cgi-bin/f HTTP/1.0\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..wire.len() {
+            match try_parse_request(&wire[..cut]) {
+                ParseStatus::Partial => {}
+                other => panic!("prefix {cut} should be Partial, got {other:?}"),
+            }
+        }
+        match try_parse_request(wire) {
+            ParseStatus::Complete { request, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(request.body, b"hello");
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_leaves_pipelined_tail() {
+        let wire = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let first = match try_parse_request(wire) {
+            ParseStatus::Complete { request, consumed } => {
+                assert_eq!(request.target.path, "/a");
+                consumed
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        };
+        match try_parse_request(&wire[first..]) {
+            ParseStatus::Complete { request, consumed } => {
+                assert_eq!(request.target.path, "/b");
+                assert_eq!(first + consumed, wire.len());
+            }
+            other => panic!("expected Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_parse_reports_real_errors() {
+        assert!(matches!(
+            try_parse_request(b"BREW / HTTP/1.0\r\n\r\n"),
+            ParseStatus::Error(HttpError::BadMethod(_))
+        ));
+        assert!(matches!(
+            try_parse_request(b"GET / HTTP/1.0\r\nNoColon\r\n\r\n"),
+            ParseStatus::Error(HttpError::BadHeader(_))
+        ));
+        // An empty buffer is simply "no request yet".
+        assert!(matches!(try_parse_request(b""), ParseStatus::Partial));
     }
 }

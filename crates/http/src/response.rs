@@ -60,6 +60,18 @@ impl Response {
     /// When `include_body` is false (HEAD requests) the headers still
     /// advertise the full length but no body bytes are sent.
     pub fn write_to<W: Write>(&self, out: &mut W, include_body: bool) -> Result<()> {
+        let head = self.head_bytes();
+        let body: &[u8] = if include_body { &self.body } else { &[] };
+        write_all_vectored(out, &head, body)?;
+        out.flush()?;
+        Ok(())
+    }
+
+    /// Serialize the status line and headers (through the terminating
+    /// blank line) exactly as [`write_to`](Self::write_to) sends them.
+    /// Nonblocking writers use this to stage the head once and then push
+    /// head + body out in resumable partial writes.
+    pub fn head_bytes(&self) -> Vec<u8> {
         let mut head = Vec::with_capacity(256);
         head.extend_from_slice(self.version.as_str().as_bytes());
         head.push(b' ');
@@ -76,10 +88,7 @@ impl Response {
         }
         head.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
         head.extend_from_slice(b"\r\n");
-        let body: &[u8] = if include_body { &self.body } else { &[] };
-        write_all_vectored(out, &head, body)?;
-        out.flush()?;
-        Ok(())
+        head
     }
 
     /// Serialize to a byte vector (body included).

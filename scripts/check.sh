@@ -9,6 +9,19 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q (event engine)"
+# The same tier-1 suite with the event engine as the default, so both
+# connection layers stay green. Tests that pin `engine` explicitly are
+# unaffected by the env override.
+SWALA_ENGINE=event cargo test -q
+
+echo "==> C10K smoke (c10k)"
+# Raise RLIMIT_NOFILE, park 10k idle keep-alive connections on an
+# event-engine node, and require a live request to complete under the
+# latency bound. Scales itself down (and says so) where the fd limit
+# cannot hold 10k two-ended loopback connections.
+target/release/c10k
+
 echo "==> hot-path smoke (tables hitpath)"
 SWALA_BENCH_QUICK=1 target/release/tables hitpath
 python3 -m json.tool BENCH_hitpath.json > /dev/null

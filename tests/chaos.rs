@@ -616,3 +616,75 @@ fn resetting_connections_through_pool_still_quarantine_the_peer() {
     assert_eq!(cluster.node(0).request_stats().server_errors, 0);
     cluster.shutdown();
 }
+
+/// The event engine under accept-path chaos: node 1's cache daemon
+/// resets freshly-accepted connections partway through a request burst
+/// against an event-engine front end. The §4.2 promise must hold
+/// unchanged — every client request succeeds with the correct body, the
+/// resets cost only local re-executions, and cooperation resumes the
+/// moment the fault window closes. This exercises the engine's worker
+/// offload: remote fetches (and their retries) run on pool workers, so a
+/// resetting peer must never stall the event loop itself.
+#[test]
+fn event_engine_survives_accept_resets_mid_burst() {
+    use swala_proto::faults::ACCEPT_SRC;
+    let inj = FaultInjector::seeded(chaos_seed());
+    let cluster = SwalaCluster::start(&ClusterConfig {
+        engine: swala::EngineKind::Event,
+        fetch_retries: 2,
+        quarantine_after: 100, // keep quarantine out of this scenario
+        ..chaos_config(2, &inj)
+    })
+    .unwrap();
+
+    // Warm six entries onto node 1 and record the correct bodies.
+    let targets: Vec<String> = (0..6)
+        .map(|i| format!("/cgi-bin/adl?id=81{i}&ms=0"))
+        .collect();
+    let mut c1 = HttpClient::new(cluster.node(1).http_addr());
+    let bodies: Vec<Vec<u8>> = targets
+        .iter()
+        .map(|t| c1.get(t).unwrap().body.into_vec())
+        .collect();
+    assert!(cluster.wait_for_directory_convergence(6, Duration::from_secs(10)));
+    settle(&cluster);
+
+    // The next eight connections accepted by node 1's daemon die with an
+    // RST on first use. Node 0's fetch pool is still cold, so the burst
+    // below opens fresh connections straight into the fault window; the
+    // window also swallows whatever broadcast-link reconnects land on
+    // the daemon meanwhile, so the exact request where cooperation
+    // resumes varies — the invariants below do not.
+    let n = inj.attempt_count(ACCEPT_SRC, NodeId(1));
+    inj.add_rule(FaultRule::between(ACCEPT_SRC, NodeId(1), FaultAction::Reset).window(n, n + 8));
+
+    let mut c0 = HttpClient::new(cluster.node(0).http_addr());
+    let mut tags = Vec::new();
+    for (t, body) in targets.iter().zip(&bodies) {
+        let r = c0.get(t).unwrap();
+        assert!(r.status.is_success(), "request failed mid-burst: {t}");
+        assert_eq!(&r.body, body, "wrong body for {t}");
+        tags.push(cache_tag(&r));
+    }
+    // The resets actually bit: the cold pool's first request cannot have
+    // dodged the window.
+    assert_eq!(
+        tags[0], "remote-unreachable-fallback",
+        "first fetch of the burst must hit a reset: {tags:?}"
+    );
+    // Eight reset accepts cannot outlast four failing requests (a
+    // failing request burns at least two), so the tail of the burst runs
+    // on healthy connections again.
+    assert_eq!(
+        &tags[4..],
+        ["remote-hit", "remote-hit"],
+        "cooperation must resume once the fault window closes: {tags:?}"
+    );
+    assert!(
+        tags.iter()
+            .all(|t| t == "remote-hit" || t == "remote-unreachable-fallback"),
+        "only clean outcomes allowed mid-chaos: {tags:?}"
+    );
+    assert_eq!(cluster.node(0).request_stats().server_errors, 0);
+    cluster.shutdown();
+}
