@@ -3,6 +3,7 @@
 pub mod ablations;
 pub mod broadcast;
 pub mod coalesce;
+pub mod directory;
 pub mod faults;
 pub mod fig3;
 pub mod fig4;
@@ -32,6 +33,7 @@ pub const ALL_IDS: &[&str] = &[
     "falsemiss",
     "locking",
     "broadcast",
+    "directory",
     "faults",
     "hitpath",
     "coalesce",
@@ -55,6 +57,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "falsemiss" => ablations::run_false_consistency(),
         "locking" => ablations::run_locking(),
         "broadcast" => broadcast::run(),
+        "directory" => directory::run(),
         "faults" => faults::run(),
         "hitpath" => hitpath::run(),
         "coalesce" => coalesce::run(),

@@ -37,6 +37,7 @@ pub mod manager;
 pub mod memcache;
 pub mod node;
 pub mod policy;
+pub mod ring;
 pub mod rules;
 pub mod stats;
 pub mod store;
@@ -51,6 +52,7 @@ pub use manager::{
 pub use memcache::MemCache;
 pub use node::NodeId;
 pub use policy::{Policy, PolicyKind};
+pub use ring::{DirectoryKind, HashRing, DEFAULT_VNODES};
 pub use rules::{CacheDecision, CacheRules, Rule};
 pub use stats::CacheStats;
 pub use store::{DiskStore, MemStore, Store};

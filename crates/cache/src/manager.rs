@@ -13,6 +13,7 @@ use crate::key::CacheKey;
 use crate::memcache::MemCache;
 use crate::node::NodeId;
 use crate::policy::{Policy, PolicyKind};
+use crate::ring::{DirectoryKind, HashRing, DEFAULT_VNODES};
 use crate::rules::{CacheDecision, CacheRules};
 use crate::stats::CacheStats;
 use crate::store::Store;
@@ -47,6 +48,15 @@ pub struct CacheManagerConfig {
     /// Bound on how long a coalesced miss waits for the leader before
     /// falling back to its own execution.
     pub coalesce_wait: Duration,
+    /// Directory organization: the paper's replicated directory (the
+    /// default), or consistent-hash partitioned with per-key home nodes.
+    /// Deliberately *not* env-sensitive here — `ServerOptions::default`
+    /// owns the `SWALA_DIRECTORY` override, so unit tests that build
+    /// managers directly are immune to a suite-wide env sweep.
+    pub directory: DirectoryKind,
+    /// Virtual points per node on the consistent-hash ring (partitioned
+    /// mode only).
+    pub ring_vnodes: usize,
 }
 
 impl Default for CacheManagerConfig {
@@ -60,6 +70,8 @@ impl Default for CacheManagerConfig {
             mem_cache_bytes: 64 * 1024 * 1024,
             coalesce: true,
             coalesce_wait: Duration::from_secs(10),
+            directory: DirectoryKind::Replicated,
+            ring_vnodes: DEFAULT_VNODES,
         }
     }
 }
@@ -220,6 +232,10 @@ pub struct CacheManager {
     coalesce: bool,
     /// Bounded wait before a coalesced miss falls back to executing.
     coalesce_wait: Duration,
+    /// Which directory organization this node runs.
+    directory_kind: DirectoryKind,
+    /// Key-space ownership ring; `Some` only in partitioned mode.
+    ring: Option<HashRing>,
 }
 
 impl CacheManager {
@@ -238,6 +254,9 @@ impl CacheManager {
             flights: Mutex::new(HashMap::new()),
             coalesce: cfg.coalesce,
             coalesce_wait: cfg.coalesce_wait,
+            directory_kind: cfg.directory,
+            ring: (cfg.directory == DirectoryKind::Partitioned)
+                .then(|| HashRing::new(cfg.num_nodes, cfg.ring_vnodes)),
         }
     }
 
@@ -249,6 +268,22 @@ impl CacheManager {
     /// The replicated directory (read-mostly introspection).
     pub fn directory(&self) -> &CacheDirectory {
         &self.directory
+    }
+
+    /// Which directory organization this node runs.
+    pub fn directory_kind(&self) -> DirectoryKind {
+        self.directory_kind
+    }
+
+    /// The consistent-hash ring; `Some` only in partitioned mode.
+    pub fn ring(&self) -> Option<&HashRing> {
+        self.ring.as_ref()
+    }
+
+    /// The home node responsible for `key`'s directory entry, or `None`
+    /// in replicated mode (where every node is every key's home).
+    pub fn home_node(&self, key: &CacheKey) -> Option<NodeId> {
+        self.ring.as_ref().map(|r| r.home(key))
     }
 
     /// Statistics counters.
@@ -544,6 +579,18 @@ impl CacheManager {
     pub fn abort_execution(&self, key: &CacheKey) {
         self.finish_flight(key, None);
         CacheStats::bump(&self.stats.aborts);
+    }
+
+    /// A miss was resolved by fetching the body from a *remote* owner
+    /// (partitioned mode's fetch-by-way-of-home): publish the body to any
+    /// coalesced waiters and release the caller's executor slot, without
+    /// inserting — the entry stays owned by the remote node.
+    ///
+    /// Balances the in-flight registration from
+    /// [`lookup`](Self::lookup)'s `Miss` just like `complete_execution`
+    /// would, so the flight-leader never deadlocks waiting on itself.
+    pub fn complete_remote_serve(&self, key: &CacheKey, content_type: &str, body: Arc<[u8]>) {
+        self.finish_flight(key, Some((content_type.to_string(), body)));
     }
 
     /// Serve a peer's fetch of a locally owned entry.
@@ -1312,5 +1359,80 @@ mod tests {
             m.directory().get(NodeId(0), &k).is_none(),
             "stale entry dropped"
         );
+    }
+
+    #[test]
+    fn replicated_manager_has_no_ring() {
+        let m = manager(10);
+        assert_eq!(m.directory_kind(), DirectoryKind::Replicated);
+        assert!(m.ring().is_none());
+        assert!(m.home_node(&key("/cgi-bin/x")).is_none());
+    }
+
+    #[test]
+    fn partitioned_manager_assigns_homes_from_the_ring() {
+        let m = CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 4,
+                local: NodeId(1),
+                directory: DirectoryKind::Partitioned,
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        );
+        assert_eq!(m.directory_kind(), DirectoryKind::Partitioned);
+        let ring = m.ring().expect("partitioned mode builds a ring");
+        assert_eq!(ring.members().len(), 4);
+        for i in 0..50 {
+            let k = key(&format!("/cgi-bin/h?id={i}"));
+            let home = m.home_node(&k).unwrap();
+            assert_eq!(home, ring.home(&k));
+            assert!(home.index() < 4);
+        }
+    }
+
+    #[test]
+    fn complete_remote_serve_feeds_waiters_without_inserting() {
+        let m = Arc::new(manager(10));
+        let k = key("/cgi-bin/via-home?x=1");
+        // Leader takes the miss (registering the in-flight marker)...
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss {
+                first_in_flight: true,
+                ..
+            }
+        ));
+        // ...a second request coalesces behind it...
+        let waiter = match m.lookup(&k, k.as_str()) {
+            LookupResult::CoalesceWait { waiter, .. } => waiter,
+            other => panic!("{other:?}"),
+        };
+        let handle = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.wait_flight(waiter))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        // ...and the leader resolves the miss from a remote owner.
+        let body: Arc<[u8]> = Arc::from(&b"owner-body"[..]);
+        m.complete_remote_serve(&k, "text/html", body);
+        match handle.join().unwrap() {
+            FlightWaitOutcome::Served { content_type, body } => {
+                assert_eq!(content_type, "text/html");
+                assert_eq!(&body[..], b"owner-body");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Nothing was inserted and the flight is fully released: the next
+        // lookup is a fresh leader miss, not a stuck coalesce-wait.
+        assert_eq!(m.stats().snapshot().inserts, 0);
+        assert!(matches!(
+            m.lookup(&k, k.as_str()),
+            LookupResult::Miss {
+                first_in_flight: true,
+                ..
+            }
+        ));
+        m.abort_execution(&k);
     }
 }

@@ -57,6 +57,12 @@ swala_obs::counters! {
         broadcasts_sent: "Insert/delete notices sent to peers",
         /// Insert/delete notices applied from peers.
         updates_applied: "Insert/delete notices applied from peers",
+        /// Point-to-point directory updates sent to home nodes
+        /// (partitioned mode only).
+        dir_updates_sent: "Point-to-point directory updates sent to home nodes",
+        /// Point-to-point directory updates received as a key's home node
+        /// (partitioned mode only).
+        dir_updates_received: "Point-to-point directory updates received as a home node",
         /// Directory entries evicted because their owner was declared dead
         /// (quarantine repair or a peer's `NodeDown` broadcast).
         node_evictions: "Directory entries evicted because their owner was declared dead",

@@ -69,6 +69,12 @@ pub struct ClusterConfig {
     /// readiness-polled event loop). Defaults to the process default,
     /// which honors `SWALA_ENGINE`.
     pub engine: swala::EngineKind,
+    /// Directory organization on every node (replicated broadcast or
+    /// consistent-hash partitioned). Defaults to the process default,
+    /// which honors `SWALA_DIRECTORY`.
+    pub directory: swala_cache::DirectoryKind,
+    /// Virtual nodes per member on the consistent-hash ring.
+    pub ring_vnodes: usize,
 }
 
 impl Default for ClusterConfig {
@@ -97,6 +103,8 @@ impl Default for ClusterConfig {
             obs_enabled: ServerOptions::default().obs_enabled,
             trace_ring: ServerOptions::default().trace_ring,
             engine: ServerOptions::default().engine,
+            directory: ServerOptions::default().directory,
+            ring_vnodes: ServerOptions::default().ring_vnodes,
         }
     }
 }
@@ -167,6 +175,8 @@ impl SwalaCluster {
                     obs_enabled: cfg.obs_enabled,
                     trace_ring: cfg.trace_ring,
                     engine: cfg.engine,
+                    directory: cfg.directory,
+                    ring_vnodes: cfg.ring_vnodes,
                     ..Default::default()
                 };
                 BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))
@@ -220,14 +230,13 @@ impl SwalaCluster {
     /// entries across all of its tables — i.e. all insert notices have
     /// propagated and every node sees the same cluster-wide entry count.
     /// Returns whether agreement was reached within `timeout`.
+    /// In partitioned mode the nodes never share full tables, so
+    /// "converged" means: the nodes' *owned* entries sum to the expected
+    /// count AND every owned entry is registered at its ring home.
     pub fn wait_for_directory_convergence(&self, expected_total: usize, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
-            let converged = self
-                .servers
-                .iter()
-                .all(|s| s.manager().directory().total_len() == expected_total);
-            if converged {
+            if self.directories_converged(expected_total) {
                 return true;
             }
             if Instant::now() > deadline {
@@ -235,6 +244,41 @@ impl SwalaCluster {
             }
             std::thread::sleep(Duration::from_millis(5));
         }
+    }
+
+    fn directories_converged(&self, expected_total: usize) -> bool {
+        if self.servers[0].manager().ring().is_none() {
+            // Replicated: every node sees every entry.
+            return self
+                .servers
+                .iter()
+                .all(|s| s.manager().directory().total_len() == expected_total);
+        }
+        let owned_total: usize = self
+            .servers
+            .iter()
+            .map(|s| {
+                let m = s.manager();
+                m.directory().len(m.local_node())
+            })
+            .sum();
+        owned_total == expected_total && self.homes_registered()
+    }
+
+    /// Partitioned-mode invariant: each node's owned entries appear in
+    /// their home node's directory (the point-to-point update arrived).
+    fn homes_registered(&self) -> bool {
+        self.servers.iter().all(|s| {
+            let m = s.manager();
+            m.directory().snapshot(m.local_node()).iter().all(|e| {
+                let home = m.home_node(&e.key).expect("partitioned mode has a ring");
+                self.servers[home.index()]
+                    .manager()
+                    .directory()
+                    .get(e.owner, &e.key)
+                    .is_some()
+            })
+        })
     }
 
     /// Wait until the cluster's notice traffic has settled: every node's
@@ -247,6 +291,7 @@ impl SwalaCluster {
     pub fn quiesce(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut last_agreed: Option<usize> = None;
+        let partitioned = self.servers[0].manager().ring().is_some();
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             let flushed = self.servers.iter().all(|s| s.flush_broadcasts(remaining));
@@ -255,11 +300,20 @@ impl SwalaCluster {
                 .iter()
                 .map(|s| s.manager().directory().total_len())
                 .collect();
-            let agreed = flushed && counts.windows(2).all(|w| w[0] == w[1]);
-            if agreed && last_agreed == Some(counts[0]) {
+            // Replicated: all tables agree on the cluster-wide count.
+            // Partitioned: tables are disjoint by design; settled means
+            // every owned entry has reached its home node.
+            let consistent = if partitioned {
+                self.homes_registered()
+            } else {
+                counts.windows(2).all(|w| w[0] == w[1])
+            };
+            let agreed = flushed && consistent;
+            let signature = counts.iter().sum::<usize>();
+            if agreed && last_agreed == Some(signature) {
                 return true;
             }
-            last_agreed = if agreed { Some(counts[0]) } else { None };
+            last_agreed = if agreed { Some(signature) } else { None };
             if Instant::now() > deadline {
                 return false;
             }
@@ -316,6 +370,39 @@ mod tests {
         assert!(cluster.wait_for_directory_convergence(3, Duration::from_secs(5)));
 
         // Every other node now serves them as remote hits.
+        for n in 1..4 {
+            let mut client = HttpClient::new(cluster.node(n).http_addr());
+            let resp = client.get(&targets[0]).unwrap();
+            assert_eq!(
+                resp.headers.get("X-Swala-Cache"),
+                Some("remote-hit"),
+                "node {n}"
+            );
+        }
+        assert_eq!(cluster.total_cache_stat(|s| s.remote_hits), 3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn partitioned_cluster_cooperates() {
+        let cluster = SwalaCluster::start(&ClusterConfig {
+            nodes: 4,
+            directory: swala_cache::DirectoryKind::Partitioned,
+            ..Default::default()
+        })
+        .unwrap();
+        let targets: Vec<String> = (0..3)
+            .map(|i| format!("/cgi-bin/adl?id={i}&ms=0"))
+            .collect();
+        cluster.warm(0, &targets).unwrap();
+        assert!(cluster.wait_for_directory_convergence(3, Duration::from_secs(5)));
+        // Inserts were announced point-to-point: at most one directory
+        // update each (zero when the owner is the home), no broadcasts.
+        assert_eq!(cluster.total_cache_stat(|s| s.broadcasts_sent), 0);
+        assert!(cluster.total_cache_stat(|s| s.dir_updates_sent) <= 3);
+
+        // Every other node still serves the warm entries as remote hits,
+        // resolving through the home node where needed.
         for n in 1..4 {
             let mut client = HttpClient::new(cluster.node(n).http_addr());
             let resp = client.get(&targets[0]).unwrap();

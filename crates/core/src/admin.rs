@@ -20,9 +20,9 @@
 
 use crate::handler::NodeContext;
 use swala_cache::directory::Classification;
-use swala_cache::{CacheKey, CacheStats};
+use swala_cache::CacheKey;
 use swala_http::{Request, Response, StatusCode};
-use swala_proto::{request_invalidate, Message};
+use swala_proto::request_invalidate;
 
 /// Path prefix reserved for administration.
 pub const ADMIN_PREFIX: &str = "/swala-admin/";
@@ -86,6 +86,27 @@ fn status_page(ctx: &NodeContext) -> Response {
             if id == ctx.node { " (this node)" } else { "" },
             dir.len(id),
         ));
+    }
+    // Directory mode line plus, in partitioned mode, the ring's key-space
+    // ownership shares (satellite of the partitioned-directory work).
+    let mut dirmode = format!("directory={}", ctx.manager.directory_kind().as_str());
+    let mut ring_section = String::new();
+    if let Some(ring) = ctx.manager.ring() {
+        dirmode.push_str(&format!(" ring_vnodes={}", ring.vnodes()));
+        let mut rows = String::new();
+        for (id, share) in ring.shares() {
+            rows.push_str(&format!(
+                "<tr><td>node{}{}</td><td>{:.2}%</td></tr>\n",
+                id.0,
+                if id == ctx.node { " (this node)" } else { "" },
+                share * 100.0,
+            ));
+        }
+        ring_section = format!(
+            "<h2>Key-space ownership (consistent-hash ring)</h2>\
+             <table border=1><tr><th>home node</th><th>hash-space share</th></tr>\
+             {rows}</table>"
+        );
     }
     let mut health = String::new();
     for h in ctx.health.snapshot() {
@@ -157,8 +178,9 @@ fn status_page(ctx: &NodeContext) -> Response {
          <th>max</th></tr>{latency}</table>\
          <p><a href=\"/swala-metrics\">metrics</a> &middot; \
          <a href=\"/swala-traces\">traces</a></p>\
-         <h2>Directory (entries per node table)</h2>\
+         <h2>Directory ({dirmode}; entries per node table)</h2>\
          <table border=1>{tables}</table>\
+         {ring_section}\
          <h2>Peer health</h2>\
          <table border=1>\
          <tr><th>peer</th><th>state</th><th>streak</th><th>failures</th>\
@@ -189,39 +211,51 @@ fn invalidate(ctx: &NodeContext, req: &Request) -> Response {
     match ctx.manager.directory().classify(&key) {
         Classification::Local(_) => {
             if let Some(dead) = ctx.manager.remove_local(&key) {
-                ctx.broadcaster.broadcast(&Message::DeleteNotice {
-                    owner: dead.owner,
-                    key: dead.key,
-                });
-                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+                swala_proto::announce_delete(&ctx.manager, &ctx.broadcaster, dead.owner, &dead.key);
             }
             Response::ok("text/plain", format!("invalidated local entry {key}\n"))
         }
-        Classification::Remote(meta) => {
-            let owner = meta.owner;
-            match ctx.cache_addrs.read().get(owner.index()).copied().flatten() {
-                Some(addr) => match request_invalidate(addr, &key, ctx.fetch_timeout) {
-                    Ok(()) => Response::ok(
-                        "text/plain",
-                        format!("invalidation forwarded to owner {owner}\n"),
-                    ),
-                    Err(e) => {
-                        let mut r =
-                            Response::ok("text/plain", format!("owner {owner} unreachable: {e}\n"));
-                        r.status = StatusCode::BAD_GATEWAY;
-                        r
+        Classification::Remote(meta) => forward_invalidate(ctx, &key, meta.owner),
+        Classification::NotCached => {
+            // Partitioned mode: a non-home node's directory is silent
+            // about keys homed elsewhere, so ask the home before
+            // declaring the key uncached.
+            if let Some(home) = ctx.manager.home_node(&key) {
+                if home != ctx.node {
+                    if let Some(addr) = ctx.cache_addrs.read().get(home.index()).copied().flatten()
+                    {
+                        if let Ok((_, Some(meta))) =
+                            ctx.fetch_pool
+                                .dir_lookup(home, addr, &key, ctx.fetch_timeout, None)
+                        {
+                            return forward_invalidate(ctx, &key, meta.owner);
+                        }
                     }
-                },
-                None => {
-                    let mut r =
-                        Response::ok("text/plain", format!("owner {owner} address unknown\n"));
-                    r.status = StatusCode::BAD_GATEWAY;
-                    r
                 }
             }
-        }
-        Classification::NotCached => {
             Response::ok("text/plain", format!("no cached entry for {key}\n"))
+        }
+    }
+}
+
+/// Forward an invalidation to the entry's owner node.
+fn forward_invalidate(ctx: &NodeContext, key: &CacheKey, owner: swala_cache::NodeId) -> Response {
+    match ctx.cache_addrs.read().get(owner.index()).copied().flatten() {
+        Some(addr) => match request_invalidate(addr, key, ctx.fetch_timeout) {
+            Ok(()) => Response::ok(
+                "text/plain",
+                format!("invalidation forwarded to owner {owner}\n"),
+            ),
+            Err(e) => {
+                let mut r = Response::ok("text/plain", format!("owner {owner} unreachable: {e}\n"));
+                r.status = StatusCode::BAD_GATEWAY;
+                r
+            }
+        },
+        None => {
+            let mut r = Response::ok("text/plain", format!("owner {owner} address unknown\n"));
+            r.status = StatusCode::BAD_GATEWAY;
+            r
         }
     }
 }

@@ -5,7 +5,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-use swala_cache::{CacheRules, NodeId, PolicyKind};
+use swala_cache::{CacheRules, DirectoryKind, NodeId, PolicyKind};
 use swala_proto::FaultInjector;
 
 /// Which connection engine serves HTTP.
@@ -132,6 +132,16 @@ pub struct ServerOptions {
     /// config lines and programmatic settings win, so a test that pins an
     /// engine is immune to a suite-wide env sweep.
     pub engine: EngineKind,
+    /// Directory organization (`directory replicated|partitioned`).
+    /// Replicated is the paper-faithful default: every insert/delete
+    /// broadcasts to all peers. Partitioned assigns each key a home node
+    /// on a consistent-hash ring and sends one point-to-point update
+    /// instead. Like `engine`, the `SWALA_DIRECTORY` environment
+    /// variable overrides the *default* only.
+    pub directory: DirectoryKind,
+    /// Virtual nodes per member on the consistent-hash ring
+    /// (partitioned mode only).
+    pub ring_vnodes: usize,
 }
 
 impl Default for ServerOptions {
@@ -175,6 +185,11 @@ impl Default for ServerOptions {
                 Ok("event") => EngineKind::Event,
                 _ => EngineKind::Threaded,
             },
+            directory: match std::env::var("SWALA_DIRECTORY").as_deref() {
+                Ok("partitioned") => DirectoryKind::Partitioned,
+                _ => DirectoryKind::Replicated,
+            },
+            ring_vnodes: swala_cache::DEFAULT_VNODES,
         }
     }
 }
@@ -356,6 +371,15 @@ impl ServerOptions {
                 }
                 "engine" => {
                     opts.engine = rest.parse().map_err(|e: String| err(&e))?;
+                }
+                "directory" => {
+                    opts.directory = rest.parse().map_err(|e: String| err(&e))?;
+                }
+                "ring_vnodes" => {
+                    opts.ring_vnodes = rest.parse().map_err(|_| err("bad ring_vnodes"))?;
+                    if opts.ring_vnodes == 0 {
+                        return Err(err("ring_vnodes must be positive"));
+                    }
                 }
                 // Cacheability rules pass through to the rules parser.
                 "cache" | "nocache" => {
@@ -584,6 +608,27 @@ trace_ring 64
         assert!(ServerOptions::parse("engine coroutine")
             .unwrap_err()
             .contains("threaded|event"));
+    }
+
+    #[test]
+    fn directory_keywords() {
+        // Note: the default depends on SWALA_DIRECTORY (env override of
+        // the default), so only explicit settings are asserted here.
+        let o = ServerOptions::parse("directory partitioned\nring_vnodes 64\n").unwrap();
+        assert_eq!(o.directory, DirectoryKind::Partitioned);
+        assert_eq!(o.ring_vnodes, 64);
+        let o = ServerOptions::parse("directory replicated\n").unwrap();
+        assert_eq!(o.directory, DirectoryKind::Replicated);
+        assert_eq!(o.ring_vnodes, swala_cache::DEFAULT_VNODES);
+        assert!(ServerOptions::parse("directory sharded")
+            .unwrap_err()
+            .contains("replicated|partitioned"));
+        assert!(ServerOptions::parse("ring_vnodes 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ServerOptions::parse("ring_vnodes many")
+            .unwrap_err()
+            .contains("bad"));
     }
 
     #[test]

@@ -606,6 +606,7 @@ mod tests {
                 mem_cache_bytes: 0,
                 coalesce: false,
                 coalesce_wait: Duration::from_secs(1),
+                ..Default::default()
             },
             Box::new(MemStore::new()),
         ));

@@ -19,7 +19,8 @@ use swala_cgi::{CgiOutput, CgiRequest, Program, ProgramRegistry};
 use swala_http::{Method, Request, Response, StatusCode};
 use swala_obs::{Outcome, Stage, Telemetry, Trace};
 use swala_proto::{
-    Broadcaster, Dialer, FetchOutcome, FetchPool, HealthTracker, Message, PeerState, RetryPolicy,
+    announce_delete, announce_insert, Broadcaster, Dialer, FetchOutcome, FetchPool, HealthTracker,
+    Message, PeerState, RetryPolicy,
 };
 
 /// Value of the diagnostic `X-Swala-Cache` response header.
@@ -32,6 +33,7 @@ pub mod cache_header {
     pub const FALSE_HIT: &str = "false-hit-fallback";
     pub const REMOTE_DOWN: &str = "remote-unreachable-fallback";
     pub const QUARANTINED: &str = "quarantined-peer-fallback";
+    pub const HOME_DOWN: &str = "home-unreachable-fallback";
     pub const COALESCED: &str = "coalesced-hit";
     pub const COALESCE_FALLBACK: &str = "coalesce-fallback";
     pub const DISABLED: &str = "disabled";
@@ -170,15 +172,34 @@ fn handle_dynamic(
         LookupResult::RemoteHit { meta } => {
             handle_remote_hit(ctx, program.as_ref(), &cgi_req, key, meta, trace)
         }
-        LookupResult::Miss { decision, .. } => execute_and_cache(
-            ctx,
-            program.as_ref(),
-            &cgi_req,
-            key,
-            decision,
-            cache_header::MISS,
-            trace,
-        ),
+        LookupResult::Miss { decision, .. } => {
+            // Partitioned directory: a local miss is not yet a cluster
+            // miss — the key's home node holds the authoritative entry.
+            // Ask it before executing (unless this node *is* the home,
+            // in which case the local miss was already authoritative).
+            if let Some(home) = ctx.manager.home_node(&key) {
+                if home != ctx.node {
+                    return resolve_miss_via_home(
+                        ctx,
+                        program.as_ref(),
+                        &cgi_req,
+                        key,
+                        decision,
+                        home,
+                        trace,
+                    );
+                }
+            }
+            execute_and_cache(
+                ctx,
+                program.as_ref(),
+                &cgi_req,
+                key,
+                decision,
+                cache_header::MISS,
+                trace,
+            )
+        }
         LookupResult::CoalesceWait { decision, waiter } => wait_and_serve(
             ctx,
             program.as_ref(),
@@ -287,14 +308,11 @@ fn handle_remote_hit(
             ctx.health.record_success(meta.owner);
             ctx.manager.note_false_hit(meta.owner, &key);
             // Directory repair: the owner no longer has this entry, so
-            // every other replica pointing at it is stale too. Broadcast
+            // every other record pointing at it is stale too. Announce
             // the deletion on the owner's behalf (it may have restarted
-            // with no memory of its old advertisements).
-            ctx.broadcaster.broadcast(&Message::DeleteNotice {
-                owner: meta.owner,
-                key: key.clone(),
-            });
-            CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            // with no memory of its old advertisements) — a broadcast in
+            // replicated mode, one update to the home in partitioned.
+            announce_delete(&ctx.manager, &ctx.broadcaster, meta.owner, &key);
             execute_fallback(ctx, program, cgi_req, key, cache_header::FALSE_HIT, trace)
         }
         FetchOutcome::Unreachable(_) => {
@@ -313,6 +331,220 @@ fn handle_remote_hit(
                 CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
             }
             execute_fallback(ctx, program, cgi_req, key, cache_header::REMOTE_DOWN, trace)
+        }
+    }
+}
+
+/// Partitioned-mode miss resolution: this node's directory has no entry
+/// for `key`, but `home` is the ring-assigned authority — ask it before
+/// executing. Every failure along the way degrades to local execution:
+/// the home's answer is an optimization, never a requirement. The caller
+/// holds the miss execution slot throughout, so concurrent identical
+/// requests coalesce behind this resolution.
+fn resolve_miss_via_home(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    key: CacheKey,
+    decision: CacheDecision,
+    home: NodeId,
+    trace: &mut Trace,
+) -> Response {
+    let Some(home_addr) = ctx.peer_cache_addr(home) else {
+        // Cluster wiring incomplete: behave like an unreachable home.
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::HOME_DOWN,
+            trace,
+        );
+    };
+    // Quarantine gate, as on the owner-fetch path: a home declared dead
+    // is skipped without touching the network.
+    if !ctx.health.should_attempt(home) {
+        RequestStats::bump(&ctx.stats.quarantine_skips);
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::HOME_DOWN,
+            trace,
+        );
+    }
+    let t0 = trace.start_span();
+    let answer = ctx
+        .fetch_pool
+        .dir_lookup(home, home_addr, &key, ctx.fetch_timeout, trace.id());
+    trace.end_span(Stage::DirLookup, t0);
+    let meta = match answer {
+        Ok((_, meta)) => {
+            ctx.health.record_success(home);
+            meta
+        }
+        Err(_) => {
+            // Home unreachable: same quarantine bookkeeping as a failed
+            // owner fetch, then execute locally (replicated-style
+            // degradation — correctness never depends on the home).
+            if ctx.health.record_failure(home) == Some(PeerState::Quarantined) {
+                ctx.manager.evict_node(home);
+                ctx.fetch_pool.purge_peer(home);
+                ctx.broadcaster.broadcast(&Message::NodeDown { node: home });
+                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            }
+            return execute_and_cache(
+                ctx,
+                program,
+                cgi_req,
+                key,
+                decision,
+                cache_header::HOME_DOWN,
+                trace,
+            );
+        }
+    };
+    let Some(meta) = meta else {
+        // The home has no record: a true cluster-wide miss.
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::MISS,
+            trace,
+        );
+    };
+    if meta.owner == ctx.node {
+        // The home says *we* own it, but we just missed locally: its
+        // record is stale (e.g. a lost delete). Repair it and execute.
+        announce_delete(&ctx.manager, &ctx.broadcaster, meta.owner, &key);
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::MISS,
+            trace,
+        );
+    }
+    fetch_body_from_owner(ctx, program, cgi_req, key, decision, meta, trace)
+}
+
+/// Fetch the body from the owner a home-node lookup named. Unlike
+/// [`handle_remote_hit`], the caller holds the miss execution slot: a hit
+/// is published to coalesced waiters via `complete_remote_serve` (which
+/// releases the slot without inserting), and fallbacks execute directly.
+fn fetch_body_from_owner(
+    ctx: &NodeContext,
+    program: &dyn Program,
+    cgi_req: &CgiRequest,
+    key: CacheKey,
+    decision: CacheDecision,
+    meta: swala_cache::EntryMeta,
+    trace: &mut Trace,
+) -> Response {
+    trace.set_owner(meta.owner.0);
+    let Some(addr) = ctx.peer_cache_addr(meta.owner) else {
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::REMOTE_DOWN,
+            trace,
+        );
+    };
+    if !ctx.health.should_attempt(meta.owner) {
+        RequestStats::bump(&ctx.stats.quarantine_skips);
+        return execute_and_cache(
+            ctx,
+            program,
+            cgi_req,
+            key,
+            decision,
+            cache_header::QUARANTINED,
+            trace,
+        );
+    }
+    let t0 = trace.start_span();
+    let (outcome, attempts) = ctx.fetch_pool.fetch(
+        meta.owner,
+        addr,
+        &key,
+        ctx.fetch_timeout,
+        &ctx.retry_policy,
+        trace.id(),
+    );
+    trace.end_span(Stage::RemoteFetch, t0);
+    if attempts > 1 {
+        RequestStats::add(&ctx.stats.fetch_retries, (attempts - 1) as u64);
+        trace.add_remote_attempts(attempts - 1);
+    }
+    trace.add_remote_attempts(1);
+    match outcome {
+        FetchOutcome::Hit { content_type, body } => {
+            ctx.health.record_success(meta.owner);
+            RequestStats::bump(&ctx.stats.served_remote_cache);
+            // The local lookup said Miss (this node's directory has no
+            // entry), but cluster-wide this is a remote hit: reclassify
+            // so hit/miss accounting matches replicated mode, where the
+            // directory replica classifies Remote up front.
+            CacheStats::debit(&ctx.manager.stats().misses);
+            CacheStats::bump(&ctx.manager.stats().remote_hits);
+            trace.set_outcome(Outcome::Remote);
+            ctx.manager
+                .complete_remote_serve(&key, &content_type, Arc::from(body.as_slice()));
+            let mut resp = Response::ok(&content_type, body);
+            resp.headers
+                .set(cache_header::NAME, cache_header::REMOTE_HIT);
+            resp
+        }
+        FetchOutcome::Gone => {
+            // A reply — even "gone" — proves the peer is alive. The
+            // home's record was stale; repair it on the owner's behalf.
+            // Reclassify the miss as a (false) remote hit so counters
+            // match replicated mode, where a false hit starts life as a
+            // Remote classification: lookups == hits + misses and
+            // executions == misses + false_hits both keep holding.
+            ctx.health.record_success(meta.owner);
+            CacheStats::debit(&ctx.manager.stats().misses);
+            CacheStats::bump(&ctx.manager.stats().remote_hits);
+            ctx.manager.note_false_hit(meta.owner, &key);
+            announce_delete(&ctx.manager, &ctx.broadcaster, meta.owner, &key);
+            execute_and_cache(
+                ctx,
+                program,
+                cgi_req,
+                key,
+                decision,
+                cache_header::FALSE_HIT,
+                trace,
+            )
+        }
+        FetchOutcome::Unreachable(_) => {
+            if ctx.health.record_failure(meta.owner) == Some(PeerState::Quarantined) {
+                ctx.manager.evict_node(meta.owner);
+                ctx.fetch_pool.purge_peer(meta.owner);
+                ctx.broadcaster
+                    .broadcast(&Message::NodeDown { node: meta.owner });
+                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            }
+            execute_and_cache(
+                ctx,
+                program,
+                cgi_req,
+                key,
+                decision,
+                cache_header::REMOTE_DOWN,
+                trace,
+            )
         }
     }
 }
@@ -404,15 +636,13 @@ fn execute_and_cache(
         .complete_execution(&key, &out.body, &out.content_type, exec, &decision)
     {
         Ok(InsertOutcome::Inserted { meta, evicted }) => {
+            // Mode-routed announcements: a broadcast to every peer in
+            // replicated mode, one point-to-point update to the key's
+            // home node in partitioned mode.
             let t0 = trace.start_span();
-            ctx.broadcaster.broadcast(&Message::InsertNotice { meta });
-            CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+            announce_insert(&ctx.manager, &ctx.broadcaster, &meta);
             for victim in evicted {
-                ctx.broadcaster.broadcast(&Message::DeleteNotice {
-                    owner: victim.owner,
-                    key: victim.key,
-                });
-                CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+                announce_delete(&ctx.manager, &ctx.broadcaster, victim.owner, &victim.key);
             }
             trace.end_span(Stage::BroadcastEnqueue, t0);
         }

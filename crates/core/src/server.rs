@@ -84,6 +84,8 @@ impl BoundSwala {
                 mem_cache_bytes: options.mem_cache_bytes,
                 coalesce: options.coalesce,
                 coalesce_wait: options.coalesce_wait,
+                directory: options.directory,
+                ring_vnodes: options.ring_vnodes,
             },
             store,
         ));
@@ -135,6 +137,32 @@ impl BoundSwala {
                 "swala_cache_mem_bytes",
                 "Bytes resident in the in-memory body tier",
                 gauge,
+            );
+        }
+        {
+            // Directory-size gauges read the manager's existing tables at
+            // scrape time; ring_vnodes is static geometry.
+            let reg = telemetry.registry();
+            let m = Arc::clone(&manager);
+            reg.register_gauge_fn(
+                "swala_cache_dir_entries_owned",
+                "Directory entries this node owns (local inserts)",
+                move || m.directory().len(m.local_node()) as i64,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_gauge_fn(
+                "swala_cache_dir_entries_remote",
+                "Directory entries advertised by other nodes",
+                move || {
+                    let d = m.directory();
+                    (d.total_len() - d.len(m.local_node())) as i64
+                },
+            );
+            let vnodes = manager.ring().map_or(0, |r| r.vnodes()) as i64;
+            reg.register_gauge_fn(
+                "swala_cache_ring_vnodes",
+                "Virtual nodes per member on the consistent-hash ring (0 = replicated directory)",
+                move || vnodes,
             );
         }
         let accept_filter = options.faults.as_ref().map(|f| f.acceptor(options.node));
@@ -386,6 +414,11 @@ impl SwalaServer {
     /// Cache-level statistics.
     pub fn cache_stats(&self) -> swala_cache::stats::StatsSnapshot {
         self.manager.stats().snapshot()
+    }
+
+    /// Per-link broadcast/send statistics (queued, sent, payload bytes).
+    pub fn broadcast_link_stats(&self) -> Vec<swala_proto::LinkStats> {
+        self.ctx.broadcaster.link_stats()
     }
 
     /// Counters of the persistent fetch-connection pool.

@@ -234,6 +234,12 @@ fn cluster(n: usize, caching: bool) -> Vec<SwalaServer> {
                 num_nodes: n,
                 pool_size: 4,
                 caching_enabled: caching,
+                // These tests assert the paper's §4.1/§4.2 broadcast
+                // semantics (every peer hears every insert/delete), so
+                // they pin the replicated directory regardless of any
+                // SWALA_DIRECTORY sweep. tests/directory_modes.rs covers
+                // the behaviour common to both families.
+                directory: swala_cache::DirectoryKind::Replicated,
                 ..Default::default()
             };
             BoundSwala::bind(options, registry()).unwrap()

@@ -95,6 +95,13 @@ macro_rules! counters {
                 counter.fetch_add(n, ::std::sync::atomic::Ordering::Relaxed);
             }
 
+            /// Relaxed decrement — reclassify an event after the fact
+            /// (e.g. a miss that turned out to be a remote hit). The
+            /// caller must have bumped the same counter earlier.
+            pub fn debit(counter: &::std::sync::atomic::AtomicU64) {
+                counter.fetch_sub(1, ::std::sync::atomic::Ordering::Relaxed);
+            }
+
             /// Coherent-enough copy for reporting (relaxed loads).
             pub fn snapshot(&self) -> $snap {
                 $snap {

@@ -54,10 +54,12 @@ impl Gauge {
 }
 
 type CounterFn = Box<dyn Fn() -> u64 + Send + Sync>;
+type GaugeFn = Box<dyn Fn() -> i64 + Send + Sync>;
 
 enum Source {
     Counter(CounterFn),
     Gauge(Arc<Gauge>),
+    GaugeFn(GaugeFn),
     Histogram(Arc<Histogram>),
 }
 
@@ -73,7 +75,7 @@ impl Metric {
     fn type_name(&self) -> &'static str {
         match self.source {
             Source::Counter(_) => "counter",
-            Source::Gauge(_) => "gauge",
+            Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
             Source::Histogram(_) => "histogram",
         }
     }
@@ -162,6 +164,23 @@ impl MetricsRegistry {
         });
     }
 
+    /// Register a gauge read through `f` at scrape time — for values the
+    /// owner already tracks (directory sizes, ring geometry) where a
+    /// shadow [`Gauge`] would just be a second copy to keep in sync.
+    pub fn register_gauge_fn(
+        &self,
+        name: &str,
+        help: &str,
+        f: impl Fn() -> i64 + Send + Sync + 'static,
+    ) {
+        self.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            label: None,
+            source: Source::GaugeFn(Box::new(f)),
+        });
+    }
+
     /// Create and register a new gauge, returning the shared handle.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
         let g = Arc::new(Gauge::new());
@@ -222,6 +241,9 @@ impl MetricsRegistry {
                         render_labels(&m.label, None),
                         g.get()
                     );
+                }
+                Source::GaugeFn(f) => {
+                    let _ = writeln!(out, "{}{} {}", m.name, render_labels(&m.label, None), f());
                 }
                 Source::Histogram(h) => {
                     let s = h.snapshot();
@@ -470,6 +492,22 @@ mod tests {
         let g = Gauge::new();
         g.add(1);
         g.sub(2);
+    }
+
+    #[test]
+    fn gauge_fn_reads_owner_state_at_scrape_time() {
+        let reg = MetricsRegistry::new();
+        let n = Arc::new(AtomicU64::new(3));
+        let n2 = Arc::clone(&n);
+        reg.register_gauge_fn("swala_dir_entries", "Directory entries", move || {
+            n2.load(Ordering::Relaxed) as i64
+        });
+        let text = reg.render();
+        assert!(text.contains("# TYPE swala_dir_entries gauge\n"));
+        assert!(text.contains("swala_dir_entries 3\n"));
+        n.store(11, Ordering::Relaxed);
+        assert!(reg.render().contains("swala_dir_entries 11\n"));
+        parse_exposition(&text).unwrap();
     }
 
     #[test]

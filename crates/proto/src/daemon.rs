@@ -20,8 +20,71 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use swala_cache::{CacheManager, CacheStats};
+use swala_cache::{CacheManager, CacheStats, Classification, EntryMeta};
 use swala_obs::{Outcome, Stage, Telemetry, Trace};
+
+/// Tell the cluster this node just cached `meta`: an insert-notice
+/// broadcast in replicated mode; in partitioned mode one point-to-point
+/// [`Message::DirUpdate`] to the key's home node — and nothing at all
+/// when this node *is* the home (its own directory insert already
+/// recorded the entry).
+pub fn announce_insert(manager: &CacheManager, broadcaster: &Broadcaster, meta: &EntryMeta) {
+    match manager.home_node(&meta.key) {
+        None => {
+            broadcaster.broadcast(&Message::InsertNotice { meta: meta.clone() });
+            CacheStats::bump(&manager.stats().broadcasts_sent);
+        }
+        Some(home) if home == manager.local_node() => {}
+        Some(home) => {
+            broadcaster.send_to(
+                home,
+                &Message::DirUpdate {
+                    owner: meta.owner,
+                    key: meta.key.clone(),
+                    meta: Some(meta.clone()),
+                },
+            );
+            CacheStats::bump(&manager.stats().dir_updates_sent);
+        }
+    }
+}
+
+/// Tell the cluster the entry `owner` advertised for `key` is gone:
+/// a delete-notice broadcast in replicated mode, one point-to-point
+/// [`Message::DirUpdate`] (meta `None`) to the key's home node in
+/// partitioned mode, nothing when this node is the home.
+pub fn announce_delete(
+    manager: &CacheManager,
+    broadcaster: &Broadcaster,
+    owner: swala_cache::NodeId,
+    key: &swala_cache::CacheKey,
+) {
+    match manager.home_node(key) {
+        None => {
+            broadcaster.broadcast(&Message::DeleteNotice {
+                owner,
+                key: key.clone(),
+            });
+            CacheStats::bump(&manager.stats().broadcasts_sent);
+        }
+        Some(home) if home == manager.local_node() => {
+            // The home is local: its directory is the authority and the
+            // caller already removed the entry from it.
+            manager.directory().remove(owner, key);
+        }
+        Some(home) => {
+            broadcaster.send_to(
+                home,
+                &Message::DirUpdate {
+                    owner,
+                    key: key.clone(),
+                    meta: None,
+                },
+            );
+            CacheStats::bump(&manager.stats().dir_updates_sent);
+        }
+    }
+}
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -189,12 +252,7 @@ impl CacheDaemons {
                             }
                             elapsed = Duration::ZERO;
                             for dead in manager.purge_expired() {
-                                let owner = dead.owner;
-                                broadcaster.broadcast(&Message::DeleteNotice {
-                                    owner,
-                                    key: dead.key,
-                                });
-                                CacheStats::bump(&manager.stats().broadcasts_sent);
+                                announce_delete(&manager, &broadcaster, dead.owner, &dead.key);
                             }
                         }
                     })?,
@@ -268,7 +326,8 @@ fn handle_connection(
             | Message::InsertNotice { .. }
             | Message::DeleteNotice { .. }
             | Message::Invalidate { .. }
-            | Message::NodeDown { .. } => {
+            | Message::NodeDown { .. }
+            | Message::DirUpdate { .. } => {
                 apply_notice(msg, manager, broadcaster);
             }
             Message::Batch(msgs) => {
@@ -313,6 +372,34 @@ fn handle_connection(
                     return;
                 }
             }
+            Message::DirLookup { key, trace } => {
+                // This node is (the requester believes) the key's home:
+                // answer with the directory's view. The reply reuses the
+                // `DirUpdate` frame — `Some` carries the owner's meta,
+                // `None` means nobody caches the key.
+                let mut t = match (telemetry, trace) {
+                    (Some(tel), Some(id)) => tel.begin_trace_with_id(id, key.as_str()),
+                    _ => Trace::disabled(),
+                };
+                let t0 = t.start_span();
+                let classification = manager.directory().classify(&key);
+                t.end_span(Stage::DirLookup, t0);
+                let (owner, meta) = match classification {
+                    Classification::Local(m) | Classification::Remote(m) => (m.owner, Some(m)),
+                    Classification::NotCached => (manager.local_node(), None),
+                };
+                let reply = Message::DirUpdate { owner, key, meta };
+                let t0 = t.start_span();
+                let written = write_frame(&mut stream, &reply.encode());
+                t.end_span(Stage::ResponseWrite, t0);
+                t.set_outcome(Outcome::OwnerServe);
+                if let Some(tel) = telemetry {
+                    tel.finish(t);
+                }
+                if written.is_err() {
+                    return;
+                }
+            }
             Message::SyncRequest => {
                 let reply = Message::SyncReply {
                     node: manager.local_node(),
@@ -346,6 +433,7 @@ fn is_notice(msg: &Message) -> bool {
             | Message::DeleteNotice { .. }
             | Message::Invalidate { .. }
             | Message::NodeDown { .. }
+            | Message::DirUpdate { .. }
     )
 }
 
@@ -367,11 +455,17 @@ fn apply_notice(msg: Message, manager: &CacheManager, broadcaster: &Broadcaster)
             // tell the cluster. Invalidating an absent key is a no-op
             // (the application may race a purge).
             if let Some(dead) = manager.remove_local(&key) {
-                broadcaster.broadcast(&Message::DeleteNotice {
-                    owner: dead.owner,
-                    key: dead.key,
-                });
-                CacheStats::bump(&manager.stats().broadcasts_sent);
+                announce_delete(manager, broadcaster, dead.owner, &dead.key);
+            }
+        }
+        Message::DirUpdate { owner, key, meta } => {
+            // This node is the key's home: fold the point-to-point
+            // update into the directory (the partitioned replacement for
+            // a broadcast notice).
+            CacheStats::bump(&manager.stats().dir_updates_received);
+            match meta {
+                Some(m) => manager.apply_remote_insert(m),
+                None => manager.apply_remote_delete(owner, &key),
             }
         }
         _ => unreachable!("caller checked is_notice"),
@@ -664,6 +758,212 @@ mod tests {
         daemons.shutdown();
         let deletes = collector.join().unwrap();
         assert_eq!(deletes, vec![key]);
+    }
+
+    /// Collector standing in for a peer node: accepts one connection and
+    /// returns every decoded message it received before the sender hung up.
+    fn collecting_peer() -> (SocketAddr, std::thread::JoinHandle<Vec<Message>>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut msgs = Vec::new();
+            while let Ok(Some(f)) = read_frame(&mut s) {
+                // Flatten batches: the writer may coalesce queued notices.
+                match Message::decode(&f) {
+                    Ok(Message::Batch(inner)) => msgs.extend(inner),
+                    Ok(m) => msgs.push(m),
+                    Err(_) => {}
+                }
+            }
+            msgs
+        });
+        (addr, handle)
+    }
+
+    fn start_partitioned_node(
+        rules: CacheRules,
+        peer_addr: SocketAddr,
+        purge_ms: u64,
+    ) -> (Arc<CacheManager>, Arc<Broadcaster>, CacheDaemons) {
+        let manager = Arc::new(CacheManager::new(
+            CacheManagerConfig {
+                num_nodes: 2,
+                local: NodeId(0),
+                rules,
+                directory: swala_cache::DirectoryKind::Partitioned,
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        ));
+        let broadcaster = Arc::new(Broadcaster::new(NodeId(0), [(NodeId(1), peer_addr)]));
+        let daemons = CacheDaemons::start(
+            Arc::clone(&manager),
+            Arc::clone(&broadcaster),
+            DaemonConfig {
+                purge_interval: Duration::from_millis(purge_ms),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (manager, broadcaster, daemons)
+    }
+
+    /// Probe the ring until some key maps to the requested home node.
+    fn key_with_home(manager: &CacheManager, home: NodeId) -> CacheKey {
+        (0..10_000u32)
+            .map(|i| CacheKey::new(&format!("/cgi-bin/part?i={i}")))
+            .find(|k| manager.home_node(k) == Some(home))
+            .expect("some probe key maps to the requested home")
+    }
+
+    #[test]
+    fn dir_update_applies_insert_and_delete() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let link = crate::peers::PeerLink::new(NodeId(1), NodeId(0), daemons.addr());
+        let key = CacheKey::new("/cgi-bin/homed?x=1");
+        let meta = swala_cache::EntryMeta::new(key.clone(), NodeId(1), 8, "t", 1000, None, 1);
+
+        link.send(&Message::DirUpdate {
+            owner: NodeId(1),
+            key: key.clone(),
+            meta: Some(meta),
+        })
+        .unwrap();
+        wait_until(|| manager.directory().len(NodeId(1)) == 1);
+        assert_eq!(manager.stats().snapshot().dir_updates_received, 1);
+
+        link.send(&Message::DirUpdate {
+            owner: NodeId(1),
+            key,
+            meta: None,
+        })
+        .unwrap();
+        wait_until(|| manager.directory().len(NodeId(1)) == 0);
+        assert_eq!(manager.stats().snapshot().dir_updates_received, 2);
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn dir_lookup_replies_with_directory_meta() {
+        let (manager, daemons) = start_node(CacheRules::allow_all(), 60_000);
+        let key = CacheKey::new("/cgi-bin/lookup?x=1");
+        insert(&manager, &key, b"body");
+
+        let mut s = TcpStream::connect(daemons.addr()).unwrap();
+        write_frame(
+            &mut s,
+            &Message::DirLookup {
+                key: key.clone(),
+                trace: None,
+            }
+            .encode(),
+        )
+        .unwrap();
+        match Message::decode(&read_frame(&mut s).unwrap().unwrap()).unwrap() {
+            Message::DirUpdate {
+                owner,
+                key: k,
+                meta,
+            } => {
+                assert_eq!(owner, NodeId(0));
+                assert_eq!(k, key);
+                assert_eq!(meta.expect("cached key carries meta").owner, NodeId(0));
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // Unknown key: meta is None so the asker falls back to executing.
+        write_frame(
+            &mut s,
+            &Message::DirLookup {
+                key: CacheKey::new("/cgi-bin/absent"),
+                trace: Some(77),
+            }
+            .encode(),
+        )
+        .unwrap();
+        match Message::decode(&read_frame(&mut s).unwrap().unwrap()).unwrap() {
+            Message::DirUpdate { meta, .. } => assert!(meta.is_none()),
+            other => panic!("{other:?}"),
+        }
+        daemons.shutdown();
+    }
+
+    #[test]
+    fn announce_helpers_route_by_home() {
+        let (peer_addr, collector) = collecting_peer();
+        let (manager, broadcaster, daemons) =
+            start_partitioned_node(CacheRules::allow_all(), peer_addr, 60_000);
+        let remote_homed = key_with_home(&manager, NodeId(1));
+        let self_homed = key_with_home(&manager, NodeId(0));
+
+        let meta = EntryMeta::new(remote_homed.clone(), NodeId(0), 4, "t", 1000, None, 1);
+        announce_insert(&manager, &broadcaster, &meta);
+        // Home is local: the directory insert already recorded it, no wire
+        // traffic at all.
+        let local_meta = EntryMeta::new(self_homed, NodeId(0), 4, "t", 1000, None, 2);
+        announce_insert(&manager, &broadcaster, &local_meta);
+        announce_delete(&manager, &broadcaster, NodeId(0), &remote_homed);
+
+        let snap = manager.stats().snapshot();
+        assert_eq!(snap.dir_updates_sent, 2);
+        assert_eq!(snap.broadcasts_sent, 0);
+
+        assert!(broadcaster.flush(Duration::from_secs(5)));
+        daemons.shutdown();
+        broadcaster.shutdown();
+        let msgs = collector.join().unwrap();
+        assert_eq!(
+            msgs,
+            vec![
+                Message::Hello { node: NodeId(0) },
+                Message::DirUpdate {
+                    owner: NodeId(0),
+                    key: remote_homed.clone(),
+                    meta: Some(meta),
+                },
+                Message::DirUpdate {
+                    owner: NodeId(0),
+                    key: remote_homed,
+                    meta: None,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn partitioned_purge_sends_dir_update_to_home() {
+        let (peer_addr, collector) = collecting_peer();
+        let rules = CacheRules::parse("cache * ttl=1\n").unwrap();
+        let (manager, broadcaster, daemons) = start_partitioned_node(rules, peer_addr, 50);
+        let key = key_with_home(&manager, NodeId(1));
+        insert(&manager, &key, b"short-lived");
+        // Backdate expiry instead of sleeping out the 1-second TTL.
+        let mut meta = manager.directory().get(NodeId(0), &key).unwrap();
+        meta.expires_unix = Some(1);
+        manager.directory().insert(NodeId(0), meta);
+
+        wait_until(|| manager.stats().snapshot().expirations == 1);
+        let snap = manager.stats().snapshot();
+        assert_eq!(snap.dir_updates_sent, 1);
+        assert_eq!(snap.broadcasts_sent, 0);
+
+        assert!(broadcaster.flush(Duration::from_secs(5)));
+        daemons.shutdown();
+        broadcaster.shutdown();
+        let msgs = collector.join().unwrap();
+        assert_eq!(
+            msgs,
+            vec![
+                Message::Hello { node: NodeId(0) },
+                Message::DirUpdate {
+                    owner: NodeId(0),
+                    key,
+                    meta: None,
+                },
+            ]
+        );
     }
 
     #[test]

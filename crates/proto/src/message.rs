@@ -20,6 +20,8 @@ const TAG_PONG: u8 = 0x0a;
 const TAG_INVALIDATE: u8 = 0x0b;
 const TAG_BATCH: u8 = 0x0c;
 const TAG_NODE_DOWN: u8 = 0x0d;
+const TAG_DIR_UPDATE: u8 = 0x0e;
+const TAG_DIR_LOOKUP: u8 = 0x0f;
 
 /// Everything Swala nodes say to each other.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +86,28 @@ pub enum Message {
     /// a `Batch` is a protocol violation, as is batching any message that
     /// requires a reply (fetch/sync/ping).
     Batch(Vec<Message>),
+    /// Partitioned-directory state for one key, two roles:
+    ///
+    /// * sent point-to-point to the key's home node as a fire-and-forget
+    ///   notice — `meta: Some` upserts the owner's entry, `None` deletes
+    ///   it (the partitioned replacement for the insert/delete
+    ///   broadcast);
+    /// * sent back as the reply to a [`Message::DirLookup`] — `Some` is
+    ///   the home's view of where the key lives, `None` means nobody
+    ///   caches it.
+    DirUpdate {
+        owner: NodeId,
+        key: CacheKey,
+        meta: Option<EntryMeta>,
+    },
+    /// "You are this key's home node: who caches it?" Answered with a
+    /// [`Message::DirUpdate`]. `trace` follows the same optional-trailer
+    /// convention as `FetchRequest`. Requires a reply, so it is illegal
+    /// inside a `Batch`.
+    DirLookup {
+        key: CacheKey,
+        trace: Option<u64>,
+    },
 }
 
 impl Message {
@@ -144,6 +168,26 @@ impl Message {
                 buf.put_u32(msgs.len() as u32);
                 for m in msgs {
                     put_bytes(&mut buf, &m.encode());
+                }
+            }
+            Message::DirUpdate { owner, key, meta } => {
+                buf.put_u8(TAG_DIR_UPDATE);
+                buf.put_u16(owner.0);
+                put_string(&mut buf, key.as_str());
+                match meta {
+                    Some(m) => {
+                        buf.put_u8(1);
+                        encode_meta(&mut buf, m);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+            Message::DirLookup { key, trace } => {
+                buf.put_u8(TAG_DIR_LOOKUP);
+                put_string(&mut buf, key.as_str());
+                if let Some(id) = trace {
+                    buf.put_u8(1);
+                    buf.put_u64(*id);
                 }
             }
         }
@@ -213,9 +257,43 @@ impl Message {
                 }
                 Message::Batch(msgs)
             }
+            TAG_DIR_UPDATE => {
+                let owner = NodeId(get_u16(&mut r)?);
+                let key = CacheKey::new(get_string(&mut r)?);
+                let meta = match get_u8(&mut r)? {
+                    0 => None,
+                    _ => Some(decode_meta(&mut r)?),
+                };
+                Message::DirUpdate { owner, key, meta }
+            }
+            TAG_DIR_LOOKUP => {
+                let key = CacheKey::new(get_string(&mut r)?);
+                let trace = if r.is_empty() {
+                    None
+                } else {
+                    match get_u8(&mut r)? {
+                        0 => None,
+                        _ => Some(get_u64(&mut r)?),
+                    }
+                };
+                Message::DirLookup { key, trace }
+            }
             t => return Err(ProtoError::UnknownTag(t)),
         };
         Ok(msg)
+    }
+
+    /// Encode a `DirLookup` without cloning the key (the pooled
+    /// home-node exchange's request side).
+    pub fn encode_dir_lookup(key: &CacheKey, trace: Option<u64>) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(32 + key.as_str().len());
+        buf.put_u8(TAG_DIR_LOOKUP);
+        put_string(&mut buf, key.as_str());
+        if let Some(id) = trace {
+            buf.put_u8(1);
+            buf.put_u64(id);
+        }
+        buf.to_vec()
     }
 
     /// Encode a `FetchRequest` without cloning the key.
@@ -373,10 +451,56 @@ mod tests {
                 key: CacheKey::new("/cgi-bin/stale?x=1"),
             },
             Message::NodeDown { node: NodeId(9) },
+            Message::DirUpdate {
+                owner: NodeId(3),
+                key: CacheKey::new("/cgi-bin/adl?id=42&ms=1000"),
+                meta: Some(sample_meta()),
+            },
+            Message::DirUpdate {
+                owner: NodeId(3),
+                key: CacheKey::new("/cgi-bin/adl?id=42&ms=1000"),
+                meta: None,
+            },
+            Message::DirLookup {
+                key: CacheKey::new("/cgi-bin/z?q=3"),
+                trace: None,
+            },
+            Message::DirLookup {
+                key: CacheKey::new("/cgi-bin/z?q=3"),
+                trace: Some(0x0003_dead_beef_0042),
+            },
         ];
         for msg in messages {
             let decoded = Message::decode(&msg.encode()).unwrap();
             assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncated_dir_update_rejected() {
+        let full = Message::DirUpdate {
+            owner: NodeId(2),
+            key: CacheKey::new("/cgi-bin/p?x=9"),
+            meta: Some(sample_meta()),
+        }
+        .encode();
+        for cut in [1, 3, 8, full.len() / 2, full.len() - 1] {
+            assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn dir_lookup_borrowed_encoder_matches_owned() {
+        let key = CacheKey::new("/cgi-bin/home?me=1");
+        for trace in [None, Some(23u64)] {
+            assert_eq!(
+                Message::encode_dir_lookup(&key, trace),
+                Message::DirLookup {
+                    key: key.clone(),
+                    trace
+                }
+                .encode()
+            );
         }
     }
 

@@ -86,6 +86,9 @@ pub struct LinkStats {
     pub addr: SocketAddr,
     /// Notices written to the socket.
     pub sent: u64,
+    /// Payload bytes of delivered notices (framing overhead excluded) —
+    /// what the directory bench measures as "directory wire bytes".
+    pub sent_bytes: u64,
     /// Notices dropped: queue overflow, failed delivery, or shutdown.
     pub dropped: u64,
     /// Notices currently queued.
@@ -112,6 +115,7 @@ struct LinkShared {
     /// Signaled when the pipeline quiesces; `flush` waits here.
     idle: Condvar,
     sent: AtomicU64,
+    sent_bytes: AtomicU64,
     dropped: AtomicU64,
     connected: AtomicBool,
 }
@@ -149,6 +153,7 @@ impl PeerLink {
             ready: Condvar::new(),
             idle: Condvar::new(),
             sent: AtomicU64::new(0),
+            sent_bytes: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             connected: AtomicBool::new(false),
         });
@@ -196,6 +201,7 @@ impl PeerLink {
             peer: self.shared.peer,
             addr: self.shared.addr,
             sent: self.shared.sent.load(Ordering::Relaxed),
+            sent_bytes: self.shared.sent_bytes.load(Ordering::Relaxed),
             dropped: self.shared.dropped.load(Ordering::Relaxed),
             queued,
             connected: self.shared.connected.load(Ordering::Relaxed),
@@ -296,6 +302,8 @@ fn writer_loop(shared: &LinkShared) {
         match deliver(shared, &mut stream, &batch) {
             Ok(()) => {
                 shared.sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                let bytes: u64 = batch.iter().map(|b| b.len() as u64).sum();
+                shared.sent_bytes.fetch_add(bytes, Ordering::Relaxed);
                 backoff = Duration::from_millis(25);
                 finish_batch(shared);
             }
@@ -484,6 +492,10 @@ impl Broadcaster {
     /// reconnection and failure handling all happen on the writer
     /// threads, and drops are recorded in the per-link counters
     /// (asynchronous weak consistency, §4.2).
+    ///
+    /// Zero-recipient fast path: with no links (single-node cluster, or
+    /// partitioned mode keeping its notices point-to-point) the call
+    /// returns before encoding anything.
     pub fn broadcast(&self, msg: &Message) -> usize {
         if self.links.is_empty() {
             return 0;
@@ -493,6 +505,20 @@ impl Broadcaster {
             .iter()
             .filter(|l| l.enqueue_frame(Arc::clone(&frame)))
             .count()
+    }
+
+    /// Queue `msg` to exactly one peer — the partitioned directory's
+    /// home-node update path, which bypasses the broadcast fan-out.
+    ///
+    /// The link is located *before* the message is encoded, so a
+    /// recipient this node has no link to (itself, or an out-of-cluster
+    /// id) costs nothing. Returns `false` when no such link exists or
+    /// the link is shut down.
+    pub fn send_to(&self, peer: NodeId, msg: &Message) -> bool {
+        let Some(link) = self.links.iter().find(|l| l.peer() == peer) else {
+            return false;
+        };
+        link.enqueue_frame(msg.encode().into())
     }
 
     /// Aggregate (sent, dropped) counters across links.
@@ -797,6 +823,37 @@ mod tests {
         link.shutdown();
         assert!(link.send(&Message::Ping).is_err());
         link.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn send_to_targets_exactly_one_peer() {
+        // Peer 1 must stay silent, so its listener expects zero
+        // connections (links dial lazily, on first delivery).
+        let (addr_a, ha) = collecting_listener(0);
+        let (addr_b, hb) = collecting_listener(1);
+        let b = Broadcaster::new(NodeId(0), [(NodeId(1), addr_a), (NodeId(2), addr_b)]);
+        assert!(b.send_to(NodeId(2), &Message::Ping));
+        // Unknown peer (including the local node): nothing queued, no
+        // encode — the call just reports false.
+        assert!(!b.send_to(NodeId(0), &Message::Ping));
+        assert!(!b.send_to(NodeId(9), &Message::Ping));
+        assert!(b.flush(Duration::from_secs(5)));
+        let stats = b.link_stats();
+        assert_eq!(stats[0].sent, 0, "peer 1 heard nothing");
+        assert_eq!(stats[1].sent, 1, "peer 2 got the message");
+        assert_eq!(
+            stats[1].sent_bytes,
+            Message::Ping.encode().len() as u64,
+            "payload bytes accounted on the delivering link"
+        );
+        drop(b);
+        let (msgs_a, _) = ha.join().unwrap();
+        let (msgs_b, _) = hb.join().unwrap();
+        assert!(msgs_a.is_empty());
+        assert_eq!(
+            msgs_b,
+            vec![Message::Hello { node: NodeId(0) }, Message::Ping]
+        );
     }
 
     #[test]

@@ -280,6 +280,49 @@ impl FetchPool {
         }
     }
 
+    /// One pooled directory-lookup exchange (partitioned mode): ask
+    /// `peer` — the key's home node — who currently caches `key`.
+    /// Returns the home's authoritative answer: the advertised owner and
+    /// `Some(meta)` when the key is cached somewhere, `None` when the
+    /// home has no record (the asker should execute locally).
+    ///
+    /// Single attempt, with the pool's usual stale-drop-then-redial
+    /// inside it; a transport failure maps to `Err` so the caller can
+    /// fall back to local execution rather than retrying a lookup whose
+    /// answer it can live without.
+    pub fn dir_lookup(
+        &self,
+        peer: NodeId,
+        addr: SocketAddr,
+        key: &CacheKey,
+        timeout: Duration,
+        trace: Option<u64>,
+    ) -> Result<(NodeId, Option<swala_cache::EntryMeta>), String> {
+        if let Some(mut conn) = self.checkout(peer) {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            match dir_lookup_on(&mut conn, key, timeout, trace) {
+                Ok(answer) => {
+                    self.checkin(peer, conn);
+                    return Ok(answer);
+                }
+                // Stale while idle — drop and fall through to a dial.
+                Err(_) => {
+                    self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut conn = (self.dialer)(peer, addr, timeout).map_err(|e| e.to_string())?;
+        self.connects_opened.fetch_add(1, Ordering::Relaxed);
+        conn.set_nodelay(true).map_err(|e| e.to_string())?;
+        match dir_lookup_on(&mut conn, key, timeout, trace) {
+            Ok(answer) => {
+                self.checkin(peer, conn);
+                Ok(answer)
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
     fn checkout(&self, peer: NodeId) -> Option<FaultStream> {
         self.idle.lock().get_mut(&peer.0)?.pop()
     }
@@ -331,6 +374,26 @@ fn fetch_on(
         Message::FetchMiss => Ok(FetchOutcome::Gone),
         other => Err(ProtoError::Io(std::io::Error::other(format!(
             "unexpected fetch reply: {other:?}"
+        )))),
+    }
+}
+
+/// One directory-lookup request/reply exchange on an established
+/// connection. The reply reuses the [`Message::DirUpdate`] shape.
+fn dir_lookup_on(
+    conn: &mut FaultStream,
+    key: &CacheKey,
+    timeout: Duration,
+    trace: Option<u64>,
+) -> Result<(NodeId, Option<swala_cache::EntryMeta>), ProtoError> {
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    write_frame(conn, &Message::encode_dir_lookup(key, trace))?;
+    let frame = read_frame(conn)?.ok_or(ProtoError::Truncated("dir-lookup reply"))?;
+    match Message::decode(&frame)? {
+        Message::DirUpdate { owner, meta, .. } => Ok((owner, meta)),
+        other => Err(ProtoError::Io(std::io::Error::other(format!(
+            "unexpected dir-lookup reply: {other:?}"
         )))),
     }
 }
@@ -679,6 +742,76 @@ mod tests {
             assert!(matches!(out, FetchOutcome::Unreachable(_)));
         }
         assert!(pool.stats().coalesce_leads >= 1);
+    }
+
+    /// Server answering `DirLookup` with a fixed-owner `DirUpdate`, any
+    /// number of exchanges per connection (like the real daemon).
+    fn dir_lookup_server(owner: NodeId) -> (SocketAddr, Arc<AtomicU32>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicU32::new(0));
+        let accepted2 = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut s) = conn else { break };
+                accepted2.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    while let Ok(Some(frame)) = read_frame(&mut s) {
+                        match Message::decode(&frame) {
+                            Ok(Message::DirLookup { key, .. }) => {
+                                let reply = Message::DirUpdate {
+                                    owner,
+                                    key,
+                                    meta: None,
+                                };
+                                if write_frame(&mut s, &reply.encode()).is_err() {
+                                    return;
+                                }
+                            }
+                            _ => return,
+                        }
+                    }
+                });
+            }
+        });
+        (addr, accepted)
+    }
+
+    #[test]
+    fn dir_lookup_reuses_pooled_connection() {
+        let (addr, accepted) = dir_lookup_server(NodeId(2));
+        let pool = FetchPool::new(default_dialer(), 2);
+        for i in 0..3 {
+            let answer = pool
+                .dir_lookup(
+                    NodeId(1),
+                    addr,
+                    &CacheKey::new(format!("/cgi-bin/h?{i}")),
+                    Duration::from_secs(1),
+                    None,
+                )
+                .unwrap();
+            assert_eq!(answer, (NodeId(2), None));
+        }
+        let s = pool.stats();
+        assert_eq!(s.connects_opened, 1);
+        assert_eq!(s.reuses, 2);
+        assert_eq!(s.idle, 1);
+        assert_eq!(accepted.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn dir_lookup_unreachable_home_is_an_error() {
+        let pool = FetchPool::new(default_dialer(), 2);
+        let err = pool.dir_lookup(
+            NodeId(1),
+            "127.0.0.1:1".parse().unwrap(),
+            &CacheKey::new("/x"),
+            Duration::from_millis(100),
+            None,
+        );
+        assert!(err.is_err());
+        assert_eq!(pool.stats().idle, 0);
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::model::{Routing, SimConfig, SimResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
-use swala_cache::{CacheKey, EntryMeta, NodeId, Policy};
+use swala_cache::{CacheKey, DirectoryKind, EntryMeta, HashRing, NodeId, Policy};
 use swala_workload::{RequestKind, Trace};
 
 /// One simulated node's cache and its (possibly stale) view of peers.
@@ -24,6 +24,43 @@ struct Notice {
     from: NodeId,
     key: CacheKey,
     insert: bool,
+}
+
+/// Payload-byte estimate per directory message, mirroring the live
+/// wire format: the key itself plus the framing/meta overhead of a
+/// `DirUpdate` (inserts carry `EntryMeta`, deletes only the key).
+fn update_bytes(key: &CacheKey, insert: bool) -> u64 {
+    key.as_str().len() as u64 + if insert { 48 } else { 16 }
+}
+
+/// Queue one insert/delete notice, charging the mode's wire cost:
+/// replicated pays N−1 point-to-point messages, partitioned exactly one
+/// (to the key's home) or zero when the sender *is* the home — its own
+/// directory table is already the authoritative copy.
+#[allow(clippy::too_many_arguments)]
+fn send_notice(
+    pending: &mut Vec<Notice>,
+    result: &mut SimResult,
+    ring: Option<&HashRing>,
+    nodes: usize,
+    deliver_at: u64,
+    from: NodeId,
+    key: CacheKey,
+    insert: bool,
+) {
+    let fanout = match ring {
+        None => nodes as u64 - 1,
+        Some(ring) if ring.home(&key) == from => return,
+        Some(_) => 1,
+    };
+    result.dir_update_msgs += fanout;
+    result.dir_update_bytes += fanout * update_bytes(&key, insert);
+    pending.push(Notice {
+        deliver_at,
+        from,
+        key,
+        insert,
+    });
 }
 
 /// Replay `trace` through a simulated cluster.
@@ -47,6 +84,11 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
         .collect();
     let mut pending: Vec<Notice> = Vec::new();
     let mut result = SimResult::default();
+    // Partitioned mode uses the same ring as the live cluster (same
+    // hash, same virtual-node count), so simulated key placement is
+    // exactly the live placement.
+    let ring = (cfg.cooperative && cfg.directory == DirectoryKind::Partitioned)
+        .then(|| HashRing::with_members((0..cfg.nodes as u16).map(NodeId), cfg.ring_vnodes));
     let mut route_rng = match cfg.routing {
         Routing::Random(seed) => Some(StdRng::seed_from_u64(seed)),
         Routing::RoundRobin => None,
@@ -56,20 +98,33 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
         let t = t as u64;
         result.requests += 1;
 
-        // Deliver due notices to every node but the sender.
+        // Deliver due notices: replicated to every node but the sender,
+        // partitioned to the key's home node only.
         if cfg.cooperative {
             let mut i = 0;
             while i < pending.len() {
                 if pending[i].deliver_at <= t {
                     let n = pending.swap_remove(i);
-                    for (id, node) in nodes.iter_mut().enumerate() {
-                        if id == n.from.index() {
-                            continue;
+                    match &ring {
+                        None => {
+                            for (id, node) in nodes.iter_mut().enumerate() {
+                                if id == n.from.index() {
+                                    continue;
+                                }
+                                if n.insert {
+                                    node.view.insert(n.key.clone(), n.from);
+                                } else if node.view.get(&n.key) == Some(&n.from) {
+                                    node.view.remove(&n.key);
+                                }
+                            }
                         }
-                        if n.insert {
-                            node.view.insert(n.key.clone(), n.from);
-                        } else if node.view.get(&n.key) == Some(&n.from) {
-                            node.view.remove(&n.key);
+                        Some(ring) => {
+                            let home = &mut nodes[ring.home(&n.key).index()];
+                            if n.insert {
+                                home.view.insert(n.key.clone(), n.from);
+                            } else if home.view.get(&n.key) == Some(&n.from) {
+                                home.view.remove(&n.key);
+                            }
                         }
                     }
                 } else {
@@ -101,9 +156,26 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
             continue;
         }
 
-        // Remote hit (cooperative only)?
+        // Remote hit (cooperative only)? Replicated consults the local
+        // replica of the directory; partitioned asks the key's home node
+        // (one lookup round-trip when that is not the requester itself —
+        // the home answers from its own cache or its directory table).
         if cfg.cooperative {
-            if let Some(&owner) = nodes[here].view.get(&key) {
+            let owner_hint: Option<NodeId> = match &ring {
+                None => nodes[here].view.get(&key).copied(),
+                Some(ring) => {
+                    let home = ring.home(&key);
+                    if home.index() != here {
+                        result.dir_lookups += 1;
+                    }
+                    if nodes[home.index()].cache.contains_key(&key) {
+                        Some(home)
+                    } else {
+                        nodes[home.index()].view.get(&key).copied()
+                    }
+                }
+            };
+            if let Some(owner) = owner_hint {
                 if nodes[owner.index()].cache.contains_key(&key) {
                     let peer = &mut nodes[owner.index()];
                     let entry = peer.cache.get_mut(&key).expect("checked");
@@ -116,7 +188,14 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
                 // §4.2 false hit: the directory said owner had it, the
                 // fetch comes back empty, we execute locally.
                 result.false_hits += 1;
-                nodes[here].view.remove(&key);
+                match &ring {
+                    None => {
+                        nodes[here].view.remove(&key);
+                    }
+                    Some(ring) => {
+                        nodes[ring.home(&key).index()].view.remove(&key);
+                    }
+                }
             } else if nodes
                 .iter()
                 .enumerate()
@@ -144,12 +223,16 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
         node.policy.on_insert(&mut meta);
         node.cache.insert(key.clone(), meta);
         if cfg.cooperative {
-            pending.push(Notice {
-                deliver_at: t + 1 + cfg.broadcast_delay,
-                from: NodeId(here as u16),
-                key: key.clone(),
-                insert: true,
-            });
+            send_notice(
+                &mut pending,
+                &mut result,
+                ring.as_ref(),
+                cfg.nodes,
+                t + 1 + cfg.broadcast_delay,
+                NodeId(here as u16),
+                key.clone(),
+                true,
+            );
         }
 
         // Evict to capacity, broadcasting deletions.
@@ -162,12 +245,16 @@ pub fn simulate(cfg: &SimConfig, trace: &Trace) -> SimResult {
             node.policy.on_evict(&victim);
             result.evictions += 1;
             if cfg.cooperative {
-                pending.push(Notice {
-                    deliver_at: t + 1 + cfg.broadcast_delay,
-                    from: NodeId(here as u16),
-                    key: victim_key,
-                    insert: false,
-                });
+                send_notice(
+                    &mut pending,
+                    &mut result,
+                    ring.as_ref(),
+                    cfg.nodes,
+                    t + 1 + cfg.broadcast_delay,
+                    NodeId(here as u16),
+                    victim_key,
+                    false,
+                );
             }
         }
     }
@@ -414,6 +501,105 @@ mod tests {
         };
         assert_eq!(simulate(&cfg(5), &trace), simulate(&cfg(5), &trace));
         assert_ne!(simulate(&cfg(5), &trace), simulate(&cfg(6), &trace));
+    }
+
+    #[test]
+    fn partitioned_matches_replicated_hits_with_fewer_update_messages() {
+        let trace = section53_trace(53, 10);
+        let mut prev_ratio = 0.0_f64;
+        for nodes in [2usize, 4, 8, 16] {
+            let repl = simulate(
+                &SimConfig {
+                    nodes,
+                    capacity: 2000,
+                    ..Default::default()
+                },
+                &trace,
+            );
+            let part = simulate(
+                &SimConfig {
+                    nodes,
+                    capacity: 2000,
+                    directory: swala_cache::DirectoryKind::Partitioned,
+                    ..Default::default()
+                },
+                &trace,
+            );
+            // Idealized network (delay 0): every notice is visible by the
+            // next request in both families, so caching behaviour — and
+            // therefore the §5.3 hit counts — must be identical.
+            assert_eq!(part.hits(), repl.hits(), "{nodes} nodes");
+            assert_eq!(part.misses, repl.misses, "{nodes} nodes");
+            assert_eq!(part.local_hits, repl.local_hits, "{nodes} nodes");
+
+            // Replicated pays N−1 messages per insert/delete notice;
+            // partitioned pays at most one (zero for self-homed keys).
+            let notices = repl.misses + repl.evictions;
+            assert_eq!(repl.dir_update_msgs, notices * (nodes as u64 - 1));
+            assert!(
+                part.dir_update_msgs <= notices,
+                "{nodes} nodes: partitioned sent {} updates for {} notices",
+                part.dir_update_msgs,
+                notices
+            );
+            assert_eq!(repl.dir_lookups, 0);
+
+            // The update-cost gap is the crossover: it must widen
+            // monotonically with cluster size.
+            let ratio = repl.dir_update_msgs as f64 / part.dir_update_msgs.max(1) as f64;
+            assert!(
+                ratio > prev_ratio,
+                "{nodes} nodes: ratio {ratio} did not grow past {prev_ratio}"
+            );
+            prev_ratio = ratio;
+        }
+    }
+
+    #[test]
+    fn partitioned_wire_bytes_at_least_four_times_cheaper_at_eight_nodes() {
+        let trace = section53_trace(7, 10);
+        let mk = |directory| SimConfig {
+            nodes: 8,
+            capacity: 2000,
+            directory,
+            ..Default::default()
+        };
+        let repl = simulate(&mk(swala_cache::DirectoryKind::Replicated), &trace);
+        let part = simulate(&mk(swala_cache::DirectoryKind::Partitioned), &trace);
+        assert!(repl.dir_update_bytes > 0);
+        assert!(
+            repl.dir_update_bytes >= 4 * part.dir_update_bytes,
+            "replicated {} bytes vs partitioned {} bytes",
+            repl.dir_update_bytes,
+            part.dir_update_bytes
+        );
+        // Partitioned trades update fan-out for per-miss home lookups.
+        assert!(part.dir_lookups > 0);
+    }
+
+    #[test]
+    fn partitioned_delay_still_produces_false_misses() {
+        // A huge delay means the home never learns of any insert before
+        // the repeat access: every cross-node repeat is a false miss in
+        // both families.
+        let trace = section53_trace(21, 4);
+        let mk = |directory| SimConfig {
+            nodes: 4,
+            capacity: 2000,
+            broadcast_delay: 100_000,
+            directory,
+            ..Default::default()
+        };
+        let repl = simulate(&mk(swala_cache::DirectoryKind::Replicated), &trace);
+        let part = simulate(&mk(swala_cache::DirectoryKind::Partitioned), &trace);
+        assert!(repl.false_misses > 0);
+        assert!(part.false_misses > 0);
+        assert_eq!(repl.remote_hits, 0);
+        // Self-homed inserts are visible at the home synchronously (they
+        // never cross the wire), so a home node's own copies remain
+        // discoverable no matter the delay: partitioned false-misses at
+        // most match replicated's and some become remote hits instead.
+        assert!(part.false_misses <= repl.false_misses);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Simulation configuration and results.
 
-use swala_cache::PolicyKind;
+use swala_cache::{DirectoryKind, PolicyKind, DEFAULT_VNODES};
 
 /// How requests are spread over the cluster's nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +31,14 @@ pub struct SimConfig {
     pub broadcast_delay: u64,
     /// Request routing.
     pub routing: Routing,
+    /// Directory organisation: the paper's replicated directory (every
+    /// node hears every insert/delete) or the partitioned variant where
+    /// a consistent-hash ring assigns each key one *home* node that is
+    /// the single recipient of its updates and the oracle for lookups.
+    pub directory: DirectoryKind,
+    /// Virtual nodes per member on the partitioned ring. Matches the
+    /// live default so simulated placement equals live placement.
+    pub ring_vnodes: usize,
 }
 
 impl Default for SimConfig {
@@ -42,6 +50,8 @@ impl Default for SimConfig {
             cooperative: true,
             broadcast_delay: 0,
             routing: Routing::RoundRobin,
+            directory: DirectoryKind::Replicated,
+            ring_vnodes: DEFAULT_VNODES,
         }
     }
 }
@@ -68,6 +78,15 @@ pub struct SimResult {
     pub exec_micros: u64,
     /// Execution time avoided by hits, in microseconds.
     pub saved_micros: u64,
+    /// Directory-update messages put on the (simulated) wire: each
+    /// insert/delete notice costs N−1 messages replicated, at most one
+    /// partitioned (zero when the inserting node is the key's home).
+    pub dir_update_msgs: u64,
+    /// Estimated payload bytes of those update messages.
+    pub dir_update_bytes: u64,
+    /// Partitioned-mode directory lookups: a miss on a non-home node
+    /// asks the key's home before deciding remote-hit vs execute.
+    pub dir_lookups: u64,
 }
 
 impl SimResult {

@@ -15,6 +15,12 @@ echo "==> cargo test -q (event engine)"
 # unaffected by the env override.
 SWALA_ENGINE=event cargo test -q
 
+echo "==> cargo test -q --workspace (partitioned directory)"
+# The whole workspace once more with the consistent-hash partitioned
+# directory as the default mode. Tests that assert replicated broadcast
+# semantics pin `directory` explicitly and are unaffected.
+SWALA_DIRECTORY=partitioned cargo test -q --workspace
+
 echo "==> C10K smoke (c10k)"
 # Raise RLIMIT_NOFILE, park 10k idle keep-alive connections on an
 # event-engine node, and require a live request to complete under the
@@ -31,6 +37,21 @@ echo "==> coalescing smoke (tables coalesce)"
 # duplicate executions == 0 with coalescing on (and > 0 with it off).
 SWALA_BENCH_QUICK=1 target/release/tables coalesce
 python3 -m json.tool BENCH_coalesce.json > /dev/null
+
+echo "==> directory-mode smoke (tables directory)"
+# Replicated vs partitioned update cost on live clusters. The
+# experiment's own asserts gate on replicated paying exactly N-1
+# messages per insert, partitioned at most 1, and partitioned cutting
+# directory wire bytes >=4x at 8 nodes.
+SWALA_BENCH_QUICK=1 target/release/tables directory
+python3 - <<'EOF'
+import json
+with open("BENCH_directory.json") as f:
+    doc = json.load(f)
+gate = doc["gate_n8"]
+assert gate["partitioned_updates_per_insert"] <= 1.0, gate
+assert gate["byte_ratio"] >= 4.0, gate
+EOF
 
 echo "==> metrics-exposition gate (tables metrics)"
 # Two-node pseudo-cluster; fails on malformed /swala-metrics output or

@@ -33,6 +33,11 @@ fn chaos_config(nodes: usize, inj: &Arc<FaultInjector>) -> ClusterConfig {
         fetch_backoff: Duration::from_millis(2),
         // Long enough that no probe fires mid-test unless a test opts in.
         probe_interval: Duration::from_secs(3600),
+        // These drills script exact broadcast/NodeDown repair sequences
+        // of the paper's replicated directory; pin the mode so a
+        // SWALA_DIRECTORY sweep cannot re-route the notices they count.
+        // Partitioned fault handling is covered by tests/directory_modes.rs.
+        directory: swala_cache::DirectoryKind::Replicated,
         ..Default::default()
     }
 }

@@ -24,6 +24,9 @@ fn ttl_expiry_propagates_cluster_wide() {
         rules: CacheRules::parse("cache * ttl=1\n").unwrap(),
         purge_interval: Duration::from_millis(100),
         work: WorkKind::Sleep,
+        // Seed-faithful §4.2 semantics: the deletion must reach every
+        // replica, so pin the replicated directory against mode sweeps.
+        directory: swala_cache::DirectoryKind::Replicated,
         ..Default::default()
     })
     .unwrap();
@@ -54,6 +57,9 @@ fn false_hit_path_live_end_to_end() {
     let cluster = SwalaCluster::start(&ClusterConfig {
         nodes: 2,
         work: WorkKind::Sleep,
+        // The §4.2 race needs node 1 to hold a replica of node 0's
+        // insert; pin the paper's replicated directory explicitly.
+        directory: swala_cache::DirectoryKind::Replicated,
         ..Default::default()
     })
     .unwrap();
@@ -159,6 +165,9 @@ fn node_crash_degrades_gracefully() {
     let cluster = SwalaCluster::start(&ClusterConfig {
         nodes: 3,
         work: WorkKind::Sleep,
+        // Node 2 must know node 0's entry without asking a home node:
+        // replicated-directory behaviour, pinned against mode sweeps.
+        directory: swala_cache::DirectoryKind::Replicated,
         ..Default::default()
     })
     .unwrap();
