@@ -9,6 +9,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod hitpath;
 pub mod metrics;
+pub mod obsplane;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -38,6 +39,7 @@ pub const ALL_IDS: &[&str] = &[
     "hitpath",
     "coalesce",
     "metrics",
+    "obsplane",
 ];
 
 /// Run one experiment by id.
@@ -62,6 +64,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "hitpath" => hitpath::run(),
         "coalesce" => coalesce::run(),
         "metrics" => metrics::run(),
+        "obsplane" => obsplane::run(),
         _ => return None,
     })
 }

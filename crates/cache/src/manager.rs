@@ -24,7 +24,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, MutexGuard};
 use std::time::{Duration, Instant};
-use swala_obs::{Gauge, Stage, Trace};
+use swala_obs::{Gauge, HeatSketch, Stage, Trace};
 
 /// Construction parameters for a [`CacheManager`].
 pub struct CacheManagerConfig {
@@ -57,6 +57,9 @@ pub struct CacheManagerConfig {
     /// Virtual points per node on the consistent-hash ring (partitioned
     /// mode only).
     pub ring_vnodes: usize,
+    /// Monitored slots in the per-key heat sketch (space-saving top-K);
+    /// 0 disables the sketch entirely (observations become no-ops).
+    pub hotkeys: usize,
 }
 
 impl Default for CacheManagerConfig {
@@ -72,6 +75,7 @@ impl Default for CacheManagerConfig {
             coalesce_wait: Duration::from_secs(10),
             directory: DirectoryKind::Replicated,
             ring_vnodes: DEFAULT_VNODES,
+            hotkeys: 128,
         }
     }
 }
@@ -236,6 +240,8 @@ pub struct CacheManager {
     directory_kind: DirectoryKind,
     /// Key-space ownership ring; `Some` only in partitioned mode.
     ring: Option<HashRing>,
+    /// Per-key request-frequency / cost sketch (space-saving top-K).
+    heat: Arc<HeatSketch>,
 }
 
 impl CacheManager {
@@ -257,6 +263,7 @@ impl CacheManager {
             directory_kind: cfg.directory,
             ring: (cfg.directory == DirectoryKind::Partitioned)
                 .then(|| HashRing::new(cfg.num_nodes, cfg.ring_vnodes)),
+            heat: Arc::new(HeatSketch::new(cfg.hotkeys)),
         }
     }
 
@@ -294,6 +301,11 @@ impl CacheManager {
     /// Shared handle on the counters, for metrics-registry hookup.
     pub fn stats_arc(&self) -> Arc<CacheStats> {
         Arc::clone(&self.stats)
+    }
+
+    /// The per-key heat sketch (no-op when built with `hotkeys: 0`).
+    pub fn heat(&self) -> &Arc<HeatSketch> {
+        &self.heat
     }
 
     /// Shared handle on the memory tier's resident-bytes gauge, when
@@ -384,6 +396,7 @@ impl CacheManager {
             return LookupResult::Uncacheable;
         }
         CacheStats::bump(&self.stats.lookups);
+        self.heat.observe(key.as_str(), 0);
         let t0 = trace.start_span();
         let classification = self.directory.classify(key);
         trace.end_span(Stage::DirLookup, t0);
@@ -536,6 +549,9 @@ impl CacheManager {
         // answered by these bytes.
         let shared: Arc<[u8]> = Arc::from(body);
         self.finish_flight(key, Some((content_type.to_string(), Arc::clone(&shared))));
+        // Attribute the execution's cost to the key's heat-sketch slot
+        // (only if the key is still monitored — no count is added).
+        self.heat.add_cost(key.as_str(), exec.as_micros() as u64);
         if !decision.should_insert(exec) {
             CacheStats::bump(&self.stats.discards);
             return Ok(InsertOutcome::Discarded);
@@ -1359,6 +1375,42 @@ mod tests {
             m.directory().get(NodeId(0), &k).is_none(),
             "stale entry dropped"
         );
+    }
+
+    #[test]
+    fn heat_sketch_tracks_lookups_and_exec_cost() {
+        let m = manager(10);
+        let k = key("/cgi-bin/hotkey?x=1");
+        run_and_insert(&m, &k, b"body"); // one lookup + 100ms exec
+        m.lookup(&k, k.as_str()); // local hit: second observation
+        let top = m.heat().top(10);
+        let entry = top.iter().find(|e| e.key == k.as_str()).unwrap();
+        assert_eq!(entry.count, 2);
+        assert_eq!(entry.error, 0);
+        assert_eq!(entry.cost_us, 100_000);
+        // Uncacheable paths never reach the sketch.
+        let um = CacheManager::new(
+            CacheManagerConfig {
+                rules: CacheRules::deny_all(),
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        );
+        um.lookup(&key("/cgi-bin/u"), "/cgi-bin/u");
+        assert!(um.heat().is_empty());
+        // hotkeys: 0 disables the sketch entirely.
+        let off = CacheManager::new(
+            CacheManagerConfig {
+                hotkeys: 0,
+                ..Default::default()
+            },
+            Box::new(MemStore::new()),
+        );
+        let k2 = key("/cgi-bin/dark");
+        off.lookup(&k2, k2.as_str());
+        off.abort_execution(&k2);
+        assert!(!off.heat().enabled());
+        assert!(off.heat().top(10).is_empty());
     }
 
     #[test]

@@ -65,6 +65,10 @@ pub struct ClusterConfig {
     pub obs_enabled: bool,
     /// Completed traces each node retains for `/swala-traces`.
     pub trace_ring: usize,
+    /// Heat-sketch capacity (hot keys tracked per node); 0 disables.
+    pub hotkeys: usize,
+    /// Slow-trace exemplars retained per outcome class; 0 disables.
+    pub slow_traces: usize,
     /// Connection engine on every node (threaded accept pool or the
     /// readiness-polled event loop). Defaults to the process default,
     /// which honors `SWALA_ENGINE`.
@@ -102,6 +106,8 @@ impl Default for ClusterConfig {
             coalesce_wait: ServerOptions::default().coalesce_wait,
             obs_enabled: ServerOptions::default().obs_enabled,
             trace_ring: ServerOptions::default().trace_ring,
+            hotkeys: ServerOptions::default().hotkeys,
+            slow_traces: ServerOptions::default().slow_traces,
             engine: ServerOptions::default().engine,
             directory: ServerOptions::default().directory,
             ring_vnodes: ServerOptions::default().ring_vnodes,
@@ -174,6 +180,8 @@ impl SwalaCluster {
                     coalesce_wait: cfg.coalesce_wait,
                     obs_enabled: cfg.obs_enabled,
                     trace_ring: cfg.trace_ring,
+                    hotkeys: cfg.hotkeys,
+                    slow_traces: cfg.slow_traces,
                     engine: cfg.engine,
                     directory: cfg.directory,
                     ring_vnodes: cfg.ring_vnodes,

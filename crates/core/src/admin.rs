@@ -8,21 +8,42 @@
 //! * `GET /swala-metrics` — the machine-readable metrics registry in
 //!   Prometheus text exposition format (version 0.0.4);
 //! * `GET /swala-traces?n=K` — the most recent `K` completed request
-//!   traces from the bounded trace ring, as JSON (newest last);
+//!   traces from the bounded trace ring, as JSON (newest last); with
+//!   `?slow=1`, the slowest retained traces per outcome class instead
+//!   (the exemplar set survives ring churn, so the pathological tail
+//!   stays inspectable);
+//! * `GET /swala-hotkeys?n=K` — the space-saving heat sketch's hottest
+//!   keys with per-key error bounds, as JSON; `?cluster=1` merges every
+//!   reachable node's shipped top keys into one ranking;
+//! * `GET /swala-cluster-metrics` — every reachable node's registry in
+//!   one Prometheus exposition, each sample labeled `node="N"` (values
+//!   pass through verbatim, so summing over the label is exact);
+//! * `GET /swala-cluster-status` — a per-node table of the cluster
+//!   (hit rates, health, directory and memory footprint) plus merged
+//!   latency histograms and the cluster-wide hot-key ranking;
 //! * `GET /swala-admin/invalidate?key=<target>` — application-driven
 //!   invalidation (§4.2's planned extension after Iyengar & Challenger
 //!   \[12\]): removes the entry wherever it lives. If this node owns it,
 //!   it is deleted and the deletion broadcast; if a peer owns it, an
 //!   `Invalidate` message is forwarded to the owner.
 //!
+//! The cluster views are federated pulls: the serving node asks every
+//! peer for a [`swala_proto::NodeStats`] snapshot over the warm fetch
+//! pool and merges locally. An unreachable or quarantined peer costs a
+//! `swala_cluster_scrape_failures` bump and a partial view — never an
+//! error status, because a degraded cluster is exactly when the view
+//! matters most.
+//!
 //! The admin prefix is reserved before program and file resolution, so a
 //! CGI program or file cannot shadow it.
 
 use crate::handler::NodeContext;
+use std::sync::atomic::Ordering;
 use swala_cache::directory::Classification;
-use swala_cache::CacheKey;
+use swala_cache::{CacheKey, CacheStats, NodeId};
 use swala_http::{Request, Response, StatusCode};
-use swala_proto::request_invalidate;
+use swala_obs::{HeatEntry, HistogramSnapshot, MetricSnapshot, MetricValue};
+use swala_proto::{request_invalidate, Message, NodeStats, PeerState};
 
 /// Path prefix reserved for administration.
 pub const ADMIN_PREFIX: &str = "/swala-admin/";
@@ -32,12 +53,25 @@ pub const STATUS_PATH: &str = "/swala-status";
 pub const METRICS_PATH: &str = "/swala-metrics";
 /// JSON dump of recent completed traces.
 pub const TRACES_PATH: &str = "/swala-traces";
+/// JSON dump of the heat sketch's hottest keys.
+pub const HOTKEYS_PATH: &str = "/swala-hotkeys";
+/// Cluster-merged Prometheus exposition (every node, `node` label).
+pub const CLUSTER_METRICS_PATH: &str = "/swala-cluster-metrics";
+/// Cluster-merged HTML status table.
+pub const CLUSTER_STATUS_PATH: &str = "/swala-cluster-status";
+
+/// Hot-key entries requested from each node during a cluster scrape
+/// (mirrors the daemon's per-snapshot cap).
+const SCRAPE_HOTKEYS: usize = 64;
 
 /// True when `path` is handled by the admin module.
 pub fn is_admin_path(path: &str) -> bool {
     path == STATUS_PATH
         || path == METRICS_PATH
         || path == TRACES_PATH
+        || path == HOTKEYS_PATH
+        || path == CLUSTER_METRICS_PATH
+        || path == CLUSTER_STATUS_PATH
         || path.starts_with(ADMIN_PREFIX)
 }
 
@@ -47,9 +81,279 @@ pub fn handle_admin(ctx: &NodeContext, req: &Request) -> Response {
         STATUS_PATH => status_page(ctx),
         METRICS_PATH => metrics_page(ctx),
         TRACES_PATH => traces_page(ctx, req),
+        HOTKEYS_PATH => hotkeys_page(ctx, req),
+        CLUSTER_METRICS_PATH => cluster_metrics_page(ctx),
+        CLUSTER_STATUS_PATH => cluster_status_page(ctx),
         "/swala-admin/invalidate" => invalidate(ctx, req),
         _ => Response::error(StatusCode::NOT_FOUND),
     }
+}
+
+/// One node's slice of a cluster scrape.
+struct ScrapedNode {
+    node: NodeId,
+    /// Why `stats` is present or not: `ok`, `unreachable`,
+    /// `quarantined` or `unknown-addr`.
+    state: &'static str,
+    stats: Option<NodeStats>,
+}
+
+/// Pull every peer's stats snapshot over the fetch pool; this node's
+/// own snapshot is read directly. Failures degrade the view to the
+/// reachable subset — each bumps `swala_cluster_scrape_failures` and
+/// feeds the shared health tracker exactly like a failed body fetch
+/// (including the quarantine-transition bookkeeping), so an admin
+/// scrape both benefits from and contributes to peer-health evidence.
+fn collect_cluster(ctx: &NodeContext) -> Vec<ScrapedNode> {
+    let addrs: Vec<Option<std::net::SocketAddr>> = ctx.cache_addrs.read().clone();
+    let n = addrs.len().max(ctx.node.index() + 1);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let peer = NodeId(i as u16);
+        if peer == ctx.node {
+            // Placeholder; filled after the peer pulls so the local
+            // snapshot includes this very scrape's failure counts.
+            out.push(ScrapedNode {
+                node: peer,
+                state: "ok",
+                stats: None,
+            });
+            continue;
+        }
+        let Some(addr) = addrs.get(i).copied().flatten() else {
+            out.push(ScrapedNode {
+                node: peer,
+                state: "unknown-addr",
+                stats: None,
+            });
+            continue;
+        };
+        // Quarantine gate, as on the fetch path: a peer declared dead is
+        // skipped without touching the network. The view still went
+        // partial, so the scrape-failure counter covers skips too.
+        if !ctx.health.should_attempt(peer) {
+            ctx.scrape_failures.fetch_add(1, Ordering::Relaxed);
+            out.push(ScrapedNode {
+                node: peer,
+                state: "quarantined",
+                stats: None,
+            });
+            continue;
+        }
+        match ctx
+            .fetch_pool
+            .stats_pull(peer, addr, ctx.fetch_timeout, None)
+        {
+            Ok(stats) => {
+                ctx.health.record_success(peer);
+                out.push(ScrapedNode {
+                    node: peer,
+                    state: "ok",
+                    stats: Some(stats),
+                });
+            }
+            Err(_) => {
+                ctx.scrape_failures.fetch_add(1, Ordering::Relaxed);
+                if ctx.health.record_failure(peer) == Some(PeerState::Quarantined) {
+                    ctx.manager.evict_node(peer);
+                    ctx.fetch_pool.purge_peer(peer);
+                    ctx.broadcaster.broadcast(&Message::NodeDown { node: peer });
+                    CacheStats::bump(&ctx.manager.stats().broadcasts_sent);
+                }
+                out.push(ScrapedNode {
+                    node: peer,
+                    state: "unreachable",
+                    stats: None,
+                });
+            }
+        }
+    }
+    out[ctx.node.index()].stats = Some(NodeStats {
+        node: ctx.node,
+        metrics: ctx.telemetry.registry().snapshot(),
+        hotkeys: ctx.manager.heat().top(SCRAPE_HOTKEYS),
+    });
+    out
+}
+
+/// Every reachable node's metrics in one exposition document, each
+/// sample re-labeled with its origin node.
+fn cluster_metrics_page(ctx: &NodeContext) -> Response {
+    let scraped = collect_cluster(ctx);
+    let nodes: Vec<(u16, Vec<MetricSnapshot>)> = scraped
+        .iter()
+        .filter_map(|s| s.stats.as_ref().map(|st| (s.node.0, st.metrics.clone())))
+        .collect();
+    let body = swala_obs::render_cluster(&nodes);
+    Response::ok("text/plain; version=0.0.4", body.into_bytes())
+}
+
+/// Pull a named counter out of a metrics snapshot (0 when absent).
+fn counter_of(metrics: &[MetricSnapshot], name: &str) -> u64 {
+    metrics
+        .iter()
+        .find(|m| m.name == name)
+        .map_or(0, |m| match &m.value {
+            MetricValue::Counter(v) => *v,
+            _ => 0,
+        })
+}
+
+/// Pull a named gauge out of a metrics snapshot (0 when absent).
+fn gauge_of(metrics: &[MetricSnapshot], name: &str) -> i64 {
+    metrics
+        .iter()
+        .find(|m| m.name == name)
+        .map_or(0, |m| match &m.value {
+            MetricValue::Gauge(v) => *v,
+            _ => 0,
+        })
+}
+
+/// The cluster at a glance: one row per node, merged latency, global
+/// hot keys.
+fn cluster_status_page(ctx: &NodeContext) -> Response {
+    let scraped = collect_cluster(ctx);
+    let mut rows = String::new();
+    for s in &scraped {
+        match &s.stats {
+            Some(st) => {
+                let m = &st.metrics;
+                let lookups = counter_of(m, "swala_cache_lookups");
+                let hits = counter_of(m, "swala_cache_local_hits")
+                    + counter_of(m, "swala_cache_remote_hits");
+                let rate = if lookups == 0 {
+                    "–".to_string()
+                } else {
+                    format!("{:.1}%", 100.0 * hits as f64 / lookups as f64)
+                };
+                rows.push_str(&format!(
+                    "<tr><td>node{}{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                     <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                    s.node.0,
+                    if s.node == ctx.node {
+                        " (this node)"
+                    } else {
+                        ""
+                    },
+                    s.state,
+                    counter_of(m, "swala_http_requests"),
+                    lookups,
+                    rate,
+                    counter_of(m, "swala_cache_inserts"),
+                    gauge_of(m, "swala_cache_dir_entries_owned"),
+                    gauge_of(m, "swala_cache_mem_bytes"),
+                ));
+            }
+            None => rows.push_str(&format!(
+                "<tr><td>node{}</td><td>{}</td>\
+                 <td colspan=6>no snapshot (partial scrape)</td></tr>\n",
+                s.node.0, s.state,
+            )),
+        }
+    }
+    // Merged per-outcome latency: raw bucket sums across nodes, so the
+    // quantiles are those of one cluster-wide histogram, not an average
+    // of per-node quantiles.
+    let mut by_outcome: Vec<(String, HistogramSnapshot)> = Vec::new();
+    for s in &scraped {
+        let Some(st) = &s.stats else { continue };
+        for m in &st.metrics {
+            if m.name != "swala_request_duration_microseconds" {
+                continue;
+            }
+            if let (Some((_, outcome)), MetricValue::Histogram(h)) = (&m.label, &m.value) {
+                match by_outcome.iter_mut().find(|(o, _)| o == outcome) {
+                    Some((_, agg)) => agg.merge(h),
+                    None => by_outcome.push((outcome.clone(), h.clone())),
+                }
+            }
+        }
+    }
+    let mut latency = String::new();
+    for (outcome, h) in &by_outcome {
+        if h.count == 0 {
+            continue;
+        }
+        latency.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            outcome,
+            h.count,
+            h.p50(),
+            h.p99(),
+            h.max,
+        ));
+    }
+    if latency.is_empty() {
+        latency.push_str("<tr><td colspan=5>no completed requests yet</td></tr>\n");
+    }
+    let lists: Vec<Vec<HeatEntry>> = scraped
+        .iter()
+        .filter_map(|s| s.stats.as_ref().map(|st| st.hotkeys.clone()))
+        .collect();
+    let mut hot = String::new();
+    for e in swala_obs::merge_hotkeys(&lists, 16) {
+        hot.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+            e.key,
+            e.count,
+            e.count - e.error,
+            e.cost_us,
+        ));
+    }
+    if hot.is_empty() {
+        hot.push_str("<tr><td colspan=4>no observations yet</td></tr>\n");
+    }
+    let failures = ctx.scrape_failures.load(Ordering::Relaxed);
+    let body = format!(
+        "<html><head><title>Swala cluster — via node {node}</title></head><body>\
+         <h1>Swala cluster (scraped by node {node}; {failures} scrape failures total)</h1>\
+         <h2>Nodes</h2>\
+         <table border=1>\
+         <tr><th>node</th><th>scrape</th><th>requests</th><th>lookups</th>\
+         <th>hit rate</th><th>inserts</th><th>dir owned</th><th>mem bytes</th></tr>\
+         {rows}</table>\
+         <h2>Cluster latency by outcome (&micro;s, merged histograms)</h2>\
+         <table border=1>\
+         <tr><th>outcome</th><th>count</th><th>p50</th><th>p99</th>\
+         <th>max</th></tr>{latency}</table>\
+         <h2>Cluster hot keys (estimated count; lower bound; cost &micro;s)</h2>\
+         <table border=1>\
+         <tr><th>key</th><th>count</th><th>&ge;</th><th>cost</th></tr>{hot}</table>\
+         <p><a href=\"/swala-cluster-metrics\">cluster metrics</a> &middot; \
+         <a href=\"/swala-hotkeys?cluster=1\">cluster hotkeys</a> &middot; \
+         <a href=\"/swala-status\">this node</a></p>\
+         </body></html>\n",
+        node = ctx.node,
+    );
+    Response::ok("text/html", body.into_bytes())
+}
+
+/// The heat sketch's hottest keys (`?n=K`, default 32), with per-key
+/// error bounds. `?cluster=1` merges every reachable node's shipped
+/// top keys; the merged totals cover shipped entries only, so the
+/// cluster document reports no unmonitored-count bound (0).
+fn hotkeys_page(ctx: &NodeContext, req: &Request) -> Response {
+    let pairs = req.target.query_pairs();
+    let n = pairs
+        .iter()
+        .find(|(k, _)| k == "n")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(32);
+    let cluster = pairs.iter().any(|(k, v)| k == "cluster" && v != "0");
+    let body = if cluster {
+        let scraped = collect_cluster(ctx);
+        let lists: Vec<Vec<HeatEntry>> = scraped
+            .iter()
+            .filter_map(|s| s.stats.as_ref().map(|st| st.hotkeys.clone()))
+            .collect();
+        let total: u64 = lists.iter().flatten().map(|e| e.count).sum();
+        let merged = swala_obs::merge_hotkeys(&lists, n);
+        swala_obs::render_hotkeys_json(ctx.manager.heat().capacity(), total, 0, &merged)
+    } else {
+        ctx.manager.heat().to_json(n)
+    };
+    Response::ok("application/json", body.into_bytes())
 }
 
 /// The whole registry in Prometheus text exposition format. Rendering
@@ -60,11 +364,18 @@ fn metrics_page(ctx: &NodeContext) -> Response {
 }
 
 /// The last `n` completed traces (`?n=K`, default 32), oldest first.
+/// `?slow=1` switches to the slow-exemplar set: the slowest retained
+/// traces per outcome class, which survive ring churn.
 fn traces_page(ctx: &NodeContext, req: &Request) -> Response {
-    let n = req
-        .target
-        .query_pairs()
-        .into_iter()
+    let pairs = req.target.query_pairs();
+    if pairs.iter().any(|(k, v)| k == "slow" && v != "0") {
+        return Response::ok(
+            "application/json",
+            ctx.telemetry.slow_traces_json().into_bytes(),
+        );
+    }
+    let n = pairs
+        .iter()
         .find(|(k, _)| k == "n")
         .and_then(|(_, v)| v.parse::<usize>().ok())
         .unwrap_or(32);
@@ -165,9 +476,11 @@ fn status_page(ctx: &NodeContext) -> Response {
     if latency.is_empty() {
         latency.push_str("<tr><td colspan=5>no completed requests yet</td></tr>\n");
     }
+    let uptime = ctx.started.elapsed().as_secs();
     let body = format!(
         "<html><head><title>Swala status — {node}</title></head><body>\
          <h1>Swala node {node}</h1>\
+         <p>swala v{version} &middot; node {node} &middot; up {uptime}s</p>\
          <h2>HTTP</h2><pre>{http}</pre>\
          <h2>Engine</h2><pre>{engine}</pre>\
          <h2>Cache</h2><pre>{cache}</pre>\
@@ -177,7 +490,11 @@ fn status_page(ctx: &NodeContext) -> Response {
          <tr><th>outcome</th><th>count</th><th>p50</th><th>p99</th>\
          <th>max</th></tr>{latency}</table>\
          <p><a href=\"/swala-metrics\">metrics</a> &middot; \
-         <a href=\"/swala-traces\">traces</a></p>\
+         <a href=\"/swala-traces\">traces</a> &middot; \
+         <a href=\"/swala-traces?slow=1\">slow traces</a> &middot; \
+         <a href=\"/swala-hotkeys\">hotkeys</a> &middot; \
+         <a href=\"/swala-cluster-metrics\">cluster metrics</a> &middot; \
+         <a href=\"/swala-cluster-status\">cluster status</a></p>\
          <h2>Directory ({dirmode}; entries per node table)</h2>\
          <table border=1>{tables}</table>\
          {ring_section}\
@@ -191,6 +508,7 @@ fn status_page(ctx: &NodeContext) -> Response {
          <th>dropped</th><th>connected</th></tr>{links}</table>\
          </body></html>\n",
         node = ctx.node,
+        version = env!("CARGO_PKG_VERSION"),
     );
     Response::ok("text/html", body.into_bytes())
 }

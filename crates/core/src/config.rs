@@ -40,6 +40,35 @@ impl std::str::FromStr for EngineKind {
     }
 }
 
+/// Access-log line format (`log_format text|json`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Common Log Format with the trace suffix — the default.
+    Text,
+    /// One JSON object per request, same fields as the text line.
+    Json,
+}
+
+impl LogFormat {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogFormat::Text => "text",
+            LogFormat::Json => "json",
+        }
+    }
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("log_format must be text|json, got {other:?}")),
+        }
+    }
+}
+
 /// Everything needed to run one Swala node.
 #[derive(Debug, Clone)]
 pub struct ServerOptions {
@@ -82,6 +111,10 @@ pub struct ServerOptions {
     pub recover_cache: bool,
     /// Write a Common-Log-Format access log to this file.
     pub access_log: Option<PathBuf>,
+    /// Access-log line format (`log_format text|json`). Text is the
+    /// CLF default; json emits one object per request with the same
+    /// fields (including the trace suffix's `trace=`/`owner=`).
+    pub log_format: LogFormat,
     /// Per-peer broadcast queue depth; overflow drops the oldest notice
     /// (asynchronous weak consistency tolerates the loss).
     pub broadcast_queue: usize,
@@ -127,6 +160,12 @@ pub struct ServerOptions {
     /// Completed traces kept in the in-memory ring (`/swala-traces`);
     /// 0 keeps none.
     pub trace_ring: usize,
+    /// Monitored slots in the per-key heat sketch (`/swala-hotkeys`);
+    /// 0 disables the sketch. Forced to 0 when `obs` is off.
+    pub hotkeys: usize,
+    /// Slowest completed traces retained per outcome class
+    /// (`/swala-traces?slow=1`); 0 keeps none.
+    pub slow_traces: usize,
     /// Connection engine (`engine threaded|event`). The `SWALA_ENGINE`
     /// environment variable overrides the *default* only — explicit
     /// config lines and programmatic settings win, so a test that pins an
@@ -166,6 +205,7 @@ impl Default for ServerOptions {
             sync_on_join: false,
             recover_cache: true,
             access_log: None,
+            log_format: LogFormat::Text,
             broadcast_queue: 1024,
             broadcast_batch: 64,
             broadcast_window: Duration::ZERO,
@@ -181,6 +221,8 @@ impl Default for ServerOptions {
             faults: None,
             obs_enabled: true,
             trace_ring: 256,
+            hotkeys: 128,
+            slow_traces: 8,
             engine: match std::env::var("SWALA_ENGINE").as_deref() {
                 Ok("event") => EngineKind::Event,
                 _ => EngineKind::Threaded,
@@ -289,6 +331,9 @@ impl ServerOptions {
                     }
                 }
                 "access_log" => opts.access_log = Some(PathBuf::from(rest)),
+                "log_format" => {
+                    opts.log_format = rest.parse().map_err(|e: String| err(&e))?;
+                }
                 "broadcast_queue" => {
                     opts.broadcast_queue = rest.parse().map_err(|_| err("bad broadcast_queue"))?;
                     if opts.broadcast_queue == 0 {
@@ -368,6 +413,13 @@ impl ServerOptions {
                 // 0 is legal: no traces retained, histograms still record.
                 "trace_ring" => {
                     opts.trace_ring = rest.parse().map_err(|_| err("bad trace_ring"))?;
+                }
+                // 0 is legal for both: it disables that instrument only.
+                "hotkeys" => {
+                    opts.hotkeys = rest.parse().map_err(|_| err("bad hotkeys"))?;
+                }
+                "slow_traces" => {
+                    opts.slow_traces = rest.parse().map_err(|_| err("bad slow_traces"))?;
                 }
                 "engine" => {
                     opts.engine = rest.parse().map_err(|e: String| err(&e))?;
@@ -593,6 +645,37 @@ trace_ring 64
             .unwrap_err()
             .contains("on|off"));
         assert!(ServerOptions::parse("trace_ring lots")
+            .unwrap_err()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn observability_keywords() {
+        let d = ServerOptions::parse("").unwrap();
+        assert_eq!(d.log_format, LogFormat::Text, "text log is the default");
+        assert_eq!(d.hotkeys, 128);
+        assert_eq!(d.slow_traces, 8);
+        let o = ServerOptions::parse(
+            "log_format json
+hotkeys 512
+slow_traces 16
+",
+        )
+        .unwrap();
+        assert_eq!(o.log_format, LogFormat::Json);
+        assert_eq!(o.hotkeys, 512);
+        assert_eq!(o.slow_traces, 16);
+        // 0 disables each instrument; both remain valid configs.
+        let off = ServerOptions::parse("hotkeys 0\nslow_traces 0\n").unwrap();
+        assert_eq!(off.hotkeys, 0);
+        assert_eq!(off.slow_traces, 0);
+        assert!(ServerOptions::parse("log_format xml")
+            .unwrap_err()
+            .contains("text|json"));
+        assert!(ServerOptions::parse("hotkeys lots")
+            .unwrap_err()
+            .contains("bad"));
+        assert!(ServerOptions::parse("slow_traces crawl")
             .unwrap_err()
             .contains("bad"));
     }

@@ -441,15 +441,7 @@ impl<S: EventSource> EventLoop<S> {
             trace.record_span(Stage::ResponseWrite, job.started, Instant::now());
             let summary = self.ctx.telemetry.finish(trace);
             if let Some(log) = &self.ctx.access_log {
-                match &summary {
-                    Some(s) => log.log_with(
-                        peer,
-                        &req,
-                        &job.resp,
-                        Some(&crate::accesslog::trace_suffix(s)),
-                    ),
-                    None => log.log(peer, &req, &job.resp),
-                }
+                log.log_with(peer, &req, &job.resp, summary.as_ref());
             }
         }
     }
@@ -640,6 +632,8 @@ mod tests {
             })),
             engine_stats: EngineStats::new(),
             engine: EngineKind::Event,
+            started: std::time::Instant::now(),
+            scrape_failures: Arc::new(std::sync::atomic::AtomicU64::new(0)),
         })
     }
 

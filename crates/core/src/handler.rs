@@ -74,6 +74,11 @@ pub struct NodeContext {
     pub engine_stats: Arc<crate::stats::EngineStats>,
     /// Which engine this node runs (shown on `/swala-status`).
     pub engine: crate::config::EngineKind,
+    /// When the node started (uptime on `/swala-status`).
+    pub started: Instant,
+    /// Peers whose stats pull failed during a cluster scrape
+    /// (`swala_cluster_scrape_failures`).
+    pub scrape_failures: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl NodeContext {
@@ -298,6 +303,14 @@ fn handle_remote_hit(
             ctx.health.record_success(meta.owner);
             RequestStats::bump(&ctx.stats.served_remote_cache);
             trace.set_outcome(Outcome::Remote);
+            // Heat-sketch cost attribution: a remote hit's wire time is
+            // this key's cost, like exec time is a miss's. `t0` is None
+            // exactly when obs is off, and the sketch is disabled then.
+            if let Some(t0) = t0 {
+                ctx.manager
+                    .heat()
+                    .add_cost(key.as_str(), t0.elapsed().as_micros() as u64);
+            }
             let mut resp = Response::ok(&content_type, body);
             resp.headers
                 .set(cache_header::NAME, cache_header::REMOTE_HIT);
@@ -499,6 +512,11 @@ fn fetch_body_from_owner(
             CacheStats::debit(&ctx.manager.stats().misses);
             CacheStats::bump(&ctx.manager.stats().remote_hits);
             trace.set_outcome(Outcome::Remote);
+            if let Some(t0) = t0 {
+                ctx.manager
+                    .heat()
+                    .add_cost(key.as_str(), t0.elapsed().as_micros() as u64);
+            }
             ctx.manager
                 .complete_remote_serve(&key, &content_type, Arc::from(body.as_slice()));
             let mut resp = Response::ok(&content_type, body);

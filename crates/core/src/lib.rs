@@ -54,7 +54,7 @@ pub mod server;
 pub mod stats;
 
 pub use client::HttpClient;
-pub use config::{EngineKind, ServerOptions};
+pub use config::{EngineKind, LogFormat, ServerOptions};
 pub use event::epoll::raise_nofile_limit;
 pub use server::{BoundSwala, SwalaServer};
 pub use stats::{EngineStats, RequestStats, RequestStatsSnapshot};

@@ -213,12 +213,7 @@ fn serve_connection(stream: TcpStream, peer: &str, ctx: &NodeContext, shutdown: 
         trace.end_span(Stage::ResponseWrite, t0);
         let summary = ctx.telemetry.finish(trace);
         if let Some(log) = &ctx.access_log {
-            match &summary {
-                Some(s) => {
-                    log.log_with(peer, &req, &resp, Some(&crate::accesslog::trace_suffix(s)))
-                }
-                None => log.log(peer, &req, &resp),
-            }
+            log.log_with(peer, &req, &resp, summary.as_ref());
         }
         if written.is_err() || !keep {
             return;

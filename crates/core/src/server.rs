@@ -86,6 +86,13 @@ impl BoundSwala {
                 coalesce_wait: options.coalesce_wait,
                 directory: options.directory,
                 ring_vnodes: options.ring_vnodes,
+                // The heat sketch is part of the `obs off` honest
+                // baseline: disabled entirely when telemetry is off.
+                hotkeys: if options.obs_enabled {
+                    options.hotkeys
+                } else {
+                    0
+                },
             },
             store,
         ));
@@ -121,7 +128,7 @@ impl BoundSwala {
         // working (scrapeable) registry but never touches the clock on the
         // request path.
         let telemetry = if options.obs_enabled {
-            Telemetry::new(options.node.0, options.trace_ring)
+            Telemetry::with_slow_traces(options.node.0, options.trace_ring, options.slow_traces)
         } else {
             Telemetry::disabled(options.node.0)
         };
@@ -212,7 +219,10 @@ impl BoundSwala {
         };
 
         let access_log = match &options.access_log {
-            Some(path) => Some(crate::accesslog::AccessLog::open(path)?),
+            Some(path) => Some(crate::accesslog::AccessLog::open_with(
+                path,
+                options.log_format,
+            )?),
             None => None,
         };
 
@@ -273,6 +283,18 @@ impl BoundSwala {
             );
         }
 
+        // Cluster-scrape degradation counter: bumped whenever a peer's
+        // stats pull fails and the merged view goes partial.
+        let scrape_failures = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        {
+            let f = Arc::clone(&scrape_failures);
+            telemetry.registry().register_counter(
+                "swala_cluster_scrape_failures",
+                "Peer stats pulls that failed or were quarantine-skipped during a cluster scrape",
+                move || f.load(std::sync::atomic::Ordering::Relaxed),
+            );
+        }
+
         let ctx = Arc::new(NodeContext {
             node: options.node,
             server_name: options.server_name.clone(),
@@ -303,6 +325,8 @@ impl BoundSwala {
             })),
             engine_stats,
             engine: options.engine,
+            started: std::time::Instant::now(),
+            scrape_failures,
         });
 
         let engine = match options.engine {

@@ -1,0 +1,436 @@
+//! Per-key heat sketch: a space-saving top-K frequency summary.
+//!
+//! The cluster needs to know *which keys* are hot — ROADMAP item 5
+//! (adaptive admission à la Mertz & Nunes) admits entries by observed
+//! (cost × reuse), and an operator debugging a flash crowd wants the
+//! key, not just the aggregate hit rate. Tracking every key exactly is
+//! unbounded state; the space-saving sketch (Metwally, Agrawal &
+//! El Abbadi 2005) keeps exactly `capacity` monitored keys and offers
+//! hard error bounds:
+//!
+//! * every monitored key's reported `count` **overestimates** its true
+//!   frequency by at most its `error` field (`count - error` is a lower
+//!   bound, `count` an upper bound);
+//! * any key *not* monitored has true frequency ≤ the minimum monitored
+//!   count — so once a key's `count - error` exceeds that minimum it is
+//!   provably in the true top set.
+//!
+//! Alongside the frequency each entry accumulates the observed cost
+//! (CGI execution / remote-fetch time in µs) attributed to the key
+//! while monitored, giving the (cost × reuse) signal directly.
+//!
+//! Cost profile: one short mutex hold per observation. The common case
+//! (key already monitored, or table not yet full) is a hash lookup; an
+//! eviction scans the table for the minimum, which is O(capacity) but
+//! only happens for keys outside the monitored set. With the default
+//! capacity (128) that scan is ~100 ns — well inside the enforced
+//! ≤3%+30µs observability budget, verified by the obs-overhead twin
+//! run in `tables obsplane`.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// One monitored key with its estimated frequency and cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeatEntry {
+    pub key: String,
+    /// Estimated request count (never under the true count).
+    pub count: u64,
+    /// Maximum overestimation: true count ≥ `count - error`.
+    pub error: u64,
+    /// Cumulative observed cost (µs) while the key was monitored.
+    pub cost_us: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, HeatEntry>,
+    /// Total observations, monitored or not.
+    total: u64,
+}
+
+/// A space-saving top-K sketch of per-key request heat.
+pub struct HeatSketch {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl HeatSketch {
+    /// A sketch monitoring up to `capacity` keys; 0 disables it (every
+    /// call becomes a cheap no-op, the honest `obs off` baseline).
+    pub fn new(capacity: usize) -> HeatSketch {
+        HeatSketch {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// A disabled sketch (capacity 0).
+    pub fn disabled() -> HeatSketch {
+        HeatSketch::new(0)
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Count one request for `key`, attributing `cost_us` of work.
+    pub fn observe(&self, key: &str, cost_us: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.total += 1;
+        if let Some(e) = inner.entries.get_mut(key) {
+            e.count += 1;
+            e.cost_us += cost_us;
+            return;
+        }
+        if inner.entries.len() < self.capacity {
+            inner.entries.insert(
+                key.to_string(),
+                HeatEntry {
+                    key: key.to_string(),
+                    count: 1,
+                    error: 0,
+                    cost_us,
+                },
+            );
+            return;
+        }
+        // Space-saving replacement: the new key inherits the minimum
+        // monitored count as its (pessimistic) estimate and carries that
+        // same value as its error bound.
+        let min_key = inner
+            .entries
+            .values()
+            .min_by_key(|e| e.count)
+            .map(|e| e.key.clone())
+            .expect("non-empty at capacity");
+        let min = inner.entries.remove(&min_key).expect("min key present");
+        inner.entries.insert(
+            key.to_string(),
+            HeatEntry {
+                key: key.to_string(),
+                count: min.count + 1,
+                error: min.count,
+                cost_us,
+            },
+        );
+    }
+
+    /// Attribute extra cost to `key` if it is currently monitored —
+    /// used for work measured after the lookup (CGI execution, remote
+    /// fetch) without inflating the request count.
+    pub fn add_cost(&self, key: &str, cost_us: u64) {
+        if self.capacity == 0 || cost_us == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.entries.get_mut(key) {
+            e.cost_us += cost_us;
+        }
+    }
+
+    /// Total observations fed to the sketch.
+    pub fn total(&self) -> u64 {
+        self.inner.lock().total
+    }
+
+    /// Number of currently monitored keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Minimum monitored count — an upper bound on the true frequency
+    /// of *any* unmonitored key (0 while the table is not full).
+    pub fn min_count(&self) -> u64 {
+        let inner = self.inner.lock();
+        if inner.entries.len() < self.capacity {
+            return 0;
+        }
+        inner.entries.values().map(|e| e.count).min().unwrap_or(0)
+    }
+
+    /// The hottest `n` monitored keys, by estimated count descending
+    /// (ties broken by key for determinism).
+    pub fn top(&self, n: usize) -> Vec<HeatEntry> {
+        let inner = self.inner.lock();
+        let mut all: Vec<HeatEntry> = inner.entries.values().cloned().collect();
+        all.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+        all.truncate(n);
+        all
+    }
+
+    /// JSON document for `/swala-hotkeys`: the top `n` keys plus the
+    /// sketch's own error-bound metadata.
+    pub fn to_json(&self, n: usize) -> String {
+        render_hotkeys_json(self.capacity, self.total(), self.min_count(), &self.top(n))
+    }
+}
+
+/// Render a hot-key report as JSON (shared by the local endpoint and
+/// the cluster-merged view).
+pub fn render_hotkeys_json(
+    capacity: usize,
+    total: u64,
+    min_count: u64,
+    entries: &[HeatEntry],
+) -> String {
+    let mut out = format!(
+        "{{\"capacity\":{capacity},\"total_observations\":{total},\
+         \"unmonitored_upper_bound\":{min_count},\"keys\":["
+    );
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"key\":\"{}\",\"count\":{},\"error\":{},\"count_lower_bound\":{},\"cost_us\":{}}}",
+            json_escape(&e.key),
+            e.count,
+            e.error,
+            e.count - e.error,
+            e.cost_us,
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Merge per-node hot-key lists into a cluster ranking: counts, errors
+/// and costs for the same key sum across nodes (each node's sketch is
+/// independent, so the summed bounds stay valid: the cluster-wide true
+/// count lies within [Σ(count-error), Σcount]).
+pub fn merge_hotkeys(lists: &[Vec<HeatEntry>], n: usize) -> Vec<HeatEntry> {
+    let mut merged: HashMap<&str, HeatEntry> = HashMap::new();
+    for list in lists {
+        for e in list {
+            merged
+                .entry(e.key.as_str())
+                .and_modify(|m| {
+                    m.count += e.count;
+                    m.error += e.error;
+                    m.cost_us += e.cost_us;
+                })
+                .or_insert_with(|| e.clone());
+        }
+    }
+    let mut all: Vec<HeatEntry> = merged.into_values().collect();
+    all.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_capacity() {
+        let s = HeatSketch::new(8);
+        for _ in 0..5 {
+            s.observe("a", 10);
+        }
+        for _ in 0..3 {
+            s.observe("b", 1);
+        }
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.min_count(), 0, "not at capacity: no unmonitored keys");
+        let top = s.top(10);
+        assert_eq!(top[0].key, "a");
+        assert_eq!(top[0].count, 5);
+        assert_eq!(top[0].error, 0);
+        assert_eq!(top[0].cost_us, 50);
+        assert_eq!(top[1].key, "b");
+        assert_eq!(top[1].count, 3);
+    }
+
+    #[test]
+    fn eviction_inherits_min_count_as_error() {
+        let s = HeatSketch::new(2);
+        s.observe("a", 0);
+        s.observe("a", 0);
+        s.observe("b", 0);
+        // Table full; "c" evicts the minimum ("b", count 1).
+        s.observe("c", 0);
+        let top = s.top(10);
+        assert_eq!(top.len(), 2);
+        let c = top.iter().find(|e| e.key == "c").expect("c monitored");
+        assert_eq!(c.count, 2, "inherits min count + 1");
+        assert_eq!(c.error, 1, "error records the inherited part");
+        assert_eq!(c.count - c.error, 1, "true count lower bound");
+    }
+
+    #[test]
+    fn overestimate_never_underestimates() {
+        // Adversarial rotation: every key cycles through a tiny sketch.
+        let s = HeatSketch::new(4);
+        let mut exact: HashMap<String, u64> = HashMap::new();
+        for i in 0..1000u64 {
+            let key = format!("k{}", i % 13);
+            *exact.entry(key.clone()).or_insert(0) += 1;
+            s.observe(&key, 0);
+        }
+        for e in s.top(4) {
+            let truth = exact[&e.key];
+            assert!(e.count >= truth, "{}: {} < {truth}", e.key, e.count);
+            assert!(
+                e.count - e.error <= truth,
+                "{}: lower bound {} > {truth}",
+                e.key,
+                e.count - e.error
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_workload_top_k_within_error_bounds() {
+        // Zipf(s=1.2) over 2000 keys via inverse-CDF on a deterministic
+        // LCG — the documented accuracy claim for /swala-hotkeys.
+        let universe = 2000usize;
+        let weights: Vec<f64> = (1..=universe).map(|r| 1.0 / (r as f64).powf(1.2)).collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(universe);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total_w;
+            cdf.push(acc);
+        }
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rand01 = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let s = HeatSketch::new(256);
+        let mut exact: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..50_000 {
+            let u = rand01();
+            let rank = cdf.partition_point(|c| *c < u).min(universe - 1);
+            *exact.entry(rank).or_insert(0) += 1;
+            s.observe(&format!("key{rank}"), 0);
+        }
+        // Every reported key's bracket [count-error, count] contains
+        // the exact count.
+        for e in s.top(256) {
+            let rank: usize = e.key[3..].parse().unwrap();
+            let truth = *exact.get(&rank).unwrap_or(&0);
+            assert!(e.count >= truth, "{}: over bound broken", e.key);
+            assert!(e.count - e.error <= truth, "{}: under bound broken", e.key);
+        }
+        // The true top-10 keys are all monitored, and every one whose
+        // lower bound beats the unmonitored ceiling is genuinely hot.
+        let mut truth_sorted: Vec<(usize, u64)> = exact.iter().map(|(k, v)| (*k, *v)).collect();
+        truth_sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        let top = s.top(256);
+        for (rank, _) in truth_sorted.iter().take(10) {
+            assert!(
+                top.iter().any(|e| e.key == format!("key{rank}")),
+                "true top-10 key{rank} not monitored"
+            );
+        }
+        let ceiling = s.min_count();
+        for e in top.iter().filter(|e| e.count - e.error > ceiling) {
+            let rank: usize = e.key[3..].parse().unwrap();
+            assert!(
+                *exact.get(&rank).unwrap_or(&0) > 0,
+                "provably-hot key {} never occurred",
+                e.key
+            );
+        }
+    }
+
+    #[test]
+    fn add_cost_only_touches_monitored_keys() {
+        let s = HeatSketch::new(2);
+        s.observe("a", 5);
+        s.add_cost("a", 10);
+        s.add_cost("ghost", 100);
+        let top = s.top(10);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].cost_us, 15);
+    }
+
+    #[test]
+    fn disabled_sketch_is_a_no_op() {
+        let s = HeatSketch::disabled();
+        assert!(!s.enabled());
+        s.observe("a", 1);
+        s.add_cost("a", 1);
+        assert_eq!(s.total(), 0);
+        assert!(s.top(10).is_empty());
+        assert_eq!(
+            s.to_json(10),
+            "{\"capacity\":0,\"total_observations\":0,\"unmonitored_upper_bound\":0,\"keys\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_exotic_keys() {
+        let s = HeatSketch::new(4);
+        s.observe("a\"b\\c\nd", 1);
+        let json = s.to_json(10);
+        assert!(json.contains("a\\\"b\\\\c\\nd"), "{json}");
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"count_lower_bound\":1"));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_bounds() {
+        let a = vec![HeatEntry {
+            key: "k".into(),
+            count: 10,
+            error: 2,
+            cost_us: 100,
+        }];
+        let b = vec![
+            HeatEntry {
+                key: "k".into(),
+                count: 5,
+                error: 1,
+                cost_us: 50,
+            },
+            HeatEntry {
+                key: "other".into(),
+                count: 3,
+                error: 0,
+                cost_us: 1,
+            },
+        ];
+        let merged = merge_hotkeys(&[a, b], 10);
+        assert_eq!(merged[0].key, "k");
+        assert_eq!(merged[0].count, 15);
+        assert_eq!(merged[0].error, 3);
+        assert_eq!(merged[0].cost_us, 150);
+        assert_eq!(merged[1].key, "other");
+        let top1 = merge_hotkeys(&[vec![merged[0].clone(), merged[1].clone()]], 1);
+        assert_eq!(top1.len(), 1);
+    }
+}

@@ -22,13 +22,17 @@
 //! disabled telemetry degrades to branch-and-return no-ops so the
 //! `obs off` configuration is an honest baseline.
 
+mod heat;
 mod hist;
 mod registry;
 mod telemetry;
 mod trace;
 
+pub use heat::{merge_hotkeys, render_hotkeys_json, HeatEntry, HeatSketch};
 pub use hist::{bucket_index, bucket_upper, Histogram, HistogramSnapshot, BUCKETS, SUB, SUB_BITS};
-pub use registry::{parse_exposition, Gauge, MetricsRegistry, Sample};
+pub use registry::{
+    parse_exposition, render_cluster, Gauge, MetricSnapshot, MetricValue, MetricsRegistry, Sample,
+};
 pub use telemetry::{Telemetry, TraceSummary};
 pub use trace::{CompletedTrace, Outcome, SpanRecord, Stage, Trace};
 

@@ -13,7 +13,7 @@
 //! back; the proptest suite round-trips render → parse, and the CI gate
 //! uses the parser to reject malformed scrape output.
 
-use crate::hist::{bucket_upper, Histogram};
+use crate::hist::{bucket_upper, Histogram, HistogramSnapshot};
 use parking_lot::Mutex;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -77,6 +77,16 @@ impl Metric {
             Source::Counter(_) => "counter",
             Source::Gauge(_) | Source::GaugeFn(_) => "gauge",
             Source::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Read the current value out of the source.
+    fn read(&self) -> MetricValue {
+        match &self.source {
+            Source::Counter(f) => MetricValue::Counter(f()),
+            Source::Gauge(g) => MetricValue::Gauge(g.get()),
+            Source::GaugeFn(f) => MetricValue::Gauge(f()),
+            Source::Histogram(h) => MetricValue::Histogram(h.snapshot()),
         }
     }
 }
@@ -229,64 +239,142 @@ impl MetricsRegistry {
                 let _ = writeln!(out, "# HELP {} {}", m.name, escape_help(&m.help));
                 let _ = writeln!(out, "# TYPE {} {}", m.name, m.type_name());
             }
-            match &m.source {
-                Source::Counter(f) => {
-                    let _ = writeln!(out, "{}{} {}", m.name, render_labels(&m.label, None), f());
-                }
-                Source::Gauge(g) => {
-                    let _ = writeln!(
-                        out,
-                        "{}{} {}",
-                        m.name,
-                        render_labels(&m.label, None),
-                        g.get()
-                    );
-                }
-                Source::GaugeFn(f) => {
-                    let _ = writeln!(out, "{}{} {}", m.name, render_labels(&m.label, None), f());
-                }
-                Source::Histogram(h) => {
-                    let s = h.snapshot();
-                    let highest = s.buckets.iter().rposition(|&c| c > 0);
-                    let mut cumulative = 0u64;
-                    if let Some(hi) = highest {
-                        for (b, &c) in s.buckets.iter().enumerate().take(hi + 1) {
-                            cumulative += c;
-                            let le = bucket_upper(b).to_string();
-                            let _ = writeln!(
-                                out,
-                                "{}_bucket{} {}",
-                                m.name,
-                                render_labels(&m.label, Some(&le)),
-                                cumulative
-                            );
-                        }
-                    }
+            write_sample(&mut out, &m.name, &pairs_of(&m.label), &m.read());
+        }
+        out
+    }
+
+    /// Plain-value dump of every registered metric, in registration
+    /// order — the unit of the `StatsSnapshot` wire frame. Counters and
+    /// gauges are read through their closures; histograms are copied as
+    /// raw (non-cumulative) buckets so a receiver can re-merge them with
+    /// [`HistogramSnapshot::merge`].
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        self.metrics
+            .lock()
+            .iter()
+            .map(|m| MetricSnapshot {
+                name: m.name.clone(),
+                help: m.help.clone(),
+                label: m.label.clone(),
+                value: m.read(),
+            })
+            .collect()
+    }
+}
+
+/// Plain value of one metric at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One registered metric read out as plain values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    pub name: String,
+    pub help: String,
+    /// Optional single `key="value"` label pair.
+    pub label: Option<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// Render a cluster-merged exposition: each node's snapshot re-emitted
+/// with a `node="N"` label prepended, families grouped across nodes so
+/// the output stays one exposition document. Values pass through
+/// verbatim — summing a family over its `node` label therefore equals
+/// the arithmetic sum of the per-node registries, which the obsplane
+/// gate checks exactly.
+pub fn render_cluster(nodes: &[(u16, Vec<MetricSnapshot>)]) -> String {
+    let mut families: Vec<&str> = Vec::new();
+    for (_, metrics) in nodes {
+        for m in metrics {
+            if !families.contains(&m.name.as_str()) {
+                families.push(&m.name);
+            }
+        }
+    }
+    let mut out = String::new();
+    for family in families {
+        let first = nodes
+            .iter()
+            .flat_map(|(_, ms)| ms.iter())
+            .find(|m| m.name == family)
+            .expect("family has a member");
+        let _ = writeln!(out, "# HELP {} {}", family, escape_help(&first.help));
+        let _ = writeln!(out, "# TYPE {} {}", family, first.value.type_name());
+        for (node, metrics) in nodes {
+            for m in metrics.iter().filter(|m| m.name == family) {
+                let mut pairs = vec![("node".to_string(), node.to_string())];
+                pairs.extend(pairs_of(&m.label));
+                write_sample(&mut out, &m.name, &pairs, &m.value);
+            }
+        }
+    }
+    out
+}
+
+fn pairs_of(label: &Option<(String, String)>) -> Vec<(String, String)> {
+    match label {
+        Some((k, v)) => vec![(k.clone(), v.clone())],
+        None => Vec::new(),
+    }
+}
+
+/// Write one metric's sample line(s); histograms expand into cumulative
+/// `_bucket` lines plus `_sum` and `_count`.
+fn write_sample(out: &mut String, name: &str, pairs: &[(String, String)], value: &MetricValue) {
+    match value {
+        MetricValue::Counter(v) => {
+            let _ = writeln!(out, "{}{} {}", name, render_pairs(pairs, None), v);
+        }
+        MetricValue::Gauge(v) => {
+            let _ = writeln!(out, "{}{} {}", name, render_pairs(pairs, None), v);
+        }
+        MetricValue::Histogram(s) => {
+            let highest = s.buckets.iter().rposition(|&c| c > 0);
+            let mut cumulative = 0u64;
+            if let Some(hi) = highest {
+                for (b, &c) in s.buckets.iter().enumerate().take(hi + 1) {
+                    cumulative += c;
+                    let le = bucket_upper(b).to_string();
                     let _ = writeln!(
                         out,
                         "{}_bucket{} {}",
-                        m.name,
-                        render_labels(&m.label, Some("+Inf")),
-                        s.count
-                    );
-                    let _ = writeln!(
-                        out,
-                        "{}_sum{} {}",
-                        m.name,
-                        render_labels(&m.label, None),
-                        s.sum
-                    );
-                    let _ = writeln!(
-                        out,
-                        "{}_count{} {}",
-                        m.name,
-                        render_labels(&m.label, None),
-                        s.count
+                        name,
+                        render_pairs(pairs, Some(&le)),
+                        cumulative
                     );
                 }
             }
+            let _ = writeln!(
+                out,
+                "{}_bucket{} {}",
+                name,
+                render_pairs(pairs, Some("+Inf")),
+                s.count
+            );
+            let _ = writeln!(out, "{}_sum{} {}", name, render_pairs(pairs, None), s.sum);
+            let _ = writeln!(
+                out,
+                "{}_count{} {}",
+                name,
+                render_pairs(pairs, None),
+                s.count
+            );
         }
-        out
     }
 }
 
@@ -300,11 +388,8 @@ fn escape_label_value(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
-fn render_labels(label: &Option<(String, String)>, le: Option<&str>) -> String {
-    let mut pairs: Vec<(String, String)> = Vec::new();
-    if let Some((k, v)) = label {
-        pairs.push((k.clone(), v.clone()));
-    }
+fn render_pairs(pairs: &[(String, String)], le: Option<&str>) -> String {
+    let mut pairs: Vec<(String, String)> = pairs.to_vec();
     if let Some(le) = le {
         pairs.push(("le".to_string(), le.to_string()));
     }
@@ -588,6 +673,67 @@ mod tests {
         ] {
             assert!(parse_exposition(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn snapshot_reads_plain_values() {
+        let reg = MetricsRegistry::new();
+        reg.register_counter("swala_c", "c", || 7);
+        let g = reg.gauge("swala_g", "g");
+        g.set(-3);
+        let h = reg.histogram_labeled("swala_h", "h", "outcome", "miss");
+        h.record(5);
+        h.record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].value, MetricValue::Counter(7));
+        assert_eq!(snap[1].value, MetricValue::Gauge(-3));
+        match &snap[2].value {
+            MetricValue::Histogram(s) => {
+                assert_eq!(s.count, 2);
+                assert_eq!(s.sum, 10);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        assert_eq!(
+            snap[2].label,
+            Some(("outcome".to_string(), "miss".to_string()))
+        );
+    }
+
+    #[test]
+    fn cluster_render_adds_node_label_and_sums_exactly() {
+        let mk = |c: u64, hval: u64| {
+            let reg = MetricsRegistry::new();
+            reg.register_counter("swala_reqs", "requests", move || c);
+            let h = reg.histogram_labeled("swala_us", "latency", "outcome", "miss");
+            h.record(hval);
+            reg.snapshot()
+        };
+        let text = render_cluster(&[(0, mk(3, 7)), (2, mk(5, 900))]);
+        let samples = parse_exposition(&text).unwrap();
+        // Per-node series carry the node label first.
+        let per_node: Vec<&Sample> = samples.iter().filter(|s| s.name == "swala_reqs").collect();
+        assert_eq!(per_node.len(), 2);
+        assert_eq!(per_node[0].labels[0], ("node".into(), "0".into()));
+        assert_eq!(per_node[1].labels[0], ("node".into(), "2".into()));
+        // Summing over the node label equals the arithmetic sum.
+        let total: f64 = per_node.iter().map(|s| s.value).sum();
+        assert_eq!(total, 8.0);
+        let hist_count: f64 = samples
+            .iter()
+            .filter(|s| s.name == "swala_us_count")
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(hist_count, 2.0);
+        // HELP/TYPE once per family even with two nodes contributing.
+        assert_eq!(text.matches("# TYPE swala_reqs").count(), 1);
+        assert_eq!(text.matches("# TYPE swala_us").count(), 1);
+        // Histogram series keep their own label after the node label.
+        assert!(
+            text.contains("swala_us_count{node=\"2\",outcome=\"miss\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

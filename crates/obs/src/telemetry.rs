@@ -43,6 +43,46 @@ impl TraceRing {
     }
 }
 
+/// Slowest-K completed traces per outcome class, kept separately from
+/// the recency ring so a burst of fast hits cannot evict the
+/// interesting tail. One short mutex hold per finished trace; the
+/// common case (faster than the current K-th) is a compare-and-return.
+struct SlowSet {
+    capacity: usize,
+    /// Indexed by position in `Outcome::ALL`; each sorted by
+    /// `total_us` descending, at most `capacity` long.
+    per_outcome: Mutex<Vec<Vec<CompletedTrace>>>,
+}
+
+impl SlowSet {
+    fn new(capacity: usize) -> SlowSet {
+        SlowSet {
+            capacity,
+            per_outcome: Mutex::new(vec![Vec::new(); Outcome::ALL.len()]),
+        }
+    }
+
+    fn offer(&self, idx: usize, trace: &CompletedTrace) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut sets = self.per_outcome.lock();
+        let set = &mut sets[idx];
+        if set.len() == self.capacity && trace.total_us <= set[set.len() - 1].total_us {
+            return;
+        }
+        let pos = set.partition_point(|t| t.total_us > trace.total_us);
+        set.insert(pos, trace.clone());
+        set.truncate(self.capacity);
+    }
+
+    /// All retained exemplars, grouped by outcome order, slowest first
+    /// within each group.
+    fn dump(&self) -> Vec<CompletedTrace> {
+        self.per_outcome.lock().iter().flatten().cloned().collect()
+    }
+}
+
 /// Summary of a finished trace, for the enriched access-log line.
 #[derive(Debug, Clone)]
 pub struct TraceSummary {
@@ -60,6 +100,7 @@ pub struct Telemetry {
     node: u16,
     registry: MetricsRegistry,
     ring: TraceRing,
+    slow: SlowSet,
     next_trace: AtomicU64,
     traces_dropped: Arc<AtomicU64>,
     /// One histogram per [`Outcome`], indexed by position in `Outcome::ALL`.
@@ -67,19 +108,34 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
+    /// Slow-trace exemplars retained per outcome class by default.
+    pub const DEFAULT_SLOW_TRACES: usize = 8;
+
     /// A live telemetry bundle for `node`, keeping up to `trace_ring`
-    /// completed traces.
+    /// completed traces and [`Self::DEFAULT_SLOW_TRACES`] slow-trace
+    /// exemplars per outcome.
     pub fn new(node: u16, trace_ring: usize) -> Arc<Telemetry> {
-        Arc::new(Telemetry::build(node, trace_ring, true))
+        Arc::new(Telemetry::build(
+            node,
+            trace_ring,
+            Telemetry::DEFAULT_SLOW_TRACES,
+            true,
+        ))
+    }
+
+    /// A live bundle with an explicit slow-exemplar capacity per
+    /// outcome class (the `slow_traces` config knob).
+    pub fn with_slow_traces(node: u16, trace_ring: usize, slow_traces: usize) -> Arc<Telemetry> {
+        Arc::new(Telemetry::build(node, trace_ring, slow_traces, true))
     }
 
     /// A disabled bundle: traces are no-ops and histograms never record,
     /// but the registry still works so counters stay scrapeable.
     pub fn disabled(node: u16) -> Arc<Telemetry> {
-        Arc::new(Telemetry::build(node, 0, false))
+        Arc::new(Telemetry::build(node, 0, 0, false))
     }
 
-    fn build(node: u16, trace_ring: usize, enabled: bool) -> Telemetry {
+    fn build(node: u16, trace_ring: usize, slow_traces: usize, enabled: bool) -> Telemetry {
         let registry = MetricsRegistry::new();
         let request_hists = Outcome::ALL
             .iter()
@@ -104,6 +160,7 @@ impl Telemetry {
             node,
             registry,
             ring: TraceRing::new(trace_ring),
+            slow: SlowSet::new(slow_traces),
             next_trace: AtomicU64::new(1),
             traces_dropped,
             request_hists,
@@ -163,6 +220,7 @@ impl Telemetry {
             total_us: done.total_us,
             stages: done.stage_summary(),
         };
+        self.slow.offer(idx, &done);
         self.ring.push(done);
         Some(summary)
     }
@@ -182,6 +240,26 @@ impl Telemetry {
     /// The last `n` completed traces as a JSON array.
     pub fn traces_json(&self, n: usize) -> String {
         let traces = self.ring.last(n);
+        let mut out = String::from("[");
+        for (i, t) in traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&t.to_json());
+        }
+        out.push(']');
+        out
+    }
+
+    /// The retained slow-trace exemplars, grouped by outcome class
+    /// (order of [`Outcome::ALL`]), slowest first within each class.
+    pub fn slow_traces(&self) -> Vec<CompletedTrace> {
+        self.slow.dump()
+    }
+
+    /// The slow-trace exemplars as a JSON array (`/swala-traces?slow=1`).
+    pub fn slow_traces_json(&self) -> String {
+        let traces = self.slow.dump();
         let mut out = String::from("[");
         for (i, t) in traces.iter().enumerate() {
             if i > 0 {
@@ -266,6 +344,75 @@ mod tests {
         let summary = tel.finish(tr).unwrap();
         assert_eq!(summary.id, 0xdead_beef);
         assert_eq!(tel.last_traces(1)[0].id, 0xdead_beef);
+    }
+
+    fn fake_trace(outcome: Outcome, total_us: u64) -> CompletedTrace {
+        CompletedTrace {
+            id: total_us,
+            node: 0,
+            outcome,
+            owner: None,
+            target: format!("/t{total_us}"),
+            total_us,
+            remote_attempts: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn slow_set_keeps_the_slowest_k_per_outcome() {
+        let slow = SlowSet::new(3);
+        let miss_idx = Outcome::ALL
+            .iter()
+            .position(|o| *o == Outcome::Miss)
+            .unwrap();
+        let mem_idx = Outcome::ALL
+            .iter()
+            .position(|o| *o == Outcome::LocalMem)
+            .unwrap();
+        // A burst of fast hits must not evict the slow misses.
+        for us in [900, 50, 700, 10, 800, 20, 30] {
+            slow.offer(miss_idx, &fake_trace(Outcome::Miss, us));
+        }
+        for us in 1..=100 {
+            slow.offer(mem_idx, &fake_trace(Outcome::LocalMem, us));
+        }
+        let dump = slow.dump();
+        let misses: Vec<u64> = dump
+            .iter()
+            .filter(|t| t.outcome == Outcome::Miss)
+            .map(|t| t.total_us)
+            .collect();
+        assert_eq!(misses, vec![900, 800, 700], "slowest first, fast dropped");
+        let mems: Vec<u64> = dump
+            .iter()
+            .filter(|t| t.outcome == Outcome::LocalMem)
+            .map(|t| t.total_us)
+            .collect();
+        assert_eq!(mems, vec![100, 99, 98]);
+    }
+
+    #[test]
+    fn slow_exemplars_survive_ring_churn() {
+        let tel = Telemetry::with_slow_traces(0, 2, 4);
+        // One slow(ish) miss, then enough fast hits to wrap the ring.
+        let mut tr = tel.begin_trace("/slow", Instant::now());
+        tr.set_outcome(Outcome::Miss);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        tel.finish(tr).unwrap();
+        for i in 0..8 {
+            let mut tr = tel.begin_trace(&format!("/fast{i}"), Instant::now());
+            tr.set_outcome(Outcome::LocalMem);
+            tel.finish(tr).unwrap();
+        }
+        // The recency ring (capacity 2) has long forgotten the miss...
+        assert!(tel.last_traces(10).iter().all(|t| t.target != "/slow"));
+        // ...but the slow set still holds it.
+        let slow = tel.slow_traces();
+        assert!(slow.iter().any(|t| t.target == "/slow"), "{slow:?}");
+        let json = tel.slow_traces_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"target\":\"/slow\""));
     }
 
     #[test]

@@ -86,6 +86,54 @@ proptest! {
         }
     }
 
+    /// Exotic label values — quotes, backslashes, embedded newlines —
+    /// and newline-ridden help text must survive render → parse with
+    /// the label value byte-identical (the cluster exposition reuses
+    /// the same escaping for every federated sample).
+    #[test]
+    fn exotic_labels_and_help_roundtrip(
+        // ` -~` covers all printable ASCII incl. `"` and `\`; the class
+        // also holds a literal newline (embedded via the Rust escape).
+        label_value in "[ -~\n]{0,24}",
+        help in "[ -~\n]{0,40}",
+        hist_values in proptest::collection::vec(value_strategy(), 0..30),
+        counter_value in any::<u64>(),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram_labeled("swala_exotic_us", &help, "outcome", &label_value);
+        for v in &hist_values {
+            h.record(*v);
+        }
+        let v = counter_value;
+        reg.register_counter_labeled(
+            "swala_exotic_total",
+            &help,
+            "outcome",
+            &label_value,
+            move || v,
+        );
+
+        let text = reg.render();
+        let samples = parse_exposition(&text).expect("exotic labels must still parse");
+
+        let expected_label = vec![("outcome".to_string(), label_value.clone())];
+        let counter = samples.iter().find(|s| s.name == "swala_exotic_total")
+            .expect("labeled counter");
+        prop_assert_eq!(&counter.labels, &expected_label);
+        prop_assert_eq!(counter.value, counter_value as f64);
+        let count = samples.iter().find(|s| s.name == "swala_exotic_us_count")
+            .expect("labeled histogram count");
+        prop_assert_eq!(&count.labels, &expected_label);
+        prop_assert_eq!(count.value, hist_values.len() as f64);
+        // Histogram buckets carry the label too, next to their `le`.
+        for s in samples.iter().filter(|s| s.name == "swala_exotic_us_bucket") {
+            prop_assert!(
+                s.labels.iter().any(|(k, v)| k == "outcome" && *v == label_value),
+                "bucket lost its label: {:?}", s.labels
+            );
+        }
+    }
+
     #[test]
     fn merge_equals_single_histogram(
         left in proptest::collection::vec(value_strategy(), 0..200),

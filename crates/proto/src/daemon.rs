@@ -23,6 +23,10 @@ use std::time::Duration;
 use swala_cache::{CacheManager, CacheStats, Classification, EntryMeta};
 use swala_obs::{Outcome, Stage, Telemetry, Trace};
 
+/// Hot-key entries shipped per [`Message::StatsSnapshot`] — enough for
+/// any sensible cluster ranking while keeping the frame small.
+const HOTKEYS_PER_SNAPSHOT: usize = 64;
+
 /// Tell the cluster this node just cached `meta`: an insert-notice
 /// broadcast in replicated mode; in partitioned mode one point-to-point
 /// [`Message::DirUpdate`] to the key's home node — and nothing at all
@@ -409,6 +413,34 @@ fn handle_connection(
                     return;
                 }
             }
+            Message::StatsPull { trace } => {
+                // Stats federation: dump the registry (plain values) and
+                // the hot-key sketch. Without a telemetry handle (bare
+                // daemon in tests) the metrics list is simply empty — the
+                // puller still gets a well-formed snapshot.
+                let mut t = match (telemetry, trace) {
+                    (Some(tel), Some(id)) => tel.begin_trace_with_id(id, "/swala-stats-pull"),
+                    _ => Trace::disabled(),
+                };
+                let metrics = telemetry
+                    .map(|tel| tel.registry().snapshot())
+                    .unwrap_or_default();
+                let reply = Message::StatsSnapshot(crate::message::NodeStats {
+                    node: manager.local_node(),
+                    metrics,
+                    hotkeys: manager.heat().top(HOTKEYS_PER_SNAPSHOT),
+                });
+                let t0 = t.start_span();
+                let written = write_frame(&mut stream, &reply.encode());
+                t.end_span(Stage::ResponseWrite, t0);
+                t.set_outcome(Outcome::OwnerServe);
+                if let Some(tel) = telemetry {
+                    tel.finish(t);
+                }
+                if written.is_err() {
+                    return;
+                }
+            }
             Message::Ping => {
                 if write_frame(&mut stream, &Message::Pong.encode()).is_err() {
                     return;
@@ -419,6 +451,7 @@ fn handle_connection(
             Message::FetchHit { .. }
             | Message::FetchMiss
             | Message::SyncReply { .. }
+            | Message::StatsSnapshot(_)
             | Message::Pong => return,
         }
     }

@@ -49,7 +49,7 @@ pub use fetch::{
     request_sync_via, Dialer, FaultStream, FetchOutcome, RetryPolicy, StreamFault,
 };
 pub use health::{HealthConfig, HealthSnapshot, HealthTracker, PeerState};
-pub use message::Message;
+pub use message::{Message, NodeStats};
 pub use peers::{BroadcastConfig, Broadcaster, Connector, LinkStats, PeerLink};
 pub use pool::{FetchPool, FetchPoolStats, DEFAULT_POOL_SIZE};
 pub use wire::{read_frame, write_frame, write_frame_split, ProtoError};

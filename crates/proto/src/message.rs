@@ -6,6 +6,7 @@ use crate::wire::{
 };
 use bytes::{BufMut, BytesMut};
 use swala_cache::{CacheKey, EntryMeta, NodeId};
+use swala_obs::{HeatEntry, HistogramSnapshot, MetricSnapshot, MetricValue, BUCKETS};
 
 const TAG_HELLO: u8 = 0x01;
 const TAG_INSERT: u8 = 0x02;
@@ -22,6 +23,27 @@ const TAG_BATCH: u8 = 0x0c;
 const TAG_NODE_DOWN: u8 = 0x0d;
 const TAG_DIR_UPDATE: u8 = 0x0e;
 const TAG_DIR_LOOKUP: u8 = 0x0f;
+const TAG_STATS_PULL: u8 = 0x10;
+const TAG_STATS_SNAPSHOT: u8 = 0x11;
+
+/// Metric-kind bytes inside a [`Message::StatsSnapshot`] payload.
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+const KIND_HISTOGRAM: u8 = 2;
+
+/// One node's observability state, as carried by
+/// [`Message::StatsSnapshot`]: the full metrics registry (counters,
+/// gauges, raw histogram buckets) plus the hot-key sketch contents.
+/// Histogram buckets travel sparse (index, count) so a mostly-empty
+/// 304-bucket layout costs a handful of pairs, and they are *raw*
+/// per-bucket counts — the receiver re-merges them with
+/// [`HistogramSnapshot::merge`], which is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeStats {
+    pub node: NodeId,
+    pub metrics: Vec<MetricSnapshot>,
+    pub hotkeys: Vec<HeatEntry>,
+}
 
 /// Everything Swala nodes say to each other.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +130,17 @@ pub enum Message {
         key: CacheKey,
         trace: Option<u64>,
     },
+    /// "Send me your metrics snapshot" — the stats-federation pull.
+    /// Served by the cache daemon from its telemetry handle; answered
+    /// with a [`Message::StatsSnapshot`]. Requires a reply, so it is
+    /// illegal inside a `Batch`. `trace` follows the same
+    /// optional-trailer convention as `FetchRequest`.
+    StatsPull {
+        trace: Option<u64>,
+    },
+    /// Reply to [`Message::StatsPull`]: the node's registry and hot-key
+    /// sketch as plain values (see [`NodeStats`]).
+    StatsSnapshot(NodeStats),
 }
 
 impl Message {
@@ -189,6 +222,17 @@ impl Message {
                     buf.put_u8(1);
                     buf.put_u64(*id);
                 }
+            }
+            Message::StatsPull { trace } => {
+                buf.put_u8(TAG_STATS_PULL);
+                if let Some(id) = trace {
+                    buf.put_u8(1);
+                    buf.put_u64(*id);
+                }
+            }
+            Message::StatsSnapshot(stats) => {
+                buf.put_u8(TAG_STATS_SNAPSHOT);
+                encode_node_stats(&mut buf, stats);
             }
         }
         buf.to_vec()
@@ -278,6 +322,18 @@ impl Message {
                 };
                 Message::DirLookup { key, trace }
             }
+            TAG_STATS_PULL => {
+                let trace = if r.is_empty() {
+                    None
+                } else {
+                    match get_u8(&mut r)? {
+                        0 => None,
+                        _ => Some(get_u64(&mut r)?),
+                    }
+                };
+                Message::StatsPull { trace }
+            }
+            TAG_STATS_SNAPSHOT => Message::StatsSnapshot(decode_node_stats(&mut r)?),
             t => return Err(ProtoError::UnknownTag(t)),
         };
         Ok(msg)
@@ -345,6 +401,112 @@ pub fn encode_batch<T: AsRef<[u8]>>(parts: &[T]) -> Vec<u8> {
         put_bytes(&mut buf, p.as_ref());
     }
     buf.to_vec()
+}
+
+fn encode_node_stats(buf: &mut BytesMut, stats: &NodeStats) {
+    buf.put_u16(stats.node.0);
+    buf.put_u32(stats.metrics.len() as u32);
+    for m in &stats.metrics {
+        put_string(buf, &m.name);
+        put_string(buf, &m.help);
+        match &m.label {
+            Some((k, v)) => {
+                buf.put_u8(1);
+                put_string(buf, k);
+                put_string(buf, v);
+            }
+            None => buf.put_u8(0),
+        }
+        match &m.value {
+            MetricValue::Counter(v) => {
+                buf.put_u8(KIND_COUNTER);
+                buf.put_u64(*v);
+            }
+            MetricValue::Gauge(v) => {
+                buf.put_u8(KIND_GAUGE);
+                buf.put_u64(*v as u64);
+            }
+            MetricValue::Histogram(s) => {
+                buf.put_u8(KIND_HISTOGRAM);
+                buf.put_u64(s.count);
+                buf.put_u64(s.sum);
+                buf.put_u64(s.max);
+                let nonzero = s.buckets.iter().filter(|&&c| c > 0).count();
+                buf.put_u16(nonzero as u16);
+                for (i, &c) in s.buckets.iter().enumerate().filter(|(_, &c)| c > 0) {
+                    buf.put_u16(i as u16);
+                    buf.put_u64(c);
+                }
+            }
+        }
+    }
+    buf.put_u32(stats.hotkeys.len() as u32);
+    for h in &stats.hotkeys {
+        put_string(buf, &h.key);
+        buf.put_u64(h.count);
+        buf.put_u64(h.error);
+        buf.put_u64(h.cost_us);
+    }
+}
+
+fn decode_node_stats(r: &mut &[u8]) -> Result<NodeStats, ProtoError> {
+    let node = NodeId(get_u16(r)?);
+    let n_metrics = get_u32(r)? as usize;
+    let mut metrics = Vec::with_capacity(n_metrics.min(4096));
+    for _ in 0..n_metrics {
+        let name = get_string(r)?;
+        let help = get_string(r)?;
+        let label = match get_u8(r)? {
+            0 => None,
+            _ => Some((get_string(r)?, get_string(r)?)),
+        };
+        let value = match get_u8(r)? {
+            KIND_COUNTER => MetricValue::Counter(get_u64(r)?),
+            KIND_GAUGE => MetricValue::Gauge(get_u64(r)? as i64),
+            KIND_HISTOGRAM => {
+                let count = get_u64(r)?;
+                let sum = get_u64(r)?;
+                let max = get_u64(r)?;
+                let nonzero = get_u16(r)? as usize;
+                let mut buckets = vec![0u64; BUCKETS];
+                for _ in 0..nonzero {
+                    let idx = get_u16(r)? as usize;
+                    if idx >= BUCKETS {
+                        return Err(ProtoError::Invalid("histogram bucket index"));
+                    }
+                    buckets[idx] = get_u64(r)?;
+                }
+                MetricValue::Histogram(HistogramSnapshot {
+                    count,
+                    sum,
+                    max,
+                    buckets,
+                })
+            }
+            _ => return Err(ProtoError::Invalid("metric kind")),
+        };
+        metrics.push(MetricSnapshot {
+            name,
+            help,
+            label,
+            value,
+        });
+    }
+    let n_hot = get_u32(r)? as usize;
+    let mut hotkeys = Vec::with_capacity(n_hot.min(4096));
+    for _ in 0..n_hot {
+        hotkeys.push(HeatEntry {
+            key: get_string(r)?,
+            count: get_u64(r)?,
+            error: get_u64(r)?,
+            cost_us: get_u64(r)?,
+        });
+    }
+    Ok(NodeStats {
+        node,
+        metrics,
+        hotkeys,
+    })
 }
 
 fn encode_meta(buf: &mut BytesMut, m: &EntryMeta) {
@@ -474,6 +636,108 @@ mod tests {
             let decoded = Message::decode(&msg.encode()).unwrap();
             assert_eq!(decoded, msg);
         }
+    }
+
+    fn sample_node_stats() -> NodeStats {
+        let hist = swala_obs::Histogram::new();
+        hist.record(17);
+        hist.record(90_000);
+        hist.record(12_000_000);
+        NodeStats {
+            node: NodeId(5),
+            metrics: vec![
+                MetricSnapshot {
+                    name: "swala_requests".into(),
+                    help: "Requests served".into(),
+                    label: None,
+                    value: MetricValue::Counter(12345),
+                },
+                MetricSnapshot {
+                    name: "swala_mem_bytes".into(),
+                    help: "Resident body bytes".into(),
+                    label: None,
+                    value: MetricValue::Gauge(-7),
+                },
+                MetricSnapshot {
+                    name: "swala_us".into(),
+                    help: "Latency by outcome".into(),
+                    label: Some(("outcome".into(), "local-mem".into())),
+                    value: MetricValue::Histogram(hist.snapshot()),
+                },
+            ],
+            hotkeys: vec![
+                HeatEntry {
+                    key: "/cgi-bin/hot?id=1".into(),
+                    count: 400,
+                    error: 3,
+                    cost_us: 9_000_000,
+                },
+                HeatEntry {
+                    key: "/cgi-bin/warm".into(),
+                    count: 12,
+                    error: 0,
+                    cost_us: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_messages_roundtrip() {
+        let messages = vec![
+            Message::StatsPull { trace: None },
+            Message::StatsPull {
+                trace: Some(0x0003_dead_beef_0042),
+            },
+            Message::StatsSnapshot(sample_node_stats()),
+            Message::StatsSnapshot(NodeStats {
+                node: NodeId(0),
+                metrics: Vec::new(),
+                hotkeys: Vec::new(),
+            }),
+        ];
+        for msg in messages {
+            let decoded = Message::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncated_stats_snapshot_rejected() {
+        let full = Message::StatsSnapshot(sample_node_stats()).encode();
+        for cut in [1, 3, 8, full.len() / 2, full.len() - 1] {
+            assert!(Message::decode(&full[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_rejects_impossible_fields() {
+        // A histogram bucket index past the layout's end must error
+        // (Invalid), never index out of bounds.
+        let mut frame = Message::StatsSnapshot(NodeStats {
+            node: NodeId(1),
+            metrics: vec![MetricSnapshot {
+                name: "h".into(),
+                help: "h".into(),
+                label: None,
+                value: MetricValue::Histogram(swala_obs::Histogram::new().snapshot()),
+            }],
+            hotkeys: Vec::new(),
+        })
+        .encode();
+        // The frame ends with the empty histogram's u16 nonzero-bucket
+        // count followed by the u32 hotkey count: patch nonzero to 1 and
+        // splice in a (index, count) pair whose index is out of range.
+        let hotkeys_u32 = frame.split_off(frame.len() - 4);
+        let nonzero_at = frame.len() - 2;
+        frame[nonzero_at..].copy_from_slice(&1u16.to_be_bytes());
+        frame.extend_from_slice(&(BUCKETS as u16).to_be_bytes());
+        frame.extend_from_slice(&1u64.to_be_bytes());
+        frame.extend_from_slice(&hotkeys_u32);
+        assert!(matches!(
+            Message::decode(&frame),
+            Err(ProtoError::Invalid(_))
+        ));
     }
 
     #[test]

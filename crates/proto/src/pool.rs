@@ -323,6 +323,43 @@ impl FetchPool {
         }
     }
 
+    /// One pooled stats-federation exchange: pull `peer`'s metrics
+    /// snapshot and hot-key sketch. Same shape as
+    /// [`dir_lookup`](Self::dir_lookup) — single attempt with the pool's
+    /// stale-drop-then-redial inside it, `Err` on transport failure so
+    /// the scraper can degrade to a partial cluster view.
+    pub fn stats_pull(
+        &self,
+        peer: NodeId,
+        addr: SocketAddr,
+        timeout: Duration,
+        trace: Option<u64>,
+    ) -> Result<crate::message::NodeStats, String> {
+        if let Some(mut conn) = self.checkout(peer) {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+            match stats_pull_on(&mut conn, timeout, trace) {
+                Ok(stats) => {
+                    self.checkin(peer, conn);
+                    return Ok(stats);
+                }
+                // Stale while idle — drop and fall through to a dial.
+                Err(_) => {
+                    self.stale_drops.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let mut conn = (self.dialer)(peer, addr, timeout).map_err(|e| e.to_string())?;
+        self.connects_opened.fetch_add(1, Ordering::Relaxed);
+        conn.set_nodelay(true).map_err(|e| e.to_string())?;
+        match stats_pull_on(&mut conn, timeout, trace) {
+            Ok(stats) => {
+                self.checkin(peer, conn);
+                Ok(stats)
+            }
+            Err(e) => Err(e.to_string()),
+        }
+    }
+
     fn checkout(&self, peer: NodeId) -> Option<FaultStream> {
         self.idle.lock().get_mut(&peer.0)?.pop()
     }
@@ -394,6 +431,24 @@ fn dir_lookup_on(
         Message::DirUpdate { owner, meta, .. } => Ok((owner, meta)),
         other => Err(ProtoError::Io(std::io::Error::other(format!(
             "unexpected dir-lookup reply: {other:?}"
+        )))),
+    }
+}
+
+/// One stats-pull request/reply exchange on an established connection.
+fn stats_pull_on(
+    conn: &mut FaultStream,
+    timeout: Duration,
+    trace: Option<u64>,
+) -> Result<crate::message::NodeStats, ProtoError> {
+    conn.set_read_timeout(Some(timeout))?;
+    conn.set_write_timeout(Some(timeout))?;
+    write_frame(conn, &Message::StatsPull { trace }.encode())?;
+    let frame = read_frame(conn)?.ok_or(ProtoError::Truncated("stats reply"))?;
+    match Message::decode(&frame)? {
+        Message::StatsSnapshot(stats) => Ok(stats),
+        other => Err(ProtoError::Io(std::io::Error::other(format!(
+            "unexpected stats reply: {other:?}"
         )))),
     }
 }
@@ -807,6 +862,80 @@ mod tests {
             NodeId(1),
             "127.0.0.1:1".parse().unwrap(),
             &CacheKey::new("/x"),
+            Duration::from_millis(100),
+            None,
+        );
+        assert!(err.is_err());
+        assert_eq!(pool.stats().idle, 0);
+    }
+
+    /// Server answering `StatsPull` with a fixed snapshot, any number of
+    /// exchanges per connection (like the real daemon).
+    fn stats_server(stats: crate::message::NodeStats) -> (SocketAddr, Arc<AtomicU32>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let accepted = Arc::new(AtomicU32::new(0));
+        let accepted2 = Arc::clone(&accepted);
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut s) = conn else { break };
+                accepted2.fetch_add(1, Ordering::SeqCst);
+                let stats = stats.clone();
+                std::thread::spawn(move || {
+                    while let Ok(Some(frame)) = read_frame(&mut s) {
+                        match Message::decode(&frame) {
+                            Ok(Message::StatsPull { .. }) => {
+                                let reply = Message::StatsSnapshot(stats.clone());
+                                if write_frame(&mut s, &reply.encode()).is_err() {
+                                    return;
+                                }
+                            }
+                            _ => return,
+                        }
+                    }
+                });
+            }
+        });
+        (addr, accepted)
+    }
+
+    #[test]
+    fn stats_pull_reuses_pooled_connection() {
+        let stats = crate::message::NodeStats {
+            node: NodeId(2),
+            metrics: vec![swala_obs::MetricSnapshot {
+                name: "swala_requests".into(),
+                help: "Requests".into(),
+                label: None,
+                value: swala_obs::MetricValue::Counter(99),
+            }],
+            hotkeys: vec![swala_obs::HeatEntry {
+                key: "/cgi-bin/hot".into(),
+                count: 7,
+                error: 0,
+                cost_us: 1000,
+            }],
+        };
+        let (addr, accepted) = stats_server(stats.clone());
+        let pool = FetchPool::new(default_dialer(), 2);
+        for _ in 0..3 {
+            let got = pool
+                .stats_pull(NodeId(1), addr, Duration::from_secs(1), None)
+                .unwrap();
+            assert_eq!(got, stats);
+        }
+        let s = pool.stats();
+        assert_eq!(s.connects_opened, 1);
+        assert_eq!(s.reuses, 2);
+        assert_eq!(accepted.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stats_pull_unreachable_peer_is_an_error() {
+        let pool = FetchPool::new(default_dialer(), 2);
+        let err = pool.stats_pull(
+            NodeId(1),
+            "127.0.0.1:1".parse().unwrap(),
             Duration::from_millis(100),
             None,
         );

@@ -24,6 +24,9 @@ pub enum ProtoError {
     UnknownTag(u8),
     /// A string field held invalid UTF-8.
     BadString,
+    /// A field decoded but held an impossible value (e.g. a histogram
+    /// bucket index past the layout's end).
+    Invalid(&'static str),
     /// A `Batch` frame contained another `Batch` (forbidden: batches are
     /// one level deep so decoding cannot recurse unboundedly).
     NestedBatch,
@@ -37,6 +40,7 @@ impl fmt::Display for ProtoError {
             ProtoError::Truncated(what) => write!(f, "payload truncated reading {what}"),
             ProtoError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
             ProtoError::BadString => write!(f, "invalid UTF-8 in string field"),
+            ProtoError::Invalid(what) => write!(f, "invalid field value: {what}"),
             ProtoError::NestedBatch => write!(f, "nested batch frame"),
         }
     }

@@ -8,9 +8,10 @@ use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use std::time::Duration;
 use swala_cache::{CacheKey, EntryMeta, NodeId};
+use swala_obs::{HeatEntry, Histogram, MetricSnapshot, MetricValue};
 use swala_proto::{
     fetch_remote_retry, read_frame, request_sync_via, write_frame, Dialer, FaultStream,
-    FetchOutcome, Message, RetryPolicy, StreamFault,
+    FetchOutcome, Message, NodeStats, RetryPolicy, StreamFault,
 };
 
 fn key_strategy() -> impl Strategy<Value = CacheKey> {
@@ -49,6 +50,61 @@ fn meta_strategy() -> impl Strategy<Value = EntryMeta> {
         )
 }
 
+fn metric_strategy() -> impl Strategy<Value = MetricSnapshot> {
+    let value = prop_oneof![
+        any::<u64>().prop_map(MetricValue::Counter),
+        any::<i64>().prop_map(MetricValue::Gauge),
+        proptest::collection::vec(any::<u64>(), 0..40).prop_map(|vs| {
+            let h = Histogram::new();
+            for v in vs {
+                h.record(v);
+            }
+            MetricValue::Histogram(h.snapshot())
+        }),
+    ];
+    (
+        "[a-z][a-z0-9_]{0,24}",
+        "[ -~]{0,40}",
+        proptest::option::of(("[a-z][a-z0-9_]{0,8}", "[ -~]{0,16}")),
+        value,
+    )
+        .prop_map(|(name, help, label, value)| MetricSnapshot {
+            name,
+            help,
+            label,
+            value,
+        })
+}
+
+fn heat_strategy() -> impl Strategy<Value = HeatEntry> {
+    (
+        "[a-z0-9/?&=._-]{1,32}",
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(key, count, err, cost_us)| HeatEntry {
+            key,
+            // Space-saving invariant: error never exceeds count.
+            error: if count == 0 { 0 } else { err % count },
+            count,
+            cost_us,
+        })
+}
+
+fn node_stats_strategy() -> impl Strategy<Value = NodeStats> {
+    (
+        0u16..64,
+        proptest::collection::vec(metric_strategy(), 0..8),
+        proptest::collection::vec(heat_strategy(), 0..16),
+    )
+        .prop_map(|(node, metrics, hotkeys)| NodeStats {
+            node: NodeId(node),
+            metrics,
+            hotkeys,
+        })
+}
+
 fn message_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
         (0u16..64).prop_map(|n| Message::Hello { node: NodeId(n) }),
@@ -75,6 +131,7 @@ fn message_strategy() -> impl Strategy<Value = Message> {
         }),
         Just(Message::Ping),
         Just(Message::Pong),
+        proptest::option::of(any::<u64>()).prop_map(|trace| Message::StatsPull { trace }),
     ]
 }
 
@@ -116,6 +173,29 @@ proptest! {
     #[test]
     fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
         let _ = Message::decode(&bytes);
+    }
+
+    /// The stats-federation snapshot frame is a bijection on arbitrary
+    /// registries: counters, gauges, sparse histogram buckets, labels
+    /// and hot-key entries all round-trip exactly.
+    #[test]
+    fn stats_snapshot_roundtrip(stats in node_stats_strategy()) {
+        let msg = Message::StatsSnapshot(stats);
+        let decoded = Message::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Every strict truncation of a StatsSnapshot frame errors — never
+    /// panics, never yields a half-parsed snapshot (the cluster scraper
+    /// degrades to a partial view instead).
+    #[test]
+    fn truncated_stats_snapshot_rejected_never_panics(
+        stats in node_stats_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let full = Message::StatsSnapshot(stats).encode();
+        let cut = 1 + ((full.len() - 2) as f64 * cut_frac) as usize;
+        prop_assert!(Message::decode(&full[..cut]).is_err());
     }
 
     #[test]

@@ -58,6 +58,21 @@ echo "==> metrics-exposition gate (tables metrics)"
 # on the histogram totals disagreeing with their counter twins.
 SWALA_BENCH_QUICK=1 target/release/tables metrics
 
+echo "==> cluster-observability gate (tables obsplane)"
+# Eight-node federated scrape; the experiment's own asserts gate on the
+# merged /swala-cluster-metrics counters equalling each node's handles
+# exactly and on the observability plane (heat sketch + slow-trace
+# exemplars) staying within the 3%+30us warm-hit budget.
+SWALA_BENCH_QUICK=1 target/release/tables obsplane
+python3 - <<'EOF'
+import json
+with open("BENCH_obsplane.json") as f:
+    doc = json.load(f)
+assert doc["merged_equals_sum"] is True, doc
+assert doc["scrape_failures"] == 0, doc
+assert doc["nodes"] == 8, doc
+EOF
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
