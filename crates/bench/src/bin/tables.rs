@@ -14,6 +14,13 @@ use swala_bench::experiments;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden helper for the `store` crash gate: the parent experiment
+    // re-execs this binary as a writer child and SIGKILLs it mid-insert.
+    if args.first().map(String::as_str) == Some("store-child") {
+        let dir = args.get(1).expect("store-child <dir>");
+        experiments::store::run_child(dir);
+        return;
+    }
     if args.iter().any(|a| a == "--list" || a == "-l") {
         for id in experiments::ALL_IDS {
             println!("{id}");

@@ -278,6 +278,9 @@ pub fn run() -> TableReport {
     let cluster = SwalaCluster::start(&ClusterConfig {
         nodes: 2,
         cache_dir_base: Some(base.clone()),
+        // Benches opt out of durability syncs: the miss numbers measure
+        // the hit path's software, not the disk's flush latency.
+        fsync: false,
         ..Default::default()
     })
     .expect("start cluster");

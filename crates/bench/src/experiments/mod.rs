@@ -10,6 +10,7 @@ pub mod fig4;
 pub mod hitpath;
 pub mod metrics;
 pub mod obsplane;
+pub mod store;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -40,6 +41,7 @@ pub const ALL_IDS: &[&str] = &[
     "coalesce",
     "metrics",
     "obsplane",
+    "store",
 ];
 
 /// Run one experiment by id.
@@ -65,6 +67,7 @@ pub fn run(id: &str) -> Option<TableReport> {
         "coalesce" => coalesce::run(),
         "metrics" => metrics::run(),
         "obsplane" => obsplane::run(),
+        "store" => store::run(),
         _ => return None,
     })
 }

@@ -29,6 +29,7 @@
 //! decisions are deterministic and the simulator (`swala-sim`) reproduces
 //! the exact same evictions as the live server.
 
+pub mod digest;
 pub mod directory;
 pub mod entry;
 pub mod key;
@@ -39,9 +40,11 @@ pub mod node;
 pub mod policy;
 pub mod ring;
 pub mod rules;
+pub mod segstore;
 pub mod stats;
 pub mod store;
 
+pub use digest::Digest;
 pub use directory::{CacheDirectory, Classification};
 pub use entry::EntryMeta;
 pub use key::CacheKey;
@@ -54,5 +57,6 @@ pub use node::NodeId;
 pub use policy::{Policy, PolicyKind};
 pub use ring::{DirectoryKind, HashRing, DEFAULT_VNODES};
 pub use rules::{CacheDecision, CacheRules, Rule};
+pub use segstore::{crc32, decode_record, encode_record, Record, SegmentConfig, SegmentStore};
 pub use stats::CacheStats;
-pub use store::{DiskStore, MemStore, Store};
+pub use store::{DiskStore, MemStore, Store, StoreKind, StoreMetrics};

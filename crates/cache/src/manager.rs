@@ -7,6 +7,7 @@
 //! `swala-proto` daemons drive it; none of them touch the directory or
 //! the store directly.
 
+use crate::digest::Digest;
 use crate::directory::{CacheDirectory, Classification};
 use crate::entry::EntryMeta;
 use crate::key::CacheKey;
@@ -338,9 +339,13 @@ impl CacheManager {
     }
 
     /// Write-through to the memory tier (its bytes gauge tracks itself).
-    fn mem_insert(&self, key: &CacheKey, body: &Arc<[u8]>) {
+    /// `digest` is the content digest of `body` — computed once by the
+    /// caller and shared with the store's dedup index.
+    fn mem_insert(&self, key: &CacheKey, digest: Digest, body: &Arc<[u8]>) {
         if let Some(mem) = &self.mem {
-            mem.insert(key, Arc::clone(body));
+            if mem.insert(key, digest, Arc::clone(body)) {
+                CacheStats::bump(&self.stats.mem_dedup_hits);
+            }
         }
     }
 
@@ -371,7 +376,7 @@ impl CacheManager {
         let body: Arc<[u8]> = read.ok()?.into();
         if self.mem.is_some() {
             CacheStats::bump(&self.stats.mem_misses);
-            self.mem_insert(key, &body);
+            self.mem_insert(key, Digest::of(&body), &body);
         }
         Some((body, BodyTier::Disk))
     }
@@ -571,9 +576,13 @@ impl CacheManager {
             seq,
         );
         // Self-describing write: the header carries everything needed to
-        // rebuild the directory entry on a warm restart.
-        self.store.put_described(key, &(&meta).into(), body)?;
-        self.mem_insert(key, &shared);
+        // rebuild the directory entry on a warm restart. The digest is
+        // computed once and shared by the store's body dedup and the
+        // memory tier's.
+        let digest = Digest::of(body);
+        self.store
+            .put_digested(key, &(&meta).into(), &digest, body)?;
+        self.mem_insert(key, digest, &shared);
         let mut policy = self.policy.lock();
         policy.on_insert(&mut meta);
         self.directory.insert(self.local, meta.clone());
@@ -777,7 +786,37 @@ impl CacheManager {
             self.mem_remove(&victim.key);
             CacheStats::bump(&self.stats.evictions);
         }
+        self.warm_mem_tier();
         restored - evicted.len()
+    }
+
+    /// Pre-populate the memory tier from the store after a warm restart,
+    /// so the post-restart hit path matches the pre-crash steady state
+    /// (no cold mem-tier window of store reads). Budget-bounded: stops
+    /// admitting once the tier is full rather than churning LRU.
+    fn warm_mem_tier(&self) {
+        let Some(mem) = &self.mem else {
+            return;
+        };
+        for meta in self.local_snapshot() {
+            // Shared bodies cost nothing extra, so the size guard is
+            // conservative — at worst it skips a dedup freebie.
+            if mem.bytes() + meta.size as usize > mem.budget() {
+                continue;
+            }
+            let Ok(body) = self.store.get(&meta.key) else {
+                continue;
+            };
+            let body: Arc<[u8]> = body.into();
+            self.mem_insert(&meta.key, Digest::of(&body), &body);
+        }
+    }
+
+    /// The body store's self-reported metrics (segment counts, live/dead
+    /// bytes, dedup hits, compactions — zeros for stores that don't
+    /// track a given field).
+    pub fn store_metrics(&self) -> crate::store::StoreMetrics {
+        self.store.metrics()
     }
 }
 

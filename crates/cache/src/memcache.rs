@@ -7,6 +7,12 @@
 //! and zero copies**: the response holds a clone of the `Arc`, not a
 //! duplicate buffer.
 //!
+//! Bodies are keyed by their content [`Digest`]: keys map to digests and
+//! digests map (refcounted) to the actual bytes, so N keys sharing one
+//! body hold a single allocation and the byte budget counts it once.
+//! [`MemCache::insert`] reports when an insert deduplicated against a
+//! resident body, feeding the `mem_dedup_hits` counter.
+//!
 //! The tier is strictly a read accelerator — the disk store stays the
 //! source of truth. Writes go through ([`MemCache::insert`] happens on
 //! the same path as `Store::put_described`), and every directory-visible
@@ -16,33 +22,59 @@
 //!
 //! Eviction is LRU over a *byte* budget (the directory's entry-count
 //! capacity is about metadata; body bytes are what memory pressure is
-//! made of). Bodies larger than the whole budget are simply not admitted
-//! — they stay disk-only rather than wiping the tier.
+//! made of). Evicting a key only releases bytes once no other key
+//! references the same body. Bodies larger than the whole budget are
+//! simply not admitted — they stay disk-only rather than wiping the
+//! tier (unless the bytes are already resident via another key, in
+//! which case sharing them is free).
 
+use crate::digest::Digest;
 use crate::key::CacheKey;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use swala_obs::Gauge;
 
-/// A bounded-bytes LRU map of cache bodies.
+/// A bounded-bytes LRU map of cache bodies, deduplicated by digest.
 pub struct MemCache {
     budget: usize,
     /// Resident bytes — a shared [`Gauge`] rather than a plain field so
     /// the metrics registry reads the live value and debug builds catch
     /// any double-decrement. Only mutated under `inner`'s lock, so the
-    /// gauge is always consistent with `entries`.
+    /// gauge is always consistent with `bodies`. Counts each unique
+    /// body once, however many keys share it.
     bytes: Arc<Gauge>,
     inner: Mutex<Inner>,
 }
 
 struct Inner {
-    /// Body plus its current recency stamp (key into `recency`).
-    entries: HashMap<CacheKey, (Arc<[u8]>, u64)>,
+    /// Key → (digest of its body, current recency stamp).
+    entries: HashMap<CacheKey, (Digest, u64)>,
+    /// Digest → (shared body, number of keys referencing it).
+    bodies: HashMap<Digest, (Arc<[u8]>, usize)>,
     /// Recency order: lowest stamp = least recently used.
     recency: BTreeMap<u64, CacheKey>,
     /// Monotonic stamp source.
     tick: u64,
+}
+
+impl Inner {
+    /// Drop `key`'s mapping (if any) and release its body reference.
+    /// Returns the bytes freed (0 while other keys still share the body).
+    fn unlink(&mut self, key: &CacheKey) -> u64 {
+        let Some((digest, stamp)) = self.entries.remove(key) else {
+            return 0;
+        };
+        self.recency.remove(&stamp);
+        let (_, refs) = self.bodies.get_mut(&digest).expect("entry has a body");
+        *refs -= 1;
+        if *refs == 0 {
+            let (body, _) = self.bodies.remove(&digest).expect("just seen");
+            body.len() as u64
+        } else {
+            0
+        }
+    }
 }
 
 impl MemCache {
@@ -53,6 +85,7 @@ impl MemCache {
             bytes: Arc::new(Gauge::new()),
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                bodies: HashMap::new(),
                 recency: BTreeMap::new(),
                 tick: 0,
             }),
@@ -64,58 +97,76 @@ impl MemCache {
         self.budget
     }
 
-    /// Fetch a body, marking it most recently used.
+    /// Fetch a body, marking its key most recently used.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<[u8]>> {
         let mut inner = self.inner.lock();
         let tick = inner.tick + 1;
         inner.tick = tick;
-        let (body, stamp) = inner.entries.get_mut(key)?;
-        let body = Arc::clone(body);
+        let (digest, stamp) = inner.entries.get_mut(key)?;
+        let digest = *digest;
         let old = std::mem::replace(stamp, tick);
         inner.recency.remove(&old);
         inner.recency.insert(tick, key.clone());
-        Some(body)
+        let (body, _) = inner.bodies.get(&digest).expect("entry has a body");
+        Some(Arc::clone(body))
     }
 
-    /// Insert (or replace) a body, evicting least-recently-used entries
-    /// until the budget holds. Oversized bodies are not admitted.
-    pub fn insert(&self, key: &CacheKey, body: Arc<[u8]>) {
-        if body.len() > self.budget {
-            return;
-        }
+    /// Insert (or replace) a body, evicting least-recently-used keys
+    /// until the budget holds. `digest` must be the digest of `body`
+    /// (the caller has it from the write path; recomputing here would
+    /// hash every populate twice).
+    ///
+    /// Returns `true` when the bytes were already resident via another
+    /// key — a dedup hit: the insert cost an index entry, not a copy.
+    pub fn insert(&self, key: &CacheKey, digest: Digest, body: Arc<[u8]>) -> bool {
         let mut inner = self.inner.lock();
-        if let Some((old_body, old_stamp)) = inner.entries.remove(key) {
-            self.bytes.sub(old_body.len() as u64);
-            inner.recency.remove(&old_stamp);
+        // Unlink any previous mapping first so a same-key replace
+        // neither double-counts bytes nor reads as a dedup hit.
+        let freed = inner.unlink(key);
+        if freed > 0 {
+            self.bytes.sub(freed);
         }
-        while self.bytes.get() as usize + body.len() > self.budget {
+        let shared = inner.bodies.contains_key(&digest);
+        let needed = if shared { 0 } else { body.len() };
+        if needed > self.budget {
+            return false;
+        }
+        while self.bytes.get() as usize + needed > self.budget {
             let Some((&oldest, _)) = inner.recency.iter().next() else {
                 break;
             };
-            let victim = inner.recency.remove(&oldest).expect("stamp just seen");
-            let (victim_body, _) = inner
-                .entries
-                .remove(&victim)
-                .expect("recency and entries agree");
-            self.bytes.sub(victim_body.len() as u64);
+            let victim = inner.recency[&oldest].clone();
+            let freed = inner.unlink(&victim);
+            if freed > 0 {
+                self.bytes.sub(freed);
+            }
         }
         let tick = inner.tick + 1;
         inner.tick = tick;
-        self.bytes.add(body.len() as u64);
-        inner.entries.insert(key.clone(), (body, tick));
+        match inner.bodies.get_mut(&digest) {
+            Some((_, refs)) => *refs += 1,
+            None => {
+                self.bytes.add(body.len() as u64);
+                inner.bodies.insert(digest, (body, 1));
+            }
+        }
+        inner.entries.insert(key.clone(), (digest, tick));
         inner.recency.insert(tick, key.clone());
+        shared
     }
 
-    /// Drop a body (entry deleted/evicted/expired in the directory).
+    /// Drop a key (entry deleted/evicted/expired in the directory). The
+    /// body itself stays resident while other keys still share it.
     pub fn remove(&self, key: &CacheKey) {
         let mut inner = self.inner.lock();
-        if let Some((body, stamp)) = inner.entries.remove(key) {
-            self.bytes.sub(body.len() as u64);
-            inner.recency.remove(&stamp);
+        let freed = inner.unlink(key);
+        if freed > 0 {
+            self.bytes.sub(freed);
         }
     }
 
-    /// Bytes currently held (lock-free: reads the gauge).
+    /// Bytes currently held (lock-free: reads the gauge). Unique body
+    /// bytes — shared bodies count once.
     pub fn bytes(&self) -> usize {
         self.bytes.get().max(0) as usize
     }
@@ -125,9 +176,14 @@ impl MemCache {
         Arc::clone(&self.bytes)
     }
 
-    /// Number of bodies currently held.
+    /// Number of keys currently mapped.
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
+    }
+
+    /// Number of unique bodies resident (≤ [`len`](Self::len)).
+    pub fn body_count(&self) -> usize {
+        self.inner.lock().bodies.len()
     }
 
     /// Whether the tier is empty.
@@ -148,12 +204,16 @@ mod tests {
         Arc::from(s.as_bytes())
     }
 
+    fn insert(m: &MemCache, k: &CacheKey, b: Arc<[u8]>) -> bool {
+        m.insert(k, Digest::of(&b), b)
+    }
+
     #[test]
     fn insert_get_remove() {
         let m = MemCache::new(100);
         let k = key("/a");
         assert!(m.get(&k).is_none());
-        m.insert(&k, body("hello"));
+        insert(&m, &k, body("hello"));
         assert_eq!(m.bytes(), 5);
         assert_eq!(&m.get(&k).unwrap()[..], b"hello");
         m.remove(&k);
@@ -169,18 +229,18 @@ mod tests {
         let m = MemCache::new(100);
         let k = key("/a");
         let b = body("shared");
-        m.insert(&k, Arc::clone(&b));
+        insert(&m, &k, Arc::clone(&b));
         assert!(Arc::ptr_eq(&m.get(&k).unwrap(), &b));
     }
 
     #[test]
     fn evicts_lru_to_budget() {
         let m = MemCache::new(10);
-        m.insert(&key("/a"), body("aaaa")); // 4
-        m.insert(&key("/b"), body("bbbb")); // 8
-                                            // Touch /a so /b becomes the LRU victim.
+        insert(&m, &key("/a"), body("aaaa")); // 4
+        insert(&m, &key("/b"), body("bbbb")); // 8
+                                              // Touch /a so /b becomes the LRU victim.
         m.get(&key("/a"));
-        m.insert(&key("/c"), body("cccc")); // would be 12 → evict /b
+        insert(&m, &key("/c"), body("cccc")); // would be 12 → evict /b
         assert!(m.get(&key("/b")).is_none());
         assert!(m.get(&key("/a")).is_some());
         assert!(m.get(&key("/c")).is_some());
@@ -191,8 +251,8 @@ mod tests {
     fn replace_updates_bytes() {
         let m = MemCache::new(10);
         let k = key("/a");
-        m.insert(&k, body("aaaa"));
-        m.insert(&k, body("bb"));
+        insert(&m, &k, body("aaaa"));
+        insert(&m, &k, body("bb"));
         assert_eq!(m.bytes(), 2);
         assert_eq!(m.len(), 1);
         assert_eq!(&m.get(&k).unwrap()[..], b"bb");
@@ -201,8 +261,8 @@ mod tests {
     #[test]
     fn oversized_bodies_are_not_admitted() {
         let m = MemCache::new(4);
-        m.insert(&key("/small"), body("ok"));
-        m.insert(&key("/big"), body("too large for tier"));
+        insert(&m, &key("/small"), body("ok"));
+        insert(&m, &key("/big"), body("too large for tier"));
         assert!(m.get(&key("/big")).is_none());
         // The resident small entry survives the rejected insert.
         assert!(m.get(&key("/small")).is_some());
@@ -213,8 +273,79 @@ mod tests {
     fn bytes_never_exceed_budget() {
         let m = MemCache::new(32);
         for i in 0..100 {
-            m.insert(&key(&format!("/k{i}")), body(&"x".repeat(1 + i % 9)));
+            insert(&m, &key(&format!("/k{i}")), body(&"x".repeat(1 + i % 9)));
             assert!(m.bytes() <= 32, "bytes {} over budget", m.bytes());
         }
+    }
+
+    #[test]
+    fn shared_bodies_count_once_and_report_dedup() {
+        let m = MemCache::new(100);
+        let b = body("the one body");
+        assert!(!insert(&m, &key("/a"), Arc::clone(&b)), "first copy is new");
+        for i in 0..9 {
+            assert!(
+                insert(&m, &key(&format!("/dup{i}")), Arc::clone(&b)),
+                "copy {i} should dedup"
+            );
+        }
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.body_count(), 1);
+        assert_eq!(m.bytes(), b.len());
+        // All keys serve the same allocation.
+        assert!(Arc::ptr_eq(&m.get(&key("/a")).unwrap(), &b));
+        assert!(Arc::ptr_eq(&m.get(&key("/dup3")).unwrap(), &b));
+    }
+
+    #[test]
+    fn body_survives_until_last_sharer_leaves() {
+        let m = MemCache::new(100);
+        let b = body("shared");
+        insert(&m, &key("/a"), Arc::clone(&b));
+        insert(&m, &key("/b"), Arc::clone(&b));
+        m.remove(&key("/a"));
+        assert_eq!(m.bytes(), b.len(), "body still referenced by /b");
+        assert!(m.get(&key("/b")).is_some());
+        m.remove(&key("/b"));
+        assert_eq!(m.bytes(), 0);
+        assert_eq!(m.body_count(), 0);
+    }
+
+    #[test]
+    fn same_key_refresh_is_not_a_dedup_hit() {
+        let m = MemCache::new(100);
+        let b = body("stable");
+        insert(&m, &key("/a"), Arc::clone(&b));
+        // Re-populating the same key with the same bytes (store → mem
+        // refill) must not inflate the dedup counter.
+        assert!(!insert(&m, &key("/a"), Arc::clone(&b)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.bytes(), b.len());
+    }
+
+    #[test]
+    fn oversized_body_admitted_when_already_resident() {
+        let m = MemCache::new(8);
+        let b = body("12345678"); // exactly the budget
+        insert(&m, &key("/a"), Arc::clone(&b));
+        // A second key sharing those bytes needs zero new bytes, so it
+        // is admitted even though len == budget leaves no headroom.
+        assert!(insert(&m, &key("/b"), Arc::clone(&b)));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.bytes(), 8);
+    }
+
+    #[test]
+    fn evicting_a_sharer_keeps_bytes_for_the_rest() {
+        let m = MemCache::new(10);
+        let b = body("aaaaaaaa"); // 8 bytes, shared by two keys
+        insert(&m, &key("/a"), Arc::clone(&b));
+        insert(&m, &key("/b"), Arc::clone(&b));
+        // Inserting 4 fresh bytes must evict keys until they fit; the
+        // first eviction (/a) frees nothing because /b still holds the
+        // body, so /b goes too.
+        insert(&m, &key("/c"), body("cccc"));
+        assert!(m.get(&key("/c")).is_some());
+        assert!(m.bytes() <= 10);
     }
 }

@@ -1,0 +1,1431 @@
+//! Append-only segment-log body store with digest dedup.
+//!
+//! The paper's one-file-per-entry layout (`DiskStore`) acks a put after
+//! a buffered write and rename — a crash can silently drop committed
+//! entries, and identical bodies are stored once per key. This store
+//! rebuilds the persistence layer along the lines of the gffice
+//! dircache storage design: everything lives in a handful of
+//! append-only **segment files** of checksummed records, the key index
+//! is rebuilt on boot by scanning the segments (torn tails are
+//! truncated, corrupt records skipped — never a panic), and bodies are
+//! stored **once per content digest** with refcounts, so N keys sharing
+//! a body hold one on-disk copy.
+//!
+//! On-disk format (all integers big-endian):
+//!
+//! ```text
+//! segment file  = magic "SWSEG01\n" , record*
+//! record        = header(21) , payload
+//! header        = kind u8 | seq u64 | payload_len u32
+//!               | payload_crc u32 | header_crc u32      (crc of bytes 0..17)
+//! payload(Body) = digest[32] | body bytes
+//! payload(Put)  = key_len u32 | key | digest[32] | ct_len u32 | ct
+//!               | exec_micros u64 | expiry_flag u8 | expiry u64 | created u64
+//! payload(Del)  = key_len u32 | key
+//! ```
+//!
+//! Replay is **latest-wins by `seq`** (not file order), which makes
+//! compaction crash-safe: compacted records keep their original
+//! sequence numbers, so a crash that leaves both the old and the new
+//! segments behind replays to the same index. Deleted/expired/
+//! superseded records are *dead bytes*; when enough accumulate, a
+//! compaction pass rewrites only the live records into fresh segments
+//! and deletes the old files.
+
+use crate::digest::Digest;
+use crate::entry::unix_now;
+use crate::key::CacheKey;
+use crate::store::{HeaderMeta, RecoveredEntry, Store, StoreMetrics};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Segment-file magic + format version.
+pub const SEG_MAGIC: &[u8; 8] = b"SWSEG01\n";
+/// Fixed record-header length in bytes.
+pub const REC_HEADER_LEN: usize = 21;
+
+const KIND_BODY: u8 = 1;
+const KIND_PUT: u8 = 2;
+const KIND_DEL: u8 = 3;
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Implemented
+/// here because the workspace builds offline with no checksum crates.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32/IEEE of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+/// One decoded segment-log record (public so the proptests can
+/// round-trip the wire format directly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A body, stored once per content digest.
+    Body {
+        seq: u64,
+        digest: Digest,
+        body: Vec<u8>,
+    },
+    /// A key → digest mapping plus the metadata the directory needs.
+    Put {
+        seq: u64,
+        key: CacheKey,
+        digest: Digest,
+        meta: HeaderMeta,
+    },
+    /// A deletion tombstone.
+    Del { seq: u64, key: CacheKey },
+}
+
+impl Record {
+    fn seq(&self) -> u64 {
+        match self {
+            Record::Body { seq, .. } | Record::Put { seq, .. } | Record::Del { seq, .. } => *seq,
+        }
+    }
+}
+
+/// Encode a record: 21-byte checksummed header plus payload.
+pub fn encode_record(rec: &Record) -> Vec<u8> {
+    let (kind, seq, payload) = match rec {
+        Record::Body { seq, digest, body } => {
+            let mut p = Vec::with_capacity(32 + body.len());
+            p.extend_from_slice(digest.as_bytes());
+            p.extend_from_slice(body);
+            (KIND_BODY, *seq, p)
+        }
+        Record::Put {
+            seq,
+            key,
+            digest,
+            meta,
+        } => {
+            let k = key.as_str().as_bytes();
+            let ct = meta.content_type.as_bytes();
+            let mut p = Vec::with_capacity(4 + k.len() + 32 + 4 + ct.len() + 26);
+            p.extend_from_slice(&(k.len() as u32).to_be_bytes());
+            p.extend_from_slice(k);
+            p.extend_from_slice(digest.as_bytes());
+            p.extend_from_slice(&(ct.len() as u32).to_be_bytes());
+            p.extend_from_slice(ct);
+            p.extend_from_slice(&meta.exec_micros.to_be_bytes());
+            match meta.expires_unix {
+                Some(e) => {
+                    p.push(1);
+                    p.extend_from_slice(&e.to_be_bytes());
+                }
+                None => {
+                    p.push(0);
+                    p.extend_from_slice(&0u64.to_be_bytes());
+                }
+            }
+            p.extend_from_slice(&meta.created_unix.to_be_bytes());
+            (KIND_PUT, *seq, p)
+        }
+        Record::Del { seq, key } => {
+            let k = key.as_str().as_bytes();
+            let mut p = Vec::with_capacity(4 + k.len());
+            p.extend_from_slice(&(k.len() as u32).to_be_bytes());
+            p.extend_from_slice(k);
+            (KIND_DEL, *seq, p)
+        }
+    };
+    let mut out = Vec::with_capacity(REC_HEADER_LEN + payload.len());
+    out.push(kind);
+    out.extend_from_slice(&seq.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(&payload).to_be_bytes());
+    let header_crc = crc32(&out[..17]);
+    out.extend_from_slice(&header_crc.to_be_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decode one record from the front of `bytes`. Returns the record and
+/// the bytes consumed; `None` on a truncated tail or any checksum /
+/// structure mismatch (the caller treats both as end-of-valid-data).
+/// Never panics, whatever the input.
+pub fn decode_record(bytes: &[u8]) -> Option<(Record, usize)> {
+    if bytes.len() < REC_HEADER_LEN {
+        return None;
+    }
+    let header = &bytes[..REC_HEADER_LEN];
+    let stored_header_crc = u32::from_be_bytes(header[17..21].try_into().ok()?);
+    if crc32(&header[..17]) != stored_header_crc {
+        return None;
+    }
+    let kind = header[0];
+    let seq = u64::from_be_bytes(header[1..9].try_into().ok()?);
+    let payload_len = u32::from_be_bytes(header[9..13].try_into().ok()?) as usize;
+    let payload_crc = u32::from_be_bytes(header[13..17].try_into().ok()?);
+    let payload = bytes.get(REC_HEADER_LEN..REC_HEADER_LEN + payload_len)?;
+    if crc32(payload) != payload_crc {
+        return None;
+    }
+    let consumed = REC_HEADER_LEN + payload_len;
+    let take = |at: &mut usize, n: usize| -> Option<&[u8]> {
+        let s = payload.get(*at..*at + n)?;
+        *at += n;
+        Some(s)
+    };
+    let mut at = 0usize;
+    let rec = match kind {
+        KIND_BODY => {
+            let digest = Digest(take(&mut at, 32)?.try_into().ok()?);
+            Record::Body {
+                seq,
+                digest,
+                body: payload[at..].to_vec(),
+            }
+        }
+        KIND_PUT => {
+            let key_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+            let key = std::str::from_utf8(take(&mut at, key_len)?).ok()?;
+            let key = CacheKey::new(key);
+            let digest = Digest(take(&mut at, 32)?.try_into().ok()?);
+            let ct_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+            let content_type = std::str::from_utf8(take(&mut at, ct_len)?)
+                .ok()?
+                .to_string();
+            let exec_micros = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+            let has_expiry = take(&mut at, 1)?[0];
+            let expires_raw = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+            let created_unix = u64::from_be_bytes(take(&mut at, 8)?.try_into().ok()?);
+            if at != payload.len() {
+                return None;
+            }
+            Record::Put {
+                seq,
+                key,
+                digest,
+                meta: HeaderMeta {
+                    content_type,
+                    exec_micros,
+                    expires_unix: (has_expiry == 1).then_some(expires_raw),
+                    created_unix,
+                },
+            }
+        }
+        KIND_DEL => {
+            let key_len = u32::from_be_bytes(take(&mut at, 4)?.try_into().ok()?) as usize;
+            let key = std::str::from_utf8(take(&mut at, key_len)?).ok()?;
+            if at != payload.len() {
+                return None;
+            }
+            Record::Del {
+                seq,
+                key: CacheKey::new(key),
+            }
+        }
+        _ => return None,
+    };
+    Some((rec, consumed))
+}
+
+/// Construction parameters for a [`SegmentStore`].
+#[derive(Debug, Clone)]
+pub struct SegmentConfig {
+    /// Roll to a new segment file once the current one reaches this
+    /// many bytes.
+    pub segment_bytes: u64,
+    /// `sync_all` every put (and compaction output) before acking.
+    pub fsync: bool,
+    /// Run compaction once dead bytes across all segments exceed this.
+    pub compact_min_dead: u64,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        SegmentConfig {
+            segment_bytes: 16 * 1024 * 1024,
+            fsync: true,
+            compact_min_dead: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// A live key's index entry.
+struct KeyEntry {
+    digest: Digest,
+    meta: HeaderMeta,
+    seq: u64,
+    /// Segment holding this key's put record, and its full length —
+    /// what becomes dead bytes when the key is overwritten or deleted.
+    segment: u64,
+    rec_len: u64,
+}
+
+/// Where a deduped body physically lives.
+struct BodyLoc {
+    segment: u64,
+    /// Offset of the raw body bytes (past header + digest).
+    offset: u64,
+    len: u64,
+    /// CRC of the body bytes alone, re-verified on every read.
+    crc: u32,
+    rec_len: u64,
+    /// Number of live keys mapping to this digest.
+    refs: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct SegInfo {
+    live: u64,
+    dead: u64,
+}
+
+struct Inner {
+    index: HashMap<CacheKey, KeyEntry>,
+    bodies: HashMap<Digest, BodyLoc>,
+    segments: BTreeMap<u64, SegInfo>,
+    current: u64,
+    writer: fs::File,
+    written: u64,
+    next_seq: u64,
+    dedup_hits: u64,
+    compactions: u64,
+    compacted_bytes: u64,
+    fsyncs: u64,
+}
+
+/// Append-only segment-log store. See the module docs for the format.
+pub struct SegmentStore {
+    root: PathBuf,
+    cfg: SegmentConfig,
+    inner: Mutex<Inner>,
+}
+
+fn seg_path(root: &Path, id: u64) -> PathBuf {
+    root.join(format!("seg-{id:08}.swseg"))
+}
+
+fn seg_id(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let id = name.strip_prefix("seg-")?.strip_suffix(".swseg")?;
+    id.parse().ok()
+}
+
+fn fsync_dir(root: &Path) -> io::Result<()> {
+    fs::File::open(root)?.sync_all()
+}
+
+impl SegmentStore {
+    /// Open (creating if needed) a store rooted at `root` with default
+    /// tuning.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<SegmentStore> {
+        Self::open_with(root, SegmentConfig::default())
+    }
+
+    /// Open with explicit tuning.
+    pub fn open_with(root: impl Into<PathBuf>, cfg: SegmentConfig) -> io::Result<SegmentStore> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        // Reap leftovers from a crash mid-compaction (tmp outputs were
+        // never renamed in, so they hold nothing committed).
+        let mut seg_ids: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&root)?.filter_map(|e| e.ok()) {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("compact-") && name.ends_with(".tmp") {
+                let _ = fs::remove_file(&path);
+            } else if let Some(id) = seg_id(&path) {
+                seg_ids.push(id);
+            }
+        }
+        seg_ids.sort_unstable();
+
+        let replayed = Self::replay(&root, &seg_ids)?;
+
+        // Resume appending to the last segment if it still has room,
+        // else start a fresh one.
+        let open_id = match seg_ids.last() {
+            Some(&last) => {
+                let len = fs::metadata(seg_path(&root, last))
+                    .map(|m| m.len())
+                    .unwrap_or(0);
+                if len < cfg.segment_bytes {
+                    last
+                } else {
+                    last + 1
+                }
+            }
+            None => 0,
+        };
+        let path = seg_path(&root, open_id);
+        let (writer, written) = Self::open_segment(&root, &path, cfg.fsync)?;
+        let mut segments = replayed.segments;
+        segments.entry(open_id).or_default();
+        Ok(SegmentStore {
+            root,
+            cfg,
+            inner: Mutex::new(Inner {
+                index: replayed.index,
+                bodies: replayed.bodies,
+                segments,
+                current: open_id,
+                writer,
+                written,
+                next_seq: replayed.max_seq + 1,
+                dedup_hits: 0,
+                compactions: 0,
+                compacted_bytes: 0,
+                fsyncs: 0,
+            }),
+        })
+    }
+
+    /// Open `path` for appending, writing the magic if it is new.
+    /// Returns the handle and the current file length.
+    fn open_segment(root: &Path, path: &Path, fsync: bool) -> io::Result<(fs::File, u64)> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let len = f.metadata()?.len();
+        if len == 0 {
+            f.write_all(SEG_MAGIC)?;
+            if fsync {
+                f.sync_all()?;
+                fsync_dir(root)?;
+            }
+            return Ok((f, SEG_MAGIC.len() as u64));
+        }
+        Ok((f, len))
+    }
+
+    /// Scan every segment and rebuild the index, latest-wins by seq.
+    /// Corruption is contained: a bad record in the *last* segment
+    /// truncates the torn tail (appends resume there); in an earlier
+    /// segment it skips the rest of that file. Never panics.
+    fn replay(root: &Path, seg_ids: &[u64]) -> io::Result<Replayed> {
+        struct PendingPut {
+            seq: u64,
+            digest: Digest,
+            meta: HeaderMeta,
+            segment: u64,
+            rec_len: u64,
+        }
+        let mut puts: HashMap<CacheKey, PendingPut> = HashMap::new();
+        let mut dels: HashMap<CacheKey, u64> = HashMap::new();
+        let mut out = Replayed::default();
+        let now = unix_now();
+
+        for (i, &id) in seg_ids.iter().enumerate() {
+            let is_last = i == seg_ids.len() - 1;
+            let path = seg_path(root, id);
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            out.segments.entry(id).or_default();
+            if bytes.len() < SEG_MAGIC.len() || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+                // Unrecognizable file: quarantine by truncation if it is
+                // the tail we would append to, otherwise ignore it.
+                if is_last {
+                    fs::write(&path, SEG_MAGIC)?;
+                }
+                continue;
+            }
+            let mut at = SEG_MAGIC.len();
+            while at < bytes.len() {
+                let Some((rec, consumed)) = decode_record(&bytes[at..]) else {
+                    // Torn or corrupt tail.
+                    if is_last {
+                        let f = fs::OpenOptions::new().write(true).open(&path)?;
+                        f.set_len(at as u64)?;
+                    } else {
+                        add_dead(&mut out.segments, id, (bytes.len() - at) as u64);
+                    }
+                    break;
+                };
+                out.max_seq = out.max_seq.max(rec.seq());
+                let rec_len = consumed as u64;
+                match rec {
+                    Record::Body {
+                        seq: _,
+                        digest,
+                        body,
+                    } => {
+                        if out.bodies.contains_key(&digest) {
+                            // Duplicate (e.g. crash mid-compaction left
+                            // both copies): keep the first, dead-count
+                            // the rest.
+                            add_dead(&mut out.segments, id, rec_len);
+                        } else {
+                            add_live(&mut out.segments, id, rec_len);
+                            out.bodies.insert(
+                                digest,
+                                BodyLoc {
+                                    segment: id,
+                                    offset: (at + REC_HEADER_LEN + 32) as u64,
+                                    len: body.len() as u64,
+                                    crc: crc32(&body),
+                                    rec_len,
+                                    refs: 0,
+                                },
+                            );
+                        }
+                    }
+                    Record::Put {
+                        seq,
+                        key,
+                        digest,
+                        meta,
+                    } => {
+                        add_live(&mut out.segments, id, rec_len);
+                        match puts.entry(key) {
+                            std::collections::hash_map::Entry::Occupied(mut o) => {
+                                if seq >= o.get().seq {
+                                    let old = o.insert(PendingPut {
+                                        seq,
+                                        digest,
+                                        meta,
+                                        segment: id,
+                                        rec_len,
+                                    });
+                                    mark_dead(&mut out.segments, old.segment, old.rec_len);
+                                } else {
+                                    mark_dead(&mut out.segments, id, rec_len);
+                                }
+                            }
+                            std::collections::hash_map::Entry::Vacant(v) => {
+                                v.insert(PendingPut {
+                                    seq,
+                                    digest,
+                                    meta,
+                                    segment: id,
+                                    rec_len,
+                                });
+                            }
+                        }
+                    }
+                    Record::Del { seq, key } => {
+                        // Tombstones are pure overhead once replayed.
+                        add_dead(&mut out.segments, id, rec_len);
+                        let e = dels.entry(key).or_insert(seq);
+                        *e = (*e).max(seq);
+                    }
+                }
+                at += consumed;
+            }
+        }
+
+        for (key, put) in puts {
+            let deleted = dels.get(&key).is_some_and(|&d| d >= put.seq);
+            let expired = put.meta.expires_unix.is_some_and(|e| e <= now);
+            let body_ok = out.bodies.contains_key(&put.digest);
+            if deleted || expired || !body_ok {
+                mark_dead(&mut out.segments, put.segment, put.rec_len);
+                continue;
+            }
+            out.bodies.get_mut(&put.digest).expect("checked above").refs += 1;
+            out.index.insert(
+                key,
+                KeyEntry {
+                    digest: put.digest,
+                    meta: put.meta,
+                    seq: put.seq,
+                    segment: put.segment,
+                    rec_len: put.rec_len,
+                },
+            );
+        }
+        // Bodies no live key references are dead weight for compaction.
+        let mut orphaned: Vec<(u64, u64)> = Vec::new();
+        out.bodies.retain(|_, loc| {
+            if loc.refs == 0 {
+                orphaned.push((loc.segment, loc.rec_len));
+                false
+            } else {
+                true
+            }
+        });
+        for (segment, rec_len) in orphaned {
+            mark_dead(&mut out.segments, segment, rec_len);
+        }
+        Ok(out)
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn alloc_seq(inner: &mut Inner) -> u64 {
+        let s = inner.next_seq;
+        inner.next_seq += 1;
+        s
+    }
+
+    /// Seal the current segment and start a fresh one if `incoming`
+    /// bytes would push it past the roll threshold.
+    fn roll_if_needed(&self, inner: &mut Inner, incoming: u64) -> io::Result<()> {
+        if inner.written + incoming <= self.cfg.segment_bytes
+            || inner.written <= SEG_MAGIC.len() as u64
+        {
+            return Ok(());
+        }
+        let next = inner.current + 1;
+        let path = seg_path(&self.root, next);
+        let (writer, written) = Self::open_segment(&self.root, &path, self.cfg.fsync)?;
+        if self.cfg.fsync {
+            inner.fsyncs += 2; // segment magic + directory entry
+        }
+        inner.segments.entry(next).or_default();
+        inner.current = next;
+        inner.writer = writer;
+        inner.written = written;
+        Ok(())
+    }
+
+    /// Append `batch` to the current segment, fsyncing when configured.
+    fn append(&self, inner: &mut Inner, batch: &[u8]) -> io::Result<()> {
+        inner.writer.write_all(batch)?;
+        if self.cfg.fsync {
+            inner.writer.sync_all()?;
+            inner.fsyncs += 1;
+        }
+        inner.written += batch.len() as u64;
+        Ok(())
+    }
+
+    /// Drop the caller's claim on `digest`; marks the body record dead
+    /// when the last reference goes.
+    fn release_digest(inner: &mut Inner, digest: &Digest) {
+        if let Some(loc) = inner.bodies.get_mut(digest) {
+            loc.refs = loc.refs.saturating_sub(1);
+            if loc.refs == 0 {
+                let (seg, len) = (loc.segment, loc.rec_len);
+                inner.bodies.remove(digest);
+                mark_dead(&mut inner.segments, seg, len);
+            }
+        }
+    }
+
+    fn total_dead(inner: &Inner) -> u64 {
+        inner.segments.values().map(|s| s.dead).sum()
+    }
+
+    /// Rewrite all live records into fresh segments and delete the old
+    /// files. Crash-safe: outputs are written to `compact-*.tmp`, synced,
+    /// renamed in (new ids are strictly greater than every old id), and
+    /// only then are old segments removed — records keep their original
+    /// seqs, so replaying any intermediate state yields the same index.
+    fn compact_locked(&self, inner: &mut Inner) -> io::Result<()> {
+        let old_ids: Vec<u64> = inner.segments.keys().copied().collect();
+        let old_bytes: u64 = inner
+            .segments
+            .values()
+            .map(|s| s.live + s.dead)
+            .sum::<u64>();
+        let first_new = old_ids.last().map_or(0, |&m| m + 1);
+
+        // Read every live body out of the old segments before touching
+        // anything. Unreadable bodies (bit rot) are dropped along with
+        // the keys that reference them — compaction must never panic.
+        let mut live_bodies: Vec<(Digest, Vec<u8>)> = Vec::with_capacity(inner.bodies.len());
+        let mut lost: Vec<Digest> = Vec::new();
+        for (digest, loc) in &inner.bodies {
+            match self.read_body_at(loc) {
+                Ok(body) => live_bodies.push((*digest, body)),
+                Err(_) => lost.push(*digest),
+            }
+        }
+        for digest in &lost {
+            inner.index.retain(|_, e| e.digest != *digest);
+            inner.bodies.remove(digest);
+        }
+        live_bodies.sort_by_key(|(d, _)| *d);
+
+        // Write the new segments: bodies first, then the puts (so a
+        // replayed put always finds its body).
+        let mut new_id = first_new;
+        let mut out_path = self.root.join(format!("compact-{new_id:08}.tmp"));
+        let mut out = fs::File::create(&out_path)?;
+        out.write_all(SEG_MAGIC)?;
+        let mut out_written = SEG_MAGIC.len() as u64;
+        let mut renames: Vec<(PathBuf, u64)> = Vec::new();
+        let mut new_segments: BTreeMap<u64, SegInfo> = BTreeMap::new();
+        let mut new_body_loc: HashMap<Digest, BodyLoc> = HashMap::new();
+
+        let roll = |out: &mut fs::File,
+                    out_path: &mut PathBuf,
+                    out_written: &mut u64,
+                    new_id: &mut u64,
+                    renames: &mut Vec<(PathBuf, u64)>,
+                    incoming: u64|
+         -> io::Result<()> {
+            if *out_written + incoming <= self.cfg.segment_bytes
+                || *out_written <= SEG_MAGIC.len() as u64
+            {
+                return Ok(());
+            }
+            if self.cfg.fsync {
+                out.sync_all()?;
+            }
+            renames.push((out_path.clone(), *new_id));
+            *new_id += 1;
+            *out_path = self.root.join(format!("compact-{:08}.tmp", *new_id));
+            *out = fs::File::create(&*out_path)?;
+            out.write_all(SEG_MAGIC)?;
+            *out_written = SEG_MAGIC.len() as u64;
+            Ok(())
+        };
+
+        for (digest, body) in &live_bodies {
+            // Body records carry no ordering semantics (puts reference
+            // them by digest), so compacted copies use seq 0.
+            let rec = encode_record(&Record::Body {
+                seq: 0,
+                digest: *digest,
+                body: body.clone(),
+            });
+            roll(
+                &mut out,
+                &mut out_path,
+                &mut out_written,
+                &mut new_id,
+                &mut renames,
+                rec.len() as u64,
+            )?;
+            let offset = out_written + (REC_HEADER_LEN + 32) as u64;
+            out.write_all(&rec)?;
+            new_body_loc.insert(
+                *digest,
+                BodyLoc {
+                    segment: new_id,
+                    offset,
+                    len: body.len() as u64,
+                    crc: crc32(body),
+                    rec_len: rec.len() as u64,
+                    refs: inner.bodies[digest].refs,
+                },
+            );
+            new_segments.entry(new_id).or_default().live += rec.len() as u64;
+            out_written += rec.len() as u64;
+        }
+        let keys: Vec<CacheKey> = inner.index.keys().cloned().collect();
+        for key in keys {
+            let entry = inner.index.get(&key).expect("just listed");
+            let rec = encode_record(&Record::Put {
+                seq: entry.seq,
+                key: key.clone(),
+                digest: entry.digest,
+                meta: entry.meta.clone(),
+            });
+            roll(
+                &mut out,
+                &mut out_path,
+                &mut out_written,
+                &mut new_id,
+                &mut renames,
+                rec.len() as u64,
+            )?;
+            out.write_all(&rec)?;
+            let e = inner.index.get_mut(&key).expect("just listed");
+            e.segment = new_id;
+            e.rec_len = rec.len() as u64;
+            new_segments.entry(new_id).or_default().live += rec.len() as u64;
+            out_written += rec.len() as u64;
+        }
+        if self.cfg.fsync {
+            out.sync_all()?;
+            inner.fsyncs += 1;
+        }
+        renames.push((out_path, new_id));
+        new_segments.entry(new_id).or_default();
+
+        // Publish: rename every tmp into place, then drop the old files.
+        for (tmp, id) in &renames {
+            fs::rename(tmp, seg_path(&self.root, *id))?;
+        }
+        if self.cfg.fsync {
+            fsync_dir(&self.root)?;
+            inner.fsyncs += 1;
+        }
+        for id in &old_ids {
+            let _ = fs::remove_file(seg_path(&self.root, *id));
+        }
+
+        inner.bodies = new_body_loc;
+        inner.segments = new_segments;
+        inner.current = new_id;
+        let (writer, written) =
+            Self::open_segment(&self.root, &seg_path(&self.root, new_id), self.cfg.fsync)?;
+        inner.writer = writer;
+        inner.written = written;
+        inner.compactions += 1;
+        let new_bytes: u64 = inner
+            .segments
+            .values()
+            .map(|s| s.live + s.dead)
+            .sum::<u64>();
+        inner.compacted_bytes += old_bytes.saturating_sub(new_bytes);
+        Ok(())
+    }
+
+    /// Read and CRC-verify a body at its recorded location.
+    fn read_body_at(&self, loc: &BodyLoc) -> io::Result<Vec<u8>> {
+        let mut f = fs::File::open(seg_path(&self.root, loc.segment))?;
+        f.seek(SeekFrom::Start(loc.offset))?;
+        let mut body = vec![0u8; loc.len as usize];
+        f.read_exact(&mut body)?;
+        if crc32(&body) != loc.crc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "segment body failed CRC verification",
+            ));
+        }
+        Ok(body)
+    }
+
+    /// Force a compaction pass (also triggered automatically once dead
+    /// bytes exceed `compact_min_dead`).
+    pub fn compact(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        self.compact_locked(&mut inner)
+    }
+
+    fn maybe_compact(&self, inner: &mut Inner) -> io::Result<()> {
+        if Self::total_dead(inner) > self.cfg.compact_min_dead {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything boot replay reconstructs from the segment files.
+#[derive(Default)]
+struct Replayed {
+    index: HashMap<CacheKey, KeyEntry>,
+    bodies: HashMap<Digest, BodyLoc>,
+    segments: BTreeMap<u64, SegInfo>,
+    max_seq: u64,
+}
+
+fn add_live(segments: &mut BTreeMap<u64, SegInfo>, segment: u64, bytes: u64) {
+    segments.entry(segment).or_default().live += bytes;
+}
+
+fn add_dead(segments: &mut BTreeMap<u64, SegInfo>, segment: u64, bytes: u64) {
+    segments.entry(segment).or_default().dead += bytes;
+}
+
+/// Retire bytes that were previously counted live.
+fn mark_dead(segments: &mut BTreeMap<u64, SegInfo>, segment: u64, bytes: u64) {
+    let info = segments.entry(segment).or_default();
+    info.live = info.live.saturating_sub(bytes);
+    info.dead += bytes;
+}
+
+impl Store for SegmentStore {
+    fn put_described(&self, key: &CacheKey, meta: &HeaderMeta, body: &[u8]) -> io::Result<()> {
+        self.put_digested(key, meta, &Digest::of(body), body)
+    }
+
+    fn put_digested(
+        &self,
+        key: &CacheKey,
+        meta: &HeaderMeta,
+        digest: &Digest,
+        body: &[u8],
+    ) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+
+        let need_body = !inner.bodies.contains_key(digest);
+        let mut batch = Vec::new();
+        let body_rec_len = if need_body {
+            let seq = Self::alloc_seq(inner);
+            batch.extend_from_slice(&encode_record(&Record::Body {
+                seq,
+                digest: *digest,
+                body: body.to_vec(),
+            }));
+            batch.len() as u64
+        } else {
+            inner.dedup_hits += 1;
+            0
+        };
+        let put_seq = Self::alloc_seq(inner);
+        let put_rec = encode_record(&Record::Put {
+            seq: put_seq,
+            key: key.clone(),
+            digest: *digest,
+            meta: meta.clone(),
+        });
+        batch.extend_from_slice(&put_rec);
+
+        self.roll_if_needed(inner, batch.len() as u64)?;
+        let base = inner.written;
+        self.append(inner, &batch)?;
+        let segment = inner.current;
+
+        if need_body {
+            inner.bodies.insert(
+                *digest,
+                BodyLoc {
+                    segment,
+                    offset: base + (REC_HEADER_LEN + 32) as u64,
+                    len: body.len() as u64,
+                    crc: crc32(body),
+                    rec_len: body_rec_len,
+                    refs: 0,
+                },
+            );
+            inner.segments.entry(segment).or_default().live += body_rec_len;
+        }
+        inner.segments.entry(segment).or_default().live += put_rec.len() as u64;
+
+        // Retire the previous version of this key, then claim the new
+        // digest (order matters when old and new digests are equal).
+        if let Some(old) = inner.index.remove(key) {
+            mark_dead(&mut inner.segments, old.segment, old.rec_len);
+            Self::release_digest(inner, &old.digest);
+        }
+        inner
+            .bodies
+            .get_mut(digest)
+            .expect("inserted or pre-existing")
+            .refs += 1;
+        inner.index.insert(
+            key.clone(),
+            KeyEntry {
+                digest: *digest,
+                meta: meta.clone(),
+                seq: put_seq,
+                segment,
+                rec_len: put_rec.len() as u64,
+            },
+        );
+        self.maybe_compact(inner)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>> {
+        let inner = self.inner.lock();
+        let entry = inner
+            .index
+            .get(key)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no body for {key}")))?;
+        let loc = inner
+            .bodies
+            .get(&entry.digest)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "dangling digest"))?;
+        self.read_body_at(loc)
+    }
+
+    fn delete(&self, key: &CacheKey) -> io::Result<()> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let Some(old) = inner.index.remove(key) else {
+            return Ok(());
+        };
+        let seq = Self::alloc_seq(inner);
+        let rec = encode_record(&Record::Del {
+            seq,
+            key: key.clone(),
+        });
+        self.roll_if_needed(inner, rec.len() as u64)?;
+        self.append(inner, &rec)?;
+        // The tombstone is immediately dead weight (it only matters for
+        // replay until compaction removes the put it shadows), as is the
+        // put record it retires.
+        let current = inner.current;
+        inner.segments.entry(current).or_default().dead += rec.len() as u64;
+        mark_dead(&mut inner.segments, old.segment, old.rec_len);
+        Self::release_digest(inner, &old.digest);
+        self.maybe_compact(inner)?;
+        Ok(())
+    }
+
+    fn contains(&self, key: &CacheKey) -> bool {
+        self.inner.lock().index.contains_key(key)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    fn recover(&self) -> Vec<RecoveredEntry> {
+        let inner = self.inner.lock();
+        let now = unix_now();
+        let mut out: Vec<RecoveredEntry> = inner
+            .index
+            .iter()
+            .filter(|(_, e)| e.meta.expires_unix.is_none_or(|x| x > now))
+            .map(|(key, e)| RecoveredEntry {
+                key: key.clone(),
+                content_type: e.meta.content_type.clone(),
+                exec_micros: e.meta.exec_micros,
+                expires_unix: e.meta.expires_unix,
+                created_unix: e.meta.created_unix,
+                size: inner.bodies.get(&e.digest).map_or(0, |l| l.len),
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        out
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        let inner = self.inner.lock();
+        StoreMetrics {
+            kind: "segment",
+            segments: inner.segments.len() as u64,
+            live_bytes: inner.segments.values().map(|s| s.live).sum(),
+            dead_bytes: inner.segments.values().map(|s| s.dead).sum(),
+            dedup_hits: inner.dedup_hits,
+            compactions: inner.compactions,
+            compacted_bytes: inner.compacted_bytes,
+            bodies: inner.bodies.len() as u64,
+            fsyncs: inner.fsyncs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "swala-segstore-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    /// Fast config for tests: no fsync, small segments.
+    fn cfg(segment_bytes: u64) -> SegmentConfig {
+        SegmentConfig {
+            segment_bytes,
+            fsync: false,
+            compact_min_dead: u64::MAX,
+        }
+    }
+
+    fn meta() -> HeaderMeta {
+        HeaderMeta {
+            content_type: "text/html".into(),
+            exec_micros: 1000,
+            expires_unix: None,
+            created_unix: unix_now(),
+        }
+    }
+
+    #[test]
+    fn store_semantics() {
+        let root = tmp_root("sem");
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        let k = CacheKey::new("/cgi-bin/adl?id=1&ms=40");
+        assert!(!s.contains(&k));
+        assert!(s.get(&k).is_err());
+        s.put(&k, b"result-body").unwrap();
+        assert!(s.contains(&k));
+        assert_eq!(s.get(&k).unwrap(), b"result-body");
+        assert_eq!(s.len(), 1);
+        s.put(&k, b"v2").unwrap();
+        assert_eq!(s.get(&k).unwrap(), b"v2");
+        assert_eq!(s.len(), 1);
+        s.delete(&k).unwrap();
+        s.delete(&k).unwrap();
+        assert!(!s.contains(&k));
+        assert!(s.is_empty());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let recs = [
+            Record::Body {
+                seq: 7,
+                digest: Digest::of(b"x"),
+                body: b"x".to_vec(),
+            },
+            Record::Put {
+                seq: 8,
+                key: CacheKey::new("/k?q=1"),
+                digest: Digest::of(b"x"),
+                meta: HeaderMeta {
+                    content_type: "t/x".into(),
+                    exec_micros: 123,
+                    expires_unix: Some(456),
+                    created_unix: 789,
+                },
+            },
+            Record::Del {
+                seq: 9,
+                key: CacheKey::new("/k?q=1"),
+            },
+        ];
+        for rec in recs {
+            let bytes = encode_record(&rec);
+            let (back, used) = decode_record(&bytes).unwrap();
+            assert_eq!(back, rec);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn persists_and_replays_across_reopen() {
+        let root = tmp_root("reopen");
+        {
+            let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+            for i in 0..20 {
+                s.put_described(
+                    &CacheKey::new(format!("/k?i={i}")),
+                    &meta(),
+                    format!("body{i}").as_bytes(),
+                )
+                .unwrap();
+            }
+            s.put(&CacheKey::new("/k?i=3"), b"rewritten").unwrap();
+            s.delete(&CacheKey::new("/k?i=5")).unwrap();
+        }
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert_eq!(s.len(), 19);
+        assert_eq!(s.get(&CacheKey::new("/k?i=3")).unwrap(), b"rewritten");
+        assert!(!s.contains(&CacheKey::new("/k?i=5")), "tombstone replayed");
+        assert_eq!(s.get(&CacheKey::new("/k?i=7")).unwrap(), b"body7");
+        // Appending still works after replay.
+        s.put(&CacheKey::new("/new"), b"fresh").unwrap();
+        assert_eq!(s.get(&CacheKey::new("/new")).unwrap(), b"fresh");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn dedup_stores_one_body_for_many_keys() {
+        let root = tmp_root("dedup");
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        let body = vec![42u8; 4096];
+        for i in 0..100 {
+            s.put_described(&CacheKey::new(format!("/k?i={i}")), &meta(), &body)
+                .unwrap();
+        }
+        let m = s.metrics();
+        assert_eq!(m.bodies, 1, "one physical body");
+        assert_eq!(m.dedup_hits, 99);
+        // Disk usage: one body + 100 small index records, nowhere near
+        // 100 bodies.
+        let disk: u64 = fs::read_dir(&root)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.metadata().map(|m| m.len()).unwrap_or(0))
+            .sum();
+        assert!(
+            disk < 2 * 4096 + 100 * 200,
+            "disk {disk} should hold ~1 body copy"
+        );
+        // Every key still reads the right bytes.
+        for i in (0..100).step_by(17) {
+            assert_eq!(s.get(&CacheKey::new(format!("/k?i={i}"))).unwrap(), body);
+        }
+        // Dedup survives replay.
+        drop(s);
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert_eq!(s.metrics().bodies, 1);
+        assert_eq!(s.get(&CacheKey::new("/k?i=99")).unwrap(), body);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn deleting_one_sharer_keeps_the_body() {
+        let root = tmp_root("share-del");
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        let a = CacheKey::new("/a");
+        let b = CacheKey::new("/b");
+        s.put(&a, b"shared").unwrap();
+        s.put(&b, b"shared").unwrap();
+        s.delete(&a).unwrap();
+        assert_eq!(s.get(&b).unwrap(), b"shared");
+        assert_eq!(s.metrics().bodies, 1);
+        s.delete(&b).unwrap();
+        assert_eq!(s.metrics().bodies, 0, "last ref drops the body");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume() {
+        let root = tmp_root("torn");
+        {
+            let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+            s.put(&CacheKey::new("/a"), b"alpha").unwrap();
+            s.put(&CacheKey::new("/b"), b"beta").unwrap();
+        }
+        // Simulate a torn write: half a record at the tail.
+        let seg = seg_path(&root, 0);
+        let mut f = fs::OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[KIND_PUT, 0, 0, 0]).unwrap();
+        drop(f);
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert_eq!(s.len(), 2, "acked entries survive the torn tail");
+        assert_eq!(s.get(&CacheKey::new("/a")).unwrap(), b"alpha");
+        s.put(&CacheKey::new("/c"), b"gamma").unwrap();
+        drop(s);
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert_eq!(s.len(), 3, "append after truncation replays cleanly");
+        assert_eq!(s.get(&CacheKey::new("/c")).unwrap(), b"gamma");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn corrupt_magic_never_panics() {
+        let root = tmp_root("badmagic");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(seg_path(&root, 0), b"not a segment at all").unwrap();
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert_eq!(s.len(), 0);
+        s.put(&CacheKey::new("/x"), b"y").unwrap();
+        assert_eq!(s.get(&CacheKey::new("/x")).unwrap(), b"y");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn bit_flip_in_body_is_invalid_data() {
+        let root = tmp_root("flip");
+        {
+            let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+            s.put(&CacheKey::new("/a"), &vec![7u8; 512]).unwrap();
+        }
+        // Flip one bit inside the body payload (past magic + header +
+        // digest, safely inside the 512-byte body).
+        let seg = seg_path(&root, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let at = SEG_MAGIC.len() + REC_HEADER_LEN + 32 + 100;
+        bytes[at] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+        // Replay drops the record (payload CRC fails ⇒ torn tail), so the
+        // key is simply gone — never wrong bytes, never a panic.
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        match s.get(&CacheKey::new("/a")) {
+            Err(e) => assert!(
+                matches!(
+                    e.kind(),
+                    io::ErrorKind::NotFound | io::ErrorKind::InvalidData
+                ),
+                "{e:?}"
+            ),
+            Ok(body) => assert_eq!(body, vec![7u8; 512], "served bytes must be correct"),
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn expired_entries_are_skipped_on_replay_and_recover() {
+        let root = tmp_root("expire");
+        {
+            let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+            s.put_described(
+                &CacheKey::new("/dead"),
+                &HeaderMeta {
+                    expires_unix: Some(1),
+                    ..meta()
+                },
+                b"stale",
+            )
+            .unwrap();
+            s.put_described(&CacheKey::new("/live"), &meta(), b"fresh")
+                .unwrap();
+            let recovered = s.recover();
+            assert_eq!(recovered.len(), 1, "recover() skips expired entries");
+            assert_eq!(recovered[0].key.as_str(), "/live");
+        }
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert!(!s.contains(&CacheKey::new("/dead")), "expired not replayed");
+        assert!(s.contains(&CacheKey::new("/live")));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn segments_roll_at_the_size_bound() {
+        let root = tmp_root("roll");
+        let s = SegmentStore::open_with(&root, cfg(4096)).unwrap();
+        for i in 0..16 {
+            s.put_described(
+                &CacheKey::new(format!("/k?i={i}")),
+                &meta(),
+                &vec![i as u8; 1024],
+            )
+            .unwrap();
+        }
+        assert!(s.metrics().segments > 1, "writes rolled segments");
+        drop(s);
+        let s = SegmentStore::open_with(&root, cfg(4096)).unwrap();
+        assert_eq!(s.len(), 16);
+        for i in 0..16 {
+            assert_eq!(
+                s.get(&CacheKey::new(format!("/k?i={i}"))).unwrap(),
+                vec![i as u8; 1024]
+            );
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn compaction_drops_dead_records_and_preserves_live() {
+        let root = tmp_root("compact");
+        let s = SegmentStore::open_with(&root, cfg(4096)).unwrap();
+        for round in 0..5 {
+            for i in 0..8 {
+                s.put_described(
+                    &CacheKey::new(format!("/k?i={i}")),
+                    &meta(),
+                    format!("round-{round}-body-{i}-{}", "x".repeat(200)).as_bytes(),
+                )
+                .unwrap();
+            }
+        }
+        s.delete(&CacheKey::new("/k?i=0")).unwrap();
+        let before = s.metrics();
+        assert!(before.dead_bytes > 0);
+        s.compact().unwrap();
+        let after = s.metrics();
+        assert_eq!(after.compactions, 1);
+        assert_eq!(after.dead_bytes, 0, "compaction drops all dead bytes");
+        assert!(after.compacted_bytes > 0);
+        assert_eq!(s.len(), 7);
+        for i in 1..8 {
+            assert_eq!(
+                s.get(&CacheKey::new(format!("/k?i={i}"))).unwrap(),
+                format!("round-4-body-{i}-{}", "x".repeat(200)).as_bytes()
+            );
+        }
+        // And the compacted state replays.
+        drop(s);
+        let s = SegmentStore::open_with(&root, cfg(4096)).unwrap();
+        assert_eq!(s.len(), 7);
+        assert_eq!(
+            s.get(&CacheKey::new(format!("/k?i=3"))).unwrap(),
+            format!("round-4-body-3-{}", "x".repeat(200)).as_bytes()
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_dead_bytes() {
+        let root = tmp_root("autocompact");
+        let s = SegmentStore::open_with(
+            &root,
+            SegmentConfig {
+                segment_bytes: 1 << 20,
+                fsync: false,
+                compact_min_dead: 8 * 1024,
+            },
+        )
+        .unwrap();
+        let k = CacheKey::new("/hot");
+        for round in 0..64 {
+            s.put(&k, format!("{round}-{}", "y".repeat(512)).as_bytes())
+                .unwrap();
+        }
+        let m = s.metrics();
+        assert!(m.compactions >= 1, "overwrites should have compacted");
+        assert!(m.dead_bytes <= 8 * 1024 + 1024);
+        assert_eq!(
+            s.get(&k).unwrap(),
+            format!("63-{}", "y".repeat(512)).as_bytes()
+        );
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn leftover_compaction_tmp_is_swept() {
+        let root = tmp_root("sweep");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join("compact-00000007.tmp"), b"half-finished").unwrap();
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        assert!(!root.join("compact-00000007.tmp").exists());
+        s.put(&CacheKey::new("/x"), b"y").unwrap();
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn recovery_roundtrips_metadata() {
+        let root = tmp_root("recmeta");
+        {
+            let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+            s.put_described(
+                &CacheKey::new("/cgi-bin/a?x=1"),
+                &HeaderMeta {
+                    content_type: "text/html".into(),
+                    exec_micros: 1_600_000,
+                    expires_unix: Some(9_999_999_999),
+                    created_unix: 901_627_200,
+                },
+                b"body-a",
+            )
+            .unwrap();
+        }
+        let s = SegmentStore::open_with(&root, cfg(1 << 20)).unwrap();
+        let recovered = s.recover();
+        assert_eq!(recovered.len(), 1);
+        let a = &recovered[0];
+        assert_eq!(a.key.as_str(), "/cgi-bin/a?x=1");
+        assert_eq!(a.content_type, "text/html");
+        assert_eq!(a.exec_micros, 1_600_000);
+        assert_eq!(a.expires_unix, Some(9_999_999_999));
+        assert_eq!(a.created_unix, 901_627_200);
+        assert_eq!(a.size, 6);
+        assert_eq!(s.get(&a.key).unwrap(), b"body-a");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let root = tmp_root("conc");
+        let s = Arc::new(SegmentStore::open_with(&root, cfg(64 * 1024)).unwrap());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let k = CacheKey::new(format!("/t{t}?i={i}"));
+                    s.put(&k, format!("{t}-{i}").as_bytes()).unwrap();
+                    assert_eq!(s.get(&k).unwrap(), format!("{t}-{i}").as_bytes());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 200);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic zlib check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -73,6 +73,9 @@ swala_obs::counters! {
         /// Body-store read attempts (`Store::get` calls) — flat across warm
         /// memory-tier hits, which is how tests prove the zero-I/O claim.
         store_reads: "Body-store read attempts",
+        /// Memory-tier inserts whose body bytes were already resident via
+        /// another key (content-digest dedup: an index entry, not a copy).
+        mem_dedup_hits: "Memory-tier inserts deduplicated against a resident body",
     }
 }
 

@@ -11,6 +11,7 @@
 //! directory from the store (warm restart — an extension beyond the
 //! paper, whose nodes started cold).
 
+use crate::digest::Digest;
 use crate::entry::{unix_now, EntryMeta};
 use crate::key::CacheKey;
 use crate::node::NodeId;
@@ -23,6 +24,62 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Magic bytes + version for the disk-entry header.
 const MAGIC: &[u8; 4] = b"SWC1";
+
+/// Which body-store implementation a node runs (`store files|segment`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreKind {
+    /// The paper's §4.1 one-file-per-entry layout ([`DiskStore`]) — the
+    /// faithful default.
+    Files,
+    /// Append-only segment log with checksummed records and digest
+    /// dedup ([`crate::segstore::SegmentStore`]).
+    Segment,
+}
+
+impl StoreKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreKind::Files => "files",
+            StoreKind::Segment => "segment",
+        }
+    }
+}
+
+impl std::str::FromStr for StoreKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<StoreKind, String> {
+        match s {
+            "files" => Ok(StoreKind::Files),
+            "segment" => Ok(StoreKind::Segment),
+            other => Err(format!("store must be files|segment, got {other:?}")),
+        }
+    }
+}
+
+/// A point-in-time view of a store's internals, for the metrics
+/// registry and `/swala-status`. Stores that don't track a field report
+/// zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreMetrics {
+    /// Implementation name ("files", "segment", "mem").
+    pub kind: &'static str,
+    /// Segment files on disk (segment store only).
+    pub segments: u64,
+    /// Bytes of live records.
+    pub live_bytes: u64,
+    /// Bytes of deleted/superseded records awaiting compaction.
+    pub dead_bytes: u64,
+    /// Puts whose body was already stored under the same digest.
+    pub dedup_hits: u64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Bytes reclaimed by compaction.
+    pub compacted_bytes: u64,
+    /// Distinct bodies physically stored.
+    pub bodies: u64,
+    /// `sync_all` calls issued (durability work performed).
+    pub fsyncs: u64,
+}
 
 /// Metadata recovered from a disk entry's header.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +126,19 @@ pub trait Store: Send + Sync {
     }
     /// Persist `body` with descriptive metadata (enables recovery).
     fn put_described(&self, key: &CacheKey, meta: &HeaderMeta, body: &[u8]) -> io::Result<()>;
+    /// [`put_described`](Store::put_described) with the body's content
+    /// digest precomputed by the caller, so dedup-capable stores don't
+    /// hash twice. Stores without dedup ignore the digest.
+    fn put_digested(
+        &self,
+        key: &CacheKey,
+        meta: &HeaderMeta,
+        digest: &Digest,
+        body: &[u8],
+    ) -> io::Result<()> {
+        let _ = digest;
+        self.put_described(key, meta, body)
+    }
     /// Fetch the body for `key`; `NotFound` if absent.
     fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>>;
     /// Delete `key`'s body. Deleting an absent key is not an error
@@ -86,6 +156,10 @@ pub trait Store: Send + Sync {
     /// persist metadata).
     fn recover(&self) -> Vec<RecoveredEntry> {
         Vec::new()
+    }
+    /// Internals snapshot for metrics; stores report what they track.
+    fn metrics(&self) -> StoreMetrics {
+        StoreMetrics::default()
     }
 }
 
@@ -111,12 +185,21 @@ impl From<&EntryMeta> for HeaderMeta {
 
 /// One-file-per-entry store under a root directory.
 ///
-/// File names are the key's stable FNV hash in hex (plus a `.swc` suffix)
-/// so they are reproducible across restarts and safe regardless of what
-/// bytes the key contains. Writes go to a temp file and rename into
-/// place, so a concurrent reader never observes a torn body.
+/// File names are the key's stable FNV hash in hex (plus a `.swc`
+/// suffix) so they are reproducible across restarts and safe regardless
+/// of what bytes the key contains. Two keys can share a hash, so slots
+/// form a *probe chain* (`{hash}.swc`, `{hash}-1.swc`, …) and every
+/// read verifies the header key before serving — a colliding key is
+/// `NotFound`, never somebody else's body. Writes go to a temp file and
+/// rename into place, so a concurrent reader never observes a torn
+/// body; with `fsync` on (the default) the temp file is `sync_all`ed
+/// before the rename and the directory entry after, so an acked put
+/// survives power loss.
 pub struct DiskStore {
     root: PathBuf,
+    /// Durability knob: sync file data before rename and the directory
+    /// entry after. Off lets benches trade crash-safety for speed.
+    fsync: bool,
     /// Temp-name serial. Atomic, so concurrent inserts write their temp
     /// files fully in parallel instead of serialising on a lock.
     serial: AtomicU64,
@@ -127,22 +210,46 @@ pub struct DiskStore {
     /// Entry count, maintained on every mutation so `len()` is O(1)
     /// instead of a directory scan per call.
     count: AtomicUsize,
+    /// `sync_all` calls issued, for [`StoreMetrics`].
+    fsyncs: AtomicU64,
 }
 
 impl DiskStore {
-    /// Open (creating if needed) a store rooted at `root`. The entry
-    /// count is established with a single scan here; afterwards `len()`
-    /// never touches the filesystem.
+    /// Open (creating if needed) a store rooted at `root`, with
+    /// durable (fsynced) writes. The entry count is established with a
+    /// single scan here; afterwards `len()` never touches the
+    /// filesystem. Temp files orphaned by a crash mid-put are reaped.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<DiskStore> {
+        Self::open_with_fsync(root, true)
+    }
+
+    /// [`open`](DiskStore::open) with the durability knob explicit.
+    pub fn open_with_fsync(root: impl Into<PathBuf>, fsync: bool) -> io::Result<DiskStore> {
         let root = root.into();
         fs::create_dir_all(&root)?;
+        Self::sweep_orphan_temps(&root);
         let count = Self::scan_count(&root);
         Ok(DiskStore {
             root,
+            fsync,
             serial: AtomicU64::new(0),
             count_lock: Mutex::new(()),
             count: AtomicUsize::new(count),
+            fsyncs: AtomicU64::new(0),
         })
+    }
+
+    /// Remove `.tmp-{pid}-{serial}` files left by a crash between the
+    /// temp write and the rename. Harmless to the committed entries
+    /// (those already carry their final names) but they leak disk and
+    /// would distort `scan_count` if ever miscounted.
+    fn sweep_orphan_temps(root: &Path) {
+        let Ok(rd) = fs::read_dir(root) else { return };
+        for entry in rd.filter_map(|e| e.ok()) {
+            if entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     fn scan_count(root: &Path) -> usize {
@@ -160,8 +267,67 @@ impl DiskStore {
         &self.root
     }
 
+    /// Slot `n` of `key`'s probe chain. Slot 0 carries the bare hash
+    /// name; colliding keys occupy `-1`, `-2`, … suffixes.
+    fn candidate(&self, key: &CacheKey, n: usize) -> PathBuf {
+        let hash = key.stable_hash();
+        if n == 0 {
+            self.root.join(format!("{hash:016x}.swc"))
+        } else {
+            self.root.join(format!("{hash:016x}-{n}.swc"))
+        }
+    }
+
+    #[cfg(test)]
     fn path_for(&self, key: &CacheKey) -> PathBuf {
-        self.root.join(format!("{:016x}.swc", key.stable_hash()))
+        self.candidate(key, 0)
+    }
+
+    /// Read just enough of `path` to learn which key it stores.
+    /// `Ok(None)` = file exists but is not a decodable entry.
+    fn header_key_at(path: &Path) -> io::Result<Option<String>> {
+        let mut f = fs::File::open(path)?;
+        let mut fixed = [0u8; 8];
+        if f.read_exact(&mut fixed).is_err() || &fixed[..4] != MAGIC {
+            return Ok(None);
+        }
+        let key_len = u32::from_be_bytes(fixed[4..8].try_into().expect("4 bytes")) as usize;
+        if key_len > 1 << 20 {
+            return Ok(None);
+        }
+        let mut key = vec![0u8; key_len];
+        if f.read_exact(&mut key).is_err() {
+            return Ok(None);
+        }
+        Ok(String::from_utf8(key).ok())
+    }
+
+    /// Walk `key`'s probe chain; `Some(n)` is the slot whose header key
+    /// matches, `None` means the chain ends without a match. Undecodable
+    /// files occupy their slot but can never match.
+    fn find_slot(&self, key: &CacheKey) -> io::Result<Option<usize>> {
+        for n in 0..usize::MAX {
+            let path = self.candidate(key, n);
+            match Self::header_key_at(&path) {
+                Ok(Some(k)) if k == key.as_str() => return Ok(Some(n)),
+                Ok(_) => continue,
+                Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    fn bump_fsyncs(&self, n: u64) {
+        self.fsyncs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Flush the root directory entry itself (makes a just-renamed or
+    /// just-removed name durable).
+    fn sync_root(&self) -> io::Result<()> {
+        fs::File::open(&self.root)?.sync_all()?;
+        self.bump_fsyncs(1);
+        Ok(())
     }
 
     fn encode_header(key: &CacheKey, meta: &HeaderMeta) -> Vec<u8> {
@@ -226,7 +392,6 @@ impl DiskStore {
 
 impl Store for DiskStore {
     fn put_described(&self, key: &CacheKey, meta: &HeaderMeta, body: &[u8]) -> io::Result<()> {
-        let final_path = self.path_for(key);
         let serial = self.serial.fetch_add(1, Ordering::Relaxed) + 1;
         let tmp = self
             .root
@@ -236,12 +401,34 @@ impl Store for DiskStore {
             f.write_all(&Self::encode_header(key, meta))?;
             f.write_all(body)?;
             f.flush()?;
+            // An ack must mean "on the platter", not "in the page
+            // cache": sync the data before the rename publishes it.
+            if self.fsync {
+                f.sync_all()?;
+                self.bump_fsyncs(1);
+            }
         }
-        // Hold the count lock across exists+rename so a racing put of
-        // the same key cannot double-increment the count.
+        // Hold the count lock across probe+rename so a racing put of
+        // the same key cannot double-increment the count, and so two
+        // colliding keys cannot claim one free slot.
         let _guard = self.count_lock.lock();
-        let existed = final_path.exists();
+        let slot = match self.find_slot(key)? {
+            Some(n) => (self.candidate(key, n), true),
+            None => {
+                // First free slot in the chain (skipping occupied slots
+                // that belong to colliding or corrupt entries).
+                let mut n = 0;
+                while self.candidate(key, n).exists() {
+                    n += 1;
+                }
+                (self.candidate(key, n), false)
+            }
+        };
+        let (final_path, existed) = slot;
         fs::rename(&tmp, &final_path)?;
+        if self.fsync {
+            self.sync_root()?;
+        }
         if !existed {
             self.count.fetch_add(1, Ordering::Relaxed);
         }
@@ -249,33 +436,59 @@ impl Store for DiskStore {
     }
 
     fn get(&self, key: &CacheKey) -> io::Result<Vec<u8>> {
-        let mut f = fs::File::open(self.path_for(key))?;
-        let mut bytes = Vec::new();
-        f.read_to_end(&mut bytes)?;
-        let (_, body_at) = Self::decode_header(&bytes)
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt cache entry"))?;
-        bytes.drain(..body_at);
-        Ok(bytes)
+        // Walk the probe chain, verifying the decoded header key on
+        // every read: a hash collision serves `NotFound` (or the right
+        // slot further down the chain), never another key's body.
+        for n in 0..usize::MAX {
+            let mut f = fs::File::open(self.candidate(key, n))?;
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            let (recovered, body_at) = Self::decode_header(&bytes)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "corrupt cache entry"))?;
+            if recovered.key == *key {
+                bytes.drain(..body_at);
+                return Ok(bytes);
+            }
+        }
+        unreachable!("probe chain is bounded by the first missing slot")
     }
 
     fn delete(&self, key: &CacheKey) -> io::Result<()> {
         let _guard = self.count_lock.lock();
-        match fs::remove_file(self.path_for(key)) {
-            Ok(()) => {
-                self.count.fetch_sub(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e),
+        let Some(n) = self.find_slot(key)? else {
+            return Ok(()); // deleting an absent key is not an error
+        };
+        fs::remove_file(self.candidate(key, n))?;
+        // Keep the probe chain contiguous: move the chain's last member
+        // down into the hole so later probes still terminate correctly.
+        let mut last = n;
+        while self.candidate(key, last + 1).exists() {
+            last += 1;
         }
+        if last > n {
+            fs::rename(self.candidate(key, last), self.candidate(key, n))?;
+        }
+        if self.fsync {
+            self.sync_root()?;
+        }
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        Ok(())
     }
 
     fn contains(&self, key: &CacheKey) -> bool {
-        self.path_for(key).exists()
+        matches!(self.find_slot(key), Ok(Some(_)))
     }
 
     fn len(&self) -> usize {
         self.count.load(Ordering::Relaxed)
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            kind: "files",
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            ..StoreMetrics::default()
+        }
     }
 
     fn recover(&self) -> Vec<RecoveredEntry> {
@@ -337,6 +550,13 @@ impl Store for MemStore {
 
     fn len(&self) -> usize {
         self.map.lock().len()
+    }
+
+    fn metrics(&self) -> StoreMetrics {
+        StoreMetrics {
+            kind: "mem",
+            ..StoreMetrics::default()
+        }
     }
 }
 
@@ -551,6 +771,98 @@ mod tests {
         let s2 = DiskStore::open(&root).unwrap();
         assert_eq!(s2.len(), 1);
         let _ = fs::remove_dir_all(root);
+    }
+
+    /// Two distinct keys with the same 64-bit FNV-1a hash (verified:
+    /// both map to 0x4eac0c95540867e4). Any change to `stable_hash`
+    /// invalidates the pair and this helper's assertion catches it.
+    fn colliding_keys() -> (CacheKey, CacheKey) {
+        let a = CacheKey::new("8yn0iYCKYHlIj4-BwPqk");
+        let b = CacheKey::new("GReLUrM4wMqfg9yzV3KQ");
+        assert_eq!(a.stable_hash(), b.stable_hash(), "collision pair broke");
+        (a, b)
+    }
+
+    #[test]
+    fn colliding_keys_do_not_clobber_each_other() {
+        // Regression: files are named by the key's 64-bit hash, and the
+        // old get() never compared the decoded header key against the
+        // requested one — two colliding keys overwrote each other's file
+        // and served the wrong body.
+        let root = tmp_root("collide");
+        let s = DiskStore::open(&root).unwrap();
+        let (a, b) = colliding_keys();
+        s.put(&a, b"body-of-a").unwrap();
+        // Before b is written, a read of b must be NotFound, not a's body.
+        assert_eq!(s.get(&b).unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert!(!s.contains(&b));
+        s.put(&b, b"body-of-b").unwrap();
+        assert_eq!(s.get(&a).unwrap(), b"body-of-a");
+        assert_eq!(s.get(&b).unwrap(), b"body-of-b");
+        assert_eq!(s.len(), 2);
+        // Overwrites land in the right slot.
+        s.put(&a, b"body-of-a-v2").unwrap();
+        assert_eq!(s.get(&a).unwrap(), b"body-of-a-v2");
+        assert_eq!(s.get(&b).unwrap(), b"body-of-b");
+        assert_eq!(s.len(), 2);
+        // Both survive recovery with their own keys.
+        let recovered = s.recover();
+        assert_eq!(recovered.len(), 2);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn deleting_a_chain_member_keeps_the_rest_reachable() {
+        let root = tmp_root("collide-del");
+        let s = DiskStore::open(&root).unwrap();
+        let (a, b) = colliding_keys();
+        s.put(&a, b"body-of-a").unwrap();
+        s.put(&b, b"body-of-b").unwrap();
+        // Deleting the chain head moves the tail down into the hole, so
+        // the survivor stays reachable (probes stop at a missing slot).
+        s.delete(&a).unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(&a));
+        assert_eq!(s.get(&b).unwrap(), b"body-of-b");
+        // And across a reopen.
+        drop(s);
+        let s = DiskStore::open(&root).unwrap();
+        assert_eq!(s.get(&b).unwrap(), b"body-of-b");
+        assert_eq!(s.len(), 1);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn open_sweeps_orphaned_temp_files() {
+        let root = tmp_root("orphans");
+        fs::create_dir_all(&root).unwrap();
+        // A crash mid-put leaves the temp file behind; a foreign pid's
+        // orphan counts too.
+        fs::write(root.join(".tmp-12345-7"), b"half-written").unwrap();
+        fs::write(root.join(format!(".tmp-{}-1", std::process::id())), b"ours").unwrap();
+        let s = DiskStore::open(&root).unwrap();
+        assert_eq!(s.len(), 0);
+        assert!(!root.join(".tmp-12345-7").exists(), "orphan reaped");
+        // A fresh put reuses the serial space without tripping over
+        // the (now removed) leftovers.
+        s.put(&CacheKey::new("/x"), b"y").unwrap();
+        assert_eq!(s.get(&CacheKey::new("/x")).unwrap(), b"y");
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn fsync_knob_counts_durability_work() {
+        let root = tmp_root("fsync");
+        let s = DiskStore::open_with_fsync(&root, true).unwrap();
+        s.put(&CacheKey::new("/durable"), b"x").unwrap();
+        // One data sync + one directory sync per put.
+        assert_eq!(s.metrics().fsyncs, 2);
+        assert_eq!(s.metrics().kind, "files");
+        let off = DiskStore::open_with_fsync(tmp_root("nofsync"), false).unwrap();
+        off.put(&CacheKey::new("/fast"), b"x").unwrap();
+        assert_eq!(off.metrics().fsyncs, 0);
+        let _ = fs::remove_dir_all(root);
+        let _ = fs::remove_dir_all(off.root());
     }
 
     #[test]

@@ -79,6 +79,12 @@ pub struct ClusterConfig {
     pub directory: swala_cache::DirectoryKind,
     /// Virtual nodes per member on the consistent-hash ring.
     pub ring_vnodes: usize,
+    /// Body-store layout on every node (one file per entry, or the
+    /// crash-safe segment log). Defaults to the process default, which
+    /// honors `SWALA_STORE`. Only matters with `cache_dir_base` set.
+    pub store: swala_cache::StoreKind,
+    /// Sync body-store writes before acking (durability) on every node.
+    pub fsync: bool,
 }
 
 impl Default for ClusterConfig {
@@ -111,6 +117,8 @@ impl Default for ClusterConfig {
             engine: ServerOptions::default().engine,
             directory: ServerOptions::default().directory,
             ring_vnodes: ServerOptions::default().ring_vnodes,
+            store: ServerOptions::default().store,
+            fsync: ServerOptions::default().fsync,
         }
     }
 }
@@ -185,6 +193,8 @@ impl SwalaCluster {
                     engine: cfg.engine,
                     directory: cfg.directory,
                     ring_vnodes: cfg.ring_vnodes,
+                    store: cfg.store,
+                    fsync: cfg.fsync,
                     ..Default::default()
                 };
                 BoundSwala::bind(options, gated_registry(cfg.work, cfg.cores_per_node))

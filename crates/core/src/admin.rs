@@ -446,6 +446,20 @@ fn status_page(ctx: &NodeContext) -> Response {
             if l.connected { "yes" } else { "no" },
         ));
     }
+    let sm = ctx.manager.store_metrics();
+    let store = format!(
+        "store={} segments={} live_bytes={} dead_bytes={} bodies={} \
+         dedup_hits={} compactions={} compacted_bytes={} fsyncs={}",
+        sm.kind,
+        sm.segments,
+        sm.live_bytes,
+        sm.dead_bytes,
+        sm.bodies,
+        sm.dedup_hits,
+        sm.compactions,
+        sm.compacted_bytes,
+        sm.fsyncs,
+    );
     let pool = ctx.fetch_pool.stats();
     let eng = &ctx.engine_stats;
     let engine = format!(
@@ -484,6 +498,7 @@ fn status_page(ctx: &NodeContext) -> Response {
          <h2>HTTP</h2><pre>{http}</pre>\
          <h2>Engine</h2><pre>{engine}</pre>\
          <h2>Cache</h2><pre>{cache}</pre>\
+         <h2>Body store</h2><pre>{store}</pre>\
          <h2>Fetch pool</h2><pre>{pool}</pre>\
          <h2>Latency by outcome (&micro;s)</h2>\
          <table border=1>\

@@ -5,7 +5,7 @@ use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
-use swala_cache::{CacheRules, DirectoryKind, NodeId, PolicyKind};
+use swala_cache::{CacheRules, DirectoryKind, NodeId, PolicyKind, StoreKind};
 use swala_proto::FaultInjector;
 
 /// Which connection engine serves HTTP.
@@ -181,6 +181,19 @@ pub struct ServerOptions {
     /// Virtual nodes per member on the consistent-hash ring
     /// (partitioned mode only).
     pub ring_vnodes: usize,
+    /// Body-store layout (`store files|segment`). `files` is the
+    /// paper-faithful default (one OS file per cached result, §4.1);
+    /// `segment` is the crash-safe append-only segment log with
+    /// checksummed records and content-digest dedup. Like `engine`, the
+    /// `SWALA_STORE` environment variable overrides the *default* only —
+    /// explicit config lines and programmatic settings win, so tests
+    /// that pin a store are immune to a suite-wide env sweep.
+    pub store: StoreKind,
+    /// Durability of body-store writes (`fsync on|off`): sync data
+    /// before publishing a write and sync the directory/segment after,
+    /// so an acked entry survives power loss. `off` trades that for
+    /// write throughput (benches, ephemeral caches).
+    pub fsync: bool,
 }
 
 impl Default for ServerOptions {
@@ -232,6 +245,11 @@ impl Default for ServerOptions {
                 _ => DirectoryKind::Replicated,
             },
             ring_vnodes: swala_cache::DEFAULT_VNODES,
+            store: match std::env::var("SWALA_STORE").as_deref() {
+                Ok("segment") => StoreKind::Segment,
+                _ => StoreKind::Files,
+            },
+            fsync: true,
         }
     }
 }
@@ -431,6 +449,16 @@ impl ServerOptions {
                     opts.ring_vnodes = rest.parse().map_err(|_| err("bad ring_vnodes"))?;
                     if opts.ring_vnodes == 0 {
                         return Err(err("ring_vnodes must be positive"));
+                    }
+                }
+                "store" => {
+                    opts.store = rest.parse().map_err(|e: String| err(&e))?;
+                }
+                "fsync" => {
+                    opts.fsync = match rest {
+                        "on" => true,
+                        "off" => false,
+                        _ => return Err(err("fsync must be on|off")),
                     }
                 }
                 // Cacheability rules pass through to the rules parser.
@@ -712,6 +740,27 @@ slow_traces 16
         assert!(ServerOptions::parse("ring_vnodes many")
             .unwrap_err()
             .contains("bad"));
+    }
+
+    #[test]
+    fn store_keywords() {
+        // Note: the default depends on SWALA_STORE (env override of the
+        // default), so only explicit settings are asserted here.
+        let o = ServerOptions::parse("store segment\n").unwrap();
+        assert_eq!(o.store, StoreKind::Segment);
+        let o = ServerOptions::parse("store files\n").unwrap();
+        assert_eq!(o.store, StoreKind::Files);
+        assert!(o.fsync, "durable acks are the default");
+        let o = ServerOptions::parse("fsync off\n").unwrap();
+        assert!(!o.fsync);
+        let o = ServerOptions::parse("fsync on\n").unwrap();
+        assert!(o.fsync);
+        assert!(ServerOptions::parse("store ramdisk")
+            .unwrap_err()
+            .contains("files|segment"));
+        assert!(ServerOptions::parse("fsync maybe")
+            .unwrap_err()
+            .contains("on|off"));
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use server::{BoundSwala, SwalaServer};
 pub use stats::{EngineStats, RequestStats, RequestStatsSnapshot};
 
 // Re-export the pieces examples and benches compose with.
-pub use swala_cache::{CacheKey, CacheRules, NodeId, PolicyKind};
+pub use swala_cache::{CacheKey, CacheRules, NodeId, PolicyKind, StoreKind};
 pub use swala_cgi::{ProgramRegistry, SimulatedProgram, WorkKind};

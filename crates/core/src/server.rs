@@ -10,7 +10,10 @@ use parking_lot::RwLock;
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
-use swala_cache::{CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, Store};
+use swala_cache::{
+    CacheManager, CacheManagerConfig, DiskStore, MemStore, NodeId, SegmentConfig, SegmentStore,
+    Store, StoreKind,
+};
 use swala_cgi::ProgramRegistry;
 use swala_obs::Telemetry;
 use swala_proto::{
@@ -71,7 +74,16 @@ impl BoundSwala {
         } = self;
 
         let store: Box<dyn Store> = match &options.cache_dir {
-            Some(dir) => Box::new(DiskStore::open(dir)?),
+            Some(dir) => match options.store {
+                StoreKind::Files => Box::new(DiskStore::open_with_fsync(dir, options.fsync)?),
+                StoreKind::Segment => Box::new(SegmentStore::open_with(
+                    dir,
+                    SegmentConfig {
+                        fsync: options.fsync,
+                        ..SegmentConfig::default()
+                    },
+                )?),
+            },
             None => Box::new(MemStore::new()),
         };
         let manager = Arc::new(CacheManager::new(
@@ -170,6 +182,57 @@ impl BoundSwala {
                 "swala_cache_ring_vnodes",
                 "Virtual nodes per member on the consistent-hash ring (0 = replicated directory)",
                 move || vnodes,
+            );
+            // Body-store internals, read from the store's own metrics at
+            // scrape time (all zeros for the mem store; the files store
+            // reports only fsyncs).
+            let m = Arc::clone(&manager);
+            reg.register_gauge_fn(
+                "swala_store_segments",
+                "Segment files in the body store's log",
+                move || m.store_metrics().segments as i64,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_gauge_fn(
+                "swala_store_live_bytes",
+                "Bytes of live records in the body store",
+                move || m.store_metrics().live_bytes as i64,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_gauge_fn(
+                "swala_store_dead_bytes",
+                "Bytes of dead (deleted/superseded) records awaiting compaction",
+                move || m.store_metrics().dead_bytes as i64,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_gauge_fn(
+                "swala_store_bodies",
+                "Unique bodies (distinct content digests) in the body store",
+                move || m.store_metrics().bodies as i64,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_counter(
+                "swala_store_dedup_hits",
+                "Store puts whose body was already present under another key",
+                move || m.store_metrics().dedup_hits,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_counter(
+                "swala_store_compactions",
+                "Compaction passes run by the body store",
+                move || m.store_metrics().compactions,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_counter(
+                "swala_store_compacted_bytes",
+                "Dead bytes reclaimed by compaction",
+                move || m.store_metrics().compacted_bytes,
+            );
+            let m = Arc::clone(&manager);
+            reg.register_counter(
+                "swala_store_fsyncs",
+                "Durability syncs issued by the body store",
+                move || m.store_metrics().fsyncs,
             );
         }
         let accept_filter = options.faults.as_ref().map(|f| f.acceptor(options.node));

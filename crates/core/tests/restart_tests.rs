@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 use swala::{HttpClient, ServerOptions, SwalaServer};
-use swala_cache::NodeId;
+use swala_cache::{NodeId, StoreKind};
 use swala_cgi::{ProgramRegistry, SimulatedProgram, WorkKind};
 
 fn registry() -> ProgramRegistry {
@@ -73,6 +73,70 @@ fn warm_restart_recovers_cached_results() {
 }
 
 #[test]
+fn warm_restart_with_segment_store() {
+    let dir = std::env::temp_dir().join(format!("swala-seg-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let bodies: Vec<Vec<u8>> = {
+        let server = SwalaServer::start_single(
+            ServerOptions {
+                cache_dir: Some(dir.clone()),
+                pool_size: 2,
+                store: StoreKind::Segment,
+                ..Default::default()
+            },
+            registry(),
+        )
+        .unwrap();
+        assert_eq!(server.manager().store_metrics().kind, "segment");
+        let mut client = HttpClient::new(server.http_addr());
+        let bodies = (0..3)
+            .map(|i| {
+                client
+                    .get(&format!("/cgi-bin/adl?id={i}&ms=1"))
+                    .unwrap()
+                    .body
+                    .into_vec()
+            })
+            .collect();
+        server.shutdown();
+        bodies
+    };
+
+    let server = SwalaServer::start_single(
+        ServerOptions {
+            cache_dir: Some(dir.clone()),
+            pool_size: 2,
+            store: StoreKind::Segment,
+            ..Default::default()
+        },
+        registry(),
+    )
+    .unwrap();
+    assert_eq!(
+        server.manager().directory().len(NodeId(0)),
+        3,
+        "directory recovered from segment log"
+    );
+    let mut client = HttpClient::new(server.http_addr());
+    for (i, expected) in bodies.iter().enumerate() {
+        let r = client.get(&format!("/cgi-bin/adl?id={i}&ms=1")).unwrap();
+        assert_eq!(r.headers.get("X-Swala-Cache"), Some("local-hit"), "id={i}");
+        assert_eq!(&r.body, expected, "recovered bytes identical, id={i}");
+    }
+    assert_eq!(server.request_stats().executions, 0, "nothing re-executed");
+    // The recovery pass pre-warmed the memory tier, so those hits never
+    // touched the body store: the warm hit path matches pre-crash state.
+    assert_eq!(
+        server.manager().stats().snapshot().mem_hits,
+        3,
+        "post-restart hits served from the pre-warmed memory tier"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn recover_cache_off_starts_cold() {
     let dir = std::env::temp_dir().join(format!("swala-cold-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -116,6 +180,9 @@ fn recovery_respects_capacity() {
                 cache_dir: Some(dir.clone()),
                 capacity: 10,
                 pool_size: 2,
+                // Pinned: this test counts per-entry .swc files, which
+                // only the files store produces (immune to SWALA_STORE).
+                store: StoreKind::Files,
                 ..Default::default()
             },
             registry(),
@@ -134,6 +201,7 @@ fn recovery_respects_capacity() {
             cache_dir: Some(dir.clone()),
             capacity: 4,
             pool_size: 2,
+            store: StoreKind::Files,
             ..Default::default()
         },
         registry(),

@@ -211,6 +211,9 @@ fn disk_store_survives_on_disk() {
     let _ = std::fs::remove_dir_all(&dir);
     let server = single(ServerOptions {
         cache_dir: Some(dir.clone()),
+        // Pinned: this test asserts the paper's one-file-per-entry
+        // layout, which only the files store produces.
+        store: swala_cache::StoreKind::Files,
         ..Default::default()
     });
     let mut client = HttpClient::new(server.http_addr());

@@ -3,23 +3,34 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+# --workspace matters here too: the root package does not depend on
+# swala-bench, so a bare build never produces the tables/c10k binaries
+# the smoke steps below run.
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q --workspace"
+# --workspace matters: a bare `cargo test -q` runs only the root
+# package's suites and silently skips every crates/* unit test.
+cargo test -q --workspace
 
-echo "==> cargo test -q (event engine)"
-# The same tier-1 suite with the event engine as the default, so both
+echo "==> cargo test -q --workspace (event engine)"
+# The same suite with the event engine as the default, so both
 # connection layers stay green. Tests that pin `engine` explicitly are
 # unaffected by the env override.
-SWALA_ENGINE=event cargo test -q
+SWALA_ENGINE=event cargo test -q --workspace
 
 echo "==> cargo test -q --workspace (partitioned directory)"
 # The whole workspace once more with the consistent-hash partitioned
 # directory as the default mode. Tests that assert replicated broadcast
 # semantics pin `directory` explicitly and are unaffected.
 SWALA_DIRECTORY=partitioned cargo test -q --workspace
+
+echo "==> cargo test -q --workspace (segment store)"
+# The whole workspace with the crash-safe segment-log body store as the
+# default. Tests that count one-file-per-entry layouts pin
+# `store: StoreKind::Files` explicitly and are unaffected.
+SWALA_STORE=segment cargo test -q --workspace
 
 echo "==> C10K smoke (c10k)"
 # Raise RLIMIT_NOFILE, park 10k idle keep-alive connections on an
@@ -71,6 +82,23 @@ with open("BENCH_obsplane.json") as f:
 assert doc["merged_equals_sum"] is True, doc
 assert doc["scrape_failures"] == 0, doc
 assert doc["nodes"] == 8, doc
+EOF
+
+echo "==> segment-store gate (tables store)"
+# Digest dedup, compaction, and the kill -9 crash drill. The
+# experiment's own asserts gate on one body copy per digest, byte-
+# identical recovery of every acked entry, and a warm-restart hit rate
+# equal to the pre-kill steady state.
+SWALA_BENCH_QUICK=1 target/release/tables store
+python3 - <<'EOF'
+import json
+with open("BENCH_store.json") as f:
+    doc = json.load(f)
+assert doc["dedup"]["bodies_on_disk"] == 1, doc
+assert doc["dedup"]["dedup_hits"] == doc["dedup"]["keys"] - 1, doc
+assert doc["crash"]["recovered"] >= doc["crash"]["acked"], doc
+assert doc["crash"]["byte_identical"] is True, doc
+assert doc["crash"]["warm_hit_rate"] == doc["crash"]["pre_kill_hit_rate"], doc
 EOF
 
 echo "==> cargo fmt --check"

@@ -125,6 +125,9 @@ fn cluster_with_disk_stores_keeps_bodies_on_disk() {
         nodes: 2,
         cache_dir_base: Some(base.clone()),
         work: WorkKind::Sleep,
+        // Pinned: the file-count assertion below is about the paper's
+        // one-file-per-entry layout (files store only).
+        store: swala_cache::StoreKind::Files,
         ..Default::default()
     })
     .unwrap();
